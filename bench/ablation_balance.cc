@@ -1,0 +1,69 @@
+// Ablation: Theorem-1 balance guidance vs uniform random placement.
+//
+// The balance weights route insertions (and eviction victims) toward the
+// freest subtable of a key's pair.  With the size ladder mixing n- and
+// 2n-bucket subtables, unguided placement overfills the small subtables and
+// pays for it in evictions and insertion failures.
+
+#include "bench/bench_common.h"
+#include "dycuckoo/dycuckoo.h"
+
+namespace dycuckoo {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv, /*default_scale=*/0.005);
+  workload::Dataset data;
+  CheckOk(workload::MakeDataset(workload::DatasetId::kRandom, args.scale,
+                                args.seed, &data),
+          "dataset");
+
+  PrintHeader("Ablation: balance-guided placement vs uniform random "
+              "(RAND, mixed-ladder geometry, scale=" + Fmt(args.scale, 4) +
+                  ")",
+              "balance keeps subtable fills even and evictions low at high "
+              "theta; random placement overfills the smaller subtables");
+  PrintRow({"theta", "mode", "insert_Mops", "evictions", "insert_failures",
+            "subtable_fill_spread"});
+
+  for (double theta : {0.70, 0.85, 0.92}) {
+    for (bool balance : {true, false}) {
+      DyCuckooOptions o;
+      o.enable_balance = balance;
+      o.auto_resize = false;
+      // A capacity hint the ladder fills with mixed subtable sizes.
+      o.initial_capacity =
+          static_cast<uint64_t>(data.unique_keys / theta) / 5 * 5;
+      o.seed = args.seed;
+      std::unique_ptr<DyCuckooAdapter> t;
+      CheckOk(DyCuckooAdapter::Create(o, &t), "create");
+
+      uint64_t keep = std::min<uint64_t>(
+          static_cast<uint64_t>(t->table()->capacity_slots() * theta),
+          data.size());
+      workload::Dataset subset;
+      subset.name = data.name;
+      subset.keys.assign(data.keys.begin(), data.keys.begin() + keep);
+      subset.values.assign(data.values.begin(), data.values.begin() + keep);
+
+      double mops = MeasureStaticInsert(t.get(), subset);
+      auto s = t->table()->stats().Capture();
+      double lo = 1.0, hi = 0.0;
+      for (int i = 0; i < t->table()->num_subtables(); ++i) {
+        lo = std::min(lo, t->table()->subtable_filled_factor(i));
+        hi = std::max(hi, t->table()->subtable_filled_factor(i));
+      }
+      PrintRow({Fmt(theta, 2), balance ? "balanced" : "random", Fmt(mops),
+                std::to_string(s.evictions),
+                std::to_string(s.insert_failures), Fmt(hi - lo, 3)});
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dycuckoo
+
+int main(int argc, char** argv) { return dycuckoo::bench::Main(argc, argv); }

@@ -1,0 +1,90 @@
+// Extension study: the overflow stash (the paper's stated future work).
+//
+// The paper observes (Figure 11 discussion) that insertions can fail right
+// after an upsizing "due to too many evictions", forcing another round of
+// upsizing and over-growing the table.  A small stash absorbs those
+// failures instead.  Two regimes:
+//
+//  * static: a fixed-capacity table pushed to very high fill — the stash
+//    converts hard insertion failures into stored entries, raising the
+//    maximum usable load factor;
+//  * dynamic: growth with a short eviction bound — failure-triggered
+//    upsizing rounds (beyond the theta-driven ones) are replaced by stash
+//    traffic.
+
+#include "bench/bench_common.h"
+#include "dycuckoo/dycuckoo.h"
+
+namespace dycuckoo {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv, /*default_scale=*/0.005);
+  workload::Dataset data;
+  CheckOk(workload::MakeDataset(workload::DatasetId::kRandom, args.scale,
+                                args.seed, &data),
+          "dataset");
+
+  PrintHeader("Extension: overflow stash under extreme static load "
+              "(chain bound 8, target fill 0.97 of a fixed table)",
+              "without a stash, hard failures appear near full; a small "
+              "stash absorbs them and raises the usable load");
+  PrintRow({"stash", "attempted", "stored", "hard_failures",
+            "achieved_theta", "stash_used"});
+
+  const uint64_t capacity = 64 * 1024;
+  const uint64_t attempted = static_cast<uint64_t>(capacity * 0.97);
+  for (uint64_t stash : {0ull, 64ull, 256ull, 1024ull}) {
+    DyCuckooOptions o;
+    o.auto_resize = false;
+    o.initial_capacity = capacity;
+    o.max_eviction_chain = 8;
+    o.stash_capacity = stash;
+    o.seed = args.seed;
+    std::unique_ptr<DyCuckooAdapter> t;
+    CheckOk(DyCuckooAdapter::Create(o, &t), "create");
+
+    workload::Dataset subset;
+    subset.name = data.name;
+    uint64_t keep = std::min<uint64_t>(attempted, data.size());
+    subset.keys.assign(data.keys.begin(), data.keys.begin() + keep);
+    subset.values.assign(data.values.begin(), data.values.begin() + keep);
+    (void)MeasureStaticInsert(t.get(), subset);
+
+    auto s = t->table()->stats().Capture();
+    PrintRow({std::to_string(stash), std::to_string(keep),
+              std::to_string(t->size()), std::to_string(s.insert_failures),
+              Fmt(t->filled_factor(), 4),
+              std::to_string(t->table()->stash_size())});
+  }
+
+  PrintHeader("Extension: stash under dynamic growth with a short eviction "
+              "bound (chain 4)",
+              "stash absorbs transient post-upsize failures, trimming the "
+              "failure-triggered upsizing rounds");
+  PrintRow({"stash", "insert_Mops", "upsizes", "transient_failures",
+            "stash_inserts"});
+  for (uint64_t stash : {0ull, 128ull}) {
+    DyCuckooOptions o;
+    o.initial_capacity = 1024;
+    o.max_eviction_chain = 4;
+    o.upper_bound = 0.90;
+    o.stash_capacity = stash;
+    o.seed = args.seed;
+    std::unique_ptr<DyCuckooAdapter> t;
+    CheckOk(DyCuckooAdapter::Create(o, &t), "create");
+    double mops = MeasureStaticInsert(t.get(), data, nullptr, 4000);
+    auto s = t->table()->stats().Capture();
+    PrintRow({std::to_string(stash), Fmt(mops), std::to_string(s.upsizes),
+              std::to_string(s.insert_failures),
+              std::to_string(s.stash_inserts)});
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dycuckoo
+
+int main(int argc, char** argv) { return dycuckoo::bench::Main(argc, argv); }

@@ -1,0 +1,66 @@
+// Ablation: the two-layer scheme (Section V-A) vs a plain d-table cuckoo.
+//
+// Reproduces the paper's motivating tradeoff: with d subtables, a plain
+// cuckoo pays d probes per FIND/DELETE (worst case), so lookup cost grows
+// with d; the two-layer scheme pins it at two.  Misses show the effect at
+// full strength (a hit can stop early).
+
+#include "bench/bench_common.h"
+#include "dycuckoo/dycuckoo.h"
+#include "gpusim/sim_counters.h"
+
+namespace dycuckoo {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv, /*default_scale=*/0.005);
+  workload::Dataset data;
+  CheckOk(workload::MakeDataset(workload::DatasetId::kRandom, args.scale,
+                                args.seed, &data),
+          "dataset");
+  // A disjoint probe set (all misses).
+  workload::Dataset missset;
+  CheckOk(workload::MakeDataset(workload::DatasetId::kRandom, args.scale,
+                                args.seed + 77, &missset),
+          "missset");
+
+  PrintHeader("Ablation: two-layer hashing vs plain d-table cuckoo "
+              "(RAND, theta=0.85, scale=" + Fmt(args.scale, 4) + ")",
+              "plain-mode find cost grows with d (up to d probes per miss); "
+              "two-layer stays at <= 2");
+  PrintRow({"d", "mode", "find_hit_Mops", "find_miss_Mops", "miss_txn/op",
+            "insert_Mops"});
+
+  for (int d : {2, 3, 4, 6, 8}) {
+    for (bool two_layer : {true, false}) {
+      DyCuckooOptions o;
+      o.num_subtables = d;
+      o.enable_two_layer = two_layer;
+      o.auto_resize = false;
+      o.initial_capacity =
+          static_cast<uint64_t>(data.unique_keys / 0.85);
+      o.seed = args.seed;
+      std::unique_ptr<DyCuckooAdapter> t;
+      CheckOk(DyCuckooAdapter::Create(o, &t), "create");
+
+      double insert_mops = MeasureStaticInsert(t.get(), data);
+      double hit_mops = MeasureStaticFind(t.get(), data, data.size() / 2,
+                                          args.seed ^ 3);
+      double miss_txn = 0.0;
+      double miss_mops = MeasureStaticFind(t.get(), missset,
+                                           missset.size() / 2, args.seed ^ 4,
+                                           &miss_txn, /*expect_hits=*/false);
+      PrintRow({std::to_string(d), two_layer ? "two-layer" : "plain",
+                Fmt(hit_mops), Fmt(miss_mops), Fmt(miss_txn),
+                Fmt(insert_mops)});
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dycuckoo
+
+int main(int argc, char** argv) { return dycuckoo::bench::Main(argc, argv); }

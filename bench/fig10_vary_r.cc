@@ -1,0 +1,59 @@
+// Figure 10: dynamic throughput for varying delete/insert ratio r, per
+// dataset.
+//
+// Paper shape: DyCuckoo best overall; DyCuckoo and MegaKV degrade as r
+// grows (more deletions → more resizes) with DyCuckoo's margin over MegaKV
+// widening (MegaKV's resize is a full rehash); SlabHash *improves* with r
+// (symbolic deletes leave free slots for later inserts) while using more
+// memory.
+
+#include "bench/bench_common.h"
+
+namespace dycuckoo {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv, /*default_scale=*/0.002);
+  auto datasets = AllDatasets(args.scale, args.seed);
+
+  PrintHeader("Figure 10: dynamic throughput vs delete ratio r (scale=" +
+                  Fmt(args.scale, 4) + ")",
+              "DyCuckoo best; DyCuckoo/MegaKV fall as r grows (margin "
+              "widens); SlabHash rises with r but burns memory");
+  PrintRow({"dataset", "r", "SlabHash_Mops", "MegaKV_Mops",
+            "DyCuckoo_Mops"});
+
+  for (const auto& data : datasets) {
+    for (double r : {0.1, 0.2, 0.3, 0.4, 0.5}) {
+      workload::DynamicWorkloadOptions wo;
+      wo.batch_size =
+          std::max<uint64_t>(1000, static_cast<uint64_t>(1e6 * args.scale));
+      wo.delete_ratio = r;
+      wo.seed = args.seed ^ static_cast<uint64_t>(r * 1000);
+      std::vector<workload::DynamicBatch> batches;
+      CheckOk(workload::BuildDynamicWorkload(data, wo, &batches), "workload");
+
+      DynamicConfig cfg;
+      cfg.initial_capacity = wo.batch_size;
+      cfg.seed = args.seed;
+
+      const int kReps = 2;
+      double m_slab =
+          BestDynamicMops(kReps, [&] { return MakeSlabDynamic(cfg); }, batches);
+      double m_megakv = BestDynamicMops(
+          kReps, [&] { return MakeMegaKvDynamic(cfg); }, batches);
+      double m_dy = BestDynamicMops(
+          kReps, [&] { return MakeDyCuckooDynamic(cfg); }, batches);
+      PrintRow({data.name, Fmt(r, 1), Fmt(m_slab), Fmt(m_megakv),
+                Fmt(m_dy)});
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dycuckoo
+
+int main(int argc, char** argv) { return dycuckoo::bench::Main(argc, argv); }

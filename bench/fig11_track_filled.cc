@@ -1,0 +1,86 @@
+// Figure 11: filled factor (memory efficiency) tracked after every batch of
+// the dynamic workload, per dataset.
+//
+// Paper shape: DyCuckoo stays inside [alpha, beta] throughout; MegaKV
+// saw-tooths (each full rehash halves/doubles the footprint); SlabHash
+// decays — tombstoned pool slots are never reclaimed, dropping below 20%
+// on COM — so DyCuckoo saves up to ~4x memory at equal contents.
+
+#include "bench/bench_common.h"
+
+namespace dycuckoo {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv, /*default_scale=*/0.002);
+  auto datasets = AllDatasets(args.scale, args.seed);
+
+  PrintHeader("Figure 11: filled factor after each batch (scale=" +
+                  Fmt(args.scale, 4) + ", r=0.2)",
+              "DyCuckoo bounded in [0.30, 0.85]; MegaKV saw-tooths; "
+              "SlabHash decays (symbolic deletion) -> up to ~4x memory gap");
+  PrintRow({"dataset", "batch", "SlabHash_theta", "MegaKV_theta",
+            "DyCuckoo_theta", "Slab_MB", "MegaKV_MB", "DyCuckoo_MB"});
+
+  for (const auto& data : datasets) {
+    workload::DynamicWorkloadOptions wo;
+    wo.batch_size =
+        std::max<uint64_t>(1000, static_cast<uint64_t>(1e6 * args.scale));
+    wo.seed = args.seed;
+    std::vector<workload::DynamicBatch> batches;
+    CheckOk(workload::BuildDynamicWorkload(data, wo, &batches), "workload");
+
+    DynamicConfig cfg;
+    cfg.initial_capacity = wo.batch_size;
+    cfg.seed = args.seed;
+    auto slab = MakeSlabDynamic(cfg);
+    auto megakv = MakeMegaKvDynamic(cfg);
+    auto dy = MakeDyCuckooDynamic(cfg);
+
+    auto r_slab = RunDynamicTimeline(slab.get(), batches);
+    auto r_megakv = RunDynamicTimeline(megakv.get(), batches);
+    auto r_dy = RunDynamicTimeline(dy.get(), batches);
+
+    const size_t n = batches.size();
+    const size_t stride = std::max<size_t>(1, n / 40);  // ~40 printed points
+    std::vector<double> ratios;
+    for (size_t b = 0; b < n; ++b) {
+      uint64_t dy_mem = r_dy.memory_after_batch[b];
+      uint64_t worst = std::max(r_slab.memory_after_batch[b],
+                                r_megakv.memory_after_batch[b]);
+      if (dy_mem > 0) {
+        ratios.push_back(static_cast<double>(worst) /
+                         static_cast<double>(dy_mem));
+      }
+      if (b % stride != 0 && b != n - 1) continue;
+      PrintRow({data.name, std::to_string(b),
+                Fmt(r_slab.filled_factor_after_batch[b], 3),
+                Fmt(r_megakv.filled_factor_after_batch[b], 3),
+                Fmt(r_dy.filled_factor_after_batch[b], 3),
+                Fmt(r_slab.memory_after_batch[b] / 1048576.0, 2),
+                Fmt(r_megakv.memory_after_batch[b] / 1048576.0, 2),
+                Fmt(r_dy.memory_after_batch[b] / 1048576.0, 2)});
+    }
+    std::sort(ratios.begin(), ratios.end());
+    double median = ratios.empty() ? 0.0 : ratios[ratios.size() / 2];
+    double final_ratio = ratios.empty() ? 0.0 : ratios.back();
+    std::printf("# %s: DyCuckoo memory saving vs worst baseline: median "
+                "%.1fx, end-of-run %.1fx\n",
+                data.name.c_str(), median,
+                static_cast<double>(std::max(
+                    r_slab.memory_after_batch[n - 1],
+                    r_megakv.memory_after_batch[n - 1])) /
+                    std::max<double>(
+                        1.0,
+                        static_cast<double>(r_dy.memory_after_batch[n - 1])));
+    (void)final_ratio;  // the printed end-of-run ratio is the honest form
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dycuckoo
+
+int main(int argc, char** argv) { return dycuckoo::bench::Main(argc, argv); }

@@ -1,0 +1,54 @@
+// Figure 13: dynamic throughput for varying filled-factor lower bound
+// alpha.  SlabHash is excluded — symbolic deletion cannot control the
+// filled factor (as in the paper).
+//
+// Paper shape: MegaKV's full-rehash downsizing hurts more as alpha rises
+// (more downsizes triggered); DyCuckoo barely moves (one subtable at a
+// time).  On COM, MegaKV gets competitive only by occupying up to 4x more
+// memory.
+
+#include "bench/bench_common.h"
+
+namespace dycuckoo {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv, /*default_scale=*/0.002);
+  auto datasets = AllDatasets(args.scale, args.seed);
+
+  PrintHeader("Figure 13: dynamic throughput vs lower bound alpha (scale=" +
+                  Fmt(args.scale, 4) + ", r=0.2)",
+              "MegaKV degrades as alpha rises (more full-rehash "
+              "downsizes); DyCuckoo stable");
+  PrintRow({"dataset", "alpha", "MegaKV_Mops", "DyCuckoo_Mops"});
+
+  for (const auto& data : datasets) {
+    for (double alpha : {0.20, 0.25, 0.30, 0.35, 0.40}) {
+      workload::DynamicWorkloadOptions wo;
+      wo.batch_size =
+          std::max<uint64_t>(1000, static_cast<uint64_t>(1e6 * args.scale));
+      wo.seed = args.seed + static_cast<uint64_t>(alpha * 100);
+      std::vector<workload::DynamicBatch> batches;
+      CheckOk(workload::BuildDynamicWorkload(data, wo, &batches), "workload");
+
+      DynamicConfig cfg;
+      cfg.alpha = alpha;
+      cfg.initial_capacity = wo.batch_size;
+      cfg.seed = args.seed;
+      const int kReps = 2;
+      double m_megakv = BestDynamicMops(
+          kReps, [&] { return MakeMegaKvDynamic(cfg); }, batches);
+      double m_dy = BestDynamicMops(
+          kReps, [&] { return MakeDyCuckooDynamic(cfg); }, batches);
+      PrintRow({data.name, Fmt(alpha, 2), Fmt(m_megakv), Fmt(m_dy)});
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dycuckoo
+
+int main(int argc, char** argv) { return dycuckoo::bench::Main(argc, argv); }

@@ -1,0 +1,50 @@
+// Figure 14: dynamic throughput for varying filled-factor upper bound beta.
+//
+// Paper shape: beta barely moves either contender — a higher beta slows
+// inserts (denser tables) but triggers fewer resizes; the effects cancel.
+
+#include "bench/bench_common.h"
+
+namespace dycuckoo {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv, /*default_scale=*/0.002);
+  auto datasets = AllDatasets(args.scale, args.seed);
+
+  PrintHeader("Figure 14: dynamic throughput vs upper bound beta (scale=" +
+                  Fmt(args.scale, 4) + ", r=0.2)",
+              "overall flat for both MegaKV and DyCuckoo (denser tables "
+              "vs fewer resizes cancel out)");
+  PrintRow({"dataset", "beta", "MegaKV_Mops", "DyCuckoo_Mops"});
+
+  for (const auto& data : datasets) {
+    for (double beta : {0.70, 0.75, 0.80, 0.85, 0.90}) {
+      workload::DynamicWorkloadOptions wo;
+      wo.batch_size =
+          std::max<uint64_t>(1000, static_cast<uint64_t>(1e6 * args.scale));
+      wo.seed = args.seed + static_cast<uint64_t>(beta * 100);
+      std::vector<workload::DynamicBatch> batches;
+      CheckOk(workload::BuildDynamicWorkload(data, wo, &batches), "workload");
+
+      DynamicConfig cfg;
+      cfg.beta = beta;
+      cfg.initial_capacity = wo.batch_size;
+      cfg.seed = args.seed;
+      const int kReps = 2;
+      double m_megakv = BestDynamicMops(
+          kReps, [&] { return MakeMegaKvDynamic(cfg); }, batches);
+      double m_dy = BestDynamicMops(
+          kReps, [&] { return MakeDyCuckooDynamic(cfg); }, batches);
+      PrintRow({data.name, Fmt(beta, 2), Fmt(m_megakv), Fmt(m_dy)});
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dycuckoo
+
+int main(int argc, char** argv) { return dycuckoo::bench::Main(argc, argv); }

@@ -1,0 +1,60 @@
+// Figure 8: static INSERT and FIND throughput of all contenders over the
+// five datasets at the default filled factor.
+//
+// Paper shape: DyCuckoo best at INSERT (d alternative buckets → fewer
+// evictions than MegaKV's two); MegaKV slightly best at FIND (two bucket
+// probes without the layer-1 hash); Slab behind both; CUDPP slowest (per-
+// slot storage, no cache-line buckets).
+
+#include "bench/bench_common.h"
+
+namespace dycuckoo {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv, /*default_scale=*/0.004);
+  auto datasets = AllDatasets(args.scale, args.seed);
+  const double theta = 0.85;
+
+  PrintHeader("Figure 8: static throughput, all approaches x all datasets "
+              "(theta target 0.85, scale=" + Fmt(args.scale, 4) + ")",
+              "insert: DyCuckoo best, MegaKV/Slab next, CUDPP last; "
+              "find: MegaKV slightly ahead of DyCuckoo; Slab behind");
+
+  PrintRow({"dataset", "op", "CUDPP", "MegaKV", "SlabHash", "DyCuckoo"});
+  const int kReps = 2;
+  for (const auto& data : datasets) {
+    StaticConfig cfg;
+    cfg.expected_items = data.unique_keys;
+    cfg.target_load = theta;
+    cfg.seed = args.seed;
+    const uint64_t finds = std::max<uint64_t>(data.size() / 2, 1);
+
+    double ins[4], fnd[4], ins_txn[4], fnd_txn[4];
+    BestStaticMops(kReps, [&] { return MakeCudppStatic(cfg); }, data, finds,
+                   args.seed ^ 1, &ins[0], &fnd[0], &ins_txn[0], &fnd_txn[0]);
+    BestStaticMops(kReps, [&] { return MakeMegaKvStatic(cfg); }, data, finds,
+                   args.seed ^ 1, &ins[1], &fnd[1], &ins_txn[1], &fnd_txn[1]);
+    BestStaticMops(kReps, [&] { return MakeSlabStatic(cfg); }, data, finds,
+                   args.seed ^ 1, &ins[2], &fnd[2], &ins_txn[2], &fnd_txn[2]);
+    BestStaticMops(kReps, [&] { return MakeDyCuckooStatic(cfg); }, data,
+                   finds, args.seed ^ 1, &ins[3], &fnd[3], &ins_txn[3],
+                   &fnd_txn[3]);
+    PrintRow({data.name, "insert", Fmt(ins[0]), Fmt(ins[1]), Fmt(ins[2]),
+              Fmt(ins[3])});
+    PrintRow({data.name, "insert_txn/op", Fmt(ins_txn[0]), Fmt(ins_txn[1]),
+              Fmt(ins_txn[2]), Fmt(ins_txn[3])});
+    PrintRow({data.name, "find", Fmt(fnd[0]), Fmt(fnd[1]), Fmt(fnd[2]),
+              Fmt(fnd[3])});
+    PrintRow({data.name, "find_txn/op", Fmt(fnd_txn[0]), Fmt(fnd_txn[1]),
+              Fmt(fnd_txn[2]), Fmt(fnd_txn[3])});
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dycuckoo
+
+int main(int argc, char** argv) { return dycuckoo::bench::Main(argc, argv); }

@@ -1,0 +1,128 @@
+// Google-benchmark microbenchmarks of the primitive operations: per-batch
+// insert / find / erase cost of DyCuckoo at several filled factors, plus
+// the warp-voting and pair-hash primitives.  Complements the figure
+// harnesses with statistically managed timings.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "dycuckoo/dycuckoo.h"
+#include "dycuckoo/pair_map.h"
+#include "gpusim/warp.h"
+
+namespace dycuckoo {
+namespace {
+
+std::vector<uint32_t> Keys(uint64_t n, uint64_t seed) {
+  std::vector<uint32_t> keys(n);
+  SplitMix64 rng(seed);
+  for (auto& k : keys) {
+    do {
+      k = static_cast<uint32_t>(rng.Next());
+    } while (k >= 0xfffffffeu);
+  }
+  return keys;
+}
+
+void BM_BulkInsertFresh(benchmark::State& state) {
+  const uint64_t n = state.range(0);
+  auto keys = Keys(n, 1);
+  std::vector<uint32_t> values(n, 7);
+  for (auto _ : state) {
+    state.PauseTiming();
+    DyCuckooOptions o;
+    o.initial_capacity = n * 2;
+    std::unique_ptr<DyCuckooMap> t;
+    (void)DyCuckooMap::Create(o, &t);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(t->BulkInsert(keys, values));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BulkInsertFresh)->Arg(1 << 12)->Arg(1 << 15)->Arg(1 << 17)->UseRealTime();
+
+void BM_BulkFindAtLoad(benchmark::State& state) {
+  const double theta = state.range(0) / 100.0;
+  const uint64_t capacity = 1 << 17;
+  const uint64_t n = static_cast<uint64_t>(capacity * theta);
+  auto keys = Keys(n, 2);
+  std::vector<uint32_t> values(n, 1);
+  DyCuckooOptions o;
+  o.auto_resize = false;
+  o.initial_capacity = capacity;
+  std::unique_ptr<DyCuckooMap> t;
+  (void)DyCuckooMap::Create(o, &t);
+  (void)t->BulkInsert(keys, values);
+  std::vector<uint32_t> out(keys.size());
+  std::vector<uint8_t> found(keys.size());
+  for (auto _ : state) {
+    t->BulkFind(keys, out.data(), found.data());
+    benchmark::DoNotOptimize(found.data());
+  }
+  state.SetItemsProcessed(state.iterations() * keys.size());
+}
+BENCHMARK(BM_BulkFindAtLoad)->Arg(50)->Arg(70)->Arg(85)->Arg(90)->UseRealTime();
+
+void BM_BulkEraseReinsert(benchmark::State& state) {
+  const uint64_t n = 1 << 15;
+  auto keys = Keys(n, 3);
+  std::vector<uint32_t> values(n, 1);
+  DyCuckooOptions o;
+  o.auto_resize = false;
+  o.initial_capacity = n * 2;
+  std::unique_ptr<DyCuckooMap> t;
+  (void)DyCuckooMap::Create(o, &t);
+  (void)t->BulkInsert(keys, values);
+  for (auto _ : state) {
+    (void)t->BulkErase(keys);
+    (void)t->BulkInsert(keys, values);
+  }
+  state.SetItemsProcessed(state.iterations() * n * 2);
+}
+BENCHMARK(BM_BulkEraseReinsert)->UseRealTime();
+
+void BM_UpsizeKernel(benchmark::State& state) {
+  const uint64_t n = 1 << 16;
+  auto keys = Keys(n, 4);
+  std::vector<uint32_t> values(n, 1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    DyCuckooOptions o;
+    o.auto_resize = false;
+    o.initial_capacity = n * 2;
+    std::unique_ptr<DyCuckooMap> t;
+    (void)DyCuckooMap::Create(o, &t);
+    (void)t->BulkInsert(keys, values);
+    state.ResumeTiming();
+    (void)t->Upsize();
+  }
+  state.SetItemsProcessed(state.iterations() * n / 4);
+}
+BENCHMARK(BM_UpsizeKernel)->UseRealTime();
+
+void BM_PairHash(benchmark::State& state) {
+  PairMap pm(4, 123);
+  uint64_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pm.PairFor(k++));
+  }
+}
+BENCHMARK(BM_PairHash);
+
+void BM_WarpBallot(benchmark::State& state) {
+  uint64_t x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gpusim::Ballot([&](int lane) { return ((x >> lane) & 1) != 0; }));
+    ++x;
+  }
+}
+BENCHMARK(BM_WarpBallot);
+
+}  // namespace
+}  // namespace dycuckoo
+
+BENCHMARK_MAIN();

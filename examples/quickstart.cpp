@@ -1,0 +1,69 @@
+// Quickstart: create a DyCuckoo table, batch-insert, look up, delete, and
+// watch it resize itself.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "dycuckoo/dycuckoo.h"
+
+int main() {
+  using namespace dycuckoo;
+
+  // 1. Configure: 4 subtables, filled factor kept inside [0.30, 0.85].
+  DyCuckooOptions options;
+  options.initial_capacity = 1024;
+
+  std::unique_ptr<DyCuckooMap> table;
+  Status st = DyCuckooMap::Create(options, &table);
+  if (!st.ok()) {
+    std::fprintf(stderr, "create failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // 2. Batched upsert — the table grows itself to fit.
+  const int n = 100000;
+  std::vector<uint32_t> keys(n), values(n);
+  for (int i = 0; i < n; ++i) {
+    keys[i] = 1000u + i;
+    values[i] = i * 3;
+  }
+  st = table->BulkInsert(keys, values);
+  std::printf("inserted %d keys: %s\n", n, st.ToString().c_str());
+  std::printf("  size=%llu capacity=%llu filled=%.2f memory=%.2f MiB\n",
+              (unsigned long long)table->size(),
+              (unsigned long long)table->capacity_slots(),
+              table->filled_factor(), table->memory_bytes() / 1048576.0);
+
+  // 3. Batched find: at most two bucket probes per key (two-layer scheme).
+  std::vector<uint32_t> out(n);
+  std::vector<uint8_t> found(n);
+  table->BulkFind(keys, out.data(), found.data());
+  int hits = 0;
+  for (int i = 0; i < n; ++i) hits += found[i];
+  std::printf("found %d/%d keys; value[0]=%u\n", hits, n, out[0]);
+
+  // 4. Single-op convenience API.
+  (void)table->Insert(7, 42);
+  uint32_t v = 0;
+  if (table->Find(7, &v)) std::printf("key 7 -> %u\n", v);
+
+  // 5. Delete most entries — the table shrinks one subtable at a time,
+  // keeping the filled factor above the lower bound.
+  std::vector<uint32_t> victims(keys.begin(), keys.begin() + n * 9 / 10);
+  uint64_t erased = 0;
+  st = table->BulkErase(victims, &erased);
+  std::printf("erased %llu keys: %s\n", (unsigned long long)erased,
+              st.ToString().c_str());
+  std::printf("  size=%llu filled=%.2f memory=%.2f MiB (shrunk)\n",
+              (unsigned long long)table->size(), table->filled_factor(),
+              table->memory_bytes() / 1048576.0);
+
+  auto s = table->stats().Capture();
+  std::printf("stats: %s\n", s.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Retweet counter: the paper's motivating scenario (Section V) — track
+// per-account retweet counts for the active accounts of the current
+// window, under a skewed stream where celebrity accounts are hammered by
+// concurrent updates (the case the voter coordination scheme was built
+// for), and expire old windows with batched deletes so the table stays
+// sized to the active set.
+
+#include <cstdio>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "dycuckoo/dycuckoo.h"
+#include "workload/zipf.h"
+
+int main() {
+  using namespace dycuckoo;
+
+  DyCuckooOptions options;
+  options.initial_capacity = 4096;
+  std::unique_ptr<DyCuckooMap> counts;
+  Status st = DyCuckooMap::Create(options, &counts);
+  if (!st.ok()) {
+    std::fprintf(stderr, "create failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  constexpr int kWindows = 8;
+  constexpr int kEventsPerWindow = 200000;
+  constexpr int kAccounts = 50000;
+  Xoroshiro128 rng(2026);
+  workload::ZipfSampler zipf(kAccounts, 1.1);  // celebrity skew
+
+  std::vector<uint32_t> window_accounts;  // accounts touched this window
+  for (int w = 0; w < kWindows; ++w) {
+    // Aggregate this window's retweets host-side per batch (batch = one
+    // ingest tick), then upsert the new totals.
+    std::unordered_map<uint32_t, uint32_t> delta;
+    for (int e = 0; e < kEventsPerWindow; ++e) {
+      uint32_t account = 10'000'000u + static_cast<uint32_t>(zipf.Sample(&rng));
+      delta[account]++;
+    }
+
+    // Read current totals for the touched accounts...
+    std::vector<uint32_t> accounts;
+    accounts.reserve(delta.size());
+    for (const auto& [a, c] : delta) accounts.push_back(a);
+    std::vector<uint32_t> totals(accounts.size());
+    std::vector<uint8_t> found(accounts.size());
+    counts->BulkFind(accounts, totals.data(), found.data());
+
+    // ...and write back the updated counts in one batch.
+    std::vector<uint32_t> new_totals(accounts.size());
+    for (size_t i = 0; i < accounts.size(); ++i) {
+      new_totals[i] = (found[i] ? totals[i] : 0u) + delta[accounts[i]];
+    }
+    st = counts->BulkInsert(accounts, new_totals);
+    if (!st.ok()) {
+      std::fprintf(stderr, "upsert failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+
+    // Expire the window before last so only the active set stays resident.
+    if (!window_accounts.empty()) {
+      uint64_t erased = 0;
+      (void)counts->BulkErase(window_accounts, &erased);
+      std::printf("window %d: expired %llu stale accounts\n", w,
+                  (unsigned long long)erased);
+    }
+    window_accounts = std::move(accounts);
+
+    std::printf(
+        "window %d: live_accounts=%llu filled=%.2f memory=%.2f MiB\n", w,
+        (unsigned long long)counts->size(), counts->filled_factor(),
+        counts->memory_bytes() / 1048576.0);
+  }
+
+  // Show the hottest account's total (rank-0 Zipf key).
+  uint32_t v = 0;
+  if (counts->Find(10'000'000u, &v)) {
+    std::printf("celebrity account 10000000 count (last window): %u\n", v);
+  }
+  auto s = counts->stats().Capture();
+  std::printf("stats: upsizes=%llu downsizes=%llu evictions=%llu\n",
+              (unsigned long long)s.upsizes, (unsigned long long)s.downsizes,
+              (unsigned long long)s.evictions);
+  return 0;
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite, regenerates every paper
+# table/figure, and leaves the transcripts in test_output.txt and
+# bench_output.txt at the repository root.
+#
+# Usage: scripts/run_all.sh [extra cmake args...]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja "$@"
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    echo "==== $b ===="
+    "$b"
+    echo
+  done
+} 2>&1 | tee bench_output.txt
+
+echo "done: test_output.txt, bench_output.txt"

@@ -1,0 +1,256 @@
+#include "baselines/cudpp_cuckoo.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "gpusim/atomics.h"
+#include "gpusim/device_arena.h"
+#include "gpusim/grid.h"
+#include "gpusim/sim_counters.h"
+#include "gpusim/warp.h"
+
+namespace dycuckoo {
+
+using baselines::IsStorableKey;
+using baselines::kEmptyKey32;
+using baselines::kEmptySlot;
+using baselines::PackedKey;
+using baselines::PackedValue;
+using baselines::PackKv;
+
+Status CudppOptions::Validate() const {
+  if (capacity_slots == 0) {
+    return Status::InvalidArgument("capacity_slots must be > 0");
+  }
+  if (max_walk < 1 || max_rebuilds < 1) {
+    return Status::InvalidArgument("max_walk and max_rebuilds must be >= 1");
+  }
+  return Status::OK();
+}
+
+int CudppCuckooTable::AutoFunctionCount(double target_load) {
+  if (target_load <= 0.5) return 2;
+  if (target_load <= 0.7) return 3;
+  if (target_load <= 0.85) return 4;
+  return 5;
+}
+
+CudppCuckooTable::CudppCuckooTable(const CudppOptions& options)
+    : options_(options) {}
+
+CudppCuckooTable::~CudppCuckooTable() {
+  if (slots_ != nullptr) arena_->FreeArray(slots_);
+}
+
+Status CudppCuckooTable::Create(const CudppOptions& options,
+                                std::unique_ptr<CudppCuckooTable>* out) {
+  DYCUCKOO_RETURN_NOT_OK(options.Validate());
+  std::unique_ptr<CudppCuckooTable> table(new CudppCuckooTable(options));
+  table->arena_ = options.arena != nullptr ? options.arena
+                                           : gpusim::DeviceArena::Global();
+  table->grid_ =
+      options.grid != nullptr ? options.grid : gpusim::Grid::Global();
+  // CUDPP tables are arbitrary-size (prime-mod in the original); no
+  // power-of-two rounding, so the requested load factor is achieved exactly.
+  table->num_slots_ = options.capacity_slots;
+  double load = static_cast<double>(options.expected_items) /
+                static_cast<double>(table->num_slots_);
+  table->num_functions_ = AutoFunctionCount(load);
+  table->ReseedFunctions();
+  table->slots_ = table->arena_->AllocateArray<std::atomic<uint64_t>>(
+      table->num_slots_, options.memory_tag);
+  if (table->slots_ == nullptr) {
+    return Status::OutOfMemory("device arena exhausted (cudpp init)");
+  }
+  for (uint64_t s = 0; s < table->num_slots_; ++s) {
+    table->slots_[s].store(kEmptySlot, std::memory_order_relaxed);
+  }
+  *out = std::move(table);
+  return Status::OK();
+}
+
+void CudppCuckooTable::ReseedFunctions() {
+  function_seeds_.resize(num_functions_);
+  for (int f = 0; f < num_functions_; ++f) {
+    function_seeds_[f] =
+        Mix64(options_.seed + 0x51ED5EEDULL * (seed_epoch_ * 8 + f + 1));
+  }
+  ++seed_epoch_;
+}
+
+uint64_t CudppCuckooTable::SlotIndex(int function, Key key) const {
+  return Mix64(static_cast<uint64_t>(key) ^ function_seeds_[function]) %
+         num_slots_;
+}
+
+bool CudppCuckooTable::InsertOne(uint64_t packed, uint64_t* overflow_packed) {
+  uint64_t carried = packed;
+  int next_func = 0;
+  for (int step = 0; step <= options_.max_walk; ++step) {
+    Key ck = PackedKey(carried);
+    uint64_t loc = SlotIndex(next_func, ck);
+    uint64_t old = gpusim::AtomicExch64(&slots_[loc], carried);
+    gpusim::CountBucketWrite();
+    if (PackedKey(old) == kEmptyKey32) {
+      size_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    if (PackedKey(old) == ck) {
+      // Landed on the same key: the exchange already replaced the value.
+      return true;
+    }
+    gpusim::CountEviction();
+    carried = old;
+    // The classic CUDPP step: locate which function placed the evictee here
+    // and continue its walk with the next function.
+    Key ok = PackedKey(carried);
+    int placed_by = 0;
+    for (int f = 0; f < num_functions_; ++f) {
+      if (SlotIndex(f, ok) == loc) {
+        placed_by = f;
+        break;
+      }
+    }
+    next_func = (placed_by + 1) % num_functions_;
+  }
+  *overflow_packed = carried;
+  return false;
+}
+
+Status CudppCuckooTable::BulkInsert(std::span<const Key> keys,
+                                    std::span<const Value> values,
+                                    uint64_t* num_failed) {
+  if (keys.size() != values.size()) {
+    return Status::InvalidArgument("keys/values size mismatch");
+  }
+  if (num_failed != nullptr) *num_failed = 0;
+  if (keys.empty()) return Status::OK();
+
+  const uint64_t n = keys.size();
+  std::vector<uint64_t> overflow(n);
+  std::atomic<uint64_t> overflow_count{0};
+  std::atomic<uint64_t> invalid{0};
+  const Key* kp = keys.data();
+  const Value* vp = values.data();
+
+  grid_->LaunchWarps(gpusim::WarpsForItems(n), [&](uint64_t warp) {
+    const uint64_t base = warp * gpusim::kWarpSize;
+    const uint64_t end = std::min(n, base + gpusim::kWarpSize);
+    for (uint64_t i = base; i < end; ++i) {
+      if (!IsStorableKey(kp[i])) {
+        invalid.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      uint64_t spilled = 0;
+      if (!InsertOne(PackKv(kp[i], vp[i]), &spilled)) {
+        overflow[overflow_count.fetch_add(1, std::memory_order_relaxed)] =
+            spilled;
+      }
+    }
+  });
+
+  std::vector<uint64_t> pending(
+      overflow.begin(),
+      overflow.begin() +
+          static_cast<long>(overflow_count.load(std::memory_order_relaxed)));
+  int attempts = 0;
+  while (!pending.empty() && attempts++ < options_.max_rebuilds) {
+    DYCUCKOO_RETURN_NOT_OK(Rebuild(&pending));
+  }
+
+  if (invalid.load(std::memory_order_relaxed) > 0) {
+    return Status::InvalidArgument("batch contains a reserved key");
+  }
+  if (!pending.empty()) {
+    if (num_failed != nullptr) *num_failed = pending.size();
+    return Status::InsertionFailure(
+        "rebuilds exhausted with " + std::to_string(pending.size()) +
+        " keys unplaced");
+  }
+  return Status::OK();
+}
+
+Status CudppCuckooTable::Rebuild(std::vector<uint64_t>* pending) {
+  ++rebuilds_;
+  // Drain the table, reseed every hash function, and reinsert everything.
+  std::vector<uint64_t> stored;
+  stored.reserve(size());
+  for (uint64_t s = 0; s < num_slots_; ++s) {
+    uint64_t packed = slots_[s].exchange(kEmptySlot, std::memory_order_relaxed);
+    if (PackedKey(packed) != kEmptyKey32) stored.push_back(packed);
+  }
+  stored.insert(stored.end(), pending->begin(), pending->end());
+  pending->clear();
+  size_.store(0, std::memory_order_relaxed);
+  ReseedFunctions();
+
+  std::vector<uint64_t> overflow(stored.size());
+  std::atomic<uint64_t> overflow_count{0};
+  const uint64_t n = stored.size();
+  grid_->LaunchWarps(gpusim::WarpsForItems(n), [&](uint64_t warp) {
+    const uint64_t base = warp * gpusim::kWarpSize;
+    const uint64_t end = std::min(n, base + gpusim::kWarpSize);
+    for (uint64_t i = base; i < end; ++i) {
+      uint64_t spilled = 0;
+      if (!InsertOne(stored[i], &spilled)) {
+        overflow[overflow_count.fetch_add(1, std::memory_order_relaxed)] =
+            spilled;
+      }
+    }
+  });
+  pending->assign(
+      overflow.begin(),
+      overflow.begin() +
+          static_cast<long>(overflow_count.load(std::memory_order_relaxed)));
+  return Status::OK();
+}
+
+void CudppCuckooTable::BulkFind(std::span<const Key> keys, Value* values,
+                                uint8_t* found) {
+  if (keys.empty()) return;
+  const Key* kp = keys.data();
+  const uint64_t n = keys.size();
+  grid_->LaunchWarps(gpusim::WarpsForItems(n), [&](uint64_t warp) {
+    const uint64_t base = warp * gpusim::kWarpSize;
+    const uint64_t end = std::min(n, base + gpusim::kWarpSize);
+    for (uint64_t i = base; i < end; ++i) {
+      Key k = kp[i];
+      bool hit = false;
+      Value v{};
+      if (IsStorableKey(k)) {
+        for (int f = 0; f < num_functions_ && !hit; ++f) {
+          uint64_t packed =
+              slots_[SlotIndex(f, k)].load(std::memory_order_relaxed);
+          gpusim::CountBucketRead();
+          if (PackedKey(packed) == k) {
+            v = PackedValue(packed);
+            hit = true;
+          }
+        }
+      }
+      if (found != nullptr) found[i] = hit ? 1 : 0;
+      if (hit && values != nullptr) values[i] = v;
+    }
+  });
+}
+
+Status CudppCuckooTable::BulkErase(std::span<const Key> keys,
+                                   uint64_t* num_erased) {
+  (void)keys;
+  if (num_erased != nullptr) *num_erased = 0;
+  return Status::NotSupported("CUDPP cuckoo hashing supports no deletions");
+}
+
+uint64_t CudppCuckooTable::memory_bytes() const {
+  return num_slots_ * sizeof(uint64_t);
+}
+
+double CudppCuckooTable::filled_factor() const {
+  return num_slots_ == 0 ? 0.0
+                         : static_cast<double>(size()) /
+                               static_cast<double>(num_slots_);
+}
+
+}  // namespace dycuckoo

@@ -1,0 +1,118 @@
+// CUDPP cuckoo-hash baseline (Alcantara et al., SIGGRAPH Asia 2009), as
+// characterized by the paper:
+//
+//  * one flat slot array; each hash value stores a single 64-bit packed KV;
+//  * d independent hash functions into the same array, with d chosen
+//    automatically from the target load factor (2..5);
+//  * insertion is a random cuckoo walk of atomic exchanges; exceeding the
+//    walk bound triggers a full rebuild with fresh hash seeds;
+//  * FIND probes up to d locations; DELETE is not supported (the trait the
+//    paper's dynamic comparison excludes it for).
+
+#ifndef DYCUCKOO_BASELINES_CUDPP_CUCKOO_H_
+#define DYCUCKOO_BASELINES_CUDPP_CUCKOO_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/packed_kv.h"
+#include "baselines/table_interface.h"
+#include "common/status.h"
+
+namespace dycuckoo {
+
+namespace gpusim {
+class DeviceArena;
+class Grid;
+}  // namespace gpusim
+
+struct CudppOptions {
+  /// Fixed slot capacity (CUDPP is static; callers size it as
+  /// expected_items / target_load).
+  uint64_t capacity_slots = 64 * 1024;
+
+  /// Expected number of items; with capacity_slots this determines the
+  /// automatic hash-function count (more functions at higher load, the
+  /// behaviour behind the paper's Figure 9 CUDPP find degradation).
+  uint64_t expected_items = 32 * 1024;
+
+  uint64_t seed = 0xC0DD99ULL;
+
+  /// Cuckoo walk bound before declaring failure (CUDPP uses ~7*lg(n); a
+  /// fixed bound keeps runs comparable).
+  int max_walk = 96;
+
+  /// Full-rebuild attempts (with fresh seeds) before giving up a batch.
+  int max_rebuilds = 8;
+
+  gpusim::DeviceArena* arena = nullptr;
+  gpusim::Grid* grid = nullptr;
+  std::string memory_tag = "cudpp";
+
+  Status Validate() const;
+};
+
+/// \brief Static per-slot cuckoo hash with automatic d and full rebuilds.
+class CudppCuckooTable : public HashTableInterface {
+ public:
+  static Status Create(const CudppOptions& options,
+                       std::unique_ptr<CudppCuckooTable>* out);
+  ~CudppCuckooTable() override;
+
+  CudppCuckooTable(const CudppCuckooTable&) = delete;
+  CudppCuckooTable& operator=(const CudppCuckooTable&) = delete;
+
+  Status BulkInsert(std::span<const Key> keys, std::span<const Value> values,
+                    uint64_t* num_failed = nullptr) override;
+  void BulkFind(std::span<const Key> keys, Value* values,
+                uint8_t* found) override;
+  Status BulkErase(std::span<const Key> keys,
+                   uint64_t* num_erased = nullptr) override;
+
+  uint64_t size() const override {
+    return size_.load(std::memory_order_relaxed);
+  }
+  uint64_t memory_bytes() const override;
+  double filled_factor() const override;
+  bool supports_erase() const override { return false; }
+  std::string name() const override { return "CUDPP"; }
+
+  /// The automatically chosen number of hash functions.
+  int num_hash_functions() const { return num_functions_; }
+  uint64_t capacity_slots() const { return num_slots_; }
+  uint64_t rebuild_count() const { return rebuilds_; }
+
+  /// Picks d from the target load factor exactly as documented above.
+  static int AutoFunctionCount(double target_load);
+
+ private:
+  explicit CudppCuckooTable(const CudppOptions& options);
+
+  void ReseedFunctions();
+  uint64_t SlotIndex(int function, Key key) const;
+
+  /// Random cuckoo walk; false when the walk bound was exceeded (the
+  /// carried pair is returned through *overflow_packed).
+  bool InsertOne(uint64_t packed, uint64_t* overflow_packed);
+
+  /// Collects every stored pair, reseeds, and reinserts (plus `pending`).
+  Status Rebuild(std::vector<uint64_t>* pending);
+
+  CudppOptions options_;
+  gpusim::DeviceArena* arena_ = nullptr;
+  gpusim::Grid* grid_ = nullptr;
+  int num_functions_ = 2;
+  uint64_t num_slots_ = 0;
+  std::vector<uint64_t> function_seeds_;
+  std::atomic<uint64_t>* slots_ = nullptr;
+  std::atomic<uint64_t> size_{0};
+  uint64_t seed_epoch_ = 0;
+  uint64_t rebuilds_ = 0;
+};
+
+}  // namespace dycuckoo
+
+#endif  // DYCUCKOO_BASELINES_CUDPP_CUCKOO_H_

@@ -1,0 +1,58 @@
+// Adapts the DyCuckoo DynamicTable to the uniform HashTableInterface so the
+// experiment drivers can run all contenders through one code path.
+
+#ifndef DYCUCKOO_BASELINES_DYCUCKOO_ADAPTER_H_
+#define DYCUCKOO_BASELINES_DYCUCKOO_ADAPTER_H_
+
+#include <memory>
+#include <string>
+
+#include "baselines/table_interface.h"
+#include "dycuckoo/dycuckoo.h"
+
+namespace dycuckoo {
+
+/// \brief HashTableInterface façade over DyCuckooMap.
+class DyCuckooAdapter : public HashTableInterface {
+ public:
+  static Status Create(const DyCuckooOptions& options,
+                       std::unique_ptr<DyCuckooAdapter>* out) {
+    std::unique_ptr<DyCuckooMap> table;
+    DYCUCKOO_RETURN_NOT_OK(DyCuckooMap::Create(options, &table));
+    out->reset(new DyCuckooAdapter(std::move(table)));
+    return Status::OK();
+  }
+
+  Status BulkInsert(std::span<const Key> keys, std::span<const Value> values,
+                    uint64_t* num_failed = nullptr) override {
+    return table_->BulkInsert(keys, values, num_failed);
+  }
+
+  void BulkFind(std::span<const Key> keys, Value* values,
+                uint8_t* found) override {
+    table_->BulkFind(keys, values, found);
+  }
+
+  Status BulkErase(std::span<const Key> keys,
+                   uint64_t* num_erased = nullptr) override {
+    return table_->BulkErase(keys, num_erased);
+  }
+
+  uint64_t size() const override { return table_->size(); }
+  uint64_t memory_bytes() const override { return table_->memory_bytes(); }
+  double filled_factor() const override { return table_->filled_factor(); }
+  std::string name() const override { return "DyCuckoo"; }
+
+  DyCuckooMap* table() { return table_.get(); }
+  const DyCuckooMap* table() const { return table_.get(); }
+
+ private:
+  explicit DyCuckooAdapter(std::unique_ptr<DyCuckooMap> table)
+      : table_(std::move(table)) {}
+
+  std::unique_ptr<DyCuckooMap> table_;
+};
+
+}  // namespace dycuckoo
+
+#endif  // DYCUCKOO_BASELINES_DYCUCKOO_ADAPTER_H_

@@ -1,0 +1,43 @@
+// 64-bit packed key/value word shared by the baselines that transact whole
+// KV pairs with single atomics (MegaKV, CUDPP, SlabHash).
+//
+// This is exactly the representation the paper attributes to those systems
+// ("most of these works require the size of a KV pair to fit a single atomic
+// transaction on GPUs (64 bits wide)") — and the limitation DyCuckoo's
+// bucket locking removes.
+
+#ifndef DYCUCKOO_BASELINES_PACKED_KV_H_
+#define DYCUCKOO_BASELINES_PACKED_KV_H_
+
+#include <cstdint>
+
+namespace dycuckoo {
+namespace baselines {
+
+/// Reserved key marking an empty slot.
+inline constexpr uint32_t kEmptyKey32 = 0xffffffffu;
+/// Reserved key marking a symbolically deleted slot (SlabHash only).
+inline constexpr uint32_t kTombstoneKey32 = 0xfffffffeu;
+
+inline constexpr uint64_t PackKv(uint32_t key, uint32_t value) {
+  return (static_cast<uint64_t>(key) << 32) | value;
+}
+inline constexpr uint32_t PackedKey(uint64_t packed) {
+  return static_cast<uint32_t>(packed >> 32);
+}
+inline constexpr uint32_t PackedValue(uint64_t packed) {
+  return static_cast<uint32_t>(packed & 0xffffffffu);
+}
+
+inline constexpr uint64_t kEmptySlot = PackKv(kEmptyKey32, 0);
+inline constexpr uint64_t kTombstoneSlot = PackKv(kTombstoneKey32, 0);
+
+/// True for keys a client may store (the two sentinels are reserved).
+inline constexpr bool IsStorableKey(uint32_t key) {
+  return key != kEmptyKey32 && key != kTombstoneKey32;
+}
+
+}  // namespace baselines
+}  // namespace dycuckoo
+
+#endif  // DYCUCKOO_BASELINES_PACKED_KV_H_

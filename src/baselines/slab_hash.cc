@@ -1,0 +1,333 @@
+#include "baselines/slab_hash.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "gpusim/atomics.h"
+#include "gpusim/device_arena.h"
+#include "gpusim/grid.h"
+#include "gpusim/sim_counters.h"
+#include "gpusim/warp.h"
+
+namespace dycuckoo {
+
+using baselines::IsStorableKey;
+using baselines::kEmptyKey32;
+using baselines::kEmptySlot;
+using baselines::kTombstoneKey32;
+using baselines::kTombstoneSlot;
+using baselines::PackedKey;
+using baselines::PackedValue;
+using baselines::PackKv;
+
+Status SlabHashOptions::Validate() const {
+  if (initial_capacity == 0) {
+    return Status::InvalidArgument("initial_capacity must be > 0");
+  }
+  if (pool_reserve_factor < 1.0) {
+    return Status::InvalidArgument("pool_reserve_factor must be >= 1");
+  }
+  return Status::OK();
+}
+
+SlabHashTable::SlabHashTable(const SlabHashOptions& options)
+    : options_(options) {}
+
+SlabHashTable::~SlabHashTable() {
+  for (Slab* block : superblocks_) arena_->FreeArray(block);
+}
+
+Status SlabHashTable::Create(const SlabHashOptions& options,
+                             std::unique_ptr<SlabHashTable>* out) {
+  DYCUCKOO_RETURN_NOT_OK(options.Validate());
+  std::unique_ptr<SlabHashTable> table(new SlabHashTable(options));
+  table->arena_ = options.arena != nullptr ? options.arena
+                                           : gpusim::DeviceArena::Global();
+  table->grid_ =
+      options.grid != nullptr ? options.grid : gpusim::Grid::Global();
+  table->hash_seed_ = Mix64(options.seed ^ 0x51ABULL);
+  // Arbitrary bucket count (modulo addressing): the chain structure never
+  // resizes the bucket range, so the base-slab budget can match the request
+  // exactly.
+  table->num_buckets_ = std::max<uint64_t>(
+      1, CeilDiv(options.initial_capacity, kSlotsPerSlab));
+  table->slabs_per_block_ = std::max<uint64_t>(
+      1024, NextPowerOfTwo(table->num_buckets_));
+  // Resolve() reads superblocks_ without the pool mutex; pre-reserving the
+  // vector keeps its data pointer stable across concurrent growth.
+  table->superblocks_.reserve(kMaxSuperblocks);
+  // The dedicated allocator reserves its pool up front: bucket head slabs
+  // plus the configured slack.
+  uint64_t reserve = table->num_buckets_ +
+                     static_cast<uint64_t>(
+                         static_cast<double>(table->num_buckets_) *
+                         (options.pool_reserve_factor - 1.0));
+  DYCUCKOO_RETURN_NOT_OK(table->Reserve(reserve));
+  // Claim the first num_buckets_ slabs as the bucket heads.
+  table->allocated_slabs_.store(table->num_buckets_,
+                                std::memory_order_relaxed);
+  *out = std::move(table);
+  return Status::OK();
+}
+
+Status SlabHashTable::Reserve(uint64_t min_total_slabs) {
+  // Caller holds pool_mu_ or is single-threaded (Create).
+  while (reserved_slabs_.load(std::memory_order_relaxed) < min_total_slabs) {
+    Slab* block =
+        arena_->AllocateArray<Slab>(slabs_per_block_, options_.memory_tag);
+    if (block == nullptr) {
+      return Status::OutOfMemory("device arena exhausted (slab pool)");
+    }
+    for (uint64_t i = 0; i < slabs_per_block_; ++i) {
+      for (int s = 0; s < kSlotsPerSlab; ++s) {
+        block[i].kv[s].store(kEmptySlot, std::memory_order_relaxed);
+      }
+      block[i].next.store(kNullSlab, std::memory_order_relaxed);
+    }
+    DYCUCKOO_CHECK(superblocks_.size() < kMaxSuperblocks);
+    superblocks_.push_back(block);
+    reserved_slabs_.fetch_add(slabs_per_block_, std::memory_order_release);
+  }
+  return Status::OK();
+}
+
+uint32_t SlabHashTable::AllocSlab() {
+  uint64_t idx = allocated_slabs_.fetch_add(1, std::memory_order_relaxed);
+  if (idx >= reserved_slabs_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    Status st = Reserve(idx + 1);
+    DYCUCKOO_CHECK(st.ok());  // pool growth failure is fatal, like the GPU
+  }
+  return static_cast<uint32_t>(idx);
+}
+
+uint64_t SlabHashTable::BucketIndex(Key key) const {
+  return Mix64(static_cast<uint64_t>(key) ^ hash_seed_) % num_buckets_;
+}
+
+bool SlabHashTable::InsertOne(Key key, Value value) {
+  const uint64_t pack = PackKv(key, value);
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    uint32_t slab_idx = static_cast<uint32_t>(BucketIndex(key));
+    Slab* slab = Resolve(slab_idx);
+    Slab* reusable_slab = nullptr;
+    int reusable_slot = -1;
+    uint64_t reusable_old = 0;
+
+    // Walk the whole chain first: updates must win over claiming a hole so
+    // a key is never stored twice.
+    for (;;) {
+      gpusim::CountChainNode();
+      gpusim::CountBucketRead();
+      uint64_t snap[kSlotsPerSlab];
+      SnapshotSlab(slab, snap);
+      for (int s = 0; s < kSlotsPerSlab; ++s) {
+        uint64_t old = snap[s];
+        Key ok = PackedKey(old);
+        if (ok == key) {
+          gpusim::AtomicExch64(&slab->kv[s], pack);
+          return true;  // update; size unchanged
+        }
+        if (reusable_slot < 0 &&
+            (ok == kEmptyKey32 || ok == kTombstoneKey32)) {
+          reusable_slab = slab;
+          reusable_slot = s;
+          reusable_old = old;
+        }
+      }
+      uint32_t next = slab->next.load(std::memory_order_acquire);
+      if (next == kNullSlab) break;
+      slab_idx = next;
+      slab = Resolve(next);
+    }
+
+    if (reusable_slot >= 0) {
+      if (gpusim::AtomicCas64(&reusable_slab->kv[reusable_slot], reusable_old,
+                              pack) == reusable_old) {
+        if (PackedKey(reusable_old) == kTombstoneKey32) {
+          tombstones_.fetch_sub(1, std::memory_order_relaxed);
+        }
+        size_.fetch_add(1, std::memory_order_relaxed);
+        gpusim::CountBucketWrite();
+        return true;
+      }
+      continue;  // lost the race; rescan the chain
+    }
+
+    // Chain exhausted: extend it with a fresh slab.
+    uint32_t fresh = AllocSlab();
+    Slab* fresh_slab = Resolve(fresh);
+    fresh_slab->kv[0].store(pack, std::memory_order_relaxed);
+    uint32_t expected = kNullSlab;
+    if (slab->next.compare_exchange_strong(expected, fresh,
+                                           std::memory_order_acq_rel)) {
+      size_.fetch_add(1, std::memory_order_relaxed);
+      gpusim::CountBucketWrite();
+      return true;
+    }
+    // Another warp linked first; our slab is stranded in the pool (the real
+    // allocator has the same failure mode).  Undo our staged write and walk
+    // the winner's extension.
+    fresh_slab->kv[0].store(kEmptySlot, std::memory_order_relaxed);
+    leaked_slabs_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return false;
+}
+
+Status SlabHashTable::BulkInsert(std::span<const Key> keys,
+                                 std::span<const Value> values,
+                                 uint64_t* num_failed) {
+  if (keys.size() != values.size()) {
+    return Status::InvalidArgument("keys/values size mismatch");
+  }
+  if (num_failed != nullptr) *num_failed = 0;
+  if (keys.empty()) return Status::OK();
+
+  const Key* kp = keys.data();
+  const Value* vp = values.data();
+  const uint64_t n = keys.size();
+  std::atomic<uint64_t> invalid{0};
+  std::atomic<uint64_t> failed{0};
+  grid_->LaunchWarps(gpusim::WarpsForItems(n), [&](uint64_t warp) {
+    const uint64_t base = warp * gpusim::kWarpSize;
+    const uint64_t end = std::min(n, base + gpusim::kWarpSize);
+    for (uint64_t i = base; i < end; ++i) {
+      if (!IsStorableKey(kp[i])) {
+        invalid.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (!InsertOne(kp[i], vp[i])) {
+        failed.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  if (invalid.load(std::memory_order_relaxed) > 0) {
+    return Status::InvalidArgument("batch contains a reserved key");
+  }
+  uint64_t nf = failed.load(std::memory_order_relaxed);
+  if (nf > 0) {
+    if (num_failed != nullptr) *num_failed = nf;
+    return Status::InsertionFailure("slab insert retries exhausted for " +
+                                    std::to_string(nf) + " keys");
+  }
+  return Status::OK();
+}
+
+void SlabHashTable::BulkFind(std::span<const Key> keys, Value* values,
+                             uint8_t* found) {
+  if (keys.empty()) return;
+  const Key* kp = keys.data();
+  const uint64_t n = keys.size();
+  grid_->LaunchWarps(gpusim::WarpsForItems(n), [&](uint64_t warp) {
+    const uint64_t base = warp * gpusim::kWarpSize;
+    const uint64_t end = std::min(n, base + gpusim::kWarpSize);
+    for (uint64_t i = base; i < end; ++i) {
+      Key k = kp[i];
+      bool hit = false;
+      Value v{};
+      if (IsStorableKey(k)) {
+        uint32_t slab_idx = static_cast<uint32_t>(BucketIndex(k));
+        while (slab_idx != kNullSlab && !hit) {
+          Slab* slab = Resolve(slab_idx);
+          gpusim::CountChainNode();
+          gpusim::CountBucketRead();
+          uint64_t snap[kSlotsPerSlab];
+          SnapshotSlab(slab, snap);
+          for (int s = 0; s < kSlotsPerSlab; ++s) {
+            if (PackedKey(snap[s]) == k) {
+              v = PackedValue(snap[s]);
+              hit = true;
+              break;
+            }
+          }
+          slab_idx = slab->next.load(std::memory_order_acquire);
+        }
+      }
+      if (found != nullptr) found[i] = hit ? 1 : 0;
+      if (hit && values != nullptr) values[i] = v;
+    }
+  });
+}
+
+Status SlabHashTable::BulkErase(std::span<const Key> keys,
+                                uint64_t* num_erased) {
+  std::atomic<uint64_t> erased{0};
+  if (!keys.empty()) {
+    const Key* kp = keys.data();
+    const uint64_t n = keys.size();
+    grid_->LaunchWarps(gpusim::WarpsForItems(n), [&](uint64_t warp) {
+      const uint64_t base = warp * gpusim::kWarpSize;
+      const uint64_t end = std::min(n, base + gpusim::kWarpSize);
+      for (uint64_t i = base; i < end; ++i) {
+        Key k = kp[i];
+        if (!IsStorableKey(k)) continue;
+        uint32_t slab_idx = static_cast<uint32_t>(BucketIndex(k));
+        while (slab_idx != kNullSlab) {
+          Slab* slab = Resolve(slab_idx);
+          gpusim::CountChainNode();
+          gpusim::CountBucketRead();
+          uint64_t snap[kSlotsPerSlab];
+          SnapshotSlab(slab, snap);
+          for (int s = 0; s < kSlotsPerSlab; ++s) {
+            uint64_t packed = snap[s];
+            if (PackedKey(packed) == k) {
+              // Symbolic deletion: tombstone the slot, never free memory.
+              if (gpusim::AtomicCas64(&slab->kv[s], packed, kTombstoneSlot) ==
+                  packed) {
+                size_.fetch_sub(1, std::memory_order_relaxed);
+                tombstones_.fetch_add(1, std::memory_order_relaxed);
+                erased.fetch_add(1, std::memory_order_relaxed);
+              }
+            }
+          }
+          slab_idx = slab->next.load(std::memory_order_acquire);
+        }
+      }
+    });
+  }
+  if (num_erased != nullptr) {
+    *num_erased = erased.load(std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+uint64_t SlabHashTable::memory_bytes() const {
+  return reserved_slabs_.load(std::memory_order_relaxed) * sizeof(Slab);
+}
+
+double SlabHashTable::filled_factor() const {
+  uint64_t slots =
+      reserved_slabs_.load(std::memory_order_relaxed) * kSlotsPerSlab;
+  return slots == 0 ? 0.0 : static_cast<double>(size()) / slots;
+}
+
+uint64_t SlabHashTable::MaxChainLength() const {
+  uint64_t max_len = 0;
+  for (uint64_t b = 0; b < num_buckets_; ++b) {
+    uint64_t len = 0;
+    uint32_t idx = static_cast<uint32_t>(b);
+    while (idx != kNullSlab) {
+      ++len;
+      idx = Resolve(idx)->next.load(std::memory_order_acquire);
+    }
+    max_len = std::max(max_len, len);
+  }
+  return max_len;
+}
+
+double SlabHashTable::AverageChainLength() const {
+  uint64_t total = 0;
+  for (uint64_t b = 0; b < num_buckets_; ++b) {
+    uint32_t idx = static_cast<uint32_t>(b);
+    while (idx != kNullSlab) {
+      ++total;
+      idx = Resolve(idx)->next.load(std::memory_order_acquire);
+    }
+  }
+  return static_cast<double>(total) / static_cast<double>(num_buckets_);
+}
+
+}  // namespace dycuckoo

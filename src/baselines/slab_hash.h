@@ -1,0 +1,153 @@
+// SlabHash baseline (Ashkiani et al., IPDPS 2018), as characterized by the
+// paper — the only prior dynamic GPU hash table:
+//
+//  * chaining: each bucket is a linked list of 128-byte "slabs", each slab
+//    holding 15 packed 64-bit KV pairs plus a next pointer;
+//  * a dedicated slab allocator that reserves a large pool up front and only
+//    ever grows (the memory behaviour the paper criticizes: the reservation
+//    is not available to other resident data structures);
+//  * symbolic deletion: DELETE tombstones a slot without freeing memory, so
+//    the filled factor is unbounded below under delete-heavy workloads
+//    (Figure 11) — while also making subsequent inserts cheap (Figure 10);
+//  * the bucket count never changes, so sustained insertion grows chains
+//    and degrades every operation (Figure 12).
+
+#ifndef DYCUCKOO_BASELINES_SLAB_HASH_H_
+#define DYCUCKOO_BASELINES_SLAB_HASH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "baselines/packed_kv.h"
+#include "baselines/table_interface.h"
+#include "common/status.h"
+
+namespace dycuckoo {
+
+namespace gpusim {
+class DeviceArena;
+class Grid;
+}  // namespace gpusim
+
+struct SlabHashOptions {
+  /// Expected number of entries; determines the (fixed) bucket count.
+  uint64_t initial_capacity = 64 * 1024;
+
+  /// Pool slabs reserved up front, as a multiple of the bucket count.
+  double pool_reserve_factor = 2.0;
+
+  uint64_t seed = 0x51AB4A54ULL;
+
+  gpusim::DeviceArena* arena = nullptr;
+  gpusim::Grid* grid = nullptr;
+  std::string memory_tag = "slabhash";
+
+  Status Validate() const;
+};
+
+/// \brief Chained slab-list hash table with pooled allocation and symbolic
+/// deletes.
+class SlabHashTable : public HashTableInterface {
+ public:
+  static constexpr int kSlotsPerSlab = 15;  // 15*8 B KVs + next + pad = 128 B
+  static constexpr uint32_t kNullSlab = 0xffffffffu;
+  static constexpr size_t kMaxSuperblocks = 64;
+
+  static Status Create(const SlabHashOptions& options,
+                       std::unique_ptr<SlabHashTable>* out);
+  ~SlabHashTable() override;
+
+  SlabHashTable(const SlabHashTable&) = delete;
+  SlabHashTable& operator=(const SlabHashTable&) = delete;
+
+  Status BulkInsert(std::span<const Key> keys, std::span<const Value> values,
+                    uint64_t* num_failed = nullptr) override;
+  void BulkFind(std::span<const Key> keys, Value* values,
+                uint8_t* found) override;
+  Status BulkErase(std::span<const Key> keys,
+                   uint64_t* num_erased = nullptr) override;
+
+  uint64_t size() const override {
+    return size_.load(std::memory_order_relaxed);
+  }
+  uint64_t memory_bytes() const override;
+
+  /// Live entries over the *reserved pool's* slot count — the paper's
+  /// memory-efficiency metric for SlabHash (the pool is committed memory).
+  double filled_factor() const override;
+
+  std::string name() const override { return "SlabHash"; }
+
+  uint64_t num_buckets() const { return num_buckets_; }
+  uint64_t reserved_slabs() const {
+    return reserved_slabs_.load(std::memory_order_relaxed);
+  }
+  uint64_t allocated_slabs() const {
+    return std::min(allocated_slabs_.load(std::memory_order_relaxed),
+                    reserved_slabs());
+  }
+  uint64_t tombstones() const {
+    return tombstones_.load(std::memory_order_relaxed);
+  }
+  uint64_t leaked_slabs() const {
+    return leaked_slabs_.load(std::memory_order_relaxed);
+  }
+
+  /// Longest chain (in slabs) over all buckets; drives the Figure 12 story.
+  uint64_t MaxChainLength() const;
+  double AverageChainLength() const;
+
+ private:
+  struct Slab {
+    std::atomic<uint64_t> kv[kSlotsPerSlab];
+    std::atomic<uint32_t> next;
+    uint32_t pad;
+  };
+  static_assert(sizeof(Slab) == 128, "slab must be one cache line pair");
+
+  explicit SlabHashTable(const SlabHashOptions& options);
+
+  /// One simulated coalesced slab transaction (see Subtable::SnapshotKeys).
+  static void SnapshotSlab(const Slab* slab, uint64_t out[kSlotsPerSlab]) {
+    static_assert(sizeof(std::atomic<uint64_t>) == sizeof(uint64_t));
+    std::memcpy(out, reinterpret_cast<const char*>(slab->kv),
+                sizeof(uint64_t) * kSlotsPerSlab);
+  }
+
+  Status Reserve(uint64_t min_total_slabs);
+
+  Slab* Resolve(uint32_t index) const {
+    return &superblocks_[index / slabs_per_block_][index % slabs_per_block_];
+  }
+
+  /// Grabs a fresh slab from the pool, growing it if needed.
+  uint32_t AllocSlab();
+
+  uint64_t BucketIndex(Key key) const;
+  bool InsertOne(Key key, Value value);
+
+  SlabHashOptions options_;
+  gpusim::DeviceArena* arena_ = nullptr;
+  gpusim::Grid* grid_ = nullptr;
+  uint64_t hash_seed_ = 0;
+  uint64_t num_buckets_ = 0;
+  uint64_t slabs_per_block_ = 0;
+
+  mutable std::mutex pool_mu_;
+  std::vector<Slab*> superblocks_;
+  std::atomic<uint64_t> reserved_slabs_{0};
+  std::atomic<uint64_t> allocated_slabs_{0};
+
+  std::atomic<uint64_t> size_{0};
+  std::atomic<uint64_t> tombstones_{0};
+  std::atomic<uint64_t> leaked_slabs_{0};
+};
+
+}  // namespace dycuckoo
+
+#endif  // DYCUCKOO_BASELINES_SLAB_HASH_H_

@@ -1,0 +1,59 @@
+// Uniform batched-hash-table interface used by the benchmark harness.
+//
+// All contenders (DyCuckoo and the three baselines the paper compares
+// against) implement this so the experiment drivers in bench/ can swap them
+// freely.  Keys/values are 32-bit, the paper's evaluation configuration.
+
+#ifndef DYCUCKOO_BASELINES_TABLE_INTERFACE_H_
+#define DYCUCKOO_BASELINES_TABLE_INTERFACE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "common/status.h"
+
+namespace dycuckoo {
+
+/// \brief Abstract batched hash table: insert/find/erase over u32 KV pairs.
+class HashTableInterface {
+ public:
+  using Key = uint32_t;
+  using Value = uint32_t;
+
+  virtual ~HashTableInterface() = default;
+
+  /// Upserts a batch.  Implementations with a resizing policy apply it here;
+  /// static tables report leftover failures via the status / `num_failed`.
+  virtual Status BulkInsert(std::span<const Key> keys,
+                            std::span<const Value> values,
+                            uint64_t* num_failed = nullptr) = 0;
+
+  /// Batched lookup; either output pointer may be nullptr.
+  virtual void BulkFind(std::span<const Key> keys, Value* values,
+                        uint8_t* found) = 0;
+
+  /// Batched delete.  Tables without delete support return kNotSupported.
+  virtual Status BulkErase(std::span<const Key> keys,
+                           uint64_t* num_erased = nullptr) = 0;
+
+  /// Number of live entries.
+  virtual uint64_t size() const = 0;
+
+  /// Device bytes currently occupied (the memory the paper's Figure 11
+  /// compares): storage arrays plus, for pooled allocators, the reserved
+  /// pool.
+  virtual uint64_t memory_bytes() const = 0;
+
+  /// Live entries over owned slot capacity (for SlabHash this includes the
+  /// reserved pool, which is the paper's memory-efficiency argument).
+  virtual double filled_factor() const = 0;
+
+  virtual bool supports_erase() const { return true; }
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace dycuckoo
+
+#endif  // DYCUCKOO_BASELINES_TABLE_INTERFACE_H_

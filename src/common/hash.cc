@@ -1,0 +1,14 @@
+#include "common/hash.h"
+
+#include "common/rng.h"
+
+namespace dycuckoo {
+
+UniversalHash UniversalHash::FromSeed(uint64_t seed) {
+  SplitMix64 rng(seed);
+  uint64_t a = rng.Next() % (kUniversalPrime - 1) + 1;
+  uint64_t b = rng.Next() % kUniversalPrime;
+  return UniversalHash(a, b);
+}
+
+}  // namespace dycuckoo

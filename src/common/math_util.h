@@ -1,0 +1,38 @@
+// Small integer-math helpers shared across modules.
+
+#ifndef DYCUCKOO_COMMON_MATH_UTIL_H_
+#define DYCUCKOO_COMMON_MATH_UTIL_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+namespace dycuckoo {
+
+/// True iff x is a (nonzero) power of two.
+constexpr bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// Smallest power of two >= x (x <= 2^63). NextPowerOfTwo(0) == 1.
+constexpr uint64_t NextPowerOfTwo(uint64_t x) {
+  if (x <= 1) return 1;
+  uint64_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+/// Integer ceil(a / b); b must be > 0.
+constexpr uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+/// floor(log2(x)); x must be > 0.
+constexpr int Log2Floor(uint64_t x) {
+  int r = 0;
+  while (x >>= 1) ++r;
+  return r;
+}
+
+/// n choose 2 as a double (used by the Theorem-1 balance weights).
+inline double Choose2(double n) { return n <= 1.0 ? 0.0 : n * (n - 1.0) / 2.0; }
+
+}  // namespace dycuckoo
+
+#endif  // DYCUCKOO_COMMON_MATH_UTIL_H_

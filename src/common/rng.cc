@@ -1,0 +1,23 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace dycuckoo {
+
+double Xoroshiro128::NextGaussian() {
+  if (have_cached_) {
+    have_cached_ = false;
+    return cached_;
+  }
+  double u1;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  double u2 = NextDouble();
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  cached_ = mag * std::sin(2.0 * M_PI * u2);
+  have_cached_ = true;
+  return mag * std::cos(2.0 * M_PI * u2);
+}
+
+}  // namespace dycuckoo

@@ -1,0 +1,79 @@
+// Deterministic pseudo-random generators.
+//
+// All randomized behaviour in the library (hash seeds, workload generation,
+// the Theorem-1 sampling of insertion targets) flows from these generators so
+// runs are reproducible given a seed.
+
+#ifndef DYCUCKOO_COMMON_RNG_H_
+#define DYCUCKOO_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace dycuckoo {
+
+/// splitmix64: tiny, fast, passes BigCrush when used as a stream.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed = 0x2545F4914F6CDD1DULL) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound); bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// xoroshiro128+: the workhorse generator for bulk workload synthesis.
+class Xoroshiro128 {
+ public:
+  explicit Xoroshiro128(uint64_t seed = 1) {
+    SplitMix64 sm(seed);
+    s0_ = sm.Next();
+    s1_ = sm.Next();
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  uint64_t Next() {
+    uint64_t s0 = s0_;
+    uint64_t s1 = s1_;
+    uint64_t result = s0 + s1;
+    s1 ^= s0;
+    s0_ = Rotl(s0, 55) ^ s1 ^ (s1 << 14);
+    s1_ = Rotl(s1, 36);
+    return result;
+  }
+
+  uint64_t NextBounded(uint64_t bound) { return Next() % bound; }
+
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Standard normal via Box-Muller (used by the RAND dataset generator,
+  /// which the paper draws from a normal distribution).
+  double NextGaussian();
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s0_;
+  uint64_t s1_;
+  bool have_cached_ = false;
+  double cached_ = 0.0;
+};
+
+}  // namespace dycuckoo
+
+#endif  // DYCUCKOO_COMMON_RNG_H_

@@ -1,0 +1,88 @@
+// Status: lightweight error model for the dycuckoo library.
+//
+// Modeled after the RocksDB / Arrow convention: library entry points that can
+// fail return a Status (or a StatusOr<T>) instead of throwing.  The library
+// itself never throws; exceptions are reserved for programmer errors surfaced
+// via assertions in debug builds.
+
+#ifndef DYCUCKOO_COMMON_STATUS_H_
+#define DYCUCKOO_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace dycuckoo {
+
+/// Error categories used across the library.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kCapacityExceeded = 2,   // structure cannot grow further (arena exhausted)
+  kInsertionFailure = 3,   // cuckoo eviction chain exceeded its bound
+  kNotSupported = 4,       // operation unsupported by this table (e.g. CUDPP delete)
+  kInternal = 5,
+  kOutOfMemory = 6,
+};
+
+/// \brief Result of a fallible operation.
+///
+/// A default-constructed Status is OK and carries no allocation. Non-OK
+/// statuses carry a code and a human-readable message.
+class Status {
+ public:
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status CapacityExceeded(std::string msg) {
+    return Status(StatusCode::kCapacityExceeded, std::move(msg));
+  }
+  static Status InsertionFailure(std::string msg) {
+    return Status(StatusCode::kInsertionFailure, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
+  bool IsCapacityExceeded() const { return code_ == StatusCode::kCapacityExceeded; }
+  bool IsInsertionFailure() const { return code_ == StatusCode::kInsertionFailure; }
+  bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsOutOfMemory() const { return code_ == StatusCode::kOutOfMemory; }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Evaluates an expression returning Status and propagates failure upward.
+#define DYCUCKOO_RETURN_NOT_OK(expr)            \
+  do {                                          \
+    ::dycuckoo::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                  \
+  } while (false)
+
+}  // namespace dycuckoo
+
+#endif  // DYCUCKOO_COMMON_STATUS_H_

@@ -1,0 +1,38 @@
+// Wall-clock timer and throughput helpers for the bench harness.
+
+#ifndef DYCUCKOO_COMMON_TIMER_H_
+#define DYCUCKOO_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace dycuckoo {
+
+/// Simple monotonic stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Million operations per second, the paper's unit (Mops).
+inline double Mops(uint64_t ops, double seconds) {
+  if (seconds <= 0.0) return 0.0;
+  return static_cast<double>(ops) / seconds / 1e6;
+}
+
+}  // namespace dycuckoo
+
+#endif  // DYCUCKOO_COMMON_TIMER_H_

@@ -1,0 +1,41 @@
+// Public umbrella header for the DyCuckoo library.
+//
+// Quickstart:
+//
+//   #include "dycuckoo/dycuckoo.h"
+//
+//   dycuckoo::DyCuckooOptions options;         // d = 4, theta in [0.30, 0.85]
+//   std::unique_ptr<dycuckoo::DyCuckooMap> map;
+//   DYCUCKOO_CHECK(dycuckoo::DyCuckooMap::Create(options, &map).ok());
+//   map->BulkInsert(keys, values);             // batched, warp-parallel
+//   map->BulkFind(queries, out_values, out_found);
+//   map->BulkErase(stale_keys);
+//
+// The table resizes one subtable at a time to keep the filled factor inside
+// [options.lower_bound, options.upper_bound]; see DESIGN.md for the paper
+// mapping.
+
+#ifndef DYCUCKOO_DYCUCKOO_DYCUCKOO_H_
+#define DYCUCKOO_DYCUCKOO_DYCUCKOO_H_
+
+#include "dycuckoo/dynamic_table.h"
+#include "dycuckoo/options.h"
+#include "dycuckoo/stats.h"
+
+namespace dycuckoo {
+
+/// 4-byte keys and values: 32-slot buckets, the paper's primary
+/// configuration.
+using DyCuckooMap = DynamicTable<uint32_t, uint32_t>;
+
+/// 8-byte keys and values: 16-slot buckets (the paper's "larger KV"
+/// variant, Section IV-A).
+using DyCuckooMap64 = DynamicTable<uint64_t, uint64_t>;
+
+// Compiled in instantiations.cc.
+extern template class DynamicTable<uint32_t, uint32_t>;
+extern template class DynamicTable<uint64_t, uint64_t>;
+
+}  // namespace dycuckoo
+
+#endif  // DYCUCKOO_DYCUCKOO_DYCUCKOO_H_

@@ -1,0 +1,1320 @@
+// DyCuckoo: the dynamic two-layer cuckoo hash table (the paper's core).
+//
+// Components, mapped to the paper:
+//  * d subtables of cache-line buckets (Section IV-A, subtable.h)
+//  * layer-1 pair hashing bounding FIND/DELETE to two lookups (Section V-A,
+//    pair_map.h)
+//  * voter-coordinated warp insertion, Algorithm 1 (InsertWarp below)
+//  * Theorem-1 balance-guided placement (ChooseTarget / ChooseVictim)
+//  * single-subtable resizing: conflict-free upsize of the smallest table,
+//    merge-downsize of the largest with residual reinsertion (Section IV-B/D)
+//  * extensions beyond the paper: mixed-op batches (BulkExecute), snapshots
+//    (Save/Load), an overflow stash for exhausted eviction chains (the
+//    paper's stated future work), and ablation switches for the two-layer
+//    scheme, the voter, and the balance policy (DyCuckooOptions)
+//
+// Threading model: one host thread drives the table (like a CUDA stream);
+// each bulk operation launches a grid of warps that genuinely race on
+// buckets.  Concurrent host-side calls on one table are not supported,
+// mirroring the paper's batched execution model.
+
+#ifndef DYCUCKOO_DYCUCKOO_DYNAMIC_TABLE_H_
+#define DYCUCKOO_DYCUCKOO_DYNAMIC_TABLE_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "common/status.h"
+#include "dycuckoo/options.h"
+#include "dycuckoo/pair_map.h"
+#include "dycuckoo/stats.h"
+#include "dycuckoo/subtable.h"
+#include "gpusim/atomics.h"
+#include "gpusim/device_arena.h"
+#include "gpusim/grid.h"
+#include "gpusim/sim_counters.h"
+#include "gpusim/warp.h"
+
+namespace dycuckoo {
+
+/// \brief Dynamic two-layer cuckoo hash table.
+///
+/// \tparam Key unsigned integral key; BucketTraits<Key>::kEmptyKey is
+///         reserved. \tparam Value trivially copyable value word.
+template <typename Key, typename Value>
+class DynamicTable {
+ public:
+  using SubtableT = Subtable<Key, Value>;
+  static constexpr int kSlots = SubtableT::kSlots;
+  static constexpr Key kEmptyKey = SubtableT::kEmptyKey;
+
+  /// Validates options and builds an empty table.
+  static Status Create(const DyCuckooOptions& options,
+                       std::unique_ptr<DynamicTable>* out) {
+    DYCUCKOO_RETURN_NOT_OK(options.Validate());
+    std::unique_ptr<DynamicTable> table(new DynamicTable(options));
+    DYCUCKOO_RETURN_NOT_OK(table->Init());
+    *out = std::move(table);
+    return Status::OK();
+  }
+
+  ~DynamicTable() = default;
+  DynamicTable(const DynamicTable&) = delete;
+  DynamicTable& operator=(const DynamicTable&) = delete;
+
+  // ---------------------------------------------------------------------
+  // Batched operations (the paper's execution model).
+  // ---------------------------------------------------------------------
+
+  /// Upserts a batch: new keys are inserted, existing keys get their value
+  /// overwritten.  With auto_resize the table grows on filled-factor
+  /// violation or insertion failure; without it, leftover failures yield
+  /// StatusCode::kInsertionFailure and `num_failed` (if given) is set.
+  ///
+  /// Parallel-batch semantics (shared with the paper's design): if a batch
+  /// both re-inserts a resident key and triggers cuckoo evictions that move
+  /// that same key, the in-flight displaced copy is invisible to the upsert
+  /// probe and the key can end up stored twice (either value is returned by
+  /// FIND; ERASE removes both).  Batches that contain the same key twice
+  /// have racy last-writer semantics.  Callers needing strict upsert
+  /// determinism should batch updates of resident keys separately from
+  /// insertions of new keys — update-only batches perform no evictions.
+  Status BulkInsert(std::span<const Key> keys, std::span<const Value> values,
+                    uint64_t* num_failed = nullptr) {
+    if (keys.size() != values.size()) {
+      return Status::InvalidArgument("keys/values size mismatch");
+    }
+    if (num_failed != nullptr) *num_failed = 0;
+    if (keys.empty()) return Status::OK();
+
+    if (options_.auto_resize) {
+      // Grow ahead of the batch so theta never exceeds beta mid-kernel;
+      // this performs exactly the upsizes a reactive check would, without
+      // paying for mass insertion failures first.  Failure-triggered
+      // upsizing below remains as the backstop the paper describes.
+      for (int guard = 0; guard < 64; ++guard) {
+        uint64_t cap = capacity_slots();
+        if (cap == 0) break;
+        double projected =
+            static_cast<double>(size() + keys.size()) / static_cast<double>(cap);
+        if (projected <= options_.upper_bound) break;
+        DYCUCKOO_RETURN_NOT_OK(UpsizeInternal());
+      }
+    }
+
+    FailBuffer fail(keys.size());
+    uint64_t invalid = InsertKernel(keys.data(), values.data(), keys.size(),
+                                    /*exclude_table=*/-1,
+                                    /*check_partner=*/true, &fail);
+
+    int rounds = 0;
+    while (fail.count() > 0 && options_.auto_resize) {
+      if (++rounds > kMaxInsertRetryRounds) break;
+      Status st = UpsizeInternal();
+      if (!st.ok()) break;
+      FailBuffer next(fail.count());
+      InsertKernel(fail.keys(), fail.values(), fail.count(),
+                   /*exclude_table=*/-1, /*check_partner=*/true, &next);
+      fail = std::move(next);
+    }
+
+    if (options_.auto_resize) DYCUCKOO_RETURN_NOT_OK(ResizeToBounds());
+
+    if (invalid > 0) {
+      return Status::InvalidArgument(
+          "batch contains the reserved empty-key sentinel");
+    }
+    if (fail.count() > 0) {
+      if (num_failed != nullptr) *num_failed = fail.count();
+      return Status::InsertionFailure("eviction bound exceeded for " +
+                                      std::to_string(fail.count()) + " keys");
+    }
+    return Status::OK();
+  }
+
+  /// Looks up a batch.  `values[i]` receives the value when `found[i] != 0`.
+  /// Either output may be nullptr if not wanted.
+  void BulkFind(std::span<const Key> keys, Value* values,
+                uint8_t* found) const {
+    if (keys.empty()) return;
+    const Key* kp = keys.data();
+    const uint64_t n = keys.size();
+    grid_->LaunchWarps(gpusim::WarpsForItems(n), [&](uint64_t warp) {
+      FindWarp(kp, n, warp, values, found);
+    });
+  }
+
+  /// Deletes a batch; `num_erased` (optional) receives the number of keys
+  /// actually removed.  Triggers downsizing when theta falls below alpha.
+  Status BulkErase(std::span<const Key> keys, uint64_t* num_erased = nullptr) {
+    uint64_t erased_total = 0;
+    if (!keys.empty()) {
+      const Key* kp = keys.data();
+      const uint64_t n = keys.size();
+      std::atomic<uint64_t> erased{0};
+      grid_->LaunchWarps(gpusim::WarpsForItems(n), [&](uint64_t warp) {
+        EraseWarp(kp, n, warp, &erased);
+      });
+      erased_total = erased.load(std::memory_order_relaxed);
+    }
+    if (num_erased != nullptr) *num_erased = erased_total;
+    if (options_.auto_resize) DYCUCKOO_RETURN_NOT_OK(ResizeToBounds());
+    return Status::OK();
+  }
+
+  /// One operation of a mixed batch (see BulkExecute).
+  struct MixedOp {
+    enum class Type : uint8_t { kInsert, kFind, kErase };
+    Type type = Type::kFind;
+    Key key{};
+    Value value{};  ///< insert input; find output
+    uint8_t hit = 0;  ///< out: find located / erase removed the key
+  };
+
+  /// Executes a batch mixing insert, find and erase in one grid launch.
+  ///
+  /// The paper notes mixed batches have ambiguous semantics under parallel
+  /// execution; the guarantee here is per-op correctness with *no ordering*
+  /// between ops of the batch (a find may or may not observe an insert of
+  /// the same batch).  Results are written back into `ops`.
+  Status BulkExecute(std::span<MixedOp> ops) {
+    if (ops.empty()) return Status::OK();
+    if (options_.auto_resize) {
+      uint64_t inserts = 0;
+      for (const MixedOp& op : ops) {
+        if (op.type == MixedOp::Type::kInsert) ++inserts;
+      }
+      for (int guard = 0; guard < 64; ++guard) {
+        uint64_t cap = capacity_slots();
+        if (cap == 0) break;
+        double projected = static_cast<double>(size() + inserts) /
+                           static_cast<double>(cap);
+        if (projected <= options_.upper_bound) break;
+        DYCUCKOO_RETURN_NOT_OK(UpsizeInternal());
+      }
+    }
+    FailBuffer fail(ops.size());
+    std::atomic<uint64_t> invalid{0};
+    MixedOp* op_data = ops.data();
+    const uint64_t n = ops.size();
+    grid_->LaunchWarps(gpusim::WarpsForItems(n), [&](uint64_t warp) {
+      MixedWarp(op_data, n, warp, &fail, &invalid);
+    });
+
+    int rounds = 0;
+    while (fail.count() > 0 && options_.auto_resize) {
+      if (++rounds > kMaxInsertRetryRounds) break;
+      DYCUCKOO_RETURN_NOT_OK(UpsizeInternal());
+      FailBuffer next(fail.count());
+      InsertKernel(fail.keys(), fail.values(), fail.count(),
+                   /*exclude_table=*/-1, /*check_partner=*/true, &next);
+      fail = std::move(next);
+    }
+    if (options_.auto_resize) DYCUCKOO_RETURN_NOT_OK(ResizeToBounds());
+    if (invalid.load(kRelaxed) > 0) {
+      return Status::InvalidArgument(
+          "batch contains the reserved empty-key sentinel");
+    }
+    if (fail.count() > 0) {
+      return Status::InsertionFailure("eviction bound exceeded for " +
+                                      std::to_string(fail.count()) + " keys");
+    }
+    return Status::OK();
+  }
+
+  // ---------------------------------------------------------------------
+  // Single-op conveniences (forward to 1-element batches).
+  // ---------------------------------------------------------------------
+
+  Status Insert(Key key, Value value) {
+    return BulkInsert(std::span<const Key>(&key, 1),
+                      std::span<const Value>(&value, 1));
+  }
+
+  /// True iff present; on hit writes `*value` when non-null.
+  bool Find(Key key, Value* value = nullptr) const {
+    Value v{};
+    uint8_t hit = 0;
+    BulkFind(std::span<const Key>(&key, 1), &v, &hit);
+    if (hit && value != nullptr) *value = v;
+    return hit != 0;
+  }
+
+  /// True iff the key existed and was removed.
+  bool Erase(Key key) {
+    uint64_t erased = 0;
+    Status st = BulkErase(std::span<const Key>(&key, 1), &erased);
+    DYCUCKOO_DCHECK(st.ok());
+    return erased > 0;
+  }
+
+  // ---------------------------------------------------------------------
+  // Serialization.
+  // ---------------------------------------------------------------------
+
+  /// Writes a snapshot (magic, key/value widths, entry count, raw pairs).
+  /// The layout is rebuilt on Load, so options may differ across the
+  /// round-trip.
+  Status Save(std::ostream& os) const {
+    uint64_t header[4] = {kSnapshotMagic, sizeof(Key), sizeof(Value), size()};
+    os.write(reinterpret_cast<const char*>(header), sizeof(header));
+    ForEach([&](Key k, Value v) {
+      os.write(reinterpret_cast<const char*>(&k), sizeof(Key));
+      os.write(reinterpret_cast<const char*>(&v), sizeof(Value));
+    });
+    if (!os.good()) return Status::Internal("snapshot write failed");
+    return Status::OK();
+  }
+
+  /// Rebuilds a table from a Save() snapshot under the given options.
+  static Status Load(std::istream& is, const DyCuckooOptions& options,
+                     std::unique_ptr<DynamicTable>* out) {
+    uint64_t header[4] = {0, 0, 0, 0};
+    is.read(reinterpret_cast<char*>(header), sizeof(header));
+    if (!is.good() || header[0] != kSnapshotMagic) {
+      return Status::InvalidArgument("not a DyCuckoo snapshot");
+    }
+    if (header[1] != sizeof(Key) || header[2] != sizeof(Value)) {
+      return Status::InvalidArgument("snapshot key/value width mismatch");
+    }
+    DYCUCKOO_RETURN_NOT_OK(Create(options, out));
+    const uint64_t count = header[3];
+    if ((*out)->options_.auto_resize) {
+      DYCUCKOO_RETURN_NOT_OK((*out)->Reserve(count));
+    }
+    constexpr uint64_t kChunk = 1 << 16;
+    std::vector<Key> keys(std::min(count, kChunk));
+    std::vector<Value> values(keys.size());
+    uint64_t remaining = count;
+    while (remaining > 0) {
+      uint64_t n = std::min(remaining, kChunk);
+      for (uint64_t i = 0; i < n; ++i) {
+        is.read(reinterpret_cast<char*>(&keys[i]), sizeof(Key));
+        is.read(reinterpret_cast<char*>(&values[i]), sizeof(Value));
+      }
+      if (!is.good()) return Status::InvalidArgument("snapshot truncated");
+      DYCUCKOO_RETURN_NOT_OK((*out)->BulkInsert(
+          std::span<const Key>(keys.data(), n),
+          std::span<const Value>(values.data(), n)));
+      remaining -= n;
+    }
+    return Status::OK();
+  }
+
+  // ---------------------------------------------------------------------
+  // Whole-table operations.
+  // ---------------------------------------------------------------------
+
+  /// Removes every entry.  Capacity is kept (call ResizeToBounds or rely on
+  /// the next batch to shrink it).
+  void Clear() {
+    for (auto& t : tables_) {
+      grid_->LaunchWarps(t.num_buckets(), [&](uint64_t b) {
+        for (int s = 0; s < kSlots; ++s) {
+          t.StoreKey(b, s, kEmptyKey);
+        }
+        gpusim::CountBucketWrite();
+      });
+      t.SetSize(0);
+    }
+    for (auto& k : stash_keys_) k.store(kEmptyKey, std::memory_order_relaxed);
+    stash_size_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Visits every stored pair on the host thread (no particular order).
+  /// The callback must not mutate the table.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& t : tables_) {
+      for (uint64_t b = 0; b < t.num_buckets(); ++b) {
+        for (int s = 0; s < kSlots; ++s) {
+          Key k = t.KeyAt(b, s);
+          if (k != kEmptyKey) fn(k, t.ValueAt(b, s));
+        }
+      }
+    }
+    for (size_t i = 0; i < stash_keys_.size(); ++i) {
+      Key k = stash_keys_[i].load(std::memory_order_relaxed);
+      if (k != kEmptyKey) {
+        fn(k, stash_values_[i].load(std::memory_order_relaxed));
+      }
+    }
+  }
+
+  /// Grows until at least `entries` fit under the upper bound (avoids
+  /// resize work during a known-size ingest).
+  Status Reserve(uint64_t entries) {
+    for (int guard = 0; guard < 64; ++guard) {
+      uint64_t cap = capacity_slots();
+      if (static_cast<double>(entries) <=
+          options_.upper_bound * static_cast<double>(cap)) {
+        return Status::OK();
+      }
+      DYCUCKOO_RETURN_NOT_OK(UpsizeInternal());
+    }
+    return Status::CapacityExceeded("Reserve could not reach target");
+  }
+
+  // ---------------------------------------------------------------------
+  // Resizing (paper Section IV-B/D).
+  // ---------------------------------------------------------------------
+
+  /// Repeatedly resizes one subtable at a time until theta is in
+  /// [lower_bound, upper_bound] (or no further resize is possible).
+  Status ResizeToBounds() {
+    for (int iter = 0; iter < kMaxResizeIterations; ++iter) {
+      double theta = filled_factor();
+      if (theta > options_.upper_bound) {
+        DYCUCKOO_RETURN_NOT_OK(UpsizeInternal());
+      } else if (theta < options_.lower_bound && CanDownsize()) {
+        DYCUCKOO_RETURN_NOT_OK(DownsizeInternal());
+      } else {
+        return Status::OK();
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Doubles the smallest subtable with the conflict-free split kernel.
+  Status Upsize() { return UpsizeInternal(); }
+
+  /// Halves the largest subtable, reinserting overflow into the others.
+  Status Downsize() {
+    if (!CanDownsize()) {
+      return Status::InvalidArgument("table is already at minimum size");
+    }
+    return DownsizeInternal();
+  }
+
+  // ---------------------------------------------------------------------
+  // Introspection.
+  // ---------------------------------------------------------------------
+
+  const DyCuckooOptions& options() const { return options_; }
+  int num_subtables() const { return static_cast<int>(tables_.size()); }
+
+  /// Total stored entries (sum of m_i, plus any stashed overflow).
+  uint64_t size() const {
+    uint64_t total = stash_size_.load(std::memory_order_relaxed);
+    for (const auto& t : tables_) total += t.size();
+    return total;
+  }
+
+  /// Entries currently parked in the overflow stash.
+  uint64_t stash_size() const {
+    return stash_size_.load(std::memory_order_relaxed);
+  }
+
+  /// Total slot capacity (sum of n_i).
+  uint64_t capacity_slots() const {
+    uint64_t total = 0;
+    for (const auto& t : tables_) total += t.num_slots();
+    return total;
+  }
+
+  /// theta = size / capacity.
+  double filled_factor() const {
+    uint64_t cap = capacity_slots();
+    return cap == 0 ? 0.0 : static_cast<double>(size()) / cap;
+  }
+
+  uint64_t subtable_size(int i) const { return tables_[i].size(); }
+  uint64_t subtable_slots(int i) const { return tables_[i].num_slots(); }
+  uint64_t subtable_buckets(int i) const { return tables_[i].num_buckets(); }
+  double subtable_filled_factor(int i) const {
+    return tables_[i].filled_factor();
+  }
+
+  /// Device bytes occupied by all subtables (and the stash, if any).
+  uint64_t memory_bytes() const {
+    uint64_t total = stash_keys_.size() * (sizeof(Key) + sizeof(Value));
+    for (const auto& t : tables_) total += t.memory_bytes();
+    return total;
+  }
+
+  const TableStats& stats() const { return stats_; }
+
+  /// All stored pairs (test/debug; not safe against concurrent kernels).
+  std::vector<std::pair<Key, Value>> Dump() const {
+    std::vector<std::pair<Key, Value>> out;
+    out.reserve(size());
+    for (const auto& t : tables_) {
+      for (uint64_t b = 0; b < t.num_buckets(); ++b) {
+        for (int s = 0; s < kSlots; ++s) {
+          Key k = t.KeyAt(b, s);
+          if (k != kEmptyKey) out.emplace_back(k, t.ValueAt(b, s));
+        }
+      }
+    }
+    for (size_t i = 0; i < stash_keys_.size(); ++i) {
+      Key k = stash_keys_[i].load(std::memory_order_relaxed);
+      if (k != kEmptyKey) {
+        out.emplace_back(k, stash_values_[i].load(std::memory_order_relaxed));
+      }
+    }
+    return out;
+  }
+
+  /// Structural invariant checker used by tests: size-ladder property,
+  /// size-counter consistency, placement consistency (every key sits in a
+  /// bucket of a subtable of its layer-1 pair), and global key uniqueness.
+  Status Validate() const {
+    uint64_t min_b = UINT64_MAX, max_b = 0;
+    for (const auto& t : tables_) {
+      min_b = std::min(min_b, t.num_buckets());
+      max_b = std::max(max_b, t.num_buckets());
+    }
+    if (max_b > 2 * min_b) {
+      return Status::Internal("subtable ladder violated: max " +
+                              std::to_string(max_b) + " buckets vs min " +
+                              std::to_string(min_b));
+    }
+    std::vector<Key> seen;
+    seen.reserve(size());
+    for (int i = 0; i < num_subtables(); ++i) {
+      const auto& t = tables_[i];
+      uint64_t occupied = 0;
+      for (uint64_t b = 0; b < t.num_buckets(); ++b) {
+        for (int s = 0; s < kSlots; ++s) {
+          Key k = t.KeyAt(b, s);
+          if (k == kEmptyKey) continue;
+          ++occupied;
+          if (t.BucketIndex(k) != b) {
+            return Status::Internal("key in wrong bucket");
+          }
+          if (options_.enable_two_layer &&
+              !pair_map_.PairFor(static_cast<uint64_t>(k)).Contains(i)) {
+            return Status::Internal("key outside its layer-1 pair");
+          }
+          seen.push_back(k);
+        }
+      }
+      if (occupied != t.size()) {
+        return Status::Internal(
+            "size counter mismatch in subtable " + std::to_string(i) + ": " +
+            std::to_string(t.size()) + " vs " + std::to_string(occupied));
+      }
+    }
+    uint64_t stash_count = 0;
+    for (size_t i = 0; i < stash_keys_.size(); ++i) {
+      Key k = stash_keys_[i].load(std::memory_order_relaxed);
+      if (k == kEmptyKey) continue;
+      ++stash_count;
+      seen.push_back(k);
+    }
+    if (stash_count != stash_size_.load(std::memory_order_relaxed)) {
+      return Status::Internal("stash size counter mismatch");
+    }
+    std::sort(seen.begin(), seen.end());
+    if (std::adjacent_find(seen.begin(), seen.end()) != seen.end()) {
+      return Status::Internal("duplicate key stored");
+    }
+    return Status::OK();
+  }
+
+ private:
+  static constexpr int kMaxInsertRetryRounds = 16;
+  static constexpr int kMaxResizeIterations = 4096;
+  static constexpr uint64_t kSnapshotMagic = 0xD1C0CC00'5A4B1705ULL;
+
+  explicit DynamicTable(const DyCuckooOptions& options) : options_(options) {}
+
+  Status Init() {
+    arena_ = options_.arena != nullptr ? options_.arena
+                                       : gpusim::DeviceArena::Global();
+    grid_ = options_.grid != nullptr ? options_.grid : gpusim::Grid::Global();
+    const int d = options_.num_subtables;
+    pair_map_ = PairMap(d, Mix64(options_.seed ^ 0xFA12B0057ULL));
+    choice_salt_ = Mix64(options_.seed ^ 0xC401CE5A17ULL);
+
+    // Smallest ladder configuration covering the capacity hint: j subtables
+    // of 2n buckets and d-j of n, minimizing (d+j)*n*kSlots >= hint.  The
+    // mixed start is a legal resize state, and its +12..25% granularity is
+    // much finer than forcing d equal powers of two (up to +100%).
+    const uint64_t want_buckets =
+        CeilDiv(options_.initial_capacity, static_cast<uint64_t>(kSlots));
+    uint64_t best_total = 0;
+    uint64_t best_n = 1;
+    int best_j = 0;
+    for (uint64_t n = 1; n <= NextPowerOfTwo(want_buckets); n *= 2) {
+      for (int j = 0; j <= d; ++j) {
+        uint64_t total = static_cast<uint64_t>(d + j) * n;
+        if (total >= want_buckets && (best_total == 0 || total < best_total)) {
+          best_total = total;
+          best_n = n;
+          best_j = j;
+        }
+      }
+    }
+    DYCUCKOO_CHECK(best_total > 0);
+    if (best_j == d) {  // all doubled == all at 2n
+      best_n *= 2;
+      best_j = 0;
+    }
+    tables_.reserve(d);
+    for (int i = 0; i < d; ++i) {
+      uint64_t buckets = i < best_j ? 2 * best_n : best_n;
+      tables_.emplace_back(buckets,
+                           Mix64(options_.seed + 0x9E3779B9ULL * (i + 1)),
+                           arena_, options_.memory_tag);
+      if (!tables_.back().ok()) {
+        return Status::OutOfMemory("device arena exhausted creating table");
+      }
+    }
+    if (options_.stash_capacity > 0) {
+      stash_keys_ = std::vector<std::atomic<Key>>(options_.stash_capacity);
+      stash_values_ = std::vector<std::atomic<Value>>(options_.stash_capacity);
+      for (auto& k : stash_keys_) {
+        k.store(kEmptyKey, std::memory_order_relaxed);
+      }
+    }
+    return Status::OK();
+  }
+
+  // ---- Placement policy (Theorem 1) -----------------------------------
+
+  /// Balance weight: free slots in subtable t.
+  ///
+  /// For equal-size subtables, Theorem 1's optimum (equal C(m_i,2)/n_i)
+  /// reduces to equal m_i, which free-space-proportional sampling converges
+  /// to.  For ladder-mixed sizes it equalizes the per-subtable filled
+  /// factors, letting larger tables carry proportionally more entries
+  /// (Section IV-C) — weighting by n/C(m,2) directly would instead jam the
+  /// *small* tables toward 100% at high global fill and blow up eviction
+  /// chains.
+  double BalanceWeight(int t) const {
+    double slots = static_cast<double>(tables_[t].num_slots());
+    double used = static_cast<double>(tables_[t].size());
+    return std::max(slots - used, 1.0);
+  }
+
+  /// Uniform double in [0, 1) deterministically derived from the key.
+  double KeyUniform(Key key) const {
+    return static_cast<double>(
+               Mix64(static_cast<uint64_t>(key) ^ choice_salt_) >> 11) *
+           (1.0 / 9007199254740992.0);
+  }
+
+  /// Chooses the initial target subtable.  Two-layer mode picks inside the
+  /// key's pair; plain mode (ablation) picks among all d subtables.
+  /// Excluded tables are skipped (downsize residuals); with balance enabled
+  /// the choice is proportional to the Theorem-1 weights, deterministically
+  /// seeded by the key.
+  int ChooseTarget(Key key, const TablePair& pair, int exclude_table) const {
+    if (options_.enable_two_layer) {
+      if (exclude_table == pair.first) return pair.second;
+      if (exclude_table == pair.second) return pair.first;
+      double wi = options_.enable_balance ? BalanceWeight(pair.first) : 1.0;
+      double wj = options_.enable_balance ? BalanceWeight(pair.second) : 1.0;
+      double p = wi / (wi + wj);
+      return KeyUniform(key) < p ? pair.first : pair.second;
+    }
+    // Plain d-table cuckoo: weighted choice over every non-excluded table.
+    double total = 0.0;
+    for (int t = 0; t < num_subtables(); ++t) {
+      if (t == exclude_table) continue;
+      total += options_.enable_balance ? BalanceWeight(t) : 1.0;
+    }
+    double r = KeyUniform(key) * total;
+    for (int t = 0; t < num_subtables(); ++t) {
+      if (t == exclude_table) continue;
+      double w = options_.enable_balance ? BalanceWeight(t) : 1.0;
+      if (r < w) return t;
+      r -= w;
+    }
+    return exclude_table == 0 ? 1 : 0;  // numerical fallback
+  }
+
+  /// Where an evicted pair continues its walk: the other member of its own
+  /// pair in two-layer mode; any other subtable in plain mode.
+  int EvictionTarget(Key victim_key, int from_table, int chain_step) const {
+    if (options_.enable_two_layer) {
+      TablePair vp = pair_map_.PairFor(static_cast<uint64_t>(victim_key));
+      DYCUCKOO_DCHECK(vp.Contains(from_table));
+      return vp.Contains(from_table) ? vp.Other(from_table) : vp.first;
+    }
+    uint64_t h = Mix64(static_cast<uint64_t>(victim_key) + chain_step);
+    int hop = 1 + static_cast<int>(h % (num_subtables() - 1));
+    return (from_table + hop) % num_subtables();
+  }
+
+  /// Candidate subtables that may hold `key` (probe set for FIND/DELETE and
+  /// the upsert pre-check).  Returns the count written into `out`.
+  int CandidateTables(Key key, int out[]) const {
+    if (options_.enable_two_layer) {
+      TablePair p = pair_map_.PairFor(static_cast<uint64_t>(key));
+      out[0] = p.first;
+      out[1] = p.second;
+      return 2;
+    }
+    for (int t = 0; t < num_subtables(); ++t) out[t] = t;
+    return num_subtables();
+  }
+
+  /// Picks the eviction victim: a few *randomly sampled* slots compete and
+  /// the one whose alternate subtable is freest wins.  Randomization is
+  /// load-bearing — a deterministic "best" victim re-selects the same keys
+  /// and builds eviction cycles at high fill; sampling keeps the Theorem-1
+  /// balance bias while breaking cycles (the classic cuckoo random walk).
+  int ChooseVictim(const SubtableT& table, uint64_t bucket, int table_idx,
+                   uint64_t salt) const {
+    constexpr int kCandidates = 4;
+    uint64_t h = Mix64(salt ^ (bucket << 20) ^ choice_salt_);
+    int best_slot = static_cast<int>(h % kSlots);
+    double best_weight = -1.0;
+    for (int c = 0; c < kCandidates; ++c) {
+      int s = static_cast<int>((h >> (c * 8)) % kSlots);
+      Key k = table.KeyAt(bucket, s);
+      if (k == kEmptyKey) return s;  // racing delete vacated it: reuse
+      double w = 0.0;
+      if (options_.enable_balance && options_.enable_two_layer) {
+        TablePair p = pair_map_.PairFor(static_cast<uint64_t>(k));
+        if (!p.Contains(table_idx)) continue;  // defensive
+        w = BalanceWeight(p.Other(table_idx));
+      }
+      if (w > best_weight) {
+        best_weight = w;
+        best_slot = s;
+      }
+    }
+    return best_slot;
+  }
+
+  // ---- Insert kernel (Algorithm 1) -------------------------------------
+
+  /// Overflow buffer for ops whose eviction chain exceeded the bound.
+  class FailBuffer {
+   public:
+    explicit FailBuffer(uint64_t capacity)
+        : keys_(capacity), values_(capacity) {}
+
+    FailBuffer(FailBuffer&& o)
+        : keys_(std::move(o.keys_)),
+          values_(std::move(o.values_)),
+          cursor_(o.cursor_.load(std::memory_order_relaxed)) {}
+
+    FailBuffer& operator=(FailBuffer&& o) {
+      keys_ = std::move(o.keys_);
+      values_ = std::move(o.values_);
+      cursor_.store(o.cursor_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+      return *this;
+    }
+
+    void Push(Key k, Value v) {
+      uint64_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
+      DYCUCKOO_DCHECK(i < keys_.size());
+      keys_[i] = k;
+      values_[i] = v;
+    }
+
+    uint64_t count() const { return cursor_.load(std::memory_order_relaxed); }
+    const Key* keys() const { return keys_.data(); }
+    const Value* values() const { return values_.data(); }
+
+   private:
+    std::vector<Key> keys_;
+    std::vector<Value> values_;
+    std::atomic<uint64_t> cursor_{0};
+  };
+
+  /// Launches the voter-coordinated insert grid.  Returns the number of
+  /// reserved-sentinel keys skipped.
+  uint64_t InsertKernel(const Key* keys, const Value* values, uint64_t n,
+                        int exclude_table, bool check_partner,
+                        FailBuffer* fail) {
+    std::atomic<uint64_t> invalid{0};
+    grid_->LaunchWarps(gpusim::WarpsForItems(n), [&](uint64_t warp) {
+      InsertWarp(keys, values, n, warp, exclude_table, check_partner, fail,
+                 &invalid);
+    });
+    return invalid.load(std::memory_order_relaxed);
+  }
+
+  struct LaneOp {
+    Key key{};
+    Value value{};
+    TablePair pair{0, 0};
+    int target = 0;
+    int evictions = 0;
+    bool active = false;
+  };
+
+  /// One warp's share of the insert batch: 32 ops, one per lane, processed
+  /// with the paper's voter coordination (Algorithm 1).
+  void InsertWarp(const Key* keys, const Value* values, uint64_t n,
+                  uint64_t warp, int exclude_table, bool check_partner,
+                  FailBuffer* fail, std::atomic<uint64_t>* invalid) {
+    LaneOp ops[gpusim::kWarpSize];
+    uint64_t local_new = 0, local_updated = 0, local_failed = 0,
+             local_invalid = 0, local_evictions = 0;
+
+    const uint64_t base = warp * gpusim::kWarpSize;
+    for (int lane = 0; lane < gpusim::kWarpSize; ++lane) {
+      uint64_t idx = base + lane;
+      if (idx >= n) continue;
+      if (keys[idx] == kEmptyKey) {
+        ++local_invalid;
+        continue;
+      }
+      PrepareInsertLane(keys[idx], values[idx], exclude_table, check_partner,
+                        &ops[lane], &local_updated);
+    }
+
+    RunVoterLoop(ops, fail, &local_new, &local_updated, &local_failed,
+                 &local_evictions);
+
+    if (local_new) stats_.inserts_new.fetch_add(local_new, kRelaxed);
+    if (local_updated) stats_.inserts_updated.fetch_add(local_updated, kRelaxed);
+    if (local_failed) stats_.insert_failures.fetch_add(local_failed, kRelaxed);
+    if (local_evictions) stats_.evictions.fetch_add(local_evictions, kRelaxed);
+    if (local_invalid) invalid->fetch_add(local_invalid, kRelaxed);
+  }
+
+  /// Prepares one lane's insert: layer-1 pair, balance-weighted target, and
+  /// (optionally) the upsert probe of the other candidate bucket(s) so a
+  /// key never ends up stored twice (see DESIGN.md deviation note).
+  /// Two-layer mode probes one partner bucket; plain mode pays d-1 probes.
+  void PrepareInsertLane(Key key, Value value, int exclude_table,
+                         bool check_partner, LaneOp* op, uint64_t* updated) {
+    op->key = key;
+    op->value = value;
+    op->pair = pair_map_.PairFor(static_cast<uint64_t>(key));
+    op->target = ChooseTarget(key, op->pair, exclude_table);
+    op->active = true;
+    if (!check_partner) return;
+    int candidates[16];
+    int n_cand = CandidateTables(key, candidates);
+    for (int c = 0; c < n_cand && op->active; ++c) {
+      if (candidates[c] == op->target) continue;
+      SubtableT& pt = tables_[candidates[c]];
+      uint64_t loc = pt.BucketIndex(key);
+      gpusim::CountBucketRead();
+      Key snap[kSlots];
+      pt.SnapshotKeys(loc, snap);
+      for (int s = 0; s < kSlots; ++s) {
+        if (snap[s] == key) {
+          pt.StoreValue(loc, s, value);
+          op->active = false;
+          ++*updated;
+          break;
+        }
+      }
+    }
+    if (op->active && stash_size_.load(std::memory_order_relaxed) > 0) {
+      for (size_t i = 0; i < stash_keys_.size(); ++i) {
+        if (stash_keys_[i].load(std::memory_order_relaxed) == key) {
+          stash_values_[i].store(value, std::memory_order_relaxed);
+          op->active = false;
+          ++*updated;
+          break;
+        }
+      }
+    }
+  }
+
+  /// The voter loop of Algorithm 1 over one warp's prepared lane ops.
+  /// Ballot the active lanes, elect a leader, attempt its bucket; a failed
+  /// lock means an immediate revote instead of spinning.  The ballot result
+  /// is maintained incrementally — on hardware __ballot_sync is a single
+  /// cycle, so recomputing it with a 32-lane loop each round would charge
+  /// the simulation a cost the GPU never pays.
+  void RunVoterLoop(LaneOp* ops, FailBuffer* fail, uint64_t* local_new,
+                    uint64_t* local_updated, uint64_t* local_failed,
+                    uint64_t* local_evictions) {
+    uint64_t& new_count = *local_new;
+    uint64_t& updated = *local_updated;
+    uint64_t& failed = *local_failed;
+    uint64_t& evicted = *local_evictions;
+    gpusim::LaneMask active =
+        gpusim::Ballot([&](int lane) { return ops[lane].active; });
+    int prev_leader = -1;
+    for (;;) {
+      if (active == 0) break;
+      // With the voter disabled (ablation) the lowest active lane stays
+      // leader and spins on its lock; with it enabled a lock failure
+      // rotates leadership to another lane's bucket.
+      int leader = options_.enable_voter
+                       ? gpusim::NextLeader(active, prev_leader)
+                       : gpusim::FirstLane(active);
+      prev_leader = leader;
+      LaneOp& op = ops[leader];
+
+      SubtableT& table = tables_[op.target];
+      const uint64_t loc = table.BucketIndex(op.key);
+      if (!table.lock(loc).TryLock()) {
+        gpusim::CountLockConflict();
+        continue;  // revote (a different leader is preferred next)
+      }
+
+      // The warp cooperatively scans the locked bucket: one lane per slot.
+      gpusim::CountBucketRead();
+      Key snap[kSlots];
+      table.SnapshotKeys(loc, snap);
+      int match_slot = -1;
+      int empty_slot = -1;
+      for (int s = 0; s < kSlots; ++s) {
+        if (snap[s] == op.key) {
+          match_slot = s;
+          break;
+        }
+        if (snap[s] == kEmptyKey && empty_slot < 0) empty_slot = s;
+      }
+
+      if (match_slot >= 0) {
+        table.StoreValue(loc, match_slot, op.value);
+        table.lock(loc).Unlock();
+        op.active = false;
+        active &= ~(gpusim::LaneMask{1} << leader);
+        ++updated;
+        continue;
+      }
+      if (empty_slot >= 0) {
+        table.StoreSlot(loc, empty_slot, op.key, op.value);
+        gpusim::CountBucketWrite();
+        table.lock(loc).Unlock();
+        table.AddSize(1);
+        op.active = false;
+        active &= ~(gpusim::LaneMask{1} << leader);
+        ++new_count;
+        continue;
+      }
+
+      // Bucket full: evict the resident whose alternate table is freest and
+      // continue the chain with the displaced pair (bounded).  An exhausted
+      // chain goes to the stash when one is configured (the paper's
+      // future-work extension), else to the failure buffer.
+      if (op.evictions >= options_.max_eviction_chain) {
+        table.lock(loc).Unlock();
+        op.active = false;
+        active &= ~(gpusim::LaneMask{1} << leader);
+        if (stash_keys_.empty() || !StashInsert(op.key, op.value)) {
+          fail->Push(op.key, op.value);
+          ++failed;
+        }
+        continue;
+      }
+      int victim =
+          ChooseVictim(table, loc, op.target,
+                       static_cast<uint64_t>(op.key) + op.evictions);
+      Key vk = table.KeyAt(loc, victim);
+      Value vv = table.ValueAt(loc, victim);
+      if (vk == kEmptyKey) {
+        // A concurrent lock-free delete vacated the slot after our scan:
+        // claim it directly instead of evicting.
+        table.StoreSlot(loc, victim, op.key, op.value);
+        gpusim::CountBucketWrite();
+        table.lock(loc).Unlock();
+        table.AddSize(1);
+        op.active = false;
+        active &= ~(gpusim::LaneMask{1} << leader);
+        ++new_count;
+        continue;
+      }
+      table.StoreSlot(loc, victim, op.key, op.value);
+      gpusim::CountBucketWrite();
+      table.lock(loc).Unlock();
+      gpusim::CountEviction();
+      ++evicted;
+
+      int from = op.target;
+      op.key = vk;
+      op.value = vv;
+      op.target = EvictionTarget(vk, from, op.evictions);
+      ++op.evictions;
+    }
+  }
+
+  /// One warp's share of a mixed batch: finds and erases execute directly
+  /// lane-by-lane; inserts are prepared per lane and drained through the
+  /// voter loop.
+  void MixedWarp(MixedOp* ops, uint64_t n, uint64_t warp, FailBuffer* fail,
+                 std::atomic<uint64_t>* invalid) {
+    LaneOp lane_ops[gpusim::kWarpSize];
+    uint64_t local_new = 0, local_updated = 0, local_failed = 0,
+             local_invalid = 0, local_evictions = 0, local_finds = 0,
+             local_find_hits = 0, local_erases = 0, local_erase_hits = 0;
+
+    const uint64_t base = warp * gpusim::kWarpSize;
+    for (int lane = 0; lane < gpusim::kWarpSize; ++lane) {
+      uint64_t idx = base + lane;
+      if (idx >= n) continue;
+      MixedOp& op = ops[idx];
+      switch (op.type) {
+        case MixedOp::Type::kFind: {
+          ++local_finds;
+          Value v{};
+          op.hit = FindOneInternal(op.key, &v) ? 1 : 0;
+          if (op.hit) {
+            op.value = v;
+            ++local_find_hits;
+          }
+          break;
+        }
+        case MixedOp::Type::kErase: {
+          ++local_erases;
+          uint64_t released = EraseOneInternal(op.key);
+          op.hit = released > 0 ? 1 : 0;
+          local_erase_hits += released;
+          break;
+        }
+        case MixedOp::Type::kInsert: {
+          if (op.key == kEmptyKey) {
+            ++local_invalid;
+            break;
+          }
+          PrepareInsertLane(op.key, op.value, /*exclude_table=*/-1,
+                            /*check_partner=*/true, &lane_ops[lane],
+                            &local_updated);
+          break;
+        }
+      }
+    }
+
+    RunVoterLoop(lane_ops, fail, &local_new, &local_updated, &local_failed,
+                 &local_evictions);
+
+    if (local_new) stats_.inserts_new.fetch_add(local_new, kRelaxed);
+    if (local_updated) stats_.inserts_updated.fetch_add(local_updated, kRelaxed);
+    if (local_failed) stats_.insert_failures.fetch_add(local_failed, kRelaxed);
+    if (local_evictions) stats_.evictions.fetch_add(local_evictions, kRelaxed);
+    if (local_invalid) invalid->fetch_add(local_invalid, kRelaxed);
+    if (local_finds) stats_.finds.fetch_add(local_finds, kRelaxed);
+    if (local_find_hits) stats_.find_hits.fetch_add(local_find_hits, kRelaxed);
+    if (local_erases) stats_.erases.fetch_add(local_erases, kRelaxed);
+    if (local_erase_hits) {
+      stats_.erase_hits.fetch_add(local_erase_hits, kRelaxed);
+    }
+  }
+
+  // ---- Find / erase kernels --------------------------------------------
+
+  /// One warp's chunk of the find batch: the warp walks its 32 ops
+  /// sequentially; for each op the lanes scan the (at most two) buckets of
+  /// the key's pair in parallel.
+  void FindWarp(const Key* keys, uint64_t n, uint64_t warp, Value* values,
+                uint8_t* found) const {
+    const uint64_t base = warp * gpusim::kWarpSize;
+    const uint64_t end = std::min(n, base + gpusim::kWarpSize);
+    uint64_t local_finds = 0, local_hits = 0;
+    for (uint64_t idx = base; idx < end; ++idx) {
+      Key k = keys[idx];
+      ++local_finds;
+      Value v{};
+      bool hit = FindOneInternal(k, &v);
+      if (found != nullptr) found[idx] = hit ? 1 : 0;
+      if (hit) {
+        ++local_hits;
+        if (values != nullptr) values[idx] = v;
+      }
+    }
+    stats_.finds.fetch_add(local_finds, kRelaxed);
+    if (local_hits) stats_.find_hits.fetch_add(local_hits, kRelaxed);
+  }
+
+  /// One lookup over the key's candidate buckets (≤2 in two-layer mode),
+  /// then the stash if one is configured and non-empty.
+  bool FindOneInternal(Key k, Value* v) const {
+    if (k == kEmptyKey) return false;
+    int candidates[16];
+    int n_cand = CandidateTables(k, candidates);
+    for (int c = 0; c < n_cand; ++c) {
+      const SubtableT& t = tables_[candidates[c]];
+      uint64_t loc = t.BucketIndex(k);
+      gpusim::CountBucketRead();
+      Key snap[kSlots];
+      t.SnapshotKeys(loc, snap);
+      for (int s = 0; s < kSlots; ++s) {
+        if (snap[s] == k) {
+          *v = t.ValueAt(loc, s);
+          return true;
+        }
+      }
+    }
+    if (stash_size_.load(std::memory_order_relaxed) > 0) {
+      gpusim::CountBucketRead();
+      for (size_t i = 0; i < stash_keys_.size(); ++i) {
+        if (stash_keys_[i].load(std::memory_order_relaxed) == k) {
+          *v = stash_values_[i].load(std::memory_order_relaxed);
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  /// Claims a free stash slot for a failed insertion; false when full.
+  bool StashInsert(Key k, Value v) {
+    for (size_t i = 0; i < stash_keys_.size(); ++i) {
+      Key expected = kEmptyKey;
+      if (stash_keys_[i].compare_exchange_strong(expected, k,
+                                                 std::memory_order_acq_rel)) {
+        stash_values_[i].store(v, std::memory_order_relaxed);
+        stash_size_.fetch_add(1, kRelaxed);
+        stats_.stash_inserts.fetch_add(1, kRelaxed);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Moves every stash entry back through the normal insert path (called
+  /// after an upsize made room); anything that still fails returns to the
+  /// stash, which cannot overflow since the entries just vacated it.
+  void DrainStash() {
+    uint64_t count = stash_size_.load(std::memory_order_relaxed);
+    if (count == 0) return;
+    std::vector<Key> keys;
+    std::vector<Value> values;
+    keys.reserve(count);
+    for (size_t i = 0; i < stash_keys_.size(); ++i) {
+      Key k = stash_keys_[i].load(std::memory_order_relaxed);
+      if (k == kEmptyKey) continue;
+      values.push_back(stash_values_[i].load(std::memory_order_relaxed));
+      keys.push_back(k);
+      stash_keys_[i].store(kEmptyKey, std::memory_order_relaxed);
+      stash_size_.fetch_sub(1, kRelaxed);
+    }
+    if (keys.empty()) return;
+    FailBuffer fail(keys.size());
+    InsertKernel(keys.data(), values.data(), keys.size(),
+                 /*exclude_table=*/-1, /*check_partner=*/false, &fail);
+    stats_.stash_drains.fetch_add(keys.size() - fail.count(), kRelaxed);
+    for (uint64_t i = 0; i < fail.count(); ++i) {
+      DYCUCKOO_CHECK(StashInsert(fail.keys()[i], fail.values()[i]));
+    }
+  }
+
+  /// One warp's chunk of the erase batch.  Lock-free: slots are released
+  /// with a key CAS, so exactly one racing eraser wins the decrement.
+  void EraseWarp(const Key* keys, uint64_t n, uint64_t warp,
+                 std::atomic<uint64_t>* erased) {
+    const uint64_t base = warp * gpusim::kWarpSize;
+    const uint64_t end = std::min(n, base + gpusim::kWarpSize);
+    uint64_t local_erases = 0, local_hits = 0;
+    for (uint64_t idx = base; idx < end; ++idx) {
+      Key k = keys[idx];
+      ++local_erases;
+      uint64_t n_erased = EraseOneInternal(k);
+      if (n_erased > 0) {
+        local_hits += n_erased;
+        erased->fetch_add(n_erased, kRelaxed);
+      }
+    }
+    stats_.erases.fetch_add(local_erases, kRelaxed);
+    if (local_hits) stats_.erase_hits.fetch_add(local_hits, kRelaxed);
+  }
+
+  /// One delete over the key's candidate buckets; returns slots released
+  /// (more than one only if a racy duplicate existed).
+  uint64_t EraseOneInternal(Key k) {
+    if (k == kEmptyKey) return 0;
+    uint64_t released = 0;
+    int candidates[16];
+    int n_cand = CandidateTables(k, candidates);
+    for (int c = 0; c < n_cand; ++c) {
+      SubtableT& t = tables_[candidates[c]];
+      uint64_t loc = t.BucketIndex(k);
+      gpusim::CountBucketRead();
+      Key snap[kSlots];
+      t.SnapshotKeys(loc, snap);
+      for (int s = 0; s < kSlots; ++s) {
+        if (snap[s] == k) {
+          if (t.CasKey(loc, s, k, kEmptyKey)) {
+            t.AddSize(-1);
+            ++released;
+          }
+        }
+      }
+    }
+    if (stash_size_.load(std::memory_order_relaxed) > 0) {
+      gpusim::CountBucketRead();
+      for (size_t i = 0; i < stash_keys_.size(); ++i) {
+        Key expected = k;
+        if (stash_keys_[i].load(std::memory_order_relaxed) == k &&
+            stash_keys_[i].compare_exchange_strong(
+                expected, kEmptyKey, std::memory_order_acq_rel)) {
+          stash_size_.fetch_sub(1, kRelaxed);
+          ++released;
+        }
+      }
+    }
+    return released;
+  }
+
+  // ---- Resizing ---------------------------------------------------------
+
+  int SmallestSubtable() const {
+    int best = 0;
+    for (int i = 1; i < num_subtables(); ++i) {
+      if (tables_[i].num_buckets() < tables_[best].num_buckets()) best = i;
+    }
+    return best;
+  }
+
+  int LargestSubtable() const {
+    int best = 0;
+    for (int i = 1; i < num_subtables(); ++i) {
+      if (tables_[i].num_buckets() > tables_[best].num_buckets()) best = i;
+    }
+    return best;
+  }
+
+  bool CanDownsize() const {
+    return tables_[LargestSubtable()].num_buckets() > 1;
+  }
+
+  /// Doubles the smallest subtable.  Conflict-free: a pair in old bucket
+  /// `loc` can only move to `loc` or `loc + n_old` in the doubled table, and
+  /// distinct old buckets never collide, so no locks are taken (paper
+  /// Section IV-D, Figure 4).
+  Status UpsizeInternal() {
+    const int idx = SmallestSubtable();
+    SubtableT& old = tables_[idx];
+    const uint64_t n_old = old.num_buckets();
+    SubtableT bigger(n_old * 2, old.seed(), arena_, options_.memory_tag);
+    if (!bigger.ok()) {
+      return Status::OutOfMemory("device arena exhausted during upsize");
+    }
+
+    grid_->LaunchWarps(n_old, [&](uint64_t loc) {
+      gpusim::CountBucketRead();
+      Key snap_k[kSlots];
+      Value snap_v[kSlots];
+      old.SnapshotKeys(loc, snap_k);
+      old.SnapshotValues(loc, snap_v);
+      int stay = 0;
+      int moved = 0;
+      for (int s = 0; s < kSlots; ++s) {
+        Key k = snap_k[s];
+        if (k == kEmptyKey) continue;
+        Value v = snap_v[s];
+        uint64_t new_loc = bigger.RawHash(k) & (2 * n_old - 1);
+        DYCUCKOO_DCHECK(new_loc == loc || new_loc == loc + n_old);
+        if (new_loc == loc) {
+          bigger.StoreSlot(loc, stay++, k, v);
+        } else {
+          bigger.StoreSlot(loc + n_old, moved++, k, v);
+        }
+      }
+      if (stay) gpusim::CountBucketWrite();
+      if (moved) gpusim::CountBucketWrite();
+    });
+
+    stats_.rehashed_kvs.fetch_add(old.size(), kRelaxed);
+    stats_.upsizes.fetch_add(1, kRelaxed);
+    bigger.SetSize(old.size());
+    tables_[idx] = std::move(bigger);
+    // The new headroom is the stash's chance to empty itself.
+    DrainStash();
+    return Status::OK();
+  }
+
+  /// Halves the largest subtable: old buckets (loc, loc + n_new) merge into
+  /// new bucket loc; overflow ("residuals") is reinserted into the *other*
+  /// subtables (paper Section IV-D, downsizing).
+  Status DownsizeInternal() {
+    const int idx = LargestSubtable();
+    SubtableT& old = tables_[idx];
+    const uint64_t n_new = old.num_buckets() / 2;
+    DYCUCKOO_CHECK(n_new >= 1);
+    SubtableT smaller(n_new, old.seed(), arena_, options_.memory_tag);
+    if (!smaller.ok()) {
+      return Status::OutOfMemory("device arena exhausted during downsize");
+    }
+
+    const uint64_t old_size = old.size();
+    std::vector<Key> residual_keys(old_size);
+    std::vector<Value> residual_values(old_size);
+    std::atomic<uint64_t> residual_cursor{0};
+
+    grid_->LaunchWarps(n_new, [&](uint64_t loc) {
+      Key merged_k[2 * kSlots];
+      Value merged_v[2 * kSlots];
+      int count = 0;
+      const uint64_t sources[2] = {loc, loc + n_new};
+      for (uint64_t src : sources) {
+        gpusim::CountBucketRead();
+        Key snap_k[kSlots];
+        Value snap_v[kSlots];
+        old.SnapshotKeys(src, snap_k);
+        old.SnapshotValues(src, snap_v);
+        for (int s = 0; s < kSlots; ++s) {
+          if (snap_k[s] == kEmptyKey) continue;
+          merged_k[count] = snap_k[s];
+          merged_v[count] = snap_v[s];
+          ++count;
+        }
+      }
+      int kept = std::min(count, kSlots);
+      for (int s = 0; s < kept; ++s) {
+        smaller.StoreSlot(loc, s, merged_k[s], merged_v[s]);
+      }
+      if (kept) gpusim::CountBucketWrite();
+      if (count > kept) {
+        uint64_t at = residual_cursor.fetch_add(count - kept,
+                                                std::memory_order_relaxed);
+        for (int s = kept; s < count; ++s, ++at) {
+          residual_keys[at] = merged_k[s];
+          residual_values[at] = merged_v[s];
+        }
+      }
+    });
+
+    const uint64_t residuals = residual_cursor.load(std::memory_order_relaxed);
+    smaller.SetSize(old_size - residuals);
+    tables_[idx] = std::move(smaller);
+    stats_.rehashed_kvs.fetch_add(old_size, kRelaxed);
+    stats_.residual_kvs.fetch_add(residuals, kRelaxed);
+    stats_.downsizes.fetch_add(1, kRelaxed);
+
+    // Reinsert the residuals, excluding the just-downsized subtable as the
+    // initial target.  No partner check: the keys are not stored anywhere.
+    if (residuals > 0) {
+      FailBuffer fail(residuals);
+      InsertKernel(residual_keys.data(), residual_values.data(), residuals,
+                   /*exclude_table=*/idx, /*check_partner=*/false, &fail);
+      int rounds = 0;
+      while (fail.count() > 0) {
+        if (++rounds > kMaxInsertRetryRounds) {
+          return Status::Internal("residual reinsertion kept failing");
+        }
+        DYCUCKOO_RETURN_NOT_OK(UpsizeInternal());
+        FailBuffer next(fail.count());
+        InsertKernel(fail.keys(), fail.values(), fail.count(),
+                     /*exclude_table=*/-1, /*check_partner=*/false, &next);
+        fail = std::move(next);
+      }
+    }
+    return Status::OK();
+  }
+
+  static constexpr std::memory_order kRelaxed = std::memory_order_relaxed;
+
+  DyCuckooOptions options_;
+  gpusim::DeviceArena* arena_ = nullptr;
+  gpusim::Grid* grid_ = nullptr;
+  PairMap pair_map_;
+  uint64_t choice_salt_ = 0;
+  std::vector<SubtableT> tables_;
+  // Overflow stash (options_.stash_capacity entries; empty when disabled).
+  std::vector<std::atomic<Key>> stash_keys_;
+  std::vector<std::atomic<Value>> stash_values_;
+  std::atomic<uint64_t> stash_size_{0};
+  mutable TableStats stats_;
+};
+
+}  // namespace dycuckoo
+
+#endif  // DYCUCKOO_DYCUCKOO_DYNAMIC_TABLE_H_

@@ -1,0 +1,11 @@
+// Explicit instantiations of the DynamicTable template for the two shipped
+// key/value widths, keeping template code out of every client TU.
+
+#include "dycuckoo/dynamic_table.h"
+
+namespace dycuckoo {
+
+template class DynamicTable<uint32_t, uint32_t>;
+template class DynamicTable<uint64_t, uint64_t>;
+
+}  // namespace dycuckoo

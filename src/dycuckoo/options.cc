@@ -1,0 +1,33 @@
+#include "dycuckoo/options.h"
+
+#include <sstream>
+
+namespace dycuckoo {
+
+Status DyCuckooOptions::Validate() const {
+  if (num_subtables < 2 || num_subtables > 16) {
+    return Status::InvalidArgument("num_subtables must be in [2, 16]");
+  }
+  if (!(lower_bound > 0.0 && lower_bound < upper_bound && upper_bound <= 1.0)) {
+    return Status::InvalidArgument(
+        "require 0 < lower_bound < upper_bound <= 1");
+  }
+  // Paper Section IV-B: one upsize lowers theta to at least beta*d/(d+1), so
+  // a lower bound at or above d/(d+1)*beta could oscillate; the hard
+  // requirement derived in the paper is alpha < d/(d+1).
+  double d = static_cast<double>(num_subtables);
+  if (lower_bound >= d / (d + 1.0)) {
+    std::ostringstream os;
+    os << "lower_bound must be < d/(d+1) = " << d / (d + 1.0);
+    return Status::InvalidArgument(os.str());
+  }
+  if (initial_capacity == 0) {
+    return Status::InvalidArgument("initial_capacity must be > 0");
+  }
+  if (max_eviction_chain < 1) {
+    return Status::InvalidArgument("max_eviction_chain must be >= 1");
+  }
+  return Status::OK();
+}
+
+}  // namespace dycuckoo

@@ -1,0 +1,98 @@
+// User-facing configuration for a DyCuckoo table.
+
+#ifndef DYCUCKOO_DYCUCKOO_OPTIONS_H_
+#define DYCUCKOO_DYCUCKOO_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace dycuckoo {
+
+namespace gpusim {
+class DeviceArena;
+class Grid;
+}  // namespace gpusim
+
+/// \brief Options controlling a DyCuckoo table (paper Table III knobs).
+///
+/// The central tradeoff (paper Section IV-B): more subtables `d` means a
+/// smaller unit of work per resize and a higher attainable filled-factor
+/// lower bound (alpha < d/(d+1)), while FIND/DELETE stay at two lookups
+/// thanks to the two-layer scheme.
+struct DyCuckooOptions {
+  /// Number of cuckoo subtables `d`.  Must be in [2, 16].  The paper fixes 4
+  /// after the Figure 6 sensitivity study.
+  int num_subtables = 4;
+
+  /// Filled-factor lower bound `alpha`: dropping below it triggers a
+  /// downsize of the largest subtable.  Must satisfy
+  /// 0 < alpha < beta <= 1 and alpha < d/(d+1).
+  double lower_bound = 0.30;
+
+  /// Filled-factor upper bound `beta`: exceeding it (or an insertion
+  /// failure) triggers an upsize of the smallest subtable.
+  double upper_bound = 0.85;
+
+  /// Initial total slot capacity hint; rounded so every subtable gets the
+  /// same power-of-two bucket count.
+  uint64_t initial_capacity = 64 * 1024;
+
+  /// Seed from which all subtable hash functions and the layer-1 pair hash
+  /// are derived.  Fixed seed => reproducible layout.
+  uint64_t seed = 0x9D79C008C0FFEEULL;
+
+  /// Eviction-chain bound: one insert may displace at most this many
+  /// resident pairs before it is declared an insertion failure (which
+  /// triggers an upsize and a retry).
+  int max_eviction_chain = 64;
+
+  /// Grow/shrink automatically to keep theta in [lower_bound, upper_bound].
+  /// When false the table never resizes on its own (static mode, used for
+  /// the paper's static comparison where capacity is preallocated).
+  bool auto_resize = true;
+
+  // --- Ablation switches (all default to the paper's design) -------------
+
+  /// Two-layer hashing (Section V-A).  When false the table degrades to a
+  /// plain d-table cuckoo: a key may live in any subtable, so FIND and
+  /// DELETE probe up to d buckets instead of two.  Exists to reproduce the
+  /// motivation experiment for the two-layer scheme.
+  bool enable_two_layer = true;
+
+  /// Voter coordination (Algorithm 1).  When false a warp's leader spins on
+  /// its bucket lock until acquired (the "direct warp-centric approach" the
+  /// paper argues against) instead of revoting a different leader.
+  bool enable_voter = true;
+
+  /// Theorem-1 balance guidance.  When false, insertion targets and
+  /// eviction victims are chosen uniformly at random instead of
+  /// free-space-weighted.
+  bool enable_balance = true;
+
+  /// Stash capacity in entries (0 disables).  The paper's stated future
+  /// work: an insertion whose eviction chain exceeds the bound lands in a
+  /// small overflow stash instead of forcing another upsizing round; FIND
+  /// and DELETE probe the stash after the (<= 2) bucket probes, and each
+  /// upsize drains the stash back into the subtables.  Keep it small
+  /// (tens to a few hundred entries): the stash is scanned linearly by
+  /// every probe while it is non-empty.
+  uint64_t stash_capacity = 0;
+
+  /// Device memory arena; nullptr selects the process-global arena.
+  gpusim::DeviceArena* arena = nullptr;
+
+  /// Warp scheduler; nullptr selects the process-global grid.
+  gpusim::Grid* grid = nullptr;
+
+  /// Tag under which arena allocations are accounted.
+  std::string memory_tag = "dycuckoo";
+
+  /// Checks the constraints above.
+  Status Validate() const;
+};
+
+}  // namespace dycuckoo
+
+#endif  // DYCUCKOO_DYCUCKOO_OPTIONS_H_

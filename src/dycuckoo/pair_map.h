@@ -1,0 +1,71 @@
+// Layer-1 hashing of the two-layer cuckoo scheme (paper Section V-A).
+//
+// Every key is mapped to one of the C(d,2) unordered subtable pairs; the key
+// then lives in exactly one bucket of one member of its pair.  FIND and
+// DELETE therefore inspect at most two buckets regardless of d.  The mapping
+// depends only on (d, seed) — never on subtable sizes — so it is stable
+// across resizes.
+
+#ifndef DYCUCKOO_DYCUCKOO_PAIR_MAP_H_
+#define DYCUCKOO_DYCUCKOO_PAIR_MAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace dycuckoo {
+
+/// An unordered pair of subtable indices.
+struct TablePair {
+  int first;
+  int second;
+
+  /// The member that is not `t` (t must be a member).
+  int Other(int t) const {
+    DYCUCKOO_DCHECK(t == first || t == second);
+    return t == first ? second : first;
+  }
+
+  bool Contains(int t) const { return t == first || t == second; }
+
+  bool operator==(const TablePair& o) const {
+    return first == o.first && second == o.second;
+  }
+};
+
+/// \brief Enumerates the C(d,2) subtable pairs and hashes keys onto them.
+class PairMap {
+ public:
+  PairMap() = default;
+
+  PairMap(int num_subtables, uint64_t seed) : seed_(seed) {
+    DYCUCKOO_CHECK(num_subtables >= 2);
+    pairs_.reserve(NumPairs(num_subtables));
+    for (int i = 0; i < num_subtables; ++i) {
+      for (int j = i + 1; j < num_subtables; ++j) {
+        pairs_.push_back(TablePair{i, j});
+      }
+    }
+  }
+
+  static int NumPairs(int d) { return d * (d - 1) / 2; }
+
+  int num_pairs() const { return static_cast<int>(pairs_.size()); }
+
+  /// Layer-1 hash: the pair of subtables that may hold `key`.
+  TablePair PairFor(uint64_t key) const {
+    return pairs_[Mix64(key ^ seed_) % pairs_.size()];
+  }
+
+  const TablePair& pair(int index) const { return pairs_[index]; }
+
+ private:
+  uint64_t seed_ = 0;
+  std::vector<TablePair> pairs_;
+};
+
+}  // namespace dycuckoo
+
+#endif  // DYCUCKOO_DYCUCKOO_PAIR_MAP_H_

@@ -1,0 +1,19 @@
+#include "dycuckoo/stats.h"
+
+#include <sstream>
+
+namespace dycuckoo {
+
+std::string TableStats::Snapshot::ToString() const {
+  std::ostringstream os;
+  os << "inserts_new=" << inserts_new << " inserts_updated=" << inserts_updated
+     << " insert_failures=" << insert_failures << " finds=" << finds
+     << " find_hits=" << find_hits << " erases=" << erases
+     << " erase_hits=" << erase_hits << " evictions=" << evictions
+     << " upsizes=" << upsizes << " downsizes=" << downsizes
+     << " rehashed_kvs=" << rehashed_kvs << " residual_kvs=" << residual_kvs
+     << " stash_inserts=" << stash_inserts << " stash_drains=" << stash_drains;
+  return os.str();
+}
+
+}  // namespace dycuckoo

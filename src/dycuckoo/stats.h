@@ -1,0 +1,72 @@
+// Operation statistics exposed by the DyCuckoo table.
+
+#ifndef DYCUCKOO_DYCUCKOO_STATS_H_
+#define DYCUCKOO_DYCUCKOO_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace dycuckoo {
+
+/// Cumulative counters since table construction.  Thread-safe (kernels
+/// update them from many warps); read with Snapshot().
+class TableStats {
+ public:
+  std::atomic<uint64_t> inserts_new{0};      // KV placed into an empty slot
+  std::atomic<uint64_t> inserts_updated{0};  // existing key overwritten
+  std::atomic<uint64_t> insert_failures{0};  // eviction chain exceeded bound
+  std::atomic<uint64_t> finds{0};
+  std::atomic<uint64_t> find_hits{0};
+  std::atomic<uint64_t> erases{0};
+  std::atomic<uint64_t> erase_hits{0};
+  std::atomic<uint64_t> evictions{0};
+  std::atomic<uint64_t> upsizes{0};
+  std::atomic<uint64_t> downsizes{0};
+  std::atomic<uint64_t> rehashed_kvs{0};     // KVs touched by resize kernels
+  std::atomic<uint64_t> residual_kvs{0};     // downsize overflow reinsertions
+  std::atomic<uint64_t> stash_inserts{0};    // failures absorbed by the stash
+  std::atomic<uint64_t> stash_drains{0};     // stash entries moved back
+
+  struct Snapshot {
+    uint64_t inserts_new = 0;
+    uint64_t inserts_updated = 0;
+    uint64_t insert_failures = 0;
+    uint64_t finds = 0;
+    uint64_t find_hits = 0;
+    uint64_t erases = 0;
+    uint64_t erase_hits = 0;
+    uint64_t evictions = 0;
+    uint64_t upsizes = 0;
+    uint64_t downsizes = 0;
+    uint64_t rehashed_kvs = 0;
+    uint64_t residual_kvs = 0;
+    uint64_t stash_inserts = 0;
+    uint64_t stash_drains = 0;
+
+    std::string ToString() const;
+  };
+
+  Snapshot Capture() const {
+    Snapshot s;
+    s.inserts_new = inserts_new.load(std::memory_order_relaxed);
+    s.inserts_updated = inserts_updated.load(std::memory_order_relaxed);
+    s.insert_failures = insert_failures.load(std::memory_order_relaxed);
+    s.finds = finds.load(std::memory_order_relaxed);
+    s.find_hits = find_hits.load(std::memory_order_relaxed);
+    s.erases = erases.load(std::memory_order_relaxed);
+    s.erase_hits = erase_hits.load(std::memory_order_relaxed);
+    s.evictions = evictions.load(std::memory_order_relaxed);
+    s.upsizes = upsizes.load(std::memory_order_relaxed);
+    s.downsizes = downsizes.load(std::memory_order_relaxed);
+    s.rehashed_kvs = rehashed_kvs.load(std::memory_order_relaxed);
+    s.residual_kvs = residual_kvs.load(std::memory_order_relaxed);
+    s.stash_inserts = stash_inserts.load(std::memory_order_relaxed);
+    s.stash_drains = stash_drains.load(std::memory_order_relaxed);
+    return s;
+  }
+};
+
+}  // namespace dycuckoo
+
+#endif  // DYCUCKOO_DYCUCKOO_STATS_H_

@@ -1,0 +1,217 @@
+// One cuckoo subtable: a power-of-two array of cache-line-sized buckets.
+//
+// Layout (paper Section IV-A, Figure 2): a bucket is 128 bytes of keys —
+// 32 keys for 4-byte keys, 16 for 8-byte — stored contiguously so a warp
+// reads a bucket in one coalesced transaction.  Values live in a parallel
+// array (SoA) so FIND-miss and DELETE never touch value memory.  A third
+// array holds one spinlock word per bucket.
+//
+// Slots are std::atomic<Key>/std::atomic<Value>: on the real device these
+// are plain words raced under the CUDA memory model; here relaxed atomics
+// give the identical semantics without UB.
+
+#ifndef DYCUCKOO_DYCUCKOO_SUBTABLE_H_
+#define DYCUCKOO_DYCUCKOO_SUBTABLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "gpusim/atomics.h"
+#include "gpusim/device_arena.h"
+
+namespace dycuckoo {
+
+/// Per-key-type bucket geometry: a bucket is one 128-byte cache line of keys.
+template <typename Key>
+struct BucketTraits {
+  static constexpr size_t kBucketBytes = 128;
+  static constexpr int kSlotsPerBucket =
+      static_cast<int>(kBucketBytes / sizeof(Key));
+  static_assert(kSlotsPerBucket >= 1, "key too large for one bucket");
+
+  /// Reserved sentinel marking an empty slot; user keys must not equal it.
+  static constexpr Key kEmptyKey = std::numeric_limits<Key>::max();
+};
+
+/// \brief Bucketed slot storage for one subtable.
+///
+/// Owns three arena-backed arrays (keys, values, locks).  Movable, not
+/// copyable.  Size bookkeeping (m_i) lives here as an atomic counter.
+template <typename Key, typename Value>
+class Subtable {
+ public:
+  using Traits = BucketTraits<Key>;
+  static constexpr int kSlots = Traits::kSlotsPerBucket;
+  static constexpr Key kEmptyKey = Traits::kEmptyKey;
+
+  Subtable() = default;
+
+  /// Creates a subtable with `num_buckets` buckets (power of two) hashing
+  /// with `seed`.  Check ok() afterwards: allocation can fail when the
+  /// device arena is exhausted.
+  Subtable(uint64_t num_buckets, uint64_t seed, gpusim::DeviceArena* arena,
+           std::string tag)
+      : num_buckets_(num_buckets),
+        seed_(seed),
+        arena_(arena),
+        tag_(std::move(tag)) {
+    DYCUCKOO_CHECK(IsPowerOfTwo(num_buckets));
+    const uint64_t slots = num_buckets_ * kSlots;
+    keys_ = arena_->AllocateArray<std::atomic<Key>>(slots, tag_);
+    values_ = arena_->AllocateArray<std::atomic<Value>>(slots, tag_);
+    locks_ = arena_->AllocateArray<gpusim::BucketLock>(num_buckets_, tag_);
+    if (keys_ == nullptr || values_ == nullptr || locks_ == nullptr) {
+      Release();
+      num_buckets_ = 0;
+      alloc_failed_ = true;
+      return;
+    }
+    for (uint64_t s = 0; s < slots; ++s) {
+      keys_[s].store(kEmptyKey, std::memory_order_relaxed);
+    }
+  }
+
+  ~Subtable() { Release(); }
+
+  Subtable(const Subtable&) = delete;
+  Subtable& operator=(const Subtable&) = delete;
+
+  Subtable(Subtable&& other) noexcept { MoveFrom(&other); }
+  Subtable& operator=(Subtable&& other) noexcept {
+    if (this != &other) {
+      Release();
+      MoveFrom(&other);
+    }
+    return *this;
+  }
+
+  /// False when construction failed (arena exhausted).
+  bool ok() const { return !alloc_failed_; }
+  bool empty_storage() const { return num_buckets_ == 0; }
+
+  uint64_t num_buckets() const { return num_buckets_; }
+  uint64_t num_slots() const { return num_buckets_ * kSlots; }
+  uint64_t seed() const { return seed_; }
+
+  /// Entries currently stored (m_i).
+  uint64_t size() const { return size_.load(std::memory_order_relaxed); }
+  void AddSize(int64_t delta) {
+    size_.fetch_add(static_cast<uint64_t>(delta), std::memory_order_relaxed);
+  }
+  void SetSize(uint64_t v) { size_.store(v, std::memory_order_relaxed); }
+
+  double filled_factor() const {
+    uint64_t slots = num_slots();
+    return slots == 0 ? 0.0 : static_cast<double>(size()) / slots;
+  }
+
+  /// 64-bit layer-2 hash for this subtable (full width, pre-masking).
+  uint64_t RawHash(Key key) const { return Mix64(static_cast<uint64_t>(key) ^ seed_); }
+
+  /// Bucket index for `key`.  Power-of-two masking makes the conflict-free
+  /// upsize identity hold: masking with (2n-1) yields idx or idx + n.
+  uint64_t BucketIndex(Key key) const {
+    return RawHash(key) & (num_buckets_ - 1);
+  }
+
+  Key KeyAt(uint64_t bucket, int slot) const {
+    return keys_[bucket * kSlots + slot].load(std::memory_order_relaxed);
+  }
+
+  /// Snapshots a bucket's key row — the simulated analogue of the single
+  /// coalesced 128-byte transaction a warp issues on hardware.  memcpy from
+  /// the atomic array lets the host compiler vectorize the subsequent
+  /// comparison loop, so a bucket scan costs ~constant regardless of slot
+  /// count (as it does on the GPU), instead of 32 serialized atomic loads.
+  void SnapshotKeys(uint64_t bucket, Key out[kSlots]) const {
+    static_assert(sizeof(std::atomic<Key>) == sizeof(Key));
+    std::memcpy(out, reinterpret_cast<const char*>(keys_ + bucket * kSlots),
+                sizeof(Key) * kSlots);
+  }
+  Value ValueAt(uint64_t bucket, int slot) const {
+    return values_[bucket * kSlots + slot].load(std::memory_order_relaxed);
+  }
+
+  /// Value-row analogue of SnapshotKeys (resize kernels move whole rows).
+  void SnapshotValues(uint64_t bucket, Value out[kSlots]) const {
+    static_assert(sizeof(std::atomic<Value>) == sizeof(Value));
+    std::memcpy(out, reinterpret_cast<const char*>(values_ + bucket * kSlots),
+                sizeof(Value) * kSlots);
+  }
+  void StoreKey(uint64_t bucket, int slot, Key k) {
+    keys_[bucket * kSlots + slot].store(k, std::memory_order_relaxed);
+  }
+  void StoreValue(uint64_t bucket, int slot, Value v) {
+    values_[bucket * kSlots + slot].store(v, std::memory_order_relaxed);
+  }
+  void StoreSlot(uint64_t bucket, int slot, Key k, Value v) {
+    StoreValue(bucket, slot, v);
+    StoreKey(bucket, slot, k);
+  }
+
+  /// CAS on a key slot (used by lock-free DELETE: only the winner of the
+  /// kEmptyKey exchange decrements the size counter).
+  bool CasKey(uint64_t bucket, int slot, Key expected, Key desired) {
+    return keys_[bucket * kSlots + slot].compare_exchange_strong(
+        expected, desired, std::memory_order_acq_rel,
+        std::memory_order_relaxed);
+  }
+
+  gpusim::BucketLock& lock(uint64_t bucket) { return locks_[bucket]; }
+
+  /// Bytes of device memory this subtable occupies.
+  uint64_t memory_bytes() const {
+    return num_buckets_ *
+           (kSlots * (sizeof(Key) + sizeof(Value)) + sizeof(gpusim::BucketLock));
+  }
+
+ private:
+  void Release() {
+    if (arena_ != nullptr) {
+      if (keys_ != nullptr) arena_->FreeArray(keys_);
+      if (values_ != nullptr) arena_->FreeArray(values_);
+      if (locks_ != nullptr) arena_->FreeArray(locks_);
+    }
+    keys_ = nullptr;
+    values_ = nullptr;
+    locks_ = nullptr;
+  }
+
+  void MoveFrom(Subtable* other) {
+    alloc_failed_ = other->alloc_failed_;
+    num_buckets_ = other->num_buckets_;
+    seed_ = other->seed_;
+    arena_ = other->arena_;
+    tag_ = std::move(other->tag_);
+    keys_ = other->keys_;
+    values_ = other->values_;
+    locks_ = other->locks_;
+    size_.store(other->size_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    other->keys_ = nullptr;
+    other->values_ = nullptr;
+    other->locks_ = nullptr;
+    other->num_buckets_ = 0;
+    other->size_.store(0, std::memory_order_relaxed);
+  }
+
+  bool alloc_failed_ = false;
+  uint64_t num_buckets_ = 0;
+  uint64_t seed_ = 0;
+  gpusim::DeviceArena* arena_ = nullptr;
+  std::string tag_;
+  std::atomic<Key>* keys_ = nullptr;
+  std::atomic<Value>* values_ = nullptr;
+  gpusim::BucketLock* locks_ = nullptr;
+  std::atomic<uint64_t> size_{0};
+};
+
+}  // namespace dycuckoo
+
+#endif  // DYCUCKOO_DYCUCKOO_SUBTABLE_H_

@@ -1,0 +1,97 @@
+// CUDA-style atomic operations over std::atomic storage.
+//
+// Semantics follow the CUDA C Programming Guide exactly (and the paper's
+// "Implementation Details" paragraph):
+//
+//   atomicCAS(address, compare, val): old = *address;
+//       *address = (old == compare) ? val : old;  return old;
+//   atomicExch(address, val): old = *address; *address = val; return old;
+//
+// All atomics are optionally instrumented through SimCounters so the bench
+// harness can reproduce the paper's Figure 5 (atomic throughput collapse
+// under conflicts) and count lock conflicts in the voter scheme.
+
+#ifndef DYCUCKOO_GPUSIM_ATOMICS_H_
+#define DYCUCKOO_GPUSIM_ATOMICS_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "gpusim/sim_counters.h"
+
+namespace dycuckoo {
+namespace gpusim {
+
+/// atomicCAS with CUDA return-old semantics.
+inline uint32_t AtomicCas(std::atomic<uint32_t>* address, uint32_t compare,
+                          uint32_t val) {
+  uint32_t expected = compare;
+  bool won =
+      address->compare_exchange_strong(expected, val, std::memory_order_acq_rel,
+                                       std::memory_order_acquire);
+  SimCounters::Get().atomic_cas.fetch_add(1, std::memory_order_relaxed);
+  if (!won) {
+    SimCounters::Get().atomic_cas_failed.fetch_add(1, std::memory_order_relaxed);
+  }
+  return won ? compare : expected;
+}
+
+/// atomicExch with CUDA return-old semantics.
+inline uint32_t AtomicExch(std::atomic<uint32_t>* address, uint32_t val) {
+  SimCounters::Get().atomic_exch.fetch_add(1, std::memory_order_relaxed);
+  return address->exchange(val, std::memory_order_acq_rel);
+}
+
+/// 64-bit atomicCAS (packed KV transactions in the baselines).
+inline uint64_t AtomicCas64(std::atomic<uint64_t>* address, uint64_t compare,
+                            uint64_t val) {
+  uint64_t expected = compare;
+  bool won =
+      address->compare_exchange_strong(expected, val, std::memory_order_acq_rel,
+                                       std::memory_order_acquire);
+  SimCounters::Get().atomic_cas.fetch_add(1, std::memory_order_relaxed);
+  if (!won) {
+    SimCounters::Get().atomic_cas_failed.fetch_add(1, std::memory_order_relaxed);
+  }
+  return won ? compare : expected;
+}
+
+/// 64-bit atomicExch.
+inline uint64_t AtomicExch64(std::atomic<uint64_t>* address, uint64_t val) {
+  SimCounters::Get().atomic_exch.fetch_add(1, std::memory_order_relaxed);
+  return address->exchange(val, std::memory_order_acq_rel);
+}
+
+/// atomicAdd (used for size counters and residual-buffer cursors).
+inline uint64_t AtomicAdd(std::atomic<uint64_t>* address, uint64_t val) {
+  return address->fetch_add(val, std::memory_order_acq_rel);
+}
+
+/// \brief Per-bucket spinlock in the exact idiom of the paper:
+/// lock with atomicCAS(&lock, 0, 1), unlock with atomicExch(&lock, 0).
+class BucketLock {
+ public:
+  BucketLock() : word_(0) {}
+
+  // Lock words live in arrays that are resized by table maintenance; they are
+  // never copied while contended.
+  BucketLock(const BucketLock&) : word_(0) {}
+  BucketLock& operator=(const BucketLock&) { return *this; }
+
+  /// Single attempt; true iff the lock was acquired.
+  bool TryLock() { return AtomicCas(&word_, 0, 1) == 0; }
+
+  void Unlock() { AtomicExch(&word_, 0); }
+
+  bool IsLocked() const {
+    return word_.load(std::memory_order_acquire) != 0;
+  }
+
+ private:
+  std::atomic<uint32_t> word_;
+};
+
+}  // namespace gpusim
+}  // namespace dycuckoo
+
+#endif  // DYCUCKOO_GPUSIM_ATOMICS_H_

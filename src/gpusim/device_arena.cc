@@ -1,0 +1,93 @@
+#include "gpusim/device_arena.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace dycuckoo {
+namespace gpusim {
+
+DeviceArena::DeviceArena(uint64_t capacity_bytes)
+    : capacity_bytes_(capacity_bytes) {}
+
+DeviceArena::~DeviceArena() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [ptr, alloc] : live_) {
+    std::free(ptr);
+    (void)alloc;
+  }
+}
+
+DeviceArena* DeviceArena::Global() {
+  static DeviceArena arena(kDefaultCapacity);
+  return &arena;
+}
+
+void* DeviceArena::Allocate(size_t bytes, const std::string& tag) {
+  if (bytes == 0) bytes = 1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (capacity_bytes_ != 0 && used_bytes_ + bytes > capacity_bytes_) {
+      DYCUCKOO_LOG(Warning) << "device arena exhausted: used=" << used_bytes_
+                            << " request=" << bytes
+                            << " capacity=" << capacity_bytes_;
+      return nullptr;
+    }
+    used_bytes_ += bytes;
+    if (used_bytes_ > peak_bytes_) peak_bytes_ = used_bytes_;
+    used_by_tag_[tag] += bytes;
+    // Reserve the accounting slot first so a malloc failure can roll back.
+    void* ptr = std::malloc(bytes);
+    if (ptr == nullptr) {
+      used_bytes_ -= bytes;
+      used_by_tag_[tag] -= bytes;
+      return nullptr;
+    }
+    live_.emplace(ptr, Allocation{bytes, tag});
+    return ptr;
+  }
+}
+
+void DeviceArena::Free(void* ptr) {
+  if (ptr == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = live_.find(ptr);
+  DYCUCKOO_CHECK(it != live_.end());
+  used_bytes_ -= it->second.bytes;
+  auto tag_it = used_by_tag_.find(it->second.tag);
+  if (tag_it != used_by_tag_.end()) {
+    tag_it->second -= it->second.bytes;
+    if (tag_it->second == 0) used_by_tag_.erase(tag_it);
+  }
+  live_.erase(it);
+  std::free(ptr);
+}
+
+uint64_t DeviceArena::used_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return used_bytes_;
+}
+
+uint64_t DeviceArena::peak_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_bytes_;
+}
+
+uint64_t DeviceArena::used_bytes_for(const std::string& tag) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = used_by_tag_.find(tag);
+  return it == used_by_tag_.end() ? 0 : it->second;
+}
+
+size_t DeviceArena::live_allocations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_.size();
+}
+
+void DeviceArena::ResetPeak() {
+  std::lock_guard<std::mutex> lock(mu_);
+  peak_bytes_ = used_bytes_;
+}
+
+}  // namespace gpusim
+}  // namespace dycuckoo

@@ -1,0 +1,77 @@
+// Kernel-grid launcher: schedules simulated warps over host worker threads.
+//
+// A CUDA kernel launch <<<blocks, threads>>> becomes LaunchWarps(n, body):
+// `body(warp_id)` is invoked once per warp; warps are distributed over a
+// persistent pool of host threads, so warps genuinely race with each other
+// (bucket locks, atomics) while each warp's 32 lanes stay lockstep inside
+// one host thread — the same concurrency structure as the GPU.
+
+#ifndef DYCUCKOO_GPUSIM_GRID_H_
+#define DYCUCKOO_GPUSIM_GRID_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dycuckoo {
+namespace gpusim {
+
+/// \brief Persistent worker pool that executes grid launches.
+///
+/// The pool size models the number of concurrently resident warps the device
+/// can schedule; it defaults to a small multiple of the host cores so that
+/// real interleavings (and hence real lock conflicts) occur even on small
+/// machines.
+class Grid {
+ public:
+  /// \param num_threads worker threads; 0 picks a default.
+  explicit Grid(unsigned num_threads = 0);
+  ~Grid();
+
+  Grid(const Grid&) = delete;
+  Grid& operator=(const Grid&) = delete;
+
+  /// Process-global grid used when a table is not given its own.
+  static Grid* Global();
+
+  /// Runs body(warp_id) for warp_id in [0, num_warps), distributing warps
+  /// dynamically over the workers.  Blocks until every warp finished.
+  /// Thread-safe: concurrent callers (e.g. several tables sharing one
+  /// grid) queue like kernels on a single CUDA stream.
+  void LaunchWarps(uint64_t num_warps,
+                   const std::function<void(uint64_t)>& body);
+
+  unsigned num_threads() const { return static_cast<unsigned>(workers_.size()); }
+
+ private:
+  struct Launch {
+    uint64_t num_warps = 0;
+    const std::function<void(uint64_t)>* body = nullptr;
+    std::atomic<uint64_t> next{0};
+    std::atomic<uint64_t> done{0};
+    int workers_inside = 0;  // guarded by Grid::mu_
+  };
+
+  void WorkerLoop();
+
+  std::mutex launch_mu_;  // serializes whole launches (one "stream")
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  Launch* current_ = nullptr;       // guarded by mu_
+  uint64_t launch_epoch_ = 0;       // guarded by mu_
+  bool shutting_down_ = false;      // guarded by mu_
+  std::vector<std::thread> workers_;
+};
+
+/// Warps needed to cover `items` with one lane per item.
+inline uint64_t WarpsForItems(uint64_t items) { return (items + 31) / 32; }
+
+}  // namespace gpusim
+}  // namespace dycuckoo
+
+#endif  // DYCUCKOO_GPUSIM_GRID_H_

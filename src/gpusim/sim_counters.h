@@ -1,0 +1,69 @@
+// Global profiling counters for the simulated device.
+//
+// These stand in for the GPU profiler (nvprof) used by the paper: they count
+// atomic operations, lock conflicts, bucket (cache-line) transactions and
+// cuckoo evictions.  Counters are process-global and relaxed; benches snapshot
+// and diff them around a measured region.
+
+#ifndef DYCUCKOO_GPUSIM_SIM_COUNTERS_H_
+#define DYCUCKOO_GPUSIM_SIM_COUNTERS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace dycuckoo {
+namespace gpusim {
+
+struct SimCounters {
+  std::atomic<uint64_t> atomic_cas{0};
+  std::atomic<uint64_t> atomic_cas_failed{0};
+  std::atomic<uint64_t> atomic_exch{0};
+  std::atomic<uint64_t> bucket_reads{0};   // one per bucket (cache line) read
+  std::atomic<uint64_t> bucket_writes{0};  // one per bucket write transaction
+  std::atomic<uint64_t> evictions{0};      // cuckoo displacement events
+  std::atomic<uint64_t> lock_conflicts{0}; // failed bucket-lock attempts
+  std::atomic<uint64_t> chain_nodes_visited{0};  // slab-list traversal hops
+
+  static SimCounters& Get();
+
+  void Reset();
+
+  /// Immutable snapshot for before/after diffs.
+  struct Snapshot {
+    uint64_t atomic_cas = 0;
+    uint64_t atomic_cas_failed = 0;
+    uint64_t atomic_exch = 0;
+    uint64_t bucket_reads = 0;
+    uint64_t bucket_writes = 0;
+    uint64_t evictions = 0;
+    uint64_t lock_conflicts = 0;
+    uint64_t chain_nodes_visited = 0;
+
+    Snapshot operator-(const Snapshot& rhs) const;
+    std::string ToString() const;
+  };
+
+  Snapshot Capture() const;
+};
+
+inline void CountBucketRead() {
+  SimCounters::Get().bucket_reads.fetch_add(1, std::memory_order_relaxed);
+}
+inline void CountBucketWrite() {
+  SimCounters::Get().bucket_writes.fetch_add(1, std::memory_order_relaxed);
+}
+inline void CountEviction() {
+  SimCounters::Get().evictions.fetch_add(1, std::memory_order_relaxed);
+}
+inline void CountLockConflict() {
+  SimCounters::Get().lock_conflicts.fetch_add(1, std::memory_order_relaxed);
+}
+inline void CountChainNode() {
+  SimCounters::Get().chain_nodes_visited.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace gpusim
+}  // namespace dycuckoo
+
+#endif  // DYCUCKOO_GPUSIM_SIM_COUNTERS_H_

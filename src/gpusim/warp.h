@@ -1,0 +1,82 @@
+// Warp-level SIMT primitives.
+//
+// The paper's kernels are warp-centric: a warp of 32 lanes cooperates on one
+// bucket, coordinates via __ballot and broadcasts via __shfl.  This substrate
+// executes one warp's 32 lanes in lockstep inside a single host thread, so
+// the CUDA primitives become simple bitmask/loop operations with identical
+// semantics:
+//
+//   CUDA                          here
+//   ----------------------------  -------------------------------
+//   __ballot_sync(mask, pred)     Ballot(pred-per-lane)
+//   __ffs(ballot) - 1             FirstLane(mask)
+//   __shfl_sync(mask, v, lane)    plain read (lanes share the host thread)
+//
+// Different warps run on different host threads (see grid.h), so inter-warp
+// races on buckets and locks are real races, as on a GPU.
+
+#ifndef DYCUCKOO_GPUSIM_WARP_H_
+#define DYCUCKOO_GPUSIM_WARP_H_
+
+#include <cstdint>
+
+namespace dycuckoo {
+namespace gpusim {
+
+/// Number of lanes per warp, matching NVIDIA hardware.
+inline constexpr int kWarpSize = 32;
+
+/// One bit per lane; bit l set means lane l votes true.
+using LaneMask = uint32_t;
+
+inline constexpr LaneMask kFullMask = 0xffffffffu;
+
+/// Index of the lowest set lane, or -1 if the mask is empty.  Mirrors
+/// `__ffs(mask) - 1`.
+inline int FirstLane(LaneMask mask) {
+  return mask == 0 ? -1 : __builtin_ctz(mask);
+}
+
+/// Number of participating lanes (`__popc`).
+inline int LaneCount(LaneMask mask) { return __builtin_popcount(mask); }
+
+/// Evaluates `pred(lane)` for each of the 32 lanes and packs the results,
+/// mirroring `__ballot_sync(kFullMask, pred)`.
+template <typename Pred>
+inline LaneMask Ballot(Pred&& pred) {
+  LaneMask mask = 0;
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    if (pred(lane)) mask |= (LaneMask{1} << lane);
+  }
+  return mask;
+}
+
+/// Ballot restricted to lanes set in `active`.
+template <typename Pred>
+inline LaneMask BallotActive(LaneMask active, Pred&& pred) {
+  LaneMask mask = 0;
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    if ((active >> lane) & 1u) {
+      if (pred(lane)) mask |= (LaneMask{1} << lane);
+    }
+  }
+  return mask;
+}
+
+/// Rotates a leader election so consecutive votes prefer different lanes.
+/// Given the active mask and the previous leader, picks the next set lane
+/// strictly after `prev` (wrapping), mirroring the paper's "revote another
+/// leader to avoid locking on the same bucket".
+inline int NextLeader(LaneMask active, int prev) {
+  if (active == 0) return -1;
+  for (int step = 1; step <= kWarpSize; ++step) {
+    int lane = (prev + step) % kWarpSize;
+    if ((active >> lane) & 1u) return lane;
+  }
+  return -1;
+}
+
+}  // namespace gpusim
+}  // namespace dycuckoo
+
+#endif  // DYCUCKOO_GPUSIM_WARP_H_

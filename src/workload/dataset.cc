@@ -1,0 +1,150 @@
+#include "workload/dataset.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "baselines/packed_kv.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "workload/feistel.h"
+#include "workload/zipf.h"
+
+namespace dycuckoo {
+namespace workload {
+
+namespace {
+
+const DatasetSpec kSpecs[] = {
+    {DatasetId::kTwitter, "TW", 50876784, 44523684, 4, 0.0},
+    {DatasetId::kReddit, "RE", 48104875, 41466682, 2, 0.0},
+    {DatasetId::kLineitem, "LINE", 50000000, 45159880, 4, 0.0},
+    {DatasetId::kCompany, "COM", 10000000, 4583941, 14, 0.9},
+    {DatasetId::kRandom, "RAND", 100000000, 100000000, 1, 0.0},
+};
+
+}  // namespace
+
+const DatasetSpec* AllDatasetSpecs(int* count) {
+  *count = static_cast<int>(sizeof(kSpecs) / sizeof(kSpecs[0]));
+  return kSpecs;
+}
+
+const DatasetSpec& GetDatasetSpec(DatasetId id) {
+  for (const auto& spec : kSpecs) {
+    if (spec.id == id) return spec;
+  }
+  DYCUCKOO_CHECK(false);
+  return kSpecs[0];
+}
+
+Status ParseDatasetId(const std::string& text, DatasetId* out) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) lower.push_back(static_cast<char>(std::tolower(c)));
+  if (lower == "tw" || lower == "twitter") {
+    *out = DatasetId::kTwitter;
+  } else if (lower == "re" || lower == "reddit") {
+    *out = DatasetId::kReddit;
+  } else if (lower == "line" || lower == "lineitem" || lower == "tpch") {
+    *out = DatasetId::kLineitem;
+  } else if (lower == "com" || lower == "company" || lower == "ali") {
+    *out = DatasetId::kCompany;
+  } else if (lower == "rand" || lower == "random") {
+    *out = DatasetId::kRandom;
+  } else {
+    return Status::InvalidArgument("unknown dataset: " + text);
+  }
+  return Status::OK();
+}
+
+Status MakeDataset(DatasetId id, double scale, uint64_t seed, Dataset* out) {
+  if (!(scale > 0.0 && scale <= 1.0)) {
+    return Status::InvalidArgument("scale must be in (0, 1]");
+  }
+  const DatasetSpec& spec = GetDatasetSpec(id);
+  const uint64_t unique =
+      std::max<uint64_t>(1, static_cast<uint64_t>(spec.unique_keys * scale));
+  const uint64_t total = std::max<uint64_t>(
+      unique, static_cast<uint64_t>(spec.kv_pairs * scale));
+
+  out->name = spec.name;
+  out->unique_keys = unique;
+  out->keys.clear();
+  out->values.clear();
+  out->keys.reserve(total);
+  out->values.reserve(total);
+
+  // Unique pseudo-random keys via a seeded bijection (no dedup memory).
+  // The two top sentinel values are reserved by the tables and skipped.
+  FeistelPermutation perm(seed);
+  std::vector<uint32_t> uniques;
+  uniques.reserve(unique);
+  for (uint32_t counter = 0; uniques.size() < unique; ++counter) {
+    uint32_t key = perm.Permute(counter);
+    if (baselines::IsStorableKey(key)) uniques.push_back(key);
+  }
+
+  // Distribute the total-minus-unique extra occurrences, each key capped at
+  // max_duplicates appearances.
+  std::vector<uint16_t> occurrences(unique, 1);
+  uint64_t extras = total - unique;
+  Xoroshiro128 rng(seed ^ 0xDA7A5E7ULL);
+  if (extras > 0) {
+    if (spec.zipf_exponent > 0.0) {
+      // Skewed duplication (hot keys), COM-style.
+      ZipfSampler zipf(unique, spec.zipf_exponent);
+      uint64_t placed = 0;
+      uint64_t attempts = 0;
+      const uint64_t max_attempts = extras * 32;
+      while (placed < extras && attempts < max_attempts) {
+        ++attempts;
+        uint64_t rank = zipf.Sample(&rng);
+        if (occurrences[rank] < spec.max_duplicates) {
+          ++occurrences[rank];
+          ++placed;
+        }
+      }
+      // Cap-saturated tail: round-robin whatever could not be placed.
+      for (uint64_t i = 0; placed < extras && i < unique; ++i) {
+        while (occurrences[i] < spec.max_duplicates && placed < extras) {
+          ++occurrences[i];
+          ++placed;
+        }
+      }
+    } else {
+      // Uniform duplication: the first ceil(extras/(cap-1)) keys repeat.
+      const int cap_extra = std::max(1, spec.max_duplicates - 1);
+      uint64_t placed = 0;
+      for (uint64_t i = 0; placed < extras && i < unique; ++i) {
+        int give = static_cast<int>(
+            std::min<uint64_t>(cap_extra, extras - placed));
+        occurrences[i] = static_cast<uint16_t>(1 + give);
+        placed += give;
+      }
+    }
+  }
+
+  for (uint64_t i = 0; i < unique; ++i) {
+    for (int c = 0; c < occurrences[i]; ++c) {
+      out->keys.push_back(uniques[i]);
+      out->values.push_back(static_cast<uint32_t>(rng.Next()));
+    }
+  }
+
+  // Arrival order: uniform shuffle (Fisher-Yates).
+  for (uint64_t i = out->keys.size(); i > 1; --i) {
+    uint64_t j = rng.NextBounded(i);
+    std::swap(out->keys[i - 1], out->keys[j]);
+    std::swap(out->values[i - 1], out->values[j]);
+  }
+
+  int max_dup = 1;
+  for (uint64_t i = 0; i < unique; ++i) {
+    max_dup = std::max<int>(max_dup, occurrences[i]);
+  }
+  out->max_duplicates = max_dup;
+  return Status::OK();
+}
+
+}  // namespace workload
+}  // namespace dycuckoo

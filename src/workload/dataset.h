@@ -1,0 +1,67 @@
+// Dataset generators matched to the paper's Table II.
+//
+// The original datasets (Twitter crawl, Reddit comments, TPC-H lineitem,
+// Alibaba Databank, normal-distribution RAND) are proprietary or impractical
+// to ship; each generator reproduces the statistics the hash table actually
+// sees — total KV count, unique-key count, and duplication skew — at a
+// configurable scale.  See DESIGN.md section 1 for the substitution note.
+
+#ifndef DYCUCKOO_WORKLOAD_DATASET_H_
+#define DYCUCKOO_WORKLOAD_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dycuckoo {
+namespace workload {
+
+/// Identifier for the paper's five evaluation datasets.
+enum class DatasetId {
+  kTwitter,  // TW:   50,876,784 pairs, 44,523,684 unique, light dup (max 4)
+  kReddit,   // RE:   48,104,875 pairs, 41,466,682 unique, dup <= 2
+  kLineitem, // LINE: 50,000,000 pairs, 45,159,880 unique, light dup (max 4)
+  kCompany,  // COM:  10,000,000 pairs,  4,583,941 unique, heavy skew (max 14)
+  kRandom,   // RAND: 100,000,000 pairs, all unique
+};
+
+/// Full-scale statistics from the paper's Table II.
+struct DatasetSpec {
+  DatasetId id;
+  const char* name;        // the paper's code name
+  uint64_t kv_pairs;       // at scale 1.0
+  uint64_t unique_keys;    // at scale 1.0
+  int max_duplicates;      // per-key cap on occurrences
+  double zipf_exponent;    // 0 = uniform duplication, >0 = skewed
+};
+
+/// The five specs in paper order.
+const DatasetSpec* AllDatasetSpecs(int* count);
+
+/// Spec lookup.
+const DatasetSpec& GetDatasetSpec(DatasetId id);
+
+/// A generated KV stream.
+struct Dataset {
+  std::string name;
+  std::vector<uint32_t> keys;    // arrival order, duplicates interleaved
+  std::vector<uint32_t> values;
+  uint64_t unique_keys = 0;
+  int max_duplicates = 1;
+
+  uint64_t size() const { return keys.size(); }
+};
+
+/// Generates `spec` scaled by `scale` (pair and unique counts multiply by
+/// it) with the given seed.  scale must be in (0, 1].
+Status MakeDataset(DatasetId id, double scale, uint64_t seed, Dataset* out);
+
+/// Parses "tw"/"re"/"line"/"com"/"rand" (case-insensitive).
+Status ParseDatasetId(const std::string& text, DatasetId* out);
+
+}  // namespace workload
+}  // namespace dycuckoo
+
+#endif  // DYCUCKOO_WORKLOAD_DATASET_H_

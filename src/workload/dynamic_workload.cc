@@ -1,0 +1,100 @@
+#include "workload/dynamic_workload.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace dycuckoo {
+namespace workload {
+
+Status BuildDynamicWorkload(const Dataset& dataset,
+                            const DynamicWorkloadOptions& options,
+                            std::vector<DynamicBatch>* out) {
+  if (options.batch_size == 0) {
+    return Status::InvalidArgument("batch_size must be > 0");
+  }
+  if (options.delete_ratio < 0.0 || options.find_ratio < 0.0) {
+    return Status::InvalidArgument("ratios must be >= 0");
+  }
+  out->clear();
+
+  Xoroshiro128 rng(options.seed);
+  // Pool of keys believed live; deletes/finds sample from it.  Duplicate
+  // stream keys may leave duplicate pool entries, so a sampled delete can
+  // miss — the paper's workloads have the same property.
+  std::vector<uint32_t> live;
+  live.reserve(dataset.size());
+
+  const uint64_t n = dataset.size();
+  const uint64_t num_batches = (n + options.batch_size - 1) /
+                               options.batch_size;
+  out->reserve(options.include_swapped_phase ? 2 * num_batches : num_batches);
+
+  auto sample_finds = [&](uint64_t count, std::vector<uint32_t>* finds) {
+    finds->reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      if (live.empty()) {
+        finds->push_back(static_cast<uint32_t>(rng.Next()) & 0x7fffffffu);
+      } else {
+        finds->push_back(live[rng.NextBounded(live.size())]);
+      }
+    }
+  };
+
+  // Phase 1: stream insertion order with augmented finds/deletes.
+  for (uint64_t b = 0; b < num_batches; ++b) {
+    DynamicBatch batch;
+    const uint64_t begin = b * options.batch_size;
+    const uint64_t end = std::min(n, begin + options.batch_size);
+    batch.insert_keys.assign(dataset.keys.begin() + begin,
+                             dataset.keys.begin() + end);
+    batch.insert_values.assign(dataset.values.begin() + begin,
+                               dataset.values.begin() + end);
+    for (uint64_t i = begin; i < end; ++i) live.push_back(dataset.keys[i]);
+
+    const uint64_t inserts = end - begin;
+    sample_finds(static_cast<uint64_t>(inserts * options.find_ratio),
+                 &batch.find_keys);
+
+    const uint64_t deletes =
+        static_cast<uint64_t>(inserts * options.delete_ratio);
+    batch.delete_keys.reserve(deletes);
+    for (uint64_t i = 0; i < deletes && !live.empty(); ++i) {
+      uint64_t pick = rng.NextBounded(live.size());
+      batch.delete_keys.push_back(live[pick]);
+      live[pick] = live.back();
+      live.pop_back();
+    }
+    out->push_back(std::move(batch));
+  }
+
+  // Phase 2: replay with INSERT and DELETE swapped — each original batch's
+  // deletions come back as insertions and its insertions are deleted,
+  // draining the table.
+  if (options.include_swapped_phase) {
+    const uint64_t phase1_end = out->size();
+    for (uint64_t b = 0; b < phase1_end; ++b) {
+      const DynamicBatch& src = (*out)[b];
+      DynamicBatch batch;
+      batch.insert_keys = src.delete_keys;
+      batch.insert_values.reserve(batch.insert_keys.size());
+      for (size_t i = 0; i < batch.insert_keys.size(); ++i) {
+        batch.insert_values.push_back(static_cast<uint32_t>(rng.Next()));
+      }
+      sample_finds(src.find_keys.size(), &batch.find_keys);
+      batch.delete_keys = src.insert_keys;
+      out->push_back(std::move(batch));
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t TotalOps(const std::vector<DynamicBatch>& batches) {
+  uint64_t total = 0;
+  for (const auto& b : batches) total += b.total_ops();
+  return total;
+}
+
+}  // namespace workload
+}  // namespace dycuckoo

@@ -1,0 +1,64 @@
+// Dynamic workload driver (paper Section VI-A, "Dynamic Hashing
+// Comparison"):
+//
+//   * the dataset stream is cut into batches of `batch_size` insertions;
+//   * each batch is augmented with `find_ratio * batch_size` FINDs and
+//     `delete_ratio * batch_size` DELETEs over previously inserted keys;
+//   * after the stream is exhausted, the batches are replayed with INSERT
+//     and DELETE roles swapped, draining the table (this drives the
+//     downsizing half of the resizing policy).
+
+#ifndef DYCUCKOO_WORKLOAD_DYNAMIC_WORKLOAD_H_
+#define DYCUCKOO_WORKLOAD_DYNAMIC_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "workload/dataset.h"
+
+namespace dycuckoo {
+namespace workload {
+
+/// One unit of the dynamic comparison: executed as three single-type
+/// sub-batches in order (insert, find, delete), matching the paper's
+/// batched execution assumption.
+struct DynamicBatch {
+  std::vector<uint32_t> insert_keys;
+  std::vector<uint32_t> insert_values;
+  std::vector<uint32_t> find_keys;
+  std::vector<uint32_t> delete_keys;
+
+  uint64_t total_ops() const {
+    return insert_keys.size() + find_keys.size() + delete_keys.size();
+  }
+};
+
+struct DynamicWorkloadOptions {
+  /// Insertions per batch (paper default: 1e6 at full scale).
+  uint64_t batch_size = 100000;
+
+  /// r: deletions per insertion within a batch (paper Table III).
+  double delete_ratio = 0.2;
+
+  /// FINDs per insertion (the paper augments 1M finds per 1M-insert batch).
+  double find_ratio = 1.0;
+
+  /// Replay the stream with insert/delete swapped once exhausted.
+  bool include_swapped_phase = true;
+
+  uint64_t seed = 0xD2A317CULL;
+};
+
+/// Builds the full batch timeline for `dataset`.
+Status BuildDynamicWorkload(const Dataset& dataset,
+                            const DynamicWorkloadOptions& options,
+                            std::vector<DynamicBatch>* out);
+
+/// Sum of total_ops over all batches.
+uint64_t TotalOps(const std::vector<DynamicBatch>& batches);
+
+}  // namespace workload
+}  // namespace dycuckoo
+
+#endif  // DYCUCKOO_WORKLOAD_DYNAMIC_WORKLOAD_H_

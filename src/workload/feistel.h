@@ -1,0 +1,47 @@
+// 32-bit Feistel permutation: a seeded bijection on [0, 2^32) used to
+// generate streams of *unique* pseudo-random keys without dedup memory.
+
+#ifndef DYCUCKOO_WORKLOAD_FEISTEL_H_
+#define DYCUCKOO_WORKLOAD_FEISTEL_H_
+
+#include <cstdint>
+
+#include "common/hash.h"
+
+namespace dycuckoo {
+namespace workload {
+
+/// \brief Four-round balanced Feistel network over 16-bit halves.
+///
+/// Permute(i) != Permute(j) for i != j, so feeding a counter yields unique
+/// scrambled keys.
+class FeistelPermutation {
+ public:
+  explicit FeistelPermutation(uint64_t seed) {
+    for (int r = 0; r < kRounds; ++r) {
+      round_keys_[r] = Mix64(seed + 0x9E3779B97F4A7C15ULL * (r + 1));
+    }
+  }
+
+  uint32_t Permute(uint32_t x) const {
+    uint32_t left = x >> 16;
+    uint32_t right = x & 0xffffu;
+    for (int r = 0; r < kRounds; ++r) {
+      uint32_t f =
+          static_cast<uint32_t>(Mix64(right ^ round_keys_[r])) & 0xffffu;
+      uint32_t new_left = right;
+      right = left ^ f;
+      left = new_left;
+    }
+    return (left << 16) | right;
+  }
+
+ private:
+  static constexpr int kRounds = 4;
+  uint64_t round_keys_[kRounds];
+};
+
+}  // namespace workload
+}  // namespace dycuckoo
+
+#endif  // DYCUCKOO_WORKLOAD_FEISTEL_H_

@@ -1,0 +1,88 @@
+#include "workload/trace_io.h"
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+
+namespace dycuckoo {
+namespace workload {
+
+namespace {
+
+constexpr uint64_t kTraceMagic = 0xDC7CACE'01ULL;
+
+void WriteU64(std::ostream* os, uint64_t v) {
+  os->write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool ReadU64(std::istream* is, uint64_t* v) {
+  is->read(reinterpret_cast<char*>(v), sizeof(*v));
+  return is->good();
+}
+
+void WriteVec(std::ostream* os, const std::vector<uint32_t>& v) {
+  WriteU64(os, v.size());
+  if (!v.empty()) {
+    os->write(reinterpret_cast<const char*>(v.data()),
+              static_cast<std::streamsize>(v.size() * sizeof(uint32_t)));
+  }
+}
+
+bool ReadVec(std::istream* is, std::vector<uint32_t>* v) {
+  uint64_t n = 0;
+  if (!ReadU64(is, &n)) return false;
+  // Defensive bound: a corrupt length must not attempt a huge allocation.
+  if (n > (uint64_t{1} << 34) / sizeof(uint32_t)) return false;
+  v->resize(n);
+  if (n > 0) {
+    is->read(reinterpret_cast<char*>(v->data()),
+             static_cast<std::streamsize>(n * sizeof(uint32_t)));
+  }
+  return is->good() || n == 0;
+}
+
+}  // namespace
+
+Status SaveTrace(const std::vector<DynamicBatch>& batches, std::ostream* os) {
+  WriteU64(os, kTraceMagic);
+  WriteU64(os, batches.size());
+  for (const auto& b : batches) {
+    if (b.insert_keys.size() != b.insert_values.size()) {
+      return Status::InvalidArgument("batch keys/values size mismatch");
+    }
+    WriteVec(os, b.insert_keys);
+    WriteVec(os, b.insert_values);
+    WriteVec(os, b.find_keys);
+    WriteVec(os, b.delete_keys);
+  }
+  if (!os->good()) return Status::Internal("trace write failed");
+  return Status::OK();
+}
+
+Status LoadTrace(std::istream* is, std::vector<DynamicBatch>* out) {
+  out->clear();
+  uint64_t magic = 0;
+  uint64_t count = 0;
+  if (!ReadU64(is, &magic) || magic != kTraceMagic) {
+    return Status::InvalidArgument("not a dycuckoo workload trace");
+  }
+  if (!ReadU64(is, &count)) {
+    return Status::InvalidArgument("trace truncated");
+  }
+  out->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    DynamicBatch b;
+    if (!ReadVec(is, &b.insert_keys) || !ReadVec(is, &b.insert_values) ||
+        !ReadVec(is, &b.find_keys) || !ReadVec(is, &b.delete_keys)) {
+      return Status::InvalidArgument("trace truncated");
+    }
+    if (b.insert_keys.size() != b.insert_values.size()) {
+      return Status::InvalidArgument("trace corrupt: key/value mismatch");
+    }
+    out->push_back(std::move(b));
+  }
+  return Status::OK();
+}
+
+}  // namespace workload
+}  // namespace dycuckoo

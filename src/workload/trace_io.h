@@ -1,0 +1,29 @@
+// Binary trace export/import for dynamic workloads.
+//
+// A generated batch timeline can be frozen to a file and replayed later (or
+// on another machine / against another build), removing generator drift
+// from A/B comparisons.  Format: a magic/version header, then per batch the
+// three op vectors with explicit lengths.
+
+#ifndef DYCUCKOO_WORKLOAD_TRACE_IO_H_
+#define DYCUCKOO_WORKLOAD_TRACE_IO_H_
+
+#include <iosfwd>
+#include <vector>
+
+#include "common/status.h"
+#include "workload/dynamic_workload.h"
+
+namespace dycuckoo {
+namespace workload {
+
+/// Serializes a batch timeline.
+Status SaveTrace(const std::vector<DynamicBatch>& batches, std::ostream* os);
+
+/// Restores a timeline written by SaveTrace.
+Status LoadTrace(std::istream* is, std::vector<DynamicBatch>* out);
+
+}  // namespace workload
+}  // namespace dycuckoo
+
+#endif  // DYCUCKOO_WORKLOAD_TRACE_IO_H_

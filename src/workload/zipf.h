@@ -1,0 +1,54 @@
+// Zipf-distributed rank sampler, used to shape duplicate-key skew (the COM
+// dataset's celebrity-style hot keys).
+
+#ifndef DYCUCKOO_WORKLOAD_ZIPF_H_
+#define DYCUCKOO_WORKLOAD_ZIPF_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace dycuckoo {
+namespace workload {
+
+/// \brief Samples ranks in [0, n) with P(r) proportional to 1/(r+1)^s.
+///
+/// Precomputes the CDF; sampling is a binary search (O(log n)).
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double exponent) : cdf_(n) {
+    DYCUCKOO_CHECK(n > 0);
+    double acc = 0.0;
+    for (uint64_t r = 0; r < n; ++r) {
+      acc += 1.0 / std::pow(static_cast<double>(r + 1), exponent);
+      cdf_[r] = acc;
+    }
+    for (uint64_t r = 0; r < n; ++r) cdf_[r] /= acc;
+  }
+
+  uint64_t Sample(Xoroshiro128* rng) const {
+    double u = rng->NextDouble();
+    uint64_t lo = 0;
+    uint64_t hi = cdf_.size() - 1;
+    while (lo < hi) {
+      uint64_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace workload
+}  // namespace dycuckoo
+
+#endif  // DYCUCKOO_WORKLOAD_ZIPF_H_

@@ -1,0 +1,105 @@
+// Tests for the experiment-harness helpers in bench/bench_common.h.
+
+#include "bench/bench_common.h"
+
+#include <gtest/gtest.h>
+
+namespace dycuckoo {
+namespace bench {
+namespace {
+
+TEST(BenchArgsTest, DefaultsApplied) {
+  char prog[] = "bench";
+  char* argv[] = {prog};
+  BenchArgs args = BenchArgs::Parse(1, argv, 0.25);
+  EXPECT_DOUBLE_EQ(args.scale, 0.25);
+  EXPECT_EQ(args.threads, 0u);
+  EXPECT_EQ(args.seed, 20260706u);
+}
+
+TEST(BenchArgsTest, FlagsParsed) {
+  char prog[] = "bench";
+  char scale[] = "--scale=0.5";
+  char threads[] = "--threads=3";
+  char seed[] = "--seed=42";
+  char* argv[] = {prog, scale, threads, seed};
+  BenchArgs args = BenchArgs::Parse(4, argv, 0.1);
+  EXPECT_DOUBLE_EQ(args.scale, 0.5);
+  EXPECT_EQ(args.threads, 3u);
+  EXPECT_EQ(args.seed, 42u);
+}
+
+TEST(FmtTest, Precision) {
+  EXPECT_EQ(Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Fmt(3.14159, 4), "3.1416");
+  EXPECT_EQ(Fmt(10.0), "10.00");
+}
+
+TEST(TransactionsPerOpTest, CountsAllFourKinds) {
+  gpusim::SimCounters::Get().Reset();
+  auto before = gpusim::SimCounters::Get().Capture();
+  gpusim::CountBucketRead();
+  gpusim::CountBucketRead();
+  gpusim::CountBucketWrite();
+  std::atomic<uint32_t> word{0};
+  gpusim::AtomicCas(&word, 0, 1);
+  gpusim::AtomicExch(&word, 0);
+  auto after = gpusim::SimCounters::Get().Capture();
+  EXPECT_DOUBLE_EQ(TransactionsPerOp(before, after, 5), 1.0);
+  EXPECT_DOUBLE_EQ(TransactionsPerOp(before, after, 1), 5.0);
+  EXPECT_DOUBLE_EQ(TransactionsPerOp(before, after, 0), 0.0);
+}
+
+TEST(AllDatasetsTest, FiveDatasetsInPaperOrder) {
+  auto data = AllDatasets(0.0005, 1);
+  ASSERT_EQ(data.size(), 5u);
+  EXPECT_EQ(data[0].name, "TW");
+  EXPECT_EQ(data[1].name, "RE");
+  EXPECT_EQ(data[2].name, "LINE");
+  EXPECT_EQ(data[3].name, "COM");
+  EXPECT_EQ(data[4].name, "RAND");
+  for (const auto& d : data) EXPECT_GT(d.size(), 0u);
+}
+
+TEST(ContenderFactoriesTest, StaticContendersHonorTargetLoad) {
+  StaticConfig cfg;
+  cfg.expected_items = 10000;
+  cfg.target_load = 0.80;
+  auto cudpp = MakeCudppStatic(cfg);
+  auto megakv = MakeMegaKvStatic(cfg);
+  auto slab = MakeSlabStatic(cfg);
+  auto dy = MakeDyCuckooStatic(cfg);
+  for (HashTableInterface* t :
+       {cudpp.get(), megakv.get(), slab.get(), dy.get()}) {
+    EXPECT_EQ(t->size(), 0u) << t->name();
+    EXPECT_GT(t->memory_bytes(), 0u) << t->name();
+  }
+}
+
+TEST(DynamicRunTest, TimelineTelemetryShapes) {
+  workload::Dataset d;
+  ASSERT_TRUE(
+      workload::MakeDataset(workload::DatasetId::kCompany, 0.005, 3, &d)
+          .ok());
+  workload::DynamicWorkloadOptions wo;
+  wo.batch_size = 5000;
+  std::vector<workload::DynamicBatch> batches;
+  ASSERT_TRUE(workload::BuildDynamicWorkload(d, wo, &batches).ok());
+
+  DynamicConfig cfg;
+  cfg.initial_capacity = 5000;
+  auto t = MakeDyCuckooDynamic(cfg);
+  auto result = RunDynamicTimeline(t.get(), batches);
+  EXPECT_EQ(result.ops, workload::TotalOps(batches));
+  EXPECT_EQ(result.filled_factor_after_batch.size(), batches.size());
+  EXPECT_EQ(result.memory_after_batch.size(), batches.size());
+  EXPECT_GT(result.mops(), 0.0);
+  for (double theta : result.filled_factor_after_batch) {
+    EXPECT_GE(theta, 0.0);
+    EXPECT_LE(theta, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dycuckoo

@@ -1,0 +1,180 @@
+#include "workload/dataset.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "workload/feistel.h"
+#include "workload/zipf.h"
+
+namespace dycuckoo {
+namespace workload {
+namespace {
+
+TEST(FeistelTest, IsBijectiveOnSample) {
+  FeistelPermutation perm(9);
+  std::unordered_map<uint32_t, uint32_t> seen;
+  for (uint32_t i = 0; i < 200000; ++i) {
+    auto [it, inserted] = seen.emplace(perm.Permute(i), i);
+    ASSERT_TRUE(inserted) << "collision between " << it->second << " and "
+                          << i;
+  }
+}
+
+TEST(FeistelTest, SeedChangesPermutation) {
+  FeistelPermutation a(1), b(2);
+  int diff = 0;
+  for (uint32_t i = 0; i < 1000; ++i) {
+    if (a.Permute(i) != b.Permute(i)) ++diff;
+  }
+  EXPECT_GT(diff, 990);
+}
+
+TEST(ZipfTest, RankZeroIsHottest) {
+  ZipfSampler zipf(1000, 1.0);
+  Xoroshiro128 rng(4);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 100000; ++i) counts[zipf.Sample(&rng)]++;
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[500]);
+}
+
+TEST(ZipfTest, SamplesWithinRange) {
+  ZipfSampler zipf(17, 0.8);
+  Xoroshiro128 rng(5);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.Sample(&rng), 17u);
+}
+
+TEST(DatasetSpecTest, TableTwoNumbers) {
+  // Full-scale statistics must match the paper's Table II exactly.
+  const DatasetSpec& tw = GetDatasetSpec(DatasetId::kTwitter);
+  EXPECT_EQ(tw.kv_pairs, 50876784u);
+  EXPECT_EQ(tw.unique_keys, 44523684u);
+  const DatasetSpec& re = GetDatasetSpec(DatasetId::kReddit);
+  EXPECT_EQ(re.kv_pairs, 48104875u);
+  EXPECT_EQ(re.unique_keys, 41466682u);
+  const DatasetSpec& line = GetDatasetSpec(DatasetId::kLineitem);
+  EXPECT_EQ(line.kv_pairs, 50000000u);
+  EXPECT_EQ(line.unique_keys, 45159880u);
+  const DatasetSpec& com = GetDatasetSpec(DatasetId::kCompany);
+  EXPECT_EQ(com.kv_pairs, 10000000u);
+  EXPECT_EQ(com.unique_keys, 4583941u);
+  const DatasetSpec& rnd = GetDatasetSpec(DatasetId::kRandom);
+  EXPECT_EQ(rnd.kv_pairs, 100000000u);
+  EXPECT_EQ(rnd.unique_keys, 100000000u);
+}
+
+TEST(DatasetSpecTest, AllSpecsEnumerated) {
+  int count = 0;
+  const DatasetSpec* specs = AllDatasetSpecs(&count);
+  EXPECT_EQ(count, 5);
+  EXPECT_STREQ(specs[0].name, "TW");
+  EXPECT_STREQ(specs[4].name, "RAND");
+}
+
+TEST(ParseDatasetTest, AcceptsAliases) {
+  DatasetId id;
+  EXPECT_TRUE(ParseDatasetId("tw", &id).ok());
+  EXPECT_EQ(id, DatasetId::kTwitter);
+  EXPECT_TRUE(ParseDatasetId("LINE", &id).ok());
+  EXPECT_EQ(id, DatasetId::kLineitem);
+  EXPECT_TRUE(ParseDatasetId("ali", &id).ok());
+  EXPECT_EQ(id, DatasetId::kCompany);
+  EXPECT_TRUE(ParseDatasetId("bogus", &id).IsInvalidArgument());
+}
+
+TEST(MakeDatasetTest, RejectsBadScale) {
+  Dataset d;
+  EXPECT_TRUE(MakeDataset(DatasetId::kRandom, 0.0, 1, &d).IsInvalidArgument());
+  EXPECT_TRUE(MakeDataset(DatasetId::kRandom, 1.5, 1, &d).IsInvalidArgument());
+}
+
+struct ScaledCase {
+  DatasetId id;
+  double scale;
+};
+
+class MakeDatasetTest : public ::testing::TestWithParam<ScaledCase> {};
+
+TEST_P(MakeDatasetTest, StatisticsMatchSpecAtScale) {
+  const auto& param = GetParam();
+  const DatasetSpec& spec = GetDatasetSpec(param.id);
+  Dataset d;
+  ASSERT_TRUE(MakeDataset(param.id, param.scale, 42, &d).ok());
+
+  EXPECT_EQ(d.name, spec.name);
+  // Totals within rounding of the scaled spec.
+  uint64_t want_unique =
+      static_cast<uint64_t>(spec.unique_keys * param.scale);
+  uint64_t want_total = static_cast<uint64_t>(spec.kv_pairs * param.scale);
+  EXPECT_NEAR(static_cast<double>(d.unique_keys), want_unique,
+              want_unique * 0.01 + 2);
+  EXPECT_NEAR(static_cast<double>(d.size()), want_total,
+              want_total * 0.01 + 2);
+  EXPECT_EQ(d.keys.size(), d.values.size());
+
+  // Recount uniqueness and the duplication cap from the stream itself.
+  std::unordered_map<uint32_t, int> counts;
+  for (uint32_t k : d.keys) counts[k]++;
+  EXPECT_EQ(counts.size(), d.unique_keys);
+  int max_dup = 0;
+  for (const auto& [k, c] : counts) max_dup = std::max(max_dup, c);
+  EXPECT_LE(max_dup, spec.max_duplicates);
+  EXPECT_EQ(max_dup, d.max_duplicates);
+  if (spec.kv_pairs > spec.unique_keys) {
+    EXPECT_GT(max_dup, 1);
+  } else {
+    EXPECT_EQ(max_dup, 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Datasets, MakeDatasetTest,
+    ::testing::Values(ScaledCase{DatasetId::kTwitter, 0.002},
+                      ScaledCase{DatasetId::kReddit, 0.002},
+                      ScaledCase{DatasetId::kLineitem, 0.002},
+                      ScaledCase{DatasetId::kCompany, 0.01},
+                      ScaledCase{DatasetId::kRandom, 0.001}));
+
+TEST(MakeDatasetTest, DeterministicForSeed) {
+  Dataset a, b;
+  ASSERT_TRUE(MakeDataset(DatasetId::kTwitter, 0.001, 7, &a).ok());
+  ASSERT_TRUE(MakeDataset(DatasetId::kTwitter, 0.001, 7, &b).ok());
+  EXPECT_EQ(a.keys, b.keys);
+  EXPECT_EQ(a.values, b.values);
+}
+
+TEST(MakeDatasetTest, SeedChangesStream) {
+  Dataset a, b;
+  ASSERT_TRUE(MakeDataset(DatasetId::kTwitter, 0.001, 7, &a).ok());
+  ASSERT_TRUE(MakeDataset(DatasetId::kTwitter, 0.001, 8, &b).ok());
+  EXPECT_NE(a.keys, b.keys);
+}
+
+TEST(MakeDatasetTest, CompanyDatasetIsSkewed) {
+  Dataset d;
+  ASSERT_TRUE(MakeDataset(DatasetId::kCompany, 0.01, 3, &d).ok());
+  std::unordered_map<uint32_t, int> counts;
+  for (uint32_t k : d.keys) counts[k]++;
+  // COM averages > 2 occurrences per key with a heavy tail.
+  double avg = static_cast<double>(d.size()) / counts.size();
+  EXPECT_GT(avg, 1.8);
+  int hot = 0;
+  for (const auto& [k, c] : counts) {
+    if (c >= 8) ++hot;
+  }
+  EXPECT_GT(hot, 0) << "expected some celebrity keys";
+}
+
+TEST(MakeDatasetTest, NoReservedSentinelsInStream) {
+  Dataset d;
+  ASSERT_TRUE(MakeDataset(DatasetId::kRandom, 0.001, 5, &d).ok());
+  for (uint32_t k : d.keys) {
+    ASSERT_LT(k, 0xfffffffeu);
+  }
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace dycuckoo

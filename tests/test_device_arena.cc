@@ -1,0 +1,116 @@
+#include "gpusim/device_arena.h"
+
+#include <atomic>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+namespace dycuckoo {
+namespace gpusim {
+namespace {
+
+TEST(DeviceArenaTest, AllocateAndFreeAccounting) {
+  DeviceArena arena(1 << 20);
+  EXPECT_EQ(arena.used_bytes(), 0u);
+  void* p = arena.Allocate(1000, "t");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(arena.used_bytes(), 1000u);
+  arena.Free(p);
+  EXPECT_EQ(arena.used_bytes(), 0u);
+  EXPECT_EQ(arena.live_allocations(), 0u);
+}
+
+TEST(DeviceArenaTest, CapacityEnforced) {
+  DeviceArena arena(4096);
+  void* a = arena.Allocate(3000, "t");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(arena.Allocate(2000, "t"), nullptr);  // would exceed
+  void* b = arena.Allocate(1000, "t");
+  ASSERT_NE(b, nullptr);
+  arena.Free(a);
+  arena.Free(b);
+}
+
+TEST(DeviceArenaTest, FreeingMakesRoom) {
+  DeviceArena arena(4096);
+  void* a = arena.Allocate(4000, "t");
+  ASSERT_NE(a, nullptr);
+  arena.Free(a);
+  void* b = arena.Allocate(4000, "t");
+  ASSERT_NE(b, nullptr);
+  arena.Free(b);
+}
+
+TEST(DeviceArenaTest, PeakTracksHighWater) {
+  DeviceArena arena(1 << 20);
+  void* a = arena.Allocate(5000, "t");
+  void* b = arena.Allocate(7000, "t");
+  arena.Free(a);
+  EXPECT_EQ(arena.peak_bytes(), 12000u);
+  EXPECT_EQ(arena.used_bytes(), 7000u);
+  arena.ResetPeak();
+  EXPECT_EQ(arena.peak_bytes(), 7000u);
+  arena.Free(b);
+}
+
+TEST(DeviceArenaTest, PerTagAccounting) {
+  DeviceArena arena(1 << 20);
+  void* a = arena.Allocate(100, "alpha");
+  void* b = arena.Allocate(200, "beta");
+  void* c = arena.Allocate(300, "alpha");
+  EXPECT_EQ(arena.used_bytes_for("alpha"), 400u);
+  EXPECT_EQ(arena.used_bytes_for("beta"), 200u);
+  EXPECT_EQ(arena.used_bytes_for("missing"), 0u);
+  arena.Free(a);
+  EXPECT_EQ(arena.used_bytes_for("alpha"), 300u);
+  arena.Free(b);
+  arena.Free(c);
+  EXPECT_EQ(arena.used_bytes_for("alpha"), 0u);
+}
+
+TEST(DeviceArenaTest, ZeroByteRequestStillTracked) {
+  DeviceArena arena(1 << 20);
+  void* p = arena.Allocate(0, "t");
+  ASSERT_NE(p, nullptr);
+  EXPECT_GE(arena.used_bytes(), 1u);
+  arena.Free(p);
+}
+
+TEST(DeviceArenaTest, UnboundedArenaNeverRejects) {
+  DeviceArena arena(0);
+  void* p = arena.Allocate(64ull << 20, "big");
+  ASSERT_NE(p, nullptr);
+  arena.Free(p);
+}
+
+TEST(DeviceArenaTest, AllocateArrayValueInitializes) {
+  DeviceArena arena(1 << 20);
+  auto* arr = arena.AllocateArray<std::atomic<uint32_t>>(128, "t");
+  ASSERT_NE(arr, nullptr);
+  for (int i = 0; i < 128; ++i) EXPECT_EQ(arr[i].load(), 0u);
+  arena.FreeArray(arr);
+  EXPECT_EQ(arena.used_bytes(), 0u);
+}
+
+TEST(DeviceArenaTest, AllocateArrayRespectsCapacity) {
+  DeviceArena arena(100);
+  auto* arr = arena.AllocateArray<uint64_t>(1000, "t");  // 8000 bytes > 100
+  EXPECT_EQ(arr, nullptr);
+  EXPECT_EQ(arena.used_bytes(), 0u);
+}
+
+TEST(DeviceArenaTest, GlobalArenaSingleton) {
+  EXPECT_EQ(DeviceArena::Global(), DeviceArena::Global());
+  EXPECT_EQ(DeviceArena::Global()->capacity_bytes(),
+            DeviceArena::kDefaultCapacity);
+}
+
+TEST(DeviceArenaTest, FreeNullIsNoop) {
+  DeviceArena arena(1024);
+  arena.Free(nullptr);
+  EXPECT_EQ(arena.used_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace gpusim
+}  // namespace dycuckoo

@@ -1,0 +1,205 @@
+#include "workload/dynamic_workload.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "workload/dataset.h"
+
+namespace dycuckoo {
+namespace workload {
+namespace {
+
+Dataset SmallDataset() {
+  Dataset d;
+  Status st = MakeDataset(DatasetId::kTwitter, 0.002, 11, &d);
+  EXPECT_TRUE(st.ok());
+  return d;
+}
+
+TEST(DynamicWorkloadTest, RejectsBadOptions) {
+  Dataset d = SmallDataset();
+  std::vector<DynamicBatch> batches;
+  DynamicWorkloadOptions o;
+  o.batch_size = 0;
+  EXPECT_TRUE(BuildDynamicWorkload(d, o, &batches).IsInvalidArgument());
+  o = DynamicWorkloadOptions{};
+  o.delete_ratio = -0.1;
+  EXPECT_TRUE(BuildDynamicWorkload(d, o, &batches).IsInvalidArgument());
+}
+
+TEST(DynamicWorkloadTest, BatchCountCoversStreamTwice) {
+  Dataset d = SmallDataset();
+  DynamicWorkloadOptions o;
+  o.batch_size = 10000;
+  std::vector<DynamicBatch> batches;
+  ASSERT_TRUE(BuildDynamicWorkload(d, o, &batches).ok());
+  uint64_t phase1 = (d.size() + o.batch_size - 1) / o.batch_size;
+  EXPECT_EQ(batches.size(), 2 * phase1);
+}
+
+TEST(DynamicWorkloadTest, NoSwappedPhaseWhenDisabled) {
+  Dataset d = SmallDataset();
+  DynamicWorkloadOptions o;
+  o.batch_size = 10000;
+  o.include_swapped_phase = false;
+  std::vector<DynamicBatch> batches;
+  ASSERT_TRUE(BuildDynamicWorkload(d, o, &batches).ok());
+  EXPECT_EQ(batches.size(), (d.size() + o.batch_size - 1) / o.batch_size);
+}
+
+TEST(DynamicWorkloadTest, Phase1InsertsReproduceTheStream) {
+  Dataset d = SmallDataset();
+  DynamicWorkloadOptions o;
+  o.batch_size = 7000;
+  o.include_swapped_phase = false;
+  std::vector<DynamicBatch> batches;
+  ASSERT_TRUE(BuildDynamicWorkload(d, o, &batches).ok());
+  std::vector<uint32_t> replayed;
+  for (const auto& b : batches) {
+    replayed.insert(replayed.end(), b.insert_keys.begin(),
+                    b.insert_keys.end());
+    EXPECT_EQ(b.insert_keys.size(), b.insert_values.size());
+  }
+  EXPECT_EQ(replayed, d.keys);
+}
+
+TEST(DynamicWorkloadTest, RatiosRespected) {
+  Dataset d = SmallDataset();
+  DynamicWorkloadOptions o;
+  o.batch_size = 10000;
+  o.delete_ratio = 0.3;
+  o.find_ratio = 1.0;
+  o.include_swapped_phase = false;
+  std::vector<DynamicBatch> batches;
+  ASSERT_TRUE(BuildDynamicWorkload(d, o, &batches).ok());
+  for (size_t i = 0; i + 1 < batches.size(); ++i) {  // last batch may be short
+    const auto& b = batches[i];
+    EXPECT_EQ(b.insert_keys.size(), o.batch_size);
+    EXPECT_EQ(b.find_keys.size(), o.batch_size);
+    EXPECT_EQ(b.delete_keys.size(),
+              static_cast<uint64_t>(o.batch_size * o.delete_ratio));
+  }
+}
+
+TEST(DynamicWorkloadTest, SwappedPhaseMirrorsRoles) {
+  Dataset d = SmallDataset();
+  DynamicWorkloadOptions o;
+  o.batch_size = 9000;
+  o.delete_ratio = 0.2;
+  std::vector<DynamicBatch> batches;
+  ASSERT_TRUE(BuildDynamicWorkload(d, o, &batches).ok());
+  size_t half = batches.size() / 2;
+  for (size_t i = 0; i < half; ++i) {
+    const auto& fwd = batches[i];
+    const auto& swp = batches[half + i];
+    EXPECT_EQ(swp.insert_keys, fwd.delete_keys);
+    EXPECT_EQ(swp.delete_keys, fwd.insert_keys);
+    EXPECT_EQ(swp.insert_keys.size(), swp.insert_values.size());
+  }
+}
+
+TEST(DynamicWorkloadTest, DeletesTargetPreviouslyInsertedKeys) {
+  Dataset d = SmallDataset();
+  DynamicWorkloadOptions o;
+  o.batch_size = 5000;
+  o.delete_ratio = 0.4;
+  o.include_swapped_phase = false;
+  std::vector<DynamicBatch> batches;
+  ASSERT_TRUE(BuildDynamicWorkload(d, o, &batches).ok());
+  std::unordered_set<uint32_t> inserted;
+  for (const auto& b : batches) {
+    for (uint32_t k : b.insert_keys) inserted.insert(k);
+    for (uint32_t k : b.delete_keys) {
+      ASSERT_TRUE(inserted.count(k)) << "delete of never-inserted key " << k;
+    }
+  }
+}
+
+TEST(DynamicWorkloadTest, TotalOpsSumsAllThreeKinds) {
+  Dataset d = SmallDataset();
+  DynamicWorkloadOptions o;
+  o.batch_size = 10000;
+  std::vector<DynamicBatch> batches;
+  ASSERT_TRUE(BuildDynamicWorkload(d, o, &batches).ok());
+  uint64_t manual = 0;
+  for (const auto& b : batches) {
+    manual += b.insert_keys.size() + b.find_keys.size() +
+              b.delete_keys.size();
+  }
+  EXPECT_EQ(TotalOps(batches), manual);
+  EXPECT_GT(TotalOps(batches), d.size());
+}
+
+TEST(DynamicWorkloadTest, ZeroRatiosYieldInsertOnlyBatches) {
+  Dataset d = SmallDataset();
+  DynamicWorkloadOptions o;
+  o.batch_size = 10000;
+  o.delete_ratio = 0.0;
+  o.find_ratio = 0.0;
+  o.include_swapped_phase = false;
+  std::vector<DynamicBatch> batches;
+  ASSERT_TRUE(BuildDynamicWorkload(d, o, &batches).ok());
+  for (const auto& b : batches) {
+    EXPECT_TRUE(b.find_keys.empty());
+    EXPECT_TRUE(b.delete_keys.empty());
+    EXPECT_FALSE(b.insert_keys.empty());
+  }
+}
+
+TEST(DynamicWorkloadTest, BatchLargerThanDatasetYieldsOneBatch) {
+  Dataset d = SmallDataset();
+  DynamicWorkloadOptions o;
+  o.batch_size = d.size() * 10;
+  o.include_swapped_phase = false;
+  std::vector<DynamicBatch> batches;
+  ASSERT_TRUE(BuildDynamicWorkload(d, o, &batches).ok());
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].insert_keys.size(), d.size());
+}
+
+TEST(DynamicWorkloadTest, SwappedPhaseDrainsTheTableConceptually) {
+  // Every phase-1 inserted key is deleted somewhere (phase 1 or phase 2).
+  Dataset d = SmallDataset();
+  DynamicWorkloadOptions o;
+  o.batch_size = 6000;
+  std::vector<DynamicBatch> batches;
+  ASSERT_TRUE(BuildDynamicWorkload(d, o, &batches).ok());
+  std::unordered_set<uint32_t> deleted;
+  for (const auto& b : batches) {
+    for (uint32_t k : b.delete_keys) deleted.insert(k);
+  }
+  for (uint32_t k : d.keys) {
+    ASSERT_TRUE(deleted.count(k)) << "key never deleted: " << k;
+  }
+}
+
+TEST(DynamicWorkloadTest, FindRatioScalesFindVolume) {
+  Dataset d = SmallDataset();
+  DynamicWorkloadOptions o;
+  o.batch_size = 10000;
+  o.find_ratio = 2.0;
+  o.include_swapped_phase = false;
+  std::vector<DynamicBatch> batches;
+  ASSERT_TRUE(BuildDynamicWorkload(d, o, &batches).ok());
+  EXPECT_EQ(batches[0].find_keys.size(), 20000u);
+}
+
+TEST(DynamicWorkloadTest, DeterministicForSeed) {
+  Dataset d = SmallDataset();
+  DynamicWorkloadOptions o;
+  o.batch_size = 8000;
+  std::vector<DynamicBatch> a, b;
+  ASSERT_TRUE(BuildDynamicWorkload(d, o, &a).ok());
+  ASSERT_TRUE(BuildDynamicWorkload(d, o, &b).ok());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].insert_keys, b[i].insert_keys);
+    EXPECT_EQ(a[i].find_keys, b[i].find_keys);
+    EXPECT_EQ(a[i].delete_keys, b[i].delete_keys);
+  }
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace dycuckoo

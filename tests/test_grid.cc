@@ -1,0 +1,137 @@
+#include "gpusim/grid.h"
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dycuckoo {
+namespace gpusim {
+namespace {
+
+TEST(GridTest, WarpsForItems) {
+  EXPECT_EQ(WarpsForItems(0), 0u);
+  EXPECT_EQ(WarpsForItems(1), 1u);
+  EXPECT_EQ(WarpsForItems(32), 1u);
+  EXPECT_EQ(WarpsForItems(33), 2u);
+  EXPECT_EQ(WarpsForItems(64), 2u);
+  EXPECT_EQ(WarpsForItems(1000), 32u);
+}
+
+TEST(GridTest, EveryWarpRunsExactlyOnce) {
+  Grid grid(4);
+  constexpr uint64_t kWarps = 10007;  // prime, exercises chunk remainders
+  std::vector<std::atomic<int>> hits(kWarps);
+  grid.LaunchWarps(kWarps, [&](uint64_t w) { hits[w].fetch_add(1); });
+  for (uint64_t w = 0; w < kWarps; ++w) {
+    EXPECT_EQ(hits[w].load(), 1) << "warp " << w;
+  }
+}
+
+TEST(GridTest, ZeroWarpsReturnsImmediately) {
+  Grid grid(2);
+  bool ran = false;
+  grid.LaunchWarps(0, [&](uint64_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(GridTest, SingleWarp) {
+  Grid grid(4);
+  std::atomic<uint64_t> sum{0};
+  grid.LaunchWarps(1, [&](uint64_t w) { sum.fetch_add(w + 123); });
+  EXPECT_EQ(sum.load(), 123u);
+}
+
+TEST(GridTest, SumOfWarpIds) {
+  Grid grid(4);
+  std::atomic<uint64_t> sum{0};
+  constexpr uint64_t kWarps = 5000;
+  grid.LaunchWarps(kWarps, [&](uint64_t w) { sum.fetch_add(w); });
+  EXPECT_EQ(sum.load(), kWarps * (kWarps - 1) / 2);
+}
+
+TEST(GridTest, SequentialLaunchesReuseWorkers) {
+  Grid grid(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> count{0};
+    grid.LaunchWarps(97, [&](uint64_t) { count.fetch_add(1); });
+    ASSERT_EQ(count.load(), 97);
+  }
+}
+
+TEST(GridTest, WorkersActuallyParallel) {
+  // With more warps than workers, at least two distinct thread ids must
+  // participate (or one on a truly single-threaded pool of size 1).
+  Grid grid(4);
+  std::atomic<uint64_t> distinct_threads{0};
+  std::atomic<uint64_t> mask{0};
+  grid.LaunchWarps(10000, [&](uint64_t) {
+    static thread_local bool counted = false;
+    if (!counted) {
+      counted = true;
+      distinct_threads.fetch_add(1);
+    }
+    mask.fetch_add(0);
+  });
+  EXPECT_GE(distinct_threads.load(), 1u);
+  EXPECT_EQ(grid.num_threads(), 4u);
+}
+
+TEST(GridTest, DefaultThreadCountIsPositive) {
+  Grid grid;
+  EXPECT_GE(grid.num_threads(), 1u);
+}
+
+TEST(GridTest, GlobalGridSingleton) {
+  EXPECT_EQ(Grid::Global(), Grid::Global());
+}
+
+TEST(GridTest, ConcurrentHostThreadsShareOneGrid) {
+  // Several host threads launching on the same grid must queue like
+  // kernels on one stream, not crash or interleave work.
+  Grid grid(4);
+  std::atomic<uint64_t> total{0};
+  std::vector<std::thread> hosts;
+  for (int h = 0; h < 4; ++h) {
+    hosts.emplace_back([&] {
+      for (int i = 0; i < 100; ++i) {
+        grid.LaunchWarps(50, [&](uint64_t) {
+          total.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  for (auto& t : hosts) t.join();
+  EXPECT_EQ(total.load(), 4u * 100 * 50);
+}
+
+TEST(GridTest, TinyLaunchStorm) {
+  // Regression for a use-after-free: the launcher used to return (and
+  // destroy the stack Launch) while a straggler worker could still touch
+  // launch->next.  Thousands of tiny launches maximize that window.
+  Grid grid(8);
+  std::atomic<uint64_t> total{0};
+  for (int i = 0; i < 3000; ++i) {
+    uint64_t warps = 1 + (i % 5);
+    grid.LaunchWarps(warps, [&](uint64_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  // 600 cycles of warp counts 1..5 = 600 * 15.
+  EXPECT_EQ(total.load(), 9000u);
+}
+
+TEST(GridTest, LargeLaunchStress) {
+  Grid grid(6);
+  std::atomic<uint64_t> count{0};
+  grid.LaunchWarps(200000, [&](uint64_t) {
+    count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 200000u);
+}
+
+}  // namespace
+}  // namespace gpusim
+}  // namespace dycuckoo

@@ -1,0 +1,146 @@
+#include "common/hash.h"
+
+#include <cmath>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dycuckoo {
+namespace {
+
+TEST(UniversalHashTest, DeterministicForSameParams) {
+  UniversalHash h(12345, 678);
+  EXPECT_EQ(h(42, 1000), h(42, 1000));
+  EXPECT_EQ(h.Raw(99), h.Raw(99));
+}
+
+TEST(UniversalHashTest, RangeRespected) {
+  UniversalHash h = UniversalHash::FromSeed(7);
+  for (uint64_t k = 0; k < 1000; ++k) {
+    EXPECT_LT(h(k, 17), 17u);
+    EXPECT_LT(h(k, 1), 1u);
+  }
+}
+
+TEST(UniversalHashTest, RawBelowPrime) {
+  UniversalHash h = UniversalHash::FromSeed(99);
+  for (uint64_t k = 0; k < 10000; k += 37) {
+    EXPECT_LT(h.Raw(k), kUniversalPrime);
+  }
+}
+
+TEST(UniversalHashTest, ZeroANormalizedToOne) {
+  UniversalHash h(0, 5);
+  EXPECT_EQ(h.a(), 1u);
+}
+
+TEST(UniversalHashTest, FromSeedDistinctSeedsDistinctFunctions) {
+  UniversalHash h1 = UniversalHash::FromSeed(1);
+  UniversalHash h2 = UniversalHash::FromSeed(2);
+  int differences = 0;
+  for (uint64_t k = 0; k < 100; ++k) {
+    if (h1(k, 1 << 20) != h2(k, 1 << 20)) ++differences;
+  }
+  EXPECT_GT(differences, 90);
+}
+
+TEST(UniversalHashTest, AffineIdentity) {
+  // Raw(k) == (a*k + b) mod p for small values computable directly.
+  UniversalHash h(3, 11);
+  for (uint64_t k = 0; k < 1000; ++k) {
+    EXPECT_EQ(h.Raw(k), (3 * k + 11) % kUniversalPrime);
+  }
+}
+
+TEST(Mix64Test, Deterministic) { EXPECT_EQ(Mix64(123), Mix64(123)); }
+
+TEST(Mix64Test, AvalancheFlipsAboutHalfTheBits) {
+  // Flipping one input bit should flip ~32 of the 64 output bits.
+  double total_flips = 0;
+  int trials = 0;
+  for (uint64_t x = 1; x < 2000; x += 13) {
+    for (int bit = 0; bit < 64; bit += 7) {
+      uint64_t a = Mix64(x);
+      uint64_t b = Mix64(x ^ (uint64_t{1} << bit));
+      total_flips += __builtin_popcountll(a ^ b);
+      ++trials;
+    }
+  }
+  double mean = total_flips / trials;
+  EXPECT_GT(mean, 28.0);
+  EXPECT_LT(mean, 36.0);
+}
+
+TEST(Mix64Test, InjectiveOnSample) {
+  std::unordered_set<uint64_t> outputs;
+  for (uint64_t x = 0; x < 100000; ++x) outputs.insert(Mix64(x));
+  EXPECT_EQ(outputs.size(), 100000u);  // splitmix64 finalizer is a bijection
+}
+
+TEST(Mix32Test, AvalancheFlipsAboutHalfTheBits) {
+  double total_flips = 0;
+  int trials = 0;
+  for (uint32_t x = 1; x < 2000; x += 13) {
+    for (int bit = 0; bit < 32; bit += 5) {
+      total_flips += __builtin_popcount(Mix32(x) ^ Mix32(x ^ (1u << bit)));
+      ++trials;
+    }
+  }
+  double mean = total_flips / trials;
+  EXPECT_GT(mean, 13.0);
+  EXPECT_LT(mean, 19.0);
+}
+
+class MixHashUniformityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MixHashUniformityTest, BucketsChiSquareReasonable) {
+  // Hash 64k consecutive keys into 256 buckets; chi-square should be near
+  // the 255 expected for uniform placement (generous 3-sigma bound).
+  const uint64_t seed = GetParam();
+  MixHash h(seed);
+  constexpr int kBuckets = 256;
+  constexpr int kKeys = 1 << 16;
+  std::vector<int> counts(kBuckets, 0);
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    counts[h.Raw(k) & (kBuckets - 1)]++;
+  }
+  double expected = static_cast<double>(kKeys) / kBuckets;
+  double chi2 = 0;
+  for (int c : counts) {
+    double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  // dof = 255, sigma = sqrt(2*255) ~ 22.6.
+  EXPECT_LT(chi2, 255 + 5 * 22.6) << "seed " << seed;
+  EXPECT_GT(chi2, 255 - 5 * 22.6) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MixHashUniformityTest,
+                         ::testing::Values(0ull, 1ull, 42ull, 0xdeadbeefull,
+                                           0x123456789abcdefull));
+
+TEST(MixHashTest, SeedChangesFunction) {
+  MixHash a(1), b(2);
+  int diff = 0;
+  for (uint64_t k = 0; k < 256; ++k) {
+    if (a.Raw(k) != b.Raw(k)) ++diff;
+  }
+  EXPECT_EQ(diff, 256);
+}
+
+TEST(MixHashTest, PowerOfTwoSplitIdentity) {
+  // The conflict-free upsize relies on: x & (2n-1) is x & (n-1) or +n.
+  MixHash h(77);
+  for (uint64_t n : {64ull, 1024ull, 65536ull}) {
+    for (uint64_t k = 0; k < 5000; ++k) {
+      uint64_t small = h.Raw(k) & (n - 1);
+      uint64_t big = h.Raw(k) & (2 * n - 1);
+      EXPECT_TRUE(big == small || big == small + n);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dycuckoo

@@ -1,0 +1,112 @@
+// Device-memory exhaustion paths: tables must fail with OutOfMemory (not
+// crash or corrupt) when the arena runs dry, and leave prior contents
+// intact.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/cudpp_cuckoo.h"
+#include "baselines/megakv.h"
+#include "dycuckoo/dycuckoo.h"
+#include "gpusim/device_arena.h"
+#include "test_util.h"
+
+namespace dycuckoo {
+namespace {
+
+using testing::SequentialValues;
+using testing::UniqueKeys;
+
+TEST(OomTest, CreateFailsCleanlyInTinyArena) {
+  gpusim::DeviceArena arena(1024);  // far too small
+  DyCuckooOptions o;
+  o.initial_capacity = 1 << 20;
+  o.arena = &arena;
+  std::unique_ptr<DyCuckooMap> t;
+  Status st = DyCuckooMap::Create(o, &t);
+  EXPECT_TRUE(st.IsOutOfMemory()) << st.ToString();
+  EXPECT_EQ(arena.used_bytes(), 0u) << "partial construction must roll back";
+}
+
+TEST(OomTest, GrowthStopsWithOutOfMemoryAndTableStaysConsistent) {
+  gpusim::DeviceArena arena(1 << 20);  // 1 MiB: a few growth steps only
+  DyCuckooOptions o;
+  o.initial_capacity = 1024;
+  o.arena = &arena;
+  std::unique_ptr<DyCuckooMap> t;
+  ASSERT_TRUE(DyCuckooMap::Create(o, &t).ok());
+
+  auto keys = UniqueKeys(400000, 3);
+  auto values = SequentialValues(keys.size());
+  Status st;
+  size_t inserted_until = 0;
+  for (size_t off = 0; off < keys.size(); off += 10000) {
+    size_t len = std::min<size_t>(10000, keys.size() - off);
+    st = t->BulkInsert(std::span<const uint32_t>(keys.data() + off, len),
+                       std::span<const uint32_t>(values.data() + off, len));
+    if (!st.ok()) break;
+    inserted_until = off + len;
+  }
+  EXPECT_TRUE(st.IsOutOfMemory() || st.IsInsertionFailure())
+      << st.ToString();
+  ASSERT_GT(inserted_until, 0u);
+  EXPECT_TRUE(t->Validate().ok()) << "OOM must not corrupt the table";
+
+  // Everything inserted before the failure is still there.
+  std::vector<uint32_t> probe(keys.begin(), keys.begin() + inserted_until);
+  std::vector<uint32_t> out(probe.size());
+  std::vector<uint8_t> found(probe.size());
+  t->BulkFind(probe, out.data(), found.data());
+  for (size_t i = 0; i < probe.size(); ++i) {
+    ASSERT_TRUE(found[i]) << i;
+    ASSERT_EQ(out[i], values[i]);
+  }
+
+  // Deleting makes room again: the table recovers.
+  ASSERT_TRUE(t->BulkErase(probe).ok());
+  EXPECT_EQ(t->size(), 0u);
+  ASSERT_TRUE(t->Insert(1, 2).ok());
+}
+
+TEST(OomTest, MegaKvRehashOomRestoresOldTable) {
+  gpusim::DeviceArena arena(600 * 1024);
+  MegaKvOptions o;
+  o.initial_capacity = 1024;
+  o.arena = &arena;
+  std::unique_ptr<MegaKvTable> t;
+  ASSERT_TRUE(MegaKvTable::Create(o, &t).ok());
+  auto keys = UniqueKeys(200000, 5);
+  Status st;
+  size_t inserted_until = 0;
+  for (size_t off = 0; off < keys.size(); off += 5000) {
+    size_t len = std::min<size_t>(5000, keys.size() - off);
+    std::vector<uint32_t> ck(keys.begin() + off, keys.begin() + off + len);
+    st = t->BulkInsert(ck, SequentialValues(len));
+    if (!st.ok()) break;
+    inserted_until = off + len;
+  }
+  EXPECT_FALSE(st.ok());
+  ASSERT_GT(inserted_until, 0u);
+  // The table still answers queries for what it holds.
+  std::vector<uint32_t> probe(keys.begin(),
+                              keys.begin() + inserted_until / 2);
+  std::vector<uint8_t> found(probe.size());
+  t->BulkFind(probe, nullptr, found.data());
+  uint64_t hits = 0;
+  for (auto f : found) hits += f;
+  EXPECT_GT(hits, probe.size() * 9 / 10);
+}
+
+TEST(OomTest, CudppCreateFailsCleanly) {
+  gpusim::DeviceArena arena(1024);
+  CudppOptions o;
+  o.capacity_slots = 1 << 20;
+  o.arena = &arena;
+  std::unique_ptr<CudppCuckooTable> t;
+  EXPECT_TRUE(CudppCuckooTable::Create(o, &t).IsOutOfMemory());
+}
+
+}  // namespace
+}  // namespace dycuckoo

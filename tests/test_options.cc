@@ -1,0 +1,98 @@
+#include "dycuckoo/options.h"
+
+#include <gtest/gtest.h>
+
+namespace dycuckoo {
+namespace {
+
+TEST(OptionsTest, DefaultsAreValid) {
+  DyCuckooOptions o;
+  EXPECT_TRUE(o.Validate().ok());
+  EXPECT_EQ(o.num_subtables, 4);        // paper's post-Figure-6 choice
+  EXPECT_DOUBLE_EQ(o.lower_bound, 0.30);  // paper Table III defaults
+  EXPECT_DOUBLE_EQ(o.upper_bound, 0.85);
+}
+
+TEST(OptionsTest, RejectsTooFewOrTooManySubtables) {
+  DyCuckooOptions o;
+  o.num_subtables = 1;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+  o.num_subtables = 17;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+  o.num_subtables = 2;
+  EXPECT_TRUE(o.Validate().ok());
+  o.num_subtables = 16;
+  EXPECT_TRUE(o.Validate().ok());
+}
+
+TEST(OptionsTest, RejectsInvertedBounds) {
+  DyCuckooOptions o;
+  o.lower_bound = 0.5;
+  o.upper_bound = 0.4;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+}
+
+TEST(OptionsTest, RejectsZeroLowerBound) {
+  DyCuckooOptions o;
+  o.lower_bound = 0.0;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+}
+
+TEST(OptionsTest, RejectsUpperBoundAboveOne) {
+  DyCuckooOptions o;
+  o.upper_bound = 1.5;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+}
+
+TEST(OptionsTest, AlphaMustBeBelowDOverDPlusOne) {
+  // Paper Section IV-B: alpha < d/(d+1).
+  DyCuckooOptions o;
+  o.num_subtables = 2;
+  o.lower_bound = 0.70;  // >= 2/3
+  o.upper_bound = 0.90;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+  o.lower_bound = 0.60;  // < 2/3
+  EXPECT_TRUE(o.Validate().ok());
+}
+
+TEST(OptionsTest, RejectsZeroCapacityAndChain) {
+  DyCuckooOptions o;
+  o.initial_capacity = 0;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+  o.initial_capacity = 100;
+  o.max_eviction_chain = 0;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+}
+
+struct BoundsCase {
+  int d;
+  double alpha;
+  double beta;
+  bool valid;
+};
+
+class OptionsBoundsTest : public ::testing::TestWithParam<BoundsCase> {};
+
+TEST_P(OptionsBoundsTest, ValidationMatrix) {
+  const BoundsCase& c = GetParam();
+  DyCuckooOptions o;
+  o.num_subtables = c.d;
+  o.lower_bound = c.alpha;
+  o.upper_bound = c.beta;
+  EXPECT_EQ(o.Validate().ok(), c.valid)
+      << "d=" << c.d << " alpha=" << c.alpha << " beta=" << c.beta;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, OptionsBoundsTest,
+    ::testing::Values(BoundsCase{4, 0.20, 0.70, true},
+                      BoundsCase{4, 0.40, 0.90, true},
+                      BoundsCase{4, 0.30, 0.85, true},
+                      BoundsCase{4, 0.85, 0.90, false},  // alpha >= 4/5
+                      BoundsCase{8, 0.85, 0.95, true},   // 8/9 > 0.85
+                      BoundsCase{2, 0.66, 0.9, true},
+                      BoundsCase{2, 0.67, 0.9, false},
+                      BoundsCase{4, 0.5, 0.5, false}));
+
+}  // namespace
+}  // namespace dycuckoo

@@ -1,0 +1,97 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dycuckoo {
+namespace {
+
+TEST(SplitMix64Test, DeterministicGivenSeed) {
+  SplitMix64 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(SplitMix64Test, NextBoundedInRange) {
+  SplitMix64 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(37), 37u);
+  }
+}
+
+TEST(SplitMix64Test, NextDoubleInUnitInterval) {
+  SplitMix64 rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Xoroshiro128Test, DeterministicGivenSeed) {
+  Xoroshiro128 a(99), b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Xoroshiro128Test, MeanOfUniformDoubles) {
+  Xoroshiro128 rng(11);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Xoroshiro128Test, GaussianMoments) {
+  Xoroshiro128 rng(13);
+  double sum = 0, sum2 = 0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  double mean = sum / kN;
+  double var = sum2 / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Xoroshiro128Test, BitBalance) {
+  Xoroshiro128 rng(17);
+  uint64_t ones = 0;
+  constexpr int kN = 10000;
+  for (int i = 0; i < kN; ++i) ones += __builtin_popcountll(rng.Next());
+  double frac = static_cast<double>(ones) / (64.0 * kN);
+  EXPECT_NEAR(frac, 0.5, 0.01);
+}
+
+class BoundedUniformityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BoundedUniformityTest, BucketsRoughlyEven) {
+  const uint64_t bound = GetParam();
+  Xoroshiro128 rng(23);
+  std::vector<int> counts(bound, 0);
+  const int kDraws = 20000 * static_cast<int>(bound);
+  for (int i = 0; i < kDraws; ++i) counts[rng.NextBounded(bound)]++;
+  double expected = static_cast<double>(kDraws) / bound;
+  for (uint64_t b = 0; b < bound; ++b) {
+    EXPECT_NEAR(counts[b], expected, expected * 0.1) << "bucket " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, BoundedUniformityTest,
+                         ::testing::Values(2ull, 3ull, 7ull, 16ull));
+
+}  // namespace
+}  // namespace dycuckoo

@@ -1,0 +1,135 @@
+// Tests for Save/Load snapshots.
+
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dycuckoo/dycuckoo.h"
+#include "test_util.h"
+
+namespace dycuckoo {
+namespace {
+
+using testing::SequentialValues;
+using testing::UniqueKeys;
+
+TEST(SerializationTest, RoundTripPreservesContents) {
+  DyCuckooOptions o;
+  std::unique_ptr<DyCuckooMap> t;
+  ASSERT_TRUE(DyCuckooMap::Create(o, &t).ok());
+  auto keys = UniqueKeys(30000);
+  ASSERT_TRUE(t->BulkInsert(keys, SequentialValues(keys.size())).ok());
+
+  std::stringstream ss;
+  ASSERT_TRUE(t->Save(ss).ok());
+
+  std::unique_ptr<DyCuckooMap> restored;
+  ASSERT_TRUE(DyCuckooMap::Load(ss, o, &restored).ok());
+  EXPECT_EQ(restored->size(), keys.size());
+  EXPECT_TRUE(restored->Validate().ok());
+
+  std::vector<uint32_t> out(keys.size());
+  std::vector<uint8_t> found(keys.size());
+  restored->BulkFind(keys, out.data(), found.data());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(found[i]) << i;
+    ASSERT_EQ(out[i], i);
+  }
+}
+
+TEST(SerializationTest, EmptyTableRoundTrip) {
+  DyCuckooOptions o;
+  std::unique_ptr<DyCuckooMap> t;
+  ASSERT_TRUE(DyCuckooMap::Create(o, &t).ok());
+  std::stringstream ss;
+  ASSERT_TRUE(t->Save(ss).ok());
+  std::unique_ptr<DyCuckooMap> restored;
+  ASSERT_TRUE(DyCuckooMap::Load(ss, o, &restored).ok());
+  EXPECT_EQ(restored->size(), 0u);
+}
+
+TEST(SerializationTest, LoadUnderDifferentOptions) {
+  DyCuckooOptions save_opts;
+  save_opts.num_subtables = 4;
+  std::unique_ptr<DyCuckooMap> t;
+  ASSERT_TRUE(DyCuckooMap::Create(save_opts, &t).ok());
+  auto keys = UniqueKeys(10000, 5);
+  ASSERT_TRUE(t->BulkInsert(keys, SequentialValues(keys.size())).ok());
+  std::stringstream ss;
+  ASSERT_TRUE(t->Save(ss).ok());
+
+  DyCuckooOptions load_opts;
+  load_opts.num_subtables = 6;  // different layout: snapshot is logical
+  load_opts.seed = 987654321;
+  std::unique_ptr<DyCuckooMap> restored;
+  ASSERT_TRUE(DyCuckooMap::Load(ss, load_opts, &restored).ok());
+  EXPECT_EQ(restored->size(), keys.size());
+  EXPECT_EQ(restored->num_subtables(), 6);
+  std::vector<uint8_t> found(keys.size());
+  restored->BulkFind(keys, nullptr, found.data());
+  for (auto f : found) ASSERT_TRUE(f);
+}
+
+TEST(SerializationTest, RejectsGarbage) {
+  std::stringstream ss;
+  ss << "definitely not a snapshot";
+  std::unique_ptr<DyCuckooMap> restored;
+  EXPECT_TRUE(
+      DyCuckooMap::Load(ss, DyCuckooOptions{}, &restored).IsInvalidArgument());
+}
+
+TEST(SerializationTest, RejectsWidthMismatch) {
+  DyCuckooOptions o;
+  std::unique_ptr<DyCuckooMap64> wide;
+  ASSERT_TRUE(DyCuckooMap64::Create(o, &wide).ok());
+  ASSERT_TRUE(wide->Insert(1, 2).ok());
+  std::stringstream ss;
+  ASSERT_TRUE(wide->Save(ss).ok());
+
+  std::unique_ptr<DyCuckooMap> narrow;
+  EXPECT_TRUE(DyCuckooMap::Load(ss, o, &narrow).IsInvalidArgument());
+}
+
+TEST(SerializationTest, RejectsTruncatedStream) {
+  DyCuckooOptions o;
+  std::unique_ptr<DyCuckooMap> t;
+  ASSERT_TRUE(DyCuckooMap::Create(o, &t).ok());
+  auto keys = UniqueKeys(1000, 6);
+  ASSERT_TRUE(t->BulkInsert(keys, SequentialValues(keys.size())).ok());
+  std::stringstream ss;
+  ASSERT_TRUE(t->Save(ss).ok());
+  std::string data = ss.str();
+  std::stringstream cut(data.substr(0, data.size() / 2));
+  std::unique_ptr<DyCuckooMap> restored;
+  EXPECT_TRUE(
+      DyCuckooMap::Load(cut, o, &restored).IsInvalidArgument());
+}
+
+TEST(SerializationTest, SixtyFourBitRoundTrip) {
+  DyCuckooOptions o;
+  std::unique_ptr<DyCuckooMap64> t;
+  ASSERT_TRUE(DyCuckooMap64::Create(o, &t).ok());
+  SplitMix64 rng(8);
+  std::vector<uint64_t> keys(5000), values(5000);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = rng.Next() >> 1;
+    values[i] = rng.Next();
+  }
+  ASSERT_TRUE(t->BulkInsert(keys, values).ok());
+  std::stringstream ss;
+  ASSERT_TRUE(t->Save(ss).ok());
+  std::unique_ptr<DyCuckooMap64> restored;
+  ASSERT_TRUE(DyCuckooMap64::Load(ss, o, &restored).ok());
+  std::vector<uint64_t> out(keys.size());
+  std::vector<uint8_t> found(keys.size());
+  restored->BulkFind(keys, out.data(), found.data());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(found[i]);
+    ASSERT_EQ(out[i], values[i]);
+  }
+}
+
+}  // namespace
+}  // namespace dycuckoo

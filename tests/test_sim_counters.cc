@@ -1,0 +1,66 @@
+#include "gpusim/sim_counters.h"
+
+#include <gtest/gtest.h>
+
+namespace dycuckoo {
+namespace gpusim {
+namespace {
+
+TEST(SimCountersTest, ResetZeroesEverything) {
+  auto& c = SimCounters::Get();
+  c.atomic_cas.fetch_add(5);
+  c.bucket_reads.fetch_add(7);
+  c.Reset();
+  auto snap = c.Capture();
+  EXPECT_EQ(snap.atomic_cas, 0u);
+  EXPECT_EQ(snap.bucket_reads, 0u);
+  EXPECT_EQ(snap.evictions, 0u);
+}
+
+TEST(SimCountersTest, HelpersIncrementTheRightCounter) {
+  auto& c = SimCounters::Get();
+  c.Reset();
+  CountBucketRead();
+  CountBucketRead();
+  CountBucketWrite();
+  CountEviction();
+  CountLockConflict();
+  CountChainNode();
+  auto snap = c.Capture();
+  EXPECT_EQ(snap.bucket_reads, 2u);
+  EXPECT_EQ(snap.bucket_writes, 1u);
+  EXPECT_EQ(snap.evictions, 1u);
+  EXPECT_EQ(snap.lock_conflicts, 1u);
+  EXPECT_EQ(snap.chain_nodes_visited, 1u);
+}
+
+TEST(SimCountersTest, SnapshotDiff) {
+  auto& c = SimCounters::Get();
+  c.Reset();
+  CountBucketRead();
+  auto before = c.Capture();
+  CountBucketRead();
+  CountBucketRead();
+  CountEviction();
+  auto delta = c.Capture() - before;
+  EXPECT_EQ(delta.bucket_reads, 2u);
+  EXPECT_EQ(delta.evictions, 1u);
+  EXPECT_EQ(delta.bucket_writes, 0u);
+}
+
+TEST(SimCountersTest, ToStringMentionsFields) {
+  auto& c = SimCounters::Get();
+  c.Reset();
+  CountEviction();
+  std::string s = c.Capture().ToString();
+  EXPECT_NE(s.find("evictions=1"), std::string::npos);
+  EXPECT_NE(s.find("cas="), std::string::npos);
+}
+
+TEST(SimCountersTest, SingletonIdentity) {
+  EXPECT_EQ(&SimCounters::Get(), &SimCounters::Get());
+}
+
+}  // namespace
+}  // namespace gpusim
+}  // namespace dycuckoo

@@ -1,0 +1,155 @@
+// Tests for the stash extension (the paper's stated future work): an
+// insertion whose eviction chain is exhausted parks in a small stash
+// instead of failing / forcing another upsizing round.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dycuckoo/dycuckoo.h"
+#include "test_util.h"
+
+namespace dycuckoo {
+namespace {
+
+using testing::SequentialValues;
+using testing::UniqueKeys;
+
+std::unique_ptr<DyCuckooMap> MakeTable(DyCuckooOptions o) {
+  std::unique_ptr<DyCuckooMap> t;
+  Status st = DyCuckooMap::Create(o, &t);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return t;
+}
+
+DyCuckooOptions TinyStaticWithStash(uint64_t stash) {
+  DyCuckooOptions o;
+  o.auto_resize = false;
+  o.initial_capacity = 512;
+  o.max_eviction_chain = 8;
+  o.stash_capacity = stash;
+  return o;
+}
+
+TEST(StashTest, AbsorbsOverflowInStaticMode) {
+  auto t = MakeTable(TinyStaticWithStash(256));
+  // ~120% of capacity: without a stash this reports insertion failures
+  // (see DynamicTableTest.StaticModeReportsFailuresInsteadOfGrowing).
+  auto keys = UniqueKeys(620, 3);
+  uint64_t failed = 7;
+  Status st = t->BulkInsert(keys, SequentialValues(keys.size()), &failed);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(failed, 0u);
+  EXPECT_EQ(t->size(), keys.size());
+  EXPECT_GT(t->stash_size(), 0u);
+  EXPECT_GT(t->stats().stash_inserts.load(), 0u);
+  EXPECT_TRUE(t->Validate().ok());
+
+  // Every key findable with the right value, wherever it landed.
+  std::vector<uint32_t> out(keys.size());
+  std::vector<uint8_t> found(keys.size());
+  t->BulkFind(keys, out.data(), found.data());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(found[i]) << i;
+    ASSERT_EQ(out[i], i);
+  }
+}
+
+TEST(StashTest, FullStashStillReportsFailure) {
+  auto t = MakeTable(TinyStaticWithStash(4));
+  auto keys = UniqueKeys(900, 5);  // far beyond capacity + stash
+  uint64_t failed = 0;
+  Status st = t->BulkInsert(keys, SequentialValues(keys.size()), &failed);
+  EXPECT_TRUE(st.IsInsertionFailure());
+  EXPECT_GT(failed, 0u);
+  EXPECT_LE(t->stash_size(), 4u);
+  EXPECT_TRUE(t->Validate().ok());
+}
+
+TEST(StashTest, EraseRemovesStashedKeys) {
+  auto t = MakeTable(TinyStaticWithStash(256));
+  auto keys = UniqueKeys(620, 7);
+  ASSERT_TRUE(t->BulkInsert(keys, SequentialValues(keys.size())).ok());
+  ASSERT_GT(t->stash_size(), 0u);
+
+  uint64_t erased = 0;
+  ASSERT_TRUE(t->BulkErase(keys, &erased).ok());
+  EXPECT_EQ(erased, keys.size());
+  EXPECT_EQ(t->size(), 0u);
+  EXPECT_EQ(t->stash_size(), 0u);
+  EXPECT_TRUE(t->Validate().ok());
+}
+
+TEST(StashTest, UpsertUpdatesStashedCopyWithoutDuplicating) {
+  auto t = MakeTable(TinyStaticWithStash(256));
+  auto keys = UniqueKeys(620, 9);
+  ASSERT_TRUE(t->BulkInsert(keys, SequentialValues(keys.size())).ok());
+  ASSERT_GT(t->stash_size(), 0u);
+
+  // Re-upsert everything with shifted values: stashed copies must be
+  // updated in place, not inserted twice.
+  ASSERT_TRUE(t->BulkInsert(keys, SequentialValues(keys.size(), 1000)).ok());
+  EXPECT_EQ(t->size(), keys.size());
+  EXPECT_TRUE(t->Validate().ok());
+  std::vector<uint32_t> out(keys.size());
+  std::vector<uint8_t> found(keys.size());
+  t->BulkFind(keys, out.data(), found.data());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(found[i]);
+    ASSERT_EQ(out[i], 1000 + i);
+  }
+}
+
+TEST(StashTest, UpsizeDrainsStash) {
+  auto t = MakeTable(TinyStaticWithStash(256));
+  auto keys = UniqueKeys(620, 11);
+  ASSERT_TRUE(t->BulkInsert(keys, SequentialValues(keys.size())).ok());
+  uint64_t stashed = t->stash_size();
+  ASSERT_GT(stashed, 0u);
+
+  ASSERT_TRUE(t->Upsize().ok());
+  EXPECT_LT(t->stash_size(), stashed) << "upsize headroom must drain stash";
+  EXPECT_GT(t->stats().stash_drains.load(), 0u);
+  EXPECT_EQ(t->size(), keys.size());
+  EXPECT_TRUE(t->Validate().ok());
+
+  std::vector<uint8_t> found(keys.size());
+  t->BulkFind(keys, nullptr, found.data());
+  for (auto f : found) ASSERT_TRUE(f);
+}
+
+TEST(StashTest, DynamicModeNeedsFewerUpsizeRounds) {
+  // The future-work motivation: without a stash, a failure after one upsize
+  // immediately forces another round.  Compare upsizes for the same stream.
+  auto run = [](uint64_t stash) {
+    DyCuckooOptions o;
+    o.initial_capacity = 512;
+    o.max_eviction_chain = 8;
+    o.stash_capacity = stash;
+    std::unique_ptr<DyCuckooMap> t;
+    (void)DyCuckooMap::Create(o, &t);
+    auto keys = UniqueKeys(60000, 13);
+    for (size_t off = 0; off < keys.size(); off += 3000) {
+      std::vector<uint32_t> chunk(keys.begin() + off,
+                                  keys.begin() + off + 3000);
+      (void)t->BulkInsert(chunk, SequentialValues(chunk.size()));
+    }
+    EXPECT_EQ(t->size(), keys.size());
+    EXPECT_TRUE(t->Validate().ok());
+    return t->stats().upsizes.load();
+  };
+  EXPECT_LE(run(512), run(0));
+}
+
+TEST(StashTest, DisabledStashKeepsMemoryFootprint) {
+  DyCuckooOptions with, without;
+  with.stash_capacity = 1024;
+  auto a = MakeTable(with);
+  auto b = MakeTable(without);
+  EXPECT_EQ(a->memory_bytes() - 1024 * 8, b->memory_bytes());
+  EXPECT_EQ(b->stash_size(), 0u);
+}
+
+}  // namespace
+}  // namespace dycuckoo

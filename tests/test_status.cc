@@ -1,0 +1,74 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace dycuckoo {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, InvalidArgumentCarriesMessage) {
+  Status st = Status::InvalidArgument("bad d");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_EQ(st.message(), "bad d");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad d");
+}
+
+TEST(StatusTest, AllCodesRoundTrip) {
+  EXPECT_TRUE(Status::CapacityExceeded("x").IsCapacityExceeded());
+  EXPECT_TRUE(Status::InsertionFailure("x").IsInsertionFailure());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::OutOfMemory("x").IsOutOfMemory());
+}
+
+TEST(StatusTest, CodeNamesInToString) {
+  EXPECT_NE(Status::CapacityExceeded("m").ToString().find("CapacityExceeded"),
+            std::string::npos);
+  EXPECT_NE(Status::InsertionFailure("m").ToString().find("InsertionFailure"),
+            std::string::npos);
+  EXPECT_NE(Status::NotSupported("m").ToString().find("NotSupported"),
+            std::string::npos);
+  EXPECT_NE(Status::OutOfMemory("m").ToString().find("OutOfMemory"),
+            std::string::npos);
+}
+
+TEST(StatusTest, EqualityComparesCodeOnly) {
+  EXPECT_EQ(Status::Internal("a"), Status::Internal("b"));
+  EXPECT_FALSE(Status::Internal("a") == Status::OK());
+}
+
+TEST(StatusTest, EmptyMessageOmitsColon) {
+  EXPECT_EQ(Status::Internal("").ToString(), "Internal");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status {
+    DYCUCKOO_RETURN_NOT_OK(Status::InvalidArgument("inner"));
+    return Status::OK();
+  };
+  Status st = fails();
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_EQ(st.message(), "inner");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPassesThroughOk) {
+  auto succeeds = []() -> Status {
+    DYCUCKOO_RETURN_NOT_OK(Status::OK());
+    return Status::Internal("reached");
+  };
+  EXPECT_TRUE(succeeds().IsInternal());
+}
+
+}  // namespace
+}  // namespace dycuckoo

@@ -1,0 +1,183 @@
+#include "dycuckoo/subtable.h"
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "gpusim/device_arena.h"
+
+namespace dycuckoo {
+namespace {
+
+using Sub32 = Subtable<uint32_t, uint32_t>;
+using Sub64 = Subtable<uint64_t, uint64_t>;
+
+TEST(BucketTraitsTest, SlotGeometryFollowsKeyWidth) {
+  EXPECT_EQ(BucketTraits<uint32_t>::kSlotsPerBucket, 32);  // paper Figure 2
+  EXPECT_EQ(BucketTraits<uint64_t>::kSlotsPerBucket, 16);
+}
+
+TEST(BucketTraitsTest, EmptyKeyIsMaxValue) {
+  EXPECT_EQ(BucketTraits<uint32_t>::kEmptyKey, 0xffffffffu);
+  EXPECT_EQ(BucketTraits<uint64_t>::kEmptyKey, ~uint64_t{0});
+}
+
+class SubtableTest : public ::testing::Test {
+ protected:
+  gpusim::DeviceArena arena_{64 << 20};
+};
+
+TEST_F(SubtableTest, ConstructionInitializesEmpty) {
+  Sub32 t(16, 42, &arena_, "test");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.num_buckets(), 16u);
+  EXPECT_EQ(t.num_slots(), 16u * 32);
+  EXPECT_EQ(t.size(), 0u);
+  for (uint64_t b = 0; b < t.num_buckets(); ++b) {
+    for (int s = 0; s < Sub32::kSlots; ++s) {
+      EXPECT_EQ(t.KeyAt(b, s), Sub32::kEmptyKey);
+    }
+  }
+}
+
+TEST_F(SubtableTest, StoreAndLoadSlots) {
+  Sub32 t(4, 1, &arena_, "test");
+  t.StoreSlot(2, 5, 1234, 5678);
+  EXPECT_EQ(t.KeyAt(2, 5), 1234u);
+  EXPECT_EQ(t.ValueAt(2, 5), 5678u);
+  t.StoreValue(2, 5, 999);
+  EXPECT_EQ(t.ValueAt(2, 5), 999u);
+}
+
+TEST_F(SubtableTest, BucketIndexWithinRangeAndDeterministic) {
+  Sub32 t(64, 7, &arena_, "test");
+  for (uint32_t k = 0; k < 10000; ++k) {
+    uint64_t b = t.BucketIndex(k);
+    EXPECT_LT(b, 64u);
+    EXPECT_EQ(b, t.BucketIndex(k));
+  }
+}
+
+TEST_F(SubtableTest, UpsizeSplitIdentity) {
+  // Doubling the bucket count relocates a key either to the same index or
+  // to index + n — the invariant behind the conflict-free upsize kernel.
+  Sub32 small(64, 99, &arena_, "test");
+  Sub32 big(128, 99, &arena_, "test");
+  for (uint32_t k = 0; k < 20000; ++k) {
+    uint64_t b_small = small.BucketIndex(k);
+    uint64_t b_big = big.BucketIndex(k);
+    EXPECT_TRUE(b_big == b_small || b_big == b_small + 64)
+        << "key " << k << " small " << b_small << " big " << b_big;
+  }
+}
+
+TEST_F(SubtableTest, SizeCounter) {
+  Sub32 t(4, 1, &arena_, "test");
+  t.AddSize(5);
+  EXPECT_EQ(t.size(), 5u);
+  t.AddSize(-2);
+  EXPECT_EQ(t.size(), 3u);
+  t.SetSize(100);
+  EXPECT_EQ(t.size(), 100u);
+  EXPECT_DOUBLE_EQ(t.filled_factor(), 100.0 / (4 * 32));
+}
+
+TEST_F(SubtableTest, CasKeySemantics) {
+  Sub32 t(4, 1, &arena_, "test");
+  t.StoreSlot(0, 0, 10, 20);
+  EXPECT_FALSE(t.CasKey(0, 0, 11, Sub32::kEmptyKey));  // wrong expected
+  EXPECT_EQ(t.KeyAt(0, 0), 10u);
+  EXPECT_TRUE(t.CasKey(0, 0, 10, Sub32::kEmptyKey));
+  EXPECT_EQ(t.KeyAt(0, 0), Sub32::kEmptyKey);
+}
+
+TEST_F(SubtableTest, MoveTransfersOwnership) {
+  uint64_t before = arena_.used_bytes();
+  Sub32 a(8, 3, &arena_, "test");
+  a.StoreSlot(1, 1, 7, 8);
+  a.AddSize(1);
+  uint64_t with_table = arena_.used_bytes();
+  EXPECT_GT(with_table, before);
+
+  Sub32 b(std::move(a));
+  EXPECT_EQ(b.KeyAt(1, 1), 7u);
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_EQ(b.num_buckets(), 8u);
+  EXPECT_EQ(a.num_buckets(), 0u);  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(arena_.used_bytes(), with_table);  // no double ownership
+
+  Sub32 c(4, 9, &arena_, "test");
+  c = std::move(b);
+  EXPECT_EQ(c.KeyAt(1, 1), 7u);
+  EXPECT_EQ(c.num_buckets(), 8u);
+}
+
+TEST_F(SubtableTest, DestructionReleasesMemory) {
+  uint64_t before = arena_.used_bytes();
+  {
+    Sub32 t(32, 1, &arena_, "test");
+    EXPECT_GT(arena_.used_bytes(), before);
+  }
+  EXPECT_EQ(arena_.used_bytes(), before);
+}
+
+TEST_F(SubtableTest, AllocationFailureReportsNotOk) {
+  gpusim::DeviceArena tiny(128);
+  Sub32 t(1024, 1, &tiny, "test");
+  EXPECT_FALSE(t.ok());
+  EXPECT_EQ(tiny.used_bytes(), 0u);  // rolled back
+}
+
+TEST_F(SubtableTest, MemoryBytesMatchesGeometry) {
+  Sub32 t(16, 1, &arena_, "test");
+  // 16 buckets * (32 slots * (4+4) bytes + lock word).
+  EXPECT_EQ(t.memory_bytes(),
+            16u * (32 * 8 + sizeof(gpusim::BucketLock)));
+}
+
+TEST_F(SubtableTest, LockPerBucketIndependent) {
+  Sub32 t(4, 1, &arena_, "test");
+  EXPECT_TRUE(t.lock(0).TryLock());
+  EXPECT_TRUE(t.lock(1).TryLock());  // other bucket unaffected
+  EXPECT_FALSE(t.lock(0).TryLock());
+  t.lock(0).Unlock();
+  t.lock(1).Unlock();
+}
+
+TEST_F(SubtableTest, SnapshotKeysMatchesSlotLoads) {
+  Sub32 t(4, 7, &arena_, "test");
+  for (int s = 0; s < Sub32::kSlots; s += 3) {
+    t.StoreSlot(2, s, 100 + s, 200 + s);
+  }
+  uint32_t snap[Sub32::kSlots];
+  t.SnapshotKeys(2, snap);
+  for (int s = 0; s < Sub32::kSlots; ++s) {
+    EXPECT_EQ(snap[s], t.KeyAt(2, s)) << "slot " << s;
+  }
+}
+
+TEST_F(SubtableTest, SnapshotValuesMatchesSlotLoads) {
+  Sub32 t(4, 7, &arena_, "test");
+  for (int s = 0; s < Sub32::kSlots; ++s) {
+    t.StoreSlot(1, s, s, 1000 + s);
+  }
+  uint32_t snap[Sub32::kSlots];
+  t.SnapshotValues(1, snap);
+  for (int s = 0; s < Sub32::kSlots; ++s) {
+    EXPECT_EQ(snap[s], 1000u + s);
+  }
+}
+
+TEST_F(SubtableTest, SixtyFourBitVariant) {
+  Sub64 t(8, 5, &arena_, "test");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.num_slots(), 8u * 16);
+  uint64_t big_key = 0x123456789abcdef0ull;
+  uint64_t b = t.BucketIndex(big_key);
+  t.StoreSlot(b, 3, big_key, 42);
+  EXPECT_EQ(t.KeyAt(b, 3), big_key);
+  EXPECT_EQ(t.ValueAt(b, 3), 42u);
+}
+
+}  // namespace
+}  // namespace dycuckoo

@@ -1,0 +1,201 @@
+// Parameterized sweep tests: capacity/batch grids, geometry extremes, and
+// contention patterns that the targeted unit tests do not reach.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dycuckoo/dycuckoo.h"
+#include "test_util.h"
+
+namespace dycuckoo {
+namespace {
+
+using testing::SequentialValues;
+using testing::UniqueKeys;
+
+std::unique_ptr<DyCuckooMap> MakeTable(DyCuckooOptions o = {}) {
+  std::unique_ptr<DyCuckooMap> t;
+  Status st = DyCuckooMap::Create(o, &t);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// capacity x batch grid
+// ---------------------------------------------------------------------------
+
+using GridParam = std::tuple<uint64_t /*capacity*/, uint64_t /*batch*/>;
+
+class CapacityBatchSweep : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(CapacityBatchSweep, StreamedInsertFindEraseRoundTrip) {
+  auto [capacity, batch] = GetParam();
+  DyCuckooOptions o;
+  o.initial_capacity = capacity;
+  auto t = MakeTable(o);
+  auto keys = UniqueKeys(30000, capacity + batch);
+  auto values = SequentialValues(keys.size());
+  for (size_t off = 0; off < keys.size(); off += batch) {
+    size_t len = std::min<size_t>(batch, keys.size() - off);
+    ASSERT_TRUE(t->BulkInsert(
+                     std::span<const uint32_t>(keys.data() + off, len),
+                     std::span<const uint32_t>(values.data() + off, len))
+                    .ok());
+  }
+  ASSERT_EQ(t->size(), keys.size());
+  ASSERT_TRUE(t->Validate().ok());
+
+  std::vector<uint32_t> out(keys.size());
+  std::vector<uint8_t> found(keys.size());
+  t->BulkFind(keys, out.data(), found.data());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(found[i]);
+    ASSERT_EQ(out[i], values[i]);
+  }
+  for (size_t off = 0; off < keys.size(); off += batch) {
+    size_t len = std::min<size_t>(batch, keys.size() - off);
+    ASSERT_TRUE(
+        t->BulkErase(std::span<const uint32_t>(keys.data() + off, len)).ok());
+  }
+  EXPECT_EQ(t->size(), 0u);
+  EXPECT_TRUE(t->Validate().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CapacityBatchSweep,
+    ::testing::Combine(::testing::Values(128ull, 2048ull, 65536ull),
+                       ::testing::Values(31ull, 1000ull, 30000ull)));
+
+// ---------------------------------------------------------------------------
+// geometry extremes
+// ---------------------------------------------------------------------------
+
+TEST(GeometryExtremes, MinimumTableOneBucketPerSubtable) {
+  DyCuckooOptions o;
+  o.initial_capacity = 1;
+  o.auto_resize = false;
+  auto t = MakeTable(o);
+  EXPECT_EQ(t->capacity_slots(), 4u * 32);
+  // Fill to the brim of what (2-of-4 choice) placement can reach.
+  auto keys = UniqueKeys(64, 1);
+  uint64_t failed = 0;
+  Status st = t->BulkInsert(keys, SequentialValues(keys.size()), &failed);
+  EXPECT_TRUE(st.ok() || st.IsInsertionFailure());
+  EXPECT_EQ(t->size() + failed, keys.size());
+  EXPECT_TRUE(t->Validate().ok());
+}
+
+TEST(GeometryExtremes, SixteenSubtables) {
+  DyCuckooOptions o;
+  o.num_subtables = 16;
+  auto t = MakeTable(o);
+  auto keys = UniqueKeys(40000, 16);
+  ASSERT_TRUE(t->BulkInsert(keys, SequentialValues(keys.size())).ok());
+  EXPECT_EQ(t->size(), keys.size());
+  EXPECT_TRUE(t->Validate().ok());
+  uint64_t erased = 0;
+  ASSERT_TRUE(t->BulkErase(keys, &erased).ok());
+  EXPECT_EQ(erased, keys.size());
+}
+
+TEST(GeometryExtremes, GrowShrinkGrowCycles) {
+  DyCuckooOptions o;
+  o.initial_capacity = 256;
+  auto t = MakeTable(o);
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    auto keys = UniqueKeys(40000, cycle * 7 + 1);
+    ASSERT_TRUE(t->BulkInsert(keys, SequentialValues(keys.size())).ok());
+    ASSERT_EQ(t->size(), keys.size());
+    ASSERT_TRUE(t->BulkErase(keys).ok());
+    ASSERT_EQ(t->size(), 0u);
+    ASSERT_TRUE(t->Validate().ok()) << "cycle " << cycle;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// contention and duplicate-key semantics
+// ---------------------------------------------------------------------------
+
+TEST(ContentionSemantics, DuplicateKeyBatchStoresExactlyOneOfTheValues) {
+  // A batch writing the same key from many lanes is racy by design
+  // (last-writer); the invariants are: exactly one copy stored, and the
+  // stored value is one of the written values.
+  auto t = MakeTable();
+  std::vector<uint32_t> keys(2000, 777u);
+  std::vector<uint32_t> values(keys.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = 10000 + static_cast<uint32_t>(i);
+  }
+  ASSERT_TRUE(t->BulkInsert(keys, values).ok());
+  EXPECT_EQ(t->size(), 1u);
+  EXPECT_TRUE(t->Validate().ok());
+  uint32_t v = 0;
+  ASSERT_TRUE(t->Find(777u, &v));
+  EXPECT_GE(v, 10000u);
+  EXPECT_LT(v, 10000u + values.size());
+}
+
+TEST(ContentionSemantics, ManyKeysOneBucketViaTinyTable) {
+  // Tiny static table: every batch hammers a handful of buckets through
+  // the locked voter path; counts must stay exact.
+  DyCuckooOptions o;
+  o.auto_resize = false;
+  o.initial_capacity = 4 * 32;  // 4 buckets total
+  o.max_eviction_chain = 16;
+  auto t = MakeTable(o);
+  auto keys = UniqueKeys(96, 3);
+  uint64_t failed = 0;
+  Status st = t->BulkInsert(keys, SequentialValues(keys.size()), &failed);
+  EXPECT_TRUE(st.ok() || st.IsInsertionFailure());
+  EXPECT_EQ(t->size() + failed, keys.size());
+  EXPECT_TRUE(t->Validate().ok());
+}
+
+TEST(ContentionSemantics, RepeatedEraseBatchOfSameKey) {
+  auto t = MakeTable();
+  ASSERT_TRUE(t->Insert(5, 1).ok());
+  std::vector<uint32_t> dup_erases(500, 5u);
+  uint64_t erased = 0;
+  ASSERT_TRUE(t->BulkErase(dup_erases, &erased).ok());
+  EXPECT_EQ(erased, 1u) << "only one eraser may win the slot CAS";
+  EXPECT_EQ(t->size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// 64-bit table sweep
+// ---------------------------------------------------------------------------
+
+class Wide64Sweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(Wide64Sweep, RoundTripAcrossSubtableCounts) {
+  DyCuckooOptions o;
+  o.num_subtables = GetParam();
+  std::unique_ptr<DyCuckooMap64> t;
+  ASSERT_TRUE(DyCuckooMap64::Create(o, &t).ok());
+  SplitMix64 rng(GetParam());
+  std::vector<uint64_t> keys(15000), values(15000);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = rng.Next() >> 1;
+    values[i] = rng.Next();
+  }
+  ASSERT_TRUE(t->BulkInsert(keys, values).ok());
+  ASSERT_TRUE(t->Validate().ok());
+  std::vector<uint64_t> out(keys.size());
+  std::vector<uint8_t> found(keys.size());
+  t->BulkFind(keys, out.data(), found.data());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(found[i]);
+    ASSERT_EQ(out[i], values[i]);
+  }
+  uint64_t erased = 0;
+  ASSERT_TRUE(t->BulkErase(keys, &erased).ok());
+  EXPECT_EQ(erased, keys.size());
+  EXPECT_TRUE(t->Validate().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, Wide64Sweep, ::testing::Values(2, 4, 8));
+
+}  // namespace
+}  // namespace dycuckoo

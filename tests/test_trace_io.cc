@@ -1,0 +1,78 @@
+#include "workload/trace_io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "workload/dataset.h"
+#include "workload/dynamic_workload.h"
+
+namespace dycuckoo {
+namespace workload {
+namespace {
+
+std::vector<DynamicBatch> SampleBatches() {
+  Dataset d;
+  Status st = MakeDataset(DatasetId::kCompany, 0.01, 42, &d);
+  EXPECT_TRUE(st.ok());
+  DynamicWorkloadOptions o;
+  o.batch_size = 5000;
+  std::vector<DynamicBatch> batches;
+  st = BuildDynamicWorkload(d, o, &batches);
+  EXPECT_TRUE(st.ok());
+  return batches;
+}
+
+TEST(TraceIoTest, RoundTripIdentical) {
+  auto batches = SampleBatches();
+  std::stringstream ss;
+  ASSERT_TRUE(SaveTrace(batches, &ss).ok());
+
+  std::vector<DynamicBatch> restored;
+  ASSERT_TRUE(LoadTrace(&ss, &restored).ok());
+  ASSERT_EQ(restored.size(), batches.size());
+  for (size_t i = 0; i < batches.size(); ++i) {
+    EXPECT_EQ(restored[i].insert_keys, batches[i].insert_keys) << i;
+    EXPECT_EQ(restored[i].insert_values, batches[i].insert_values) << i;
+    EXPECT_EQ(restored[i].find_keys, batches[i].find_keys) << i;
+    EXPECT_EQ(restored[i].delete_keys, batches[i].delete_keys) << i;
+  }
+}
+
+TEST(TraceIoTest, EmptyTimelineRoundTrip) {
+  std::vector<DynamicBatch> empty;
+  std::stringstream ss;
+  ASSERT_TRUE(SaveTrace(empty, &ss).ok());
+  std::vector<DynamicBatch> restored = {DynamicBatch{}};
+  ASSERT_TRUE(LoadTrace(&ss, &restored).ok());
+  EXPECT_TRUE(restored.empty());
+}
+
+TEST(TraceIoTest, RejectsGarbage) {
+  std::stringstream ss;
+  ss << "not a trace at all, sorry";
+  std::vector<DynamicBatch> restored;
+  EXPECT_TRUE(LoadTrace(&ss, &restored).IsInvalidArgument());
+}
+
+TEST(TraceIoTest, RejectsTruncation) {
+  auto batches = SampleBatches();
+  std::stringstream ss;
+  ASSERT_TRUE(SaveTrace(batches, &ss).ok());
+  std::string data = ss.str();
+  std::stringstream cut(data.substr(0, data.size() * 2 / 3));
+  std::vector<DynamicBatch> restored;
+  EXPECT_TRUE(LoadTrace(&cut, &restored).IsInvalidArgument());
+}
+
+TEST(TraceIoTest, RejectsMismatchedBatchOnSave) {
+  std::vector<DynamicBatch> bad(1);
+  bad[0].insert_keys = {1, 2};
+  bad[0].insert_values = {1};
+  std::stringstream ss;
+  EXPECT_TRUE(SaveTrace(bad, &ss).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace dycuckoo

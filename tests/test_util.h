@@ -1,0 +1,61 @@
+// Shared helpers for the test suite: deterministic key/value generation and
+// a reference model for differential testing.
+
+#ifndef DYCUCKOO_TESTS_TEST_UTIL_H_
+#define DYCUCKOO_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dycuckoo {
+namespace testing {
+
+/// `count` distinct keys, none equal to the reserved sentinels.
+inline std::vector<uint32_t> UniqueKeys(uint64_t count, uint64_t seed = 42) {
+  std::unordered_set<uint32_t> seen;
+  std::vector<uint32_t> keys;
+  keys.reserve(count);
+  SplitMix64 rng(seed);
+  while (keys.size() < count) {
+    uint32_t k = static_cast<uint32_t>(rng.Next());
+    if (k >= 0xfffffffeu) continue;
+    if (seen.insert(k).second) keys.push_back(k);
+  }
+  return keys;
+}
+
+inline std::vector<uint32_t> SequentialValues(uint64_t count,
+                                              uint32_t start = 0) {
+  std::vector<uint32_t> values(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    values[i] = start + static_cast<uint32_t>(i);
+  }
+  return values;
+}
+
+/// Host-side reference map for differential testing.
+class ReferenceModel {
+ public:
+  void Insert(uint32_t k, uint32_t v) { map_[k] = v; }
+  bool Find(uint32_t k, uint32_t* v) const {
+    auto it = map_.find(k);
+    if (it == map_.end()) return false;
+    if (v != nullptr) *v = it->second;
+    return true;
+  }
+  bool Erase(uint32_t k) { return map_.erase(k) > 0; }
+  uint64_t size() const { return map_.size(); }
+  const std::unordered_map<uint32_t, uint32_t>& map() const { return map_; }
+
+ private:
+  std::unordered_map<uint32_t, uint32_t> map_;
+};
+
+}  // namespace testing
+}  // namespace dycuckoo
+
+#endif  // DYCUCKOO_TESTS_TEST_UTIL_H_

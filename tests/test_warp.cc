@@ -1,0 +1,84 @@
+#include "gpusim/warp.h"
+
+#include <gtest/gtest.h>
+
+namespace dycuckoo {
+namespace gpusim {
+namespace {
+
+TEST(WarpTest, FirstLaneEmptyMask) { EXPECT_EQ(FirstLane(0), -1); }
+
+TEST(WarpTest, FirstLaneSingleBits) {
+  for (int l = 0; l < kWarpSize; ++l) {
+    EXPECT_EQ(FirstLane(LaneMask{1} << l), l);
+  }
+}
+
+TEST(WarpTest, FirstLanePicksLowest) {
+  EXPECT_EQ(FirstLane(0b1010100), 2);
+  EXPECT_EQ(FirstLane(kFullMask), 0);
+}
+
+TEST(WarpTest, LaneCount) {
+  EXPECT_EQ(LaneCount(0), 0);
+  EXPECT_EQ(LaneCount(kFullMask), 32);
+  EXPECT_EQ(LaneCount(0b1011), 3);
+}
+
+TEST(WarpTest, BallotMatchesPredicate) {
+  LaneMask m = Ballot([](int lane) { return lane % 3 == 0; });
+  for (int l = 0; l < kWarpSize; ++l) {
+    EXPECT_EQ((m >> l) & 1u, (l % 3 == 0) ? 1u : 0u);
+  }
+}
+
+TEST(WarpTest, BallotAllAndNone) {
+  EXPECT_EQ(Ballot([](int) { return true; }), kFullMask);
+  EXPECT_EQ(Ballot([](int) { return false; }), 0u);
+}
+
+TEST(WarpTest, BallotActiveRestrictsLanes) {
+  LaneMask active = 0b1111;
+  LaneMask m = BallotActive(active, [](int lane) { return lane >= 2; });
+  EXPECT_EQ(m, 0b1100u);
+}
+
+TEST(WarpTest, NextLeaderEmpty) { EXPECT_EQ(NextLeader(0, 5), -1); }
+
+TEST(WarpTest, NextLeaderRotates) {
+  LaneMask active = (1u << 3) | (1u << 10) | (1u << 20);
+  EXPECT_EQ(NextLeader(active, -1), 3);
+  EXPECT_EQ(NextLeader(active, 3), 10);
+  EXPECT_EQ(NextLeader(active, 10), 20);
+  EXPECT_EQ(NextLeader(active, 20), 3);  // wraps
+}
+
+TEST(WarpTest, NextLeaderSingleLaneReturnsIt) {
+  EXPECT_EQ(NextLeader(1u << 7, 7), 7);
+  EXPECT_EQ(NextLeader(1u << 7, 3), 7);
+}
+
+class NextLeaderPropertyTest : public ::testing::TestWithParam<LaneMask> {};
+
+TEST_P(NextLeaderPropertyTest, AlwaysReturnsActiveLaneAndCyclesAll) {
+  LaneMask active = GetParam();
+  int leader = -1;
+  LaneMask visited = 0;
+  for (int step = 0; step < 2 * kWarpSize; ++step) {
+    leader = NextLeader(active, leader);
+    ASSERT_GE(leader, 0);
+    ASSERT_TRUE((active >> leader) & 1u);
+    visited |= LaneMask{1} << leader;
+  }
+  EXPECT_EQ(visited, active);  // fairness: every active lane gets elected
+}
+
+INSTANTIATE_TEST_SUITE_P(Masks, NextLeaderPropertyTest,
+                         ::testing::Values(LaneMask{1}, LaneMask{0x80000000u},
+                                           LaneMask{0b1010101},
+                                           LaneMask{0xffffffffu},
+                                           LaneMask{0xf0f0f0f0u}));
+
+}  // namespace
+}  // namespace gpusim
+}  // namespace dycuckoo
