@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_balance"
+  "../bench/ablation_balance.pdb"
+  "CMakeFiles/ablation_balance.dir/ablation_balance.cc.o"
+  "CMakeFiles/ablation_balance.dir/ablation_balance.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_stash"
+  "../bench/ablation_stash.pdb"
+  "CMakeFiles/ablation_stash.dir/ablation_stash.cc.o"
+  "CMakeFiles/ablation_stash.dir/ablation_stash.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

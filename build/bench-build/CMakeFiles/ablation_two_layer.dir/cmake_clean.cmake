@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_two_layer"
+  "../bench/ablation_two_layer.pdb"
+  "CMakeFiles/ablation_two_layer.dir/ablation_two_layer.cc.o"
+  "CMakeFiles/ablation_two_layer.dir/ablation_two_layer.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_two_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

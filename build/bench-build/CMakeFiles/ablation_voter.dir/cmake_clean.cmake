@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_voter"
+  "../bench/ablation_voter.pdb"
+  "CMakeFiles/ablation_voter.dir/ablation_voter.cc.o"
+  "CMakeFiles/ablation_voter.dir/ablation_voter.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_voter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

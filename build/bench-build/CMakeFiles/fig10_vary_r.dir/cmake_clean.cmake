@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_vary_r"
+  "../bench/fig10_vary_r.pdb"
+  "CMakeFiles/fig10_vary_r.dir/fig10_vary_r.cc.o"
+  "CMakeFiles/fig10_vary_r.dir/fig10_vary_r.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_vary_r.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_track_filled"
+  "../bench/fig11_track_filled.pdb"
+  "CMakeFiles/fig11_track_filled.dir/fig11_track_filled.cc.o"
+  "CMakeFiles/fig11_track_filled.dir/fig11_track_filled.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_track_filled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

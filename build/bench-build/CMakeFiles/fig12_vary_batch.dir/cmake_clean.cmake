@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_vary_batch"
+  "../bench/fig12_vary_batch.pdb"
+  "CMakeFiles/fig12_vary_batch.dir/fig12_vary_batch.cc.o"
+  "CMakeFiles/fig12_vary_batch.dir/fig12_vary_batch.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_vary_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

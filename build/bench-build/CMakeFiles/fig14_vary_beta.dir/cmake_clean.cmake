@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_vary_beta"
+  "../bench/fig14_vary_beta.pdb"
+  "CMakeFiles/fig14_vary_beta.dir/fig14_vary_beta.cc.o"
+  "CMakeFiles/fig14_vary_beta.dir/fig14_vary_beta.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_vary_beta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_atomic"
+  "../bench/fig5_atomic.pdb"
+  "CMakeFiles/fig5_atomic.dir/fig5_atomic.cc.o"
+  "CMakeFiles/fig5_atomic.dir/fig5_atomic.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_atomic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

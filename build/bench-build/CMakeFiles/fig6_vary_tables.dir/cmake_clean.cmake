@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_vary_tables"
+  "../bench/fig6_vary_tables.pdb"
+  "CMakeFiles/fig6_vary_tables.dir/fig6_vary_tables.cc.o"
+  "CMakeFiles/fig6_vary_tables.dir/fig6_vary_tables.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_vary_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

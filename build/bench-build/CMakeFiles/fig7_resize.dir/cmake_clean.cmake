@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_resize"
+  "../bench/fig7_resize.pdb"
+  "CMakeFiles/fig7_resize.dir/fig7_resize.cc.o"
+  "CMakeFiles/fig7_resize.dir/fig7_resize.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_resize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_static"
+  "../bench/fig8_static.pdb"
+  "CMakeFiles/fig8_static.dir/fig8_static.cc.o"
+  "CMakeFiles/fig8_static.dir/fig8_static.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_filled_factor"
+  "../bench/fig9_filled_factor.pdb"
+  "CMakeFiles/fig9_filled_factor.dir/fig9_filled_factor.cc.o"
+  "CMakeFiles/fig9_filled_factor.dir/fig9_filled_factor.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_filled_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig9_filled_factor.
+# This may be replaced when dependencies are built.

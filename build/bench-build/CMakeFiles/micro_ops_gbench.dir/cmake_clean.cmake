@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_ops_gbench"
+  "../bench/micro_ops_gbench.pdb"
+  "CMakeFiles/micro_ops_gbench.dir/micro_ops_gbench.cc.o"
+  "CMakeFiles/micro_ops_gbench.dir/micro_ops_gbench.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ops_gbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/stability_latency"
+  "../bench/stability_latency.pdb"
+  "CMakeFiles/stability_latency.dir/stability_latency.cc.o"
+  "CMakeFiles/stability_latency.dir/stability_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stability_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_datasets"
+  "../bench/table2_datasets.pdb"
+  "CMakeFiles/table2_datasets.dir/table2_datasets.cc.o"
+  "CMakeFiles/table2_datasets.dir/table2_datasets.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hash_join.dir/hash_join.cpp.o"
+  "CMakeFiles/hash_join.dir/hash_join.cpp.o.d"
+  "hash_join"
+  "hash_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hash_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_ops.dir/mixed_ops.cpp.o"
+  "CMakeFiles/mixed_ops.dir/mixed_ops.cpp.o.d"
+  "mixed_ops"
+  "mixed_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

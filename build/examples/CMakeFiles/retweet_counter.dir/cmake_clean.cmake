@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retweet_counter.dir/retweet_counter.cpp.o"
+  "CMakeFiles/retweet_counter.dir/retweet_counter.cpp.o.d"
+  "retweet_counter"
+  "retweet_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retweet_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

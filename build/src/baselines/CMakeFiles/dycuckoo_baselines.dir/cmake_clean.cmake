@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dycuckoo_baselines.dir/cudpp_cuckoo.cc.o"
+  "CMakeFiles/dycuckoo_baselines.dir/cudpp_cuckoo.cc.o.d"
+  "CMakeFiles/dycuckoo_baselines.dir/megakv.cc.o"
+  "CMakeFiles/dycuckoo_baselines.dir/megakv.cc.o.d"
+  "CMakeFiles/dycuckoo_baselines.dir/slab_hash.cc.o"
+  "CMakeFiles/dycuckoo_baselines.dir/slab_hash.cc.o.d"
+  "libdycuckoo_baselines.a"
+  "libdycuckoo_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dycuckoo_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dycuckoo_common.dir/hash.cc.o"
+  "CMakeFiles/dycuckoo_common.dir/hash.cc.o.d"
+  "CMakeFiles/dycuckoo_common.dir/logging.cc.o"
+  "CMakeFiles/dycuckoo_common.dir/logging.cc.o.d"
+  "CMakeFiles/dycuckoo_common.dir/rng.cc.o"
+  "CMakeFiles/dycuckoo_common.dir/rng.cc.o.d"
+  "CMakeFiles/dycuckoo_common.dir/status.cc.o"
+  "CMakeFiles/dycuckoo_common.dir/status.cc.o.d"
+  "libdycuckoo_common.a"
+  "libdycuckoo_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dycuckoo_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

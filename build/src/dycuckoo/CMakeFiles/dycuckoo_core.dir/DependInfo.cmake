@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dycuckoo/instantiations.cc" "src/dycuckoo/CMakeFiles/dycuckoo_core.dir/instantiations.cc.o" "gcc" "src/dycuckoo/CMakeFiles/dycuckoo_core.dir/instantiations.cc.o.d"
+  "/root/repo/src/dycuckoo/options.cc" "src/dycuckoo/CMakeFiles/dycuckoo_core.dir/options.cc.o" "gcc" "src/dycuckoo/CMakeFiles/dycuckoo_core.dir/options.cc.o.d"
+  "/root/repo/src/dycuckoo/stats.cc" "src/dycuckoo/CMakeFiles/dycuckoo_core.dir/stats.cc.o" "gcc" "src/dycuckoo/CMakeFiles/dycuckoo_core.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dycuckoo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/dycuckoo_gpusim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dycuckoo_core.dir/instantiations.cc.o"
+  "CMakeFiles/dycuckoo_core.dir/instantiations.cc.o.d"
+  "CMakeFiles/dycuckoo_core.dir/options.cc.o"
+  "CMakeFiles/dycuckoo_core.dir/options.cc.o.d"
+  "CMakeFiles/dycuckoo_core.dir/stats.cc.o"
+  "CMakeFiles/dycuckoo_core.dir/stats.cc.o.d"
+  "libdycuckoo_core.a"
+  "libdycuckoo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dycuckoo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdycuckoo_core.a"
+)

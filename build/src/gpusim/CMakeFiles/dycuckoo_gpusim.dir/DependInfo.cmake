@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/device_arena.cc" "src/gpusim/CMakeFiles/dycuckoo_gpusim.dir/device_arena.cc.o" "gcc" "src/gpusim/CMakeFiles/dycuckoo_gpusim.dir/device_arena.cc.o.d"
+  "/root/repo/src/gpusim/grid.cc" "src/gpusim/CMakeFiles/dycuckoo_gpusim.dir/grid.cc.o" "gcc" "src/gpusim/CMakeFiles/dycuckoo_gpusim.dir/grid.cc.o.d"
+  "/root/repo/src/gpusim/sim_counters.cc" "src/gpusim/CMakeFiles/dycuckoo_gpusim.dir/sim_counters.cc.o" "gcc" "src/gpusim/CMakeFiles/dycuckoo_gpusim.dir/sim_counters.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dycuckoo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dycuckoo_gpusim.dir/device_arena.cc.o"
+  "CMakeFiles/dycuckoo_gpusim.dir/device_arena.cc.o.d"
+  "CMakeFiles/dycuckoo_gpusim.dir/grid.cc.o"
+  "CMakeFiles/dycuckoo_gpusim.dir/grid.cc.o.d"
+  "CMakeFiles/dycuckoo_gpusim.dir/sim_counters.cc.o"
+  "CMakeFiles/dycuckoo_gpusim.dir/sim_counters.cc.o.d"
+  "libdycuckoo_gpusim.a"
+  "libdycuckoo_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dycuckoo_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

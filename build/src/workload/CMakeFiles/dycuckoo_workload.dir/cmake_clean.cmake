@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dycuckoo_workload.dir/dataset.cc.o"
+  "CMakeFiles/dycuckoo_workload.dir/dataset.cc.o.d"
+  "CMakeFiles/dycuckoo_workload.dir/dynamic_workload.cc.o"
+  "CMakeFiles/dycuckoo_workload.dir/dynamic_workload.cc.o.d"
+  "CMakeFiles/dycuckoo_workload.dir/trace_io.cc.o"
+  "CMakeFiles/dycuckoo_workload.dir/trace_io.cc.o.d"
+  "libdycuckoo_workload.a"
+  "libdycuckoo_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dycuckoo_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

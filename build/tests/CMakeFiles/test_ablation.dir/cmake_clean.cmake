@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ablation.dir/test_ablation.cc.o"
+  "CMakeFiles/test_ablation.dir/test_ablation.cc.o.d"
+  "test_ablation"
+  "test_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cudpp.dir/test_cudpp.cc.o"
+  "CMakeFiles/test_cudpp.dir/test_cudpp.cc.o.d"
+  "test_cudpp"
+  "test_cudpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cudpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

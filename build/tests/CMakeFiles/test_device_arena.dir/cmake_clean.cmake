@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_device_arena.dir/test_device_arena.cc.o"
+  "CMakeFiles/test_device_arena.dir/test_device_arena.cc.o.d"
+  "test_device_arena"
+  "test_device_arena.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_device_arena.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dynamic_table.dir/test_dynamic_table.cc.o"
+  "CMakeFiles/test_dynamic_table.dir/test_dynamic_table.cc.o.d"
+  "test_dynamic_table"
+  "test_dynamic_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dynamic_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dynamic_workload.dir/test_dynamic_workload.cc.o"
+  "CMakeFiles/test_dynamic_workload.dir/test_dynamic_workload.cc.o.d"
+  "test_dynamic_workload"
+  "test_dynamic_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dynamic_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

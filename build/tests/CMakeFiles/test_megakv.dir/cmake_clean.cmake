@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_megakv.dir/test_megakv.cc.o"
+  "CMakeFiles/test_megakv.dir/test_megakv.cc.o.d"
+  "test_megakv"
+  "test_megakv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_megakv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

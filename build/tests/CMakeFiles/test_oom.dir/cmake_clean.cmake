@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oom.dir/test_oom.cc.o"
+  "CMakeFiles/test_oom.dir/test_oom.cc.o.d"
+  "test_oom"
+  "test_oom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

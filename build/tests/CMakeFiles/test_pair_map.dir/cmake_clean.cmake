@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pair_map.dir/test_pair_map.cc.o"
+  "CMakeFiles/test_pair_map.dir/test_pair_map.cc.o.d"
+  "test_pair_map"
+  "test_pair_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pair_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

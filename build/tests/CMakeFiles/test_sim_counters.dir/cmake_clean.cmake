@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_counters.dir/test_sim_counters.cc.o"
+  "CMakeFiles/test_sim_counters.dir/test_sim_counters.cc.o.d"
+  "test_sim_counters"
+  "test_sim_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

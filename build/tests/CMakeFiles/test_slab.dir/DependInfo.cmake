@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_slab.cc" "tests/CMakeFiles/test_slab.dir/test_slab.cc.o" "gcc" "tests/CMakeFiles/test_slab.dir/test_slab.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dycuckoo/CMakeFiles/dycuckoo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/dycuckoo_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dycuckoo_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/dycuckoo_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dycuckoo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

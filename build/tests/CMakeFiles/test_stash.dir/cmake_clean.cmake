@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stash.dir/test_stash.cc.o"
+  "CMakeFiles/test_stash.dir/test_stash.cc.o.d"
+  "test_stash"
+  "test_stash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_subtable.dir/test_subtable.cc.o"
+  "CMakeFiles/test_subtable.dir/test_subtable.cc.o.d"
+  "test_subtable"
+  "test_subtable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_subtable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

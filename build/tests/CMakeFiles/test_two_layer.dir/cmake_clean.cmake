@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_two_layer.dir/test_two_layer.cc.o"
+  "CMakeFiles/test_two_layer.dir/test_two_layer.cc.o.d"
+  "test_two_layer"
+  "test_two_layer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_two_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
