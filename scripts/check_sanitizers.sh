@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Builds and runs the test suite under AddressSanitizer+UBSan and under
+# ThreadSanitizer.  The gpusim substrate runs warps on real threads, so
+# TSan findings are genuine races, not simulation artifacts.
+#
+# Usage:  scripts/check_sanitizers.sh [address|thread|all]   (default: all)
+#
+# Build trees land in build-asan/ and build-tsan/ next to build/ and are
+# reused across runs.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_preset() {
+  local preset="$1"
+  local dir="build-${preset}san"
+  case "$preset" in
+    a) local mode=address ;;
+    t) local mode=thread ;;
+  esac
+  echo "=== ${mode} sanitizer: configure + build (${dir}) ==="
+  cmake -B "${dir}" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DDYCUCKOO_SANITIZE="${mode}" \
+    -DDYCUCKOO_BUILD_BENCHMARKS=OFF \
+    -DDYCUCKOO_BUILD_EXAMPLES=OFF
+  cmake --build "${dir}" -j "$(nproc)"
+  echo "=== ${mode} sanitizer: ctest ==="
+  # halt_on_error keeps a first finding from being buried in later output
+  ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+  UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir "${dir}" --output-on-failure
+}
+
+what="${1:-all}"
+case "$what" in
+  address) run_preset a ;;
+  thread)  run_preset t ;;
+  all)     run_preset a; run_preset t ;;
+  *) echo "usage: $0 [address|thread|all]" >&2; exit 2 ;;
+esac
+echo "sanitizer checks passed"

@@ -1,6 +1,7 @@
 #include "baselines/cudpp_cuckoo.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "common/hash.h"
 #include "common/logging.h"
@@ -155,6 +156,21 @@ Status CudppCuckooTable::BulkInsert(std::span<const Key> keys,
       overflow.begin(),
       overflow.begin() +
           static_cast<long>(overflow_count.load(std::memory_order_relaxed)));
+
+  // Retry previously spilled residents now that the table may have room.
+  // Copies superseded by this batch are dropped (the batch value is newer
+  // and was just written above).
+  if (!spill_.empty()) {
+    std::unordered_set<Key> batch_keys(keys.begin(), keys.end());
+    std::vector<uint64_t> parked = std::move(spill_);
+    spill_.clear();
+    for (uint64_t packed : parked) {
+      if (batch_keys.count(PackedKey(packed)) > 0) continue;
+      uint64_t spilled = 0;
+      if (!InsertOne(packed, &spilled)) pending.push_back(spilled);
+    }
+  }
+
   int attempts = 0;
   while (!pending.empty() && attempts++ < options_.max_rebuilds) {
     DYCUCKOO_RETURN_NOT_OK(Rebuild(&pending));
@@ -164,10 +180,25 @@ Status CudppCuckooTable::BulkInsert(std::span<const Key> keys,
     return Status::InvalidArgument("batch contains a reserved key");
   }
   if (!pending.empty()) {
-    if (num_failed != nullptr) *num_failed = pending.size();
-    return Status::InsertionFailure(
-        "rebuilds exhausted with " + std::to_string(pending.size()) +
-        " keys unplaced");
+    // A failed rebuild storm leaves `pending` holding a mix of this batch's
+    // keys and drained residents.  Only batch keys are the caller's problem;
+    // residents were stored before this call and must not be lost — park
+    // them host-side where BulkFind can still see them.
+    std::unordered_set<Key> batch_keys(keys.begin(), keys.end());
+    uint64_t batch_failed = 0;
+    for (uint64_t packed : pending) {
+      if (batch_keys.count(PackedKey(packed)) > 0) {
+        ++batch_failed;
+      } else {
+        spill_.push_back(packed);
+      }
+    }
+    if (num_failed != nullptr) *num_failed = batch_failed;
+    if (batch_failed > 0) {
+      return Status::InsertionFailure(
+          "rebuilds exhausted with " + std::to_string(batch_failed) +
+          " keys unplaced");
+    }
   }
   return Status::OK();
 }
@@ -183,6 +214,9 @@ Status CudppCuckooTable::Rebuild(std::vector<uint64_t>* pending) {
   }
   stored.insert(stored.end(), pending->begin(), pending->end());
   pending->clear();
+  // Spilled residents get another chance under the fresh seeds.
+  stored.insert(stored.end(), spill_.begin(), spill_.end());
+  spill_.clear();
   size_.store(0, std::memory_order_relaxed);
   ReseedFunctions();
 
@@ -227,6 +261,15 @@ void CudppCuckooTable::BulkFind(std::span<const Key> keys, Value* values,
           if (PackedKey(packed) == k) {
             v = PackedValue(packed);
             hit = true;
+          }
+        }
+        if (!hit) {
+          for (uint64_t packed : spill_) {
+            if (PackedKey(packed) == k) {
+              v = PackedValue(packed);
+              hit = true;
+              break;
+            }
           }
         }
       }

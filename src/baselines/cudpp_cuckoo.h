@@ -73,7 +73,7 @@ class CudppCuckooTable : public HashTableInterface {
                    uint64_t* num_erased = nullptr) override;
 
   uint64_t size() const override {
-    return size_.load(std::memory_order_relaxed);
+    return size_.load(std::memory_order_relaxed) + spill_.size();
   }
   uint64_t memory_bytes() const override;
   double filled_factor() const override;
@@ -84,6 +84,11 @@ class CudppCuckooTable : public HashTableInterface {
   int num_hash_functions() const { return num_functions_; }
   uint64_t capacity_slots() const { return num_slots_; }
   uint64_t rebuild_count() const { return rebuilds_; }
+
+  /// Resident pairs parked host-side when a rebuild storm could not place
+  /// them (they stay findable and re-enter the table on the next insert or
+  /// rebuild; only keys from the failing batch are ever reported failed).
+  uint64_t spilled_residents() const { return spill_.size(); }
 
   /// Picks d from the target load factor exactly as documented above.
   static int AutoFunctionCount(double target_load);
@@ -109,6 +114,7 @@ class CudppCuckooTable : public HashTableInterface {
   std::vector<uint64_t> function_seeds_;
   std::atomic<uint64_t>* slots_ = nullptr;
   std::atomic<uint64_t> size_{0};
+  std::vector<uint64_t> spill_;  // packed resident KVs a rebuild couldn't place
   uint64_t seed_epoch_ = 0;
   uint64_t rebuilds_ = 0;
 };

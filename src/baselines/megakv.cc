@@ -1,6 +1,7 @@
 #include "baselines/megakv.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "common/hash.h"
 #include "common/logging.h"
@@ -195,7 +196,38 @@ Status MegaKvTable::BulkInsert(std::span<const Key> keys,
         overflow.begin() +
             static_cast<long>(overflow_count.load(std::memory_order_relaxed)));
     overflow_count.store(0, std::memory_order_relaxed);
-    DYCUCKOO_RETURN_NOT_OK(Rehash(/*grow=*/true));
+    Status rst = Rehash(/*grow=*/true);
+    if (!rst.ok()) {
+      // Rehash restored the old table, but `pending` holds pairs displaced
+      // out of it by this batch's cuckoo walks — residents among them were
+      // stored before this call and must not ride out with the error.
+      // Re-place what fits; park displaced residents host-side and report
+      // only this batch's keys as failed.
+      std::unordered_set<Key> batch_keys(keys.begin(), keys.end());
+      uint64_t batch_failed = 0;
+      for (uint64_t packed : pending) {
+        uint64_t spilled = 0;
+        if (InsertOne(PackedKey(packed), PackedValue(packed), &spilled)) {
+          continue;
+        }
+        if (batch_keys.count(PackedKey(spilled)) > 0) {
+          ++batch_failed;
+        } else {
+          spill_.push_back(spilled);
+        }
+      }
+      if (invalid.load(std::memory_order_relaxed) > 0) {
+        return Status::InvalidArgument("batch contains a reserved key");
+      }
+      if (batch_failed > 0) {
+        if (num_failed != nullptr) *num_failed = batch_failed;
+        std::string msg = rst.message() + "; " +
+                          std::to_string(batch_failed) + " keys failed";
+        return rst.IsOutOfMemory() ? Status::OutOfMemory(std::move(msg))
+                                   : Status::Internal(std::move(msg));
+      }
+      return Status::OK();
+    }
     run_batch(nullptr, nullptr, pending.data(), pending.size());
   }
 
@@ -239,6 +271,15 @@ void MegaKvTable::BulkFind(std::span<const Key> keys, Value* values,
             }
           }
         }
+        if (!hit) {
+          for (uint64_t packed : spill_) {
+            if (PackedKey(packed) == k) {
+              v = PackedValue(packed);
+              hit = true;
+              break;
+            }
+          }
+        }
       }
       if (found != nullptr) found[i] = hit ? 1 : 0;
       if (hit && values != nullptr) values[i] = v;
@@ -277,6 +318,17 @@ Status MegaKvTable::BulkErase(std::span<const Key> keys,
       }
     });
   }
+  // Parked residents are erasable too (host-side, after the kernel).
+  if (!spill_.empty() && !keys.empty()) {
+    std::unordered_set<Key> victims(keys.begin(), keys.end());
+    auto it = std::remove_if(spill_.begin(), spill_.end(),
+                             [&](uint64_t packed) {
+                               return victims.count(PackedKey(packed)) > 0;
+                             });
+    erased.fetch_add(static_cast<uint64_t>(spill_.end() - it),
+                     std::memory_order_relaxed);
+    spill_.erase(it, spill_.end());
+  }
   if (num_erased != nullptr) {
     *num_erased = erased.load(std::memory_order_relaxed);
   }
@@ -286,22 +338,43 @@ Status MegaKvTable::BulkErase(std::span<const Key> keys,
 
 Status MegaKvTable::Rehash(bool grow) {
   const uint64_t old_buckets = buckets_per_table_;
+  const uint64_t old_seeds[2] = {seeds_[0], seeds_[1]};
+  const uint64_t old_size = size_.load(std::memory_order_relaxed);
   std::atomic<uint64_t>* old_slots[2] = {slots_[0], slots_[1]};
   slots_[0] = slots_[1] = nullptr;
+
+  // Parked residents get rehomed by this rehash; on failure they go back.
+  const std::vector<uint64_t> parked = std::move(spill_);
+  spill_.clear();
 
   const uint64_t old_capacity = 2ull * old_buckets * kSlotsPerBucket;
   uint64_t new_capacity =
       grow ? old_capacity * 2
            : std::max<uint64_t>(old_capacity / 2, 2ull * kSlotsPerBucket);
 
+  // Restores the pre-rehash table exactly on any failure: storage and
+  // geometry, the hash seeds (a successful earlier attempt's Init already
+  // advanced them — without restoring, the old slots would be unaddressable
+  // under the new seeds) and the size counter (polluted by a failed
+  // attempt's partial reinserts).
+  auto restore = [&] {
+    ReleaseStorage();  // frees a partially rebuilt attempt, if any
+    slots_[0] = old_slots[0];
+    slots_[1] = old_slots[1];
+    buckets_per_table_ = old_buckets;
+    seeds_[0] = old_seeds[0];
+    seeds_[1] = old_seeds[1];
+    size_.store(old_size, std::memory_order_relaxed);
+    spill_ = parked;
+    ++rehash_rollbacks_;
+  };
+
   // Rebuilding can itself fail (cuckoo chains in the new layout); retry with
   // progressively larger capacity.
   for (int attempt = 0; attempt < 8; ++attempt) {
     Status st = Init(new_capacity);
     if (!st.ok()) {
-      slots_[0] = old_slots[0];
-      slots_[1] = old_slots[1];
-      buckets_per_table_ = old_buckets;
+      restore();
       return st;
     }
     std::atomic<uint64_t> failures{0};
@@ -317,6 +390,28 @@ Status MegaKvTable::Rehash(bool grow) {
           }
         }
       });
+    }
+    for (uint64_t packed : parked) {
+      // A parked pair is older than anything inserted after it was parked;
+      // if its key is resident again, the newer value wins and the parked
+      // copy is simply dropped (InsertOne would upsert the stale value).
+      Key k = PackedKey(packed);
+      bool resident = false;
+      for (int t = 0; t < 2 && !resident; ++t) {
+        uint64_t snap[kSlotsPerBucket];
+        SnapshotBucket(t, BucketIndex(t, k), snap);
+        for (int s = 0; s < kSlotsPerBucket; ++s) {
+          if (PackedKey(snap[s]) == k) {
+            resident = true;
+            break;
+          }
+        }
+      }
+      if (resident) continue;
+      uint64_t spilled = 0;
+      if (!InsertOne(k, PackedValue(packed), &spilled)) {
+        failures.fetch_add(1, std::memory_order_relaxed);
+      }
     }
     if (failures.load(std::memory_order_relaxed) == 0) {
       // Recount from the new layout (exact even if duplicate keys merged).
@@ -337,8 +432,8 @@ Status MegaKvTable::Rehash(bool grow) {
     }
     new_capacity *= 2;
   }
-  for (int t = 0; t < 2; ++t) arena_->FreeArray(old_slots[t]);
-  return Status::Internal("megakv rehash kept failing");
+  restore();
+  return Status::Internal("megakv rehash kept failing; old table restored");
 }
 
 Status MegaKvTable::ResizeToBounds() {
@@ -375,6 +470,9 @@ MegaKvTable::Dump() const {
         out.emplace_back(PackedKey(packed), PackedValue(packed));
       }
     }
+  }
+  for (uint64_t packed : spill_) {
+    out.emplace_back(PackedKey(packed), PackedValue(packed));
   }
   return out;
 }

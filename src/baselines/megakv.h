@@ -69,7 +69,7 @@ class MegaKvTable : public HashTableInterface {
                    uint64_t* num_erased = nullptr) override;
 
   uint64_t size() const override {
-    return size_.load(std::memory_order_relaxed);
+    return size_.load(std::memory_order_relaxed) + spill_.size();
   }
   uint64_t memory_bytes() const override;
   double filled_factor() const override;
@@ -78,6 +78,12 @@ class MegaKvTable : public HashTableInterface {
   uint64_t capacity_slots() const { return 2ull * buckets_per_table_ * kSlotsPerBucket; }
   uint64_t full_rehash_count() const { return full_rehashes_; }
   uint64_t rehashed_kvs() const { return rehashed_kvs_; }
+  uint64_t rehash_rollbacks() const { return rehash_rollbacks_; }
+
+  /// Resident pairs parked host-side when a failed grow-rehash left them
+  /// displaced with nowhere to go (still found/erased normally; reinserted
+  /// by the next successful rehash).
+  uint64_t spilled_residents() const { return spill_.size(); }
 
   /// Test/debug: all stored pairs.
   std::vector<std::pair<Key, Value>> Dump() const;
@@ -122,6 +128,8 @@ class MegaKvTable : public HashTableInterface {
   uint64_t seed_epoch_ = 0;
   uint64_t full_rehashes_ = 0;
   uint64_t rehashed_kvs_ = 0;
+  uint64_t rehash_rollbacks_ = 0;
+  std::vector<uint64_t> spill_;  // packed resident KVs a rehash couldn't place
 };
 
 }  // namespace dycuckoo

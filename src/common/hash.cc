@@ -1,8 +1,30 @@
 #include "common/hash.h"
 
+#include <array>
+
 #include "common/rng.h"
 
 namespace dycuckoo {
+
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t len) {
+  static const auto table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc ^= 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
 
 UniversalHash UniversalHash::FromSeed(uint64_t seed) {
   SplitMix64 rng(seed);

@@ -13,6 +13,7 @@
 #ifndef DYCUCKOO_COMMON_HASH_H_
 #define DYCUCKOO_COMMON_HASH_H_
 
+#include <cstddef>
 #include <cstdint>
 
 namespace dycuckoo {
@@ -88,6 +89,16 @@ class MixHash {
  private:
   uint64_t seed_;
 };
+
+/// \brief Incremental CRC-32 (ISO-HDLC polynomial 0xEDB88320, the zlib /
+/// POSIX cksum variant) used as the snapshot integrity trailer.
+///
+/// Start with `crc = 0`, feed chunks in order:
+///   uint32_t crc = 0;
+///   crc = Crc32Update(crc, a, a_len);
+///   crc = Crc32Update(crc, b, b_len);
+/// Known-answer: Crc32Update(0, "123456789", 9) == 0xCBF43926.
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t len);
 
 /// 32-bit murmur3 finalizer, used where a cheap 32-bit mix suffices.
 inline uint32_t Mix32(uint32_t x) {

@@ -29,6 +29,7 @@
 #include <ostream>
 #include <span>
 #include <string>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -42,6 +43,7 @@
 #include "dycuckoo/subtable.h"
 #include "gpusim/atomics.h"
 #include "gpusim/device_arena.h"
+#include "gpusim/fault_injector.h"
 #include "gpusim/grid.h"
 #include "gpusim/sim_counters.h"
 #include "gpusim/warp.h"
@@ -98,6 +100,7 @@ class DynamicTable {
     if (num_failed != nullptr) *num_failed = 0;
     if (keys.empty()) return Status::OK();
 
+    Status grow_failure = Status::OK();
     if (options_.auto_resize) {
       // Grow ahead of the batch so theta never exceeds beta mid-kernel;
       // this performs exactly the upsizes a reactive check would, without
@@ -109,7 +112,14 @@ class DynamicTable {
         double projected =
             static_cast<double>(size() + keys.size()) / static_cast<double>(cap);
         if (projected <= options_.upper_bound) break;
-        DYCUCKOO_RETURN_NOT_OK(UpsizeInternal());
+        Status st = UpsizeInternal();
+        if (st.IsOutOfMemory()) {
+          // Degrade instead of aborting the whole batch: run it at the
+          // current capacity and let per-key failures surface below.
+          NoteDegradedBatch(&grow_failure, st);
+          break;
+        }
+        DYCUCKOO_RETURN_NOT_OK(st);
       }
     }
 
@@ -122,7 +132,10 @@ class DynamicTable {
     while (fail.count() > 0 && options_.auto_resize) {
       if (++rounds > kMaxInsertRetryRounds) break;
       Status st = UpsizeInternal();
-      if (!st.ok()) break;
+      if (!st.ok()) {
+        if (st.IsOutOfMemory()) NoteDegradedBatch(&grow_failure, st);
+        break;
+      }
       FailBuffer next(fail.count());
       InsertKernel(fail.keys(), fail.values(), fail.count(),
                    /*exclude_table=*/-1, /*check_partner=*/true, &next);
@@ -136,9 +149,18 @@ class DynamicTable {
           "batch contains the reserved empty-key sentinel");
     }
     if (fail.count() > 0) {
-      if (num_failed != nullptr) *num_failed = fail.count();
-      return Status::InsertionFailure("eviction bound exceeded for " +
-                                      std::to_string(fail.count()) + " keys");
+      uint64_t batch_failed = AbsorbResidentFailures(fail, keys);
+      if (num_failed != nullptr) *num_failed = batch_failed;
+      if (batch_failed > 0) {
+        if (!grow_failure.ok()) {
+          return Status::OutOfMemory(
+              "could not grow (" + grow_failure.message() + "); " +
+              std::to_string(batch_failed) + " keys failed");
+        }
+        return Status::InsertionFailure("eviction bound exceeded for " +
+                                        std::to_string(batch_failed) +
+                                        " keys");
+      }
     }
     return Status::OK();
   }
@@ -190,6 +212,7 @@ class DynamicTable {
   /// the same batch).  Results are written back into `ops`.
   Status BulkExecute(std::span<MixedOp> ops) {
     if (ops.empty()) return Status::OK();
+    Status grow_failure = Status::OK();
     if (options_.auto_resize) {
       uint64_t inserts = 0;
       for (const MixedOp& op : ops) {
@@ -201,7 +224,12 @@ class DynamicTable {
         double projected = static_cast<double>(size() + inserts) /
                            static_cast<double>(cap);
         if (projected <= options_.upper_bound) break;
-        DYCUCKOO_RETURN_NOT_OK(UpsizeInternal());
+        Status st = UpsizeInternal();
+        if (st.IsOutOfMemory()) {
+          NoteDegradedBatch(&grow_failure, st);
+          break;
+        }
+        DYCUCKOO_RETURN_NOT_OK(st);
       }
     }
     FailBuffer fail(ops.size());
@@ -215,7 +243,14 @@ class DynamicTable {
     int rounds = 0;
     while (fail.count() > 0 && options_.auto_resize) {
       if (++rounds > kMaxInsertRetryRounds) break;
-      DYCUCKOO_RETURN_NOT_OK(UpsizeInternal());
+      Status st = UpsizeInternal();
+      if (!st.ok()) {
+        if (st.IsOutOfMemory()) {
+          NoteDegradedBatch(&grow_failure, st);
+          break;
+        }
+        return st;
+      }
       FailBuffer next(fail.count());
       InsertKernel(fail.keys(), fail.values(), fail.count(),
                    /*exclude_table=*/-1, /*check_partner=*/true, &next);
@@ -227,8 +262,21 @@ class DynamicTable {
           "batch contains the reserved empty-key sentinel");
     }
     if (fail.count() > 0) {
-      return Status::InsertionFailure("eviction bound exceeded for " +
-                                      std::to_string(fail.count()) + " keys");
+      std::vector<Key> batch_keys;
+      for (const MixedOp& op : ops) {
+        if (op.type == MixedOp::Type::kInsert) batch_keys.push_back(op.key);
+      }
+      uint64_t batch_failed = AbsorbResidentFailures(fail, batch_keys);
+      if (batch_failed > 0) {
+        if (!grow_failure.ok()) {
+          return Status::OutOfMemory(
+              "could not grow (" + grow_failure.message() + "); " +
+              std::to_string(batch_failed) + " keys failed");
+        }
+        return Status::InsertionFailure("eviction bound exceeded for " +
+                                        std::to_string(batch_failed) +
+                                        " keys");
+      }
     }
     return Status::OK();
   }
@@ -255,7 +303,14 @@ class DynamicTable {
   bool Erase(Key key) {
     uint64_t erased = 0;
     Status st = BulkErase(std::span<const Key>(&key, 1), &erased);
-    DYCUCKOO_DCHECK(st.ok());
+    if (!st.ok()) {
+      // The erase itself cannot fail — only the post-erase auto-resize
+      // maintenance can.  The key is gone either way; surface the
+      // maintenance failure in release builds instead of swallowing it.
+      DYCUCKOO_LOG(Warning) << "Erase(" << key
+                            << "): post-erase maintenance failed: "
+                            << st.ToString();
+    }
     return erased > 0;
   }
 
@@ -263,31 +318,51 @@ class DynamicTable {
   // Serialization.
   // ---------------------------------------------------------------------
 
-  /// Writes a snapshot (magic, key/value widths, entry count, raw pairs).
-  /// The layout is rebuilt on Load, so options may differ across the
-  /// round-trip.
+  /// Writes a version-2 snapshot: magic, format version, key/value widths,
+  /// entry count, raw pairs, and a CRC-32 trailer over everything after the
+  /// magic.  The layout is rebuilt on Load, so options may differ across
+  /// the round-trip.
   Status Save(std::ostream& os) const {
-    uint64_t header[4] = {kSnapshotMagic, sizeof(Key), sizeof(Value), size()};
+    uint64_t header[5] = {kSnapshotMagicV2, kSnapshotFormatVersion, sizeof(Key),
+                          sizeof(Value), size()};
     os.write(reinterpret_cast<const char*>(header), sizeof(header));
+    uint32_t crc = Crc32Update(0, &header[1], 4 * sizeof(uint64_t));
     ForEach([&](Key k, Value v) {
       os.write(reinterpret_cast<const char*>(&k), sizeof(Key));
       os.write(reinterpret_cast<const char*>(&v), sizeof(Value));
+      crc = Crc32Update(crc, &k, sizeof(Key));
+      crc = Crc32Update(crc, &v, sizeof(Value));
     });
+    os.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
     if (!os.good()) return Status::Internal("snapshot write failed");
     return Status::OK();
   }
 
   /// Rebuilds a table from a Save() snapshot under the given options.
+  /// Verifies the CRC-32 trailer; legacy (pre-versioning) snapshots are
+  /// still readable behind their distinct magic.
   static Status Load(std::istream& is, const DyCuckooOptions& options,
                      std::unique_ptr<DynamicTable>* out) {
+    uint64_t magic = 0;
+    is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+    if (!is.good()) return Status::InvalidArgument("not a DyCuckoo snapshot");
+    if (magic == kSnapshotMagic) return LoadLegacy(is, options, out);
+    if (magic != kSnapshotMagicV2) {
+      return Status::InvalidArgument("not a DyCuckoo snapshot");
+    }
     uint64_t header[4] = {0, 0, 0, 0};
     is.read(reinterpret_cast<char*>(header), sizeof(header));
-    if (!is.good() || header[0] != kSnapshotMagic) {
-      return Status::InvalidArgument("not a DyCuckoo snapshot");
+    if (!is.good()) {
+      return Status::InvalidArgument("snapshot corrupt: truncated header");
+    }
+    if (header[0] != kSnapshotFormatVersion) {
+      return Status::InvalidArgument("unsupported snapshot format version " +
+                                     std::to_string(header[0]));
     }
     if (header[1] != sizeof(Key) || header[2] != sizeof(Value)) {
       return Status::InvalidArgument("snapshot key/value width mismatch");
     }
+    uint32_t crc = Crc32Update(0, header, sizeof(header));
     DYCUCKOO_RETURN_NOT_OK(Create(options, out));
     const uint64_t count = header[3];
     if ((*out)->options_.auto_resize) {
@@ -303,11 +378,25 @@ class DynamicTable {
         is.read(reinterpret_cast<char*>(&keys[i]), sizeof(Key));
         is.read(reinterpret_cast<char*>(&values[i]), sizeof(Value));
       }
-      if (!is.good()) return Status::InvalidArgument("snapshot truncated");
+      if (!is.good()) {
+        return Status::InvalidArgument("snapshot corrupt: truncated payload");
+      }
+      for (uint64_t i = 0; i < n; ++i) {
+        crc = Crc32Update(crc, &keys[i], sizeof(Key));
+        crc = Crc32Update(crc, &values[i], sizeof(Value));
+      }
       DYCUCKOO_RETURN_NOT_OK((*out)->BulkInsert(
           std::span<const Key>(keys.data(), n),
           std::span<const Value>(values.data(), n)));
       remaining -= n;
+    }
+    uint32_t stored_crc = 0;
+    is.read(reinterpret_cast<char*>(&stored_crc), sizeof(stored_crc));
+    if (!is.good()) {
+      return Status::InvalidArgument("snapshot corrupt: missing CRC trailer");
+    }
+    if (stored_crc != crc) {
+      return Status::InvalidArgument("snapshot corrupt: CRC mismatch");
     }
     return Status::OK();
   }
@@ -372,13 +461,29 @@ class DynamicTable {
 
   /// Repeatedly resizes one subtable at a time until theta is in
   /// [lower_bound, upper_bound] (or no further resize is possible).
+  ///
+  /// Best-effort: resizing is maintenance, so running out of device memory
+  /// (or a downsize rolling back) leaves the table as-is and returns OK —
+  /// the condition is recorded in stats and retried on the next trigger.
   Status ResizeToBounds() {
     for (int iter = 0; iter < kMaxResizeIterations; ++iter) {
       double theta = filled_factor();
       if (theta > options_.upper_bound) {
-        DYCUCKOO_RETURN_NOT_OK(UpsizeInternal());
+        Status st = UpsizeInternal();
+        if (st.IsOutOfMemory()) {
+          stats_.resize_oom_skips.fetch_add(1, kRelaxed);
+          return Status::OK();
+        }
+        DYCUCKOO_RETURN_NOT_OK(st);
       } else if (theta < options_.lower_bound && CanDownsize()) {
-        DYCUCKOO_RETURN_NOT_OK(DownsizeInternal());
+        bool progressed = false;
+        Status st = DownsizeInternal(&progressed);
+        if (st.IsOutOfMemory()) {
+          stats_.resize_oom_skips.fetch_add(1, kRelaxed);
+          return Status::OK();
+        }
+        DYCUCKOO_RETURN_NOT_OK(st);
+        if (!progressed) return Status::OK();  // rolled back; don't loop
       } else {
         return Status::OK();
       }
@@ -390,11 +495,15 @@ class DynamicTable {
   Status Upsize() { return UpsizeInternal(); }
 
   /// Halves the largest subtable, reinserting overflow into the others.
+  /// Returns OutOfMemory if the merged subtable cannot be allocated, and OK
+  /// if the merge rolled back (check stats().downsize_rollbacks); in both
+  /// cases the table is unchanged and no key is lost.
   Status Downsize() {
     if (!CanDownsize()) {
       return Status::InvalidArgument("table is already at minimum size");
     }
-    return DownsizeInternal();
+    bool progressed = false;
+    return DownsizeInternal(&progressed);
   }
 
   // ---------------------------------------------------------------------
@@ -526,9 +635,82 @@ class DynamicTable {
  private:
   static constexpr int kMaxInsertRetryRounds = 16;
   static constexpr int kMaxResizeIterations = 4096;
+  /// Legacy (version-1, headerless, no checksum) snapshot magic.
   static constexpr uint64_t kSnapshotMagic = 0xD1C0CC00'5A4B1705ULL;
+  /// Version-2 snapshot magic (format-version field + CRC-32 trailer).
+  static constexpr uint64_t kSnapshotMagicV2 = 0xD1C0CC00'5A4B1706ULL;
+  static constexpr uint64_t kSnapshotFormatVersion = 2;
+  /// A committing downsize may park at most this many unplaceable residuals
+  /// in the stash; beyond it the whole downsize rolls back instead.
+  static constexpr uint64_t kMaxDownsizeSpill = 64;
 
   explicit DynamicTable(const DyCuckooOptions& options) : options_(options) {}
+
+  /// Reads the remainder of a version-1 snapshot (after the magic).
+  static Status LoadLegacy(std::istream& is, const DyCuckooOptions& options,
+                           std::unique_ptr<DynamicTable>* out) {
+    uint64_t header[3] = {0, 0, 0};
+    is.read(reinterpret_cast<char*>(header), sizeof(header));
+    if (!is.good()) return Status::InvalidArgument("not a DyCuckoo snapshot");
+    if (header[0] != sizeof(Key) || header[1] != sizeof(Value)) {
+      return Status::InvalidArgument("snapshot key/value width mismatch");
+    }
+    DYCUCKOO_RETURN_NOT_OK(Create(options, out));
+    const uint64_t count = header[2];
+    if ((*out)->options_.auto_resize) {
+      DYCUCKOO_RETURN_NOT_OK((*out)->Reserve(count));
+    }
+    constexpr uint64_t kChunk = 1 << 16;
+    std::vector<Key> keys(std::min(count, kChunk));
+    std::vector<Value> values(keys.size());
+    uint64_t remaining = count;
+    while (remaining > 0) {
+      uint64_t n = std::min(remaining, kChunk);
+      for (uint64_t i = 0; i < n; ++i) {
+        is.read(reinterpret_cast<char*>(&keys[i]), sizeof(Key));
+        is.read(reinterpret_cast<char*>(&values[i]), sizeof(Value));
+      }
+      if (!is.good()) return Status::InvalidArgument("snapshot truncated");
+      DYCUCKOO_RETURN_NOT_OK((*out)->BulkInsert(
+          std::span<const Key>(keys.data(), n),
+          std::span<const Value>(values.data(), n)));
+      remaining -= n;
+    }
+    return Status::OK();
+  }
+
+  /// Records that a batch ran without the capacity growth it wanted
+  /// (counted once per batch, keeping the first failure's message).
+  void NoteDegradedBatch(Status* grow_failure, const Status& oom) {
+    if (!grow_failure->ok()) return;
+    stats_.degraded_batches.fetch_add(1, kRelaxed);
+    *grow_failure = oom;
+  }
+
+  class FailBuffer;  // defined below
+
+  /// A terminal fail buffer usually does NOT hold the batch keys that
+  /// started the failing chains: cuckoo insertion displaces residents as it
+  /// walks, so the carried pair left over at the chain bound is typically a
+  /// key stored long before this batch.  Dropping it would silently lose
+  /// data the caller never handed us in this call.  Residents are parked in
+  /// the stash (lossless; drained back on the next upsize); only keys that
+  /// belong to `batch` are genuine failures the caller must retry.
+  template <typename KeyRange>
+  uint64_t AbsorbResidentFailures(const FailBuffer& fail,
+                                  const KeyRange& batch) {
+    std::unordered_set<Key> batch_keys(batch.begin(), batch.end());
+    uint64_t batch_failed = 0;
+    for (uint64_t i = 0; i < fail.count(); ++i) {
+      if (batch_keys.count(fail.keys()[i]) > 0) {
+        ++batch_failed;
+      } else {
+        ForceStash(fail.keys()[i], fail.values()[i]);
+        stats_.recovery_spills.fetch_add(1, kRelaxed);
+      }
+    }
+    return batch_failed;
+  }
 
   Status Init() {
     arena_ = options_.arena != nullptr ? options_.arena
@@ -637,16 +819,34 @@ class DynamicTable {
   }
 
   /// Where an evicted pair continues its walk: the other member of its own
-  /// pair in two-layer mode; any other subtable in plain mode.
-  int EvictionTarget(Key victim_key, int from_table, int chain_step) const {
+  /// pair in two-layer mode; any other subtable in plain mode.  Returns -1
+  /// when the only continuation is the excluded subtable (the chain dead-
+  /// ends; the caller fails the op instead of touching excluded storage).
+  int EvictionTarget(Key victim_key, int from_table, int chain_step,
+                     int exclude_table) const {
     if (options_.enable_two_layer) {
       TablePair vp = pair_map_.PairFor(static_cast<uint64_t>(victim_key));
       DYCUCKOO_DCHECK(vp.Contains(from_table));
-      return vp.Contains(from_table) ? vp.Other(from_table) : vp.first;
+      int other = vp.Contains(from_table) ? vp.Other(from_table) : vp.first;
+      return other == exclude_table ? -1 : other;
     }
+    if (exclude_table < 0) {
+      uint64_t h = Mix64(static_cast<uint64_t>(victim_key) + chain_step);
+      int hop = 1 + static_cast<int>(h % (num_subtables() - 1));
+      return (from_table + hop) % num_subtables();
+    }
+    int eligible = 0;
+    for (int t = 0; t < num_subtables(); ++t) {
+      if (t != from_table && t != exclude_table) ++eligible;
+    }
+    if (eligible == 0) return -1;
     uint64_t h = Mix64(static_cast<uint64_t>(victim_key) + chain_step);
-    int hop = 1 + static_cast<int>(h % (num_subtables() - 1));
-    return (from_table + hop) % num_subtables();
+    int pick = static_cast<int>(h % eligible);
+    for (int t = 0; t < num_subtables(); ++t) {
+      if (t == from_table || t == exclude_table) continue;
+      if (pick-- == 0) return t;
+    }
+    return -1;
   }
 
   /// Candidate subtables that may hold `key` (probe set for FIND/DELETE and
@@ -667,26 +867,36 @@ class DynamicTable {
   /// load-bearing — a deterministic "best" victim re-selects the same keys
   /// and builds eviction cycles at high fill; sampling keeps the Theorem-1
   /// balance bias while breaking cycles (the classic cuckoo random walk).
+  /// With an excluded subtable (downsize in flight) victims whose only
+  /// alternate is that subtable are ineligible; -1 means no sampled victim
+  /// qualifies and the chain must dead-end.
   int ChooseVictim(const SubtableT& table, uint64_t bucket, int table_idx,
-                   uint64_t salt) const {
+                   uint64_t salt, int exclude_table) const {
     constexpr int kCandidates = 4;
     uint64_t h = Mix64(salt ^ (bucket << 20) ^ choice_salt_);
-    int best_slot = static_cast<int>(h % kSlots);
+    int best_slot = -1;
     double best_weight = -1.0;
     for (int c = 0; c < kCandidates; ++c) {
       int s = static_cast<int>((h >> (c * 8)) % kSlots);
       Key k = table.KeyAt(bucket, s);
       if (k == kEmptyKey) return s;  // racing delete vacated it: reuse
       double w = 0.0;
-      if (options_.enable_balance && options_.enable_two_layer) {
+      if (options_.enable_two_layer &&
+          (options_.enable_balance || exclude_table >= 0)) {
         TablePair p = pair_map_.PairFor(static_cast<uint64_t>(k));
         if (!p.Contains(table_idx)) continue;  // defensive
-        w = BalanceWeight(p.Other(table_idx));
+        if (exclude_table >= 0 && p.Other(table_idx) == exclude_table) {
+          continue;  // its walk could only land in the excluded subtable
+        }
+        if (options_.enable_balance) w = BalanceWeight(p.Other(table_idx));
       }
       if (w > best_weight) {
         best_weight = w;
         best_slot = s;
       }
+    }
+    if (best_slot < 0 && exclude_table < 0) {
+      best_slot = static_cast<int>(h % kSlots);  // defensive fallback
     }
     return best_slot;
   }
@@ -772,8 +982,8 @@ class DynamicTable {
                         &ops[lane], &local_updated);
     }
 
-    RunVoterLoop(ops, fail, &local_new, &local_updated, &local_failed,
-                 &local_evictions);
+    RunVoterLoop(ops, exclude_table, fail, &local_new, &local_updated,
+                 &local_failed, &local_evictions);
 
     if (local_new) stats_.inserts_new.fetch_add(local_new, kRelaxed);
     if (local_updated) stats_.inserts_updated.fetch_add(local_updated, kRelaxed);
@@ -830,13 +1040,17 @@ class DynamicTable {
   /// is maintained incrementally — on hardware __ballot_sync is a single
   /// cycle, so recomputing it with a 32-lane loop each round would charge
   /// the simulation a cost the GPU never pays.
-  void RunVoterLoop(LaneOp* ops, FailBuffer* fail, uint64_t* local_new,
-                    uint64_t* local_updated, uint64_t* local_failed,
-                    uint64_t* local_evictions) {
+  void RunVoterLoop(LaneOp* ops, int exclude_table, FailBuffer* fail,
+                    uint64_t* local_new, uint64_t* local_updated,
+                    uint64_t* local_failed, uint64_t* local_evictions) {
     uint64_t& new_count = *local_new;
     uint64_t& updated = *local_updated;
     uint64_t& failed = *local_failed;
     uint64_t& evicted = *local_evictions;
+    int chain_limit = options_.max_eviction_chain;
+    if (gpusim::FaultInjector* fi = gpusim::FaultInjector::Active()) {
+      chain_limit = fi->ClampEvictionChain(chain_limit);
+    }
     gpusim::LaneMask active =
         gpusim::Ballot([&](int lane) { return ops[lane].active; });
     int prev_leader = -1;
@@ -895,7 +1109,7 @@ class DynamicTable {
       // continue the chain with the displaced pair (bounded).  An exhausted
       // chain goes to the stash when one is configured (the paper's
       // future-work extension), else to the failure buffer.
-      if (op.evictions >= options_.max_eviction_chain) {
+      if (op.evictions >= chain_limit) {
         table.lock(loc).Unlock();
         op.active = false;
         active &= ~(gpusim::LaneMask{1} << leader);
@@ -907,19 +1121,39 @@ class DynamicTable {
       }
       int victim =
           ChooseVictim(table, loc, op.target,
-                       static_cast<uint64_t>(op.key) + op.evictions);
-      Key vk = table.KeyAt(loc, victim);
-      Value vv = table.ValueAt(loc, victim);
-      if (vk == kEmptyKey) {
-        // A concurrent lock-free delete vacated the slot after our scan:
-        // claim it directly instead of evicting.
-        table.StoreSlot(loc, victim, op.key, op.value);
-        gpusim::CountBucketWrite();
+                       static_cast<uint64_t>(op.key) + op.evictions,
+                       exclude_table);
+      int next_target = -1;
+      Key vk{};
+      Value vv{};
+      if (victim >= 0) {
+        vk = table.KeyAt(loc, victim);
+        vv = table.ValueAt(loc, victim);
+        if (vk == kEmptyKey) {
+          // A concurrent lock-free delete vacated the slot after our scan:
+          // claim it directly instead of evicting.
+          table.StoreSlot(loc, victim, op.key, op.value);
+          gpusim::CountBucketWrite();
+          table.lock(loc).Unlock();
+          table.AddSize(1);
+          op.active = false;
+          active &= ~(gpusim::LaneMask{1} << leader);
+          ++new_count;
+          continue;
+        }
+        next_target = EvictionTarget(vk, op.target, op.evictions,
+                                     exclude_table);
+      }
+      if (victim < 0 || next_target < 0) {
+        // Dead end: every continuation would enter the excluded subtable.
+        // Fail the op exactly like an exhausted chain.
         table.lock(loc).Unlock();
-        table.AddSize(1);
         op.active = false;
         active &= ~(gpusim::LaneMask{1} << leader);
-        ++new_count;
+        if (stash_keys_.empty() || !StashInsert(op.key, op.value)) {
+          fail->Push(op.key, op.value);
+          ++failed;
+        }
         continue;
       }
       table.StoreSlot(loc, victim, op.key, op.value);
@@ -928,10 +1162,9 @@ class DynamicTable {
       gpusim::CountEviction();
       ++evicted;
 
-      int from = op.target;
       op.key = vk;
       op.value = vv;
-      op.target = EvictionTarget(vk, from, op.evictions);
+      op.target = next_target;
       ++op.evictions;
     }
   }
@@ -982,8 +1215,8 @@ class DynamicTable {
       }
     }
 
-    RunVoterLoop(lane_ops, fail, &local_new, &local_updated, &local_failed,
-                 &local_evictions);
+    RunVoterLoop(lane_ops, /*exclude_table=*/-1, fail, &local_new,
+                 &local_updated, &local_failed, &local_evictions);
 
     if (local_new) stats_.inserts_new.fetch_add(local_new, kRelaxed);
     if (local_updated) stats_.inserts_updated.fetch_add(local_updated, kRelaxed);
@@ -1069,6 +1302,29 @@ class DynamicTable {
     return false;
   }
 
+  /// Stash insert that cannot fail: doubles the stash arrays (host memory,
+  /// like the fail buffers — not arena-metered) when full.  Recovery paths
+  /// only; called with no kernels in flight.
+  void ForceStash(Key k, Value v) {
+    if (StashInsert(k, v)) return;
+    const size_t old_cap = stash_keys_.size();
+    const size_t new_cap = std::max<size_t>(16, old_cap * 2);
+    std::vector<std::atomic<Key>> grown_keys(new_cap);
+    std::vector<std::atomic<Value>> grown_values(new_cap);
+    for (size_t i = 0; i < new_cap; ++i) {
+      grown_keys[i].store(kEmptyKey, std::memory_order_relaxed);
+    }
+    for (size_t i = 0; i < old_cap; ++i) {
+      grown_keys[i].store(stash_keys_[i].load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+      grown_values[i].store(stash_values_[i].load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+    }
+    stash_keys_ = std::move(grown_keys);
+    stash_values_ = std::move(grown_values);
+    DYCUCKOO_CHECK(StashInsert(k, v));
+  }
+
   /// Moves every stash entry back through the normal insert path (called
   /// after an upsize made room); anything that still fails returns to the
   /// stash, which cannot overflow since the entries just vacated it.
@@ -1117,13 +1373,16 @@ class DynamicTable {
   }
 
   /// One delete over the key's candidate buckets; returns slots released
-  /// (more than one only if a racy duplicate existed).
-  uint64_t EraseOneInternal(Key k) {
+  /// (more than one only if a racy duplicate existed).  `except_table`
+  /// shields one subtable from the delete (downsize rollback: the old
+  /// subtable keeps its copy while duplicates elsewhere are removed).
+  uint64_t EraseOneInternal(Key k, int except_table = -1) {
     if (k == kEmptyKey) return 0;
     uint64_t released = 0;
     int candidates[16];
     int n_cand = CandidateTables(k, candidates);
     for (int c = 0; c < n_cand; ++c) {
+      if (candidates[c] == except_table) continue;
       SubtableT& t = tables_[candidates[c]];
       uint64_t loc = t.BucketIndex(k);
       gpusim::CountBucketRead();
@@ -1224,7 +1483,21 @@ class DynamicTable {
   /// Halves the largest subtable: old buckets (loc, loc + n_new) merge into
   /// new bucket loc; overflow ("residuals") is reinserted into the *other*
   /// subtables (paper Section IV-D, downsizing).
-  Status DownsizeInternal() {
+  ///
+  /// Transactional: the old subtable stays live — and untouched, since the
+  /// entire eviction machinery excludes subtable `idx` — until every
+  /// residual has a new home.  Outcomes:
+  ///  * commit:        *progressed = true, OK.  Up to kMaxDownsizeSpill
+  ///                   hard-to-place residuals may be parked in the stash
+  ///                   (stats().recovery_spills) rather than aborting.
+  ///  * alloc failure: *progressed = false, OutOfMemory; nothing changed.
+  ///  * rollback:      *progressed = false, OK; residual copies placed in
+  ///                   other subtables are erased again (the old subtable
+  ///                   still holds the originals) and any residents the
+  ///                   placement chains displaced are re-homed.  No key is
+  ///                   ever lost (stats().downsize_rollbacks).
+  Status DownsizeInternal(bool* progressed) {
+    *progressed = false;
     const int idx = LargestSubtable();
     SubtableT& old = tables_[idx];
     const uint64_t n_new = old.num_buckets() / 2;
@@ -1273,31 +1546,75 @@ class DynamicTable {
     });
 
     const uint64_t residuals = residual_cursor.load(std::memory_order_relaxed);
+
+    // Place every residual into the *other* subtables while the old
+    // subtable still holds them.  The transient duplicates are invisible:
+    // no partner check, and chains never enter subtable idx.
+    FailBuffer fail(residuals > 0 ? residuals : 1);
+    if (residuals > 0) {
+      InsertKernel(residual_keys.data(), residual_values.data(), residuals,
+                   /*exclude_table=*/idx, /*check_partner=*/false, &fail);
+    }
+    const uint64_t leftover = fail.count();
+    if (leftover > kMaxDownsizeSpill) {
+      RollbackDownsize(idx, residual_keys, residuals, fail);
+      stats_.downsize_rollbacks.fetch_add(1, kRelaxed);
+      DYCUCKOO_LOG(Warning) << "downsize of subtable " << idx
+                            << " rolled back: " << leftover << " of "
+                            << residuals << " residuals had no home";
+      return Status::OK();
+    }
+
+    // Commit: absorb the stragglers into the stash and swap in the merged
+    // subtable (which frees the old one).
+    for (uint64_t i = 0; i < leftover; ++i) {
+      ForceStash(fail.keys()[i], fail.values()[i]);
+    }
+    if (leftover > 0) {
+      stats_.recovery_spills.fetch_add(leftover, kRelaxed);
+      DYCUCKOO_LOG(Info) << "downsize of subtable " << idx << " parked "
+                         << leftover << " residuals in the stash";
+    }
     smaller.SetSize(old_size - residuals);
     tables_[idx] = std::move(smaller);
     stats_.rehashed_kvs.fetch_add(old_size, kRelaxed);
     stats_.residual_kvs.fetch_add(residuals, kRelaxed);
     stats_.downsizes.fetch_add(1, kRelaxed);
-
-    // Reinsert the residuals, excluding the just-downsized subtable as the
-    // initial target.  No partner check: the keys are not stored anywhere.
-    if (residuals > 0) {
-      FailBuffer fail(residuals);
-      InsertKernel(residual_keys.data(), residual_values.data(), residuals,
-                   /*exclude_table=*/idx, /*check_partner=*/false, &fail);
-      int rounds = 0;
-      while (fail.count() > 0) {
-        if (++rounds > kMaxInsertRetryRounds) {
-          return Status::Internal("residual reinsertion kept failing");
-        }
-        DYCUCKOO_RETURN_NOT_OK(UpsizeInternal());
-        FailBuffer next(fail.count());
-        InsertKernel(fail.keys(), fail.values(), fail.count(),
-                     /*exclude_table=*/-1, /*check_partner=*/false, &next);
-        fail = std::move(next);
-      }
-    }
+    *progressed = true;
     return Status::OK();
+  }
+
+  /// Undoes a failed downsize.  The old subtable (still installed at `idx`)
+  /// holds every residual, so the copies successfully placed into other
+  /// subtables or the stash are simply erased again.  Keys in the fail
+  /// buffer that are *not* residuals were evicted out of their slots by the
+  /// placement chains and must be stored again — the stash backstops them,
+  /// so the rollback itself cannot lose keys.
+  void RollbackDownsize(int idx, const std::vector<Key>& residual_keys,
+                        uint64_t residuals, const FailBuffer& fail) {
+    std::unordered_set<Key> residual_set(residual_keys.begin(),
+                                         residual_keys.begin() + residuals);
+    for (uint64_t i = 0; i < residuals; ++i) {
+      EraseOneInternal(residual_keys[i], /*except_table=*/idx);
+    }
+    std::vector<Key> displaced_keys;
+    std::vector<Value> displaced_values;
+    for (uint64_t i = 0; i < fail.count(); ++i) {
+      if (residual_set.count(fail.keys()[i]) > 0) continue;
+      displaced_keys.push_back(fail.keys()[i]);
+      displaced_values.push_back(fail.values()[i]);
+    }
+    if (displaced_keys.empty()) return;
+    FailBuffer still_failed(displaced_keys.size());
+    InsertKernel(displaced_keys.data(), displaced_values.data(),
+                 displaced_keys.size(), /*exclude_table=*/idx,
+                 /*check_partner=*/false, &still_failed);
+    for (uint64_t i = 0; i < still_failed.count(); ++i) {
+      ForceStash(still_failed.keys()[i], still_failed.values()[i]);
+    }
+    if (still_failed.count() > 0) {
+      stats_.recovery_spills.fetch_add(still_failed.count(), kRelaxed);
+    }
   }
 
   static constexpr std::memory_order kRelaxed = std::memory_order_relaxed;

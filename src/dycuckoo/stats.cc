@@ -12,7 +12,11 @@ std::string TableStats::Snapshot::ToString() const {
      << " erase_hits=" << erase_hits << " evictions=" << evictions
      << " upsizes=" << upsizes << " downsizes=" << downsizes
      << " rehashed_kvs=" << rehashed_kvs << " residual_kvs=" << residual_kvs
-     << " stash_inserts=" << stash_inserts << " stash_drains=" << stash_drains;
+     << " stash_inserts=" << stash_inserts << " stash_drains=" << stash_drains
+     << " downsize_rollbacks=" << downsize_rollbacks
+     << " degraded_batches=" << degraded_batches
+     << " resize_oom_skips=" << resize_oom_skips
+     << " recovery_spills=" << recovery_spills;
   return os.str();
 }
 

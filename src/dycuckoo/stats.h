@@ -28,6 +28,13 @@ class TableStats {
   std::atomic<uint64_t> stash_inserts{0};    // failures absorbed by the stash
   std::atomic<uint64_t> stash_drains{0};     // stash entries moved back
 
+  // Recovery / fault-survival counters: how often the table degraded or
+  // rolled back instead of failing (see docs/robustness.md).
+  std::atomic<uint64_t> downsize_rollbacks{0};  // downsize undone losslessly
+  std::atomic<uint64_t> degraded_batches{0};    // batch ran without pre-grow
+  std::atomic<uint64_t> resize_oom_skips{0};    // auto-resize skipped on OOM
+  std::atomic<uint64_t> recovery_spills{0};     // keys force-parked in stash
+
   struct Snapshot {
     uint64_t inserts_new = 0;
     uint64_t inserts_updated = 0;
@@ -43,6 +50,10 @@ class TableStats {
     uint64_t residual_kvs = 0;
     uint64_t stash_inserts = 0;
     uint64_t stash_drains = 0;
+    uint64_t downsize_rollbacks = 0;
+    uint64_t degraded_batches = 0;
+    uint64_t resize_oom_skips = 0;
+    uint64_t recovery_spills = 0;
 
     std::string ToString() const;
   };
@@ -63,6 +74,10 @@ class TableStats {
     s.residual_kvs = residual_kvs.load(std::memory_order_relaxed);
     s.stash_inserts = stash_inserts.load(std::memory_order_relaxed);
     s.stash_drains = stash_drains.load(std::memory_order_relaxed);
+    s.downsize_rollbacks = downsize_rollbacks.load(std::memory_order_relaxed);
+    s.degraded_batches = degraded_batches.load(std::memory_order_relaxed);
+    s.resize_oom_skips = resize_oom_skips.load(std::memory_order_relaxed);
+    s.recovery_spills = recovery_spills.load(std::memory_order_relaxed);
     return s;
   }
 };

@@ -17,6 +17,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "gpusim/fault_injector.h"
 #include "gpusim/sim_counters.h"
 
 namespace dycuckoo {
@@ -78,8 +79,19 @@ class BucketLock {
   BucketLock(const BucketLock&) : word_(0) {}
   BucketLock& operator=(const BucketLock&) { return *this; }
 
-  /// Single attempt; true iff the lock was acquired.
-  bool TryLock() { return AtomicCas(&word_, 0, 1) == 0; }
+  /// Single attempt; true iff the lock was acquired.  An installed fault
+  /// injector may force a failure report (as if another warp held the
+  /// lock) to stress the caller's revote / retry path.
+  bool TryLock() {
+    if (FaultInjector* injector = FaultInjector::Active()) {
+      if (injector->OnTryLock()) {
+        SimCounters::Get().lock_conflicts.fetch_add(1,
+                                                    std::memory_order_relaxed);
+        return false;
+      }
+    }
+    return AtomicCas(&word_, 0, 1) == 0;
+  }
 
   void Unlock() { AtomicExch(&word_, 0); }
 

@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "common/logging.h"
+#include "gpusim/fault_injector.h"
 
 namespace dycuckoo {
 namespace gpusim {
@@ -25,6 +26,12 @@ DeviceArena* DeviceArena::Global() {
 
 void* DeviceArena::Allocate(size_t bytes, const std::string& tag) {
   if (bytes == 0) bytes = 1;
+  if (FaultInjector* injector = FaultInjector::Active()) {
+    // An injected failure behaves exactly like arena exhaustion: callers
+    // must survive nullptr here the same way they survive cudaMalloc
+    // returning cudaErrorMemoryAllocation.
+    if (injector->OnAllocation(bytes, tag)) return nullptr;
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (capacity_bytes_ != 0 && used_bytes_ + bytes > capacity_bytes_) {

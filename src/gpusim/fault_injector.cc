@@ -1,0 +1,101 @@
+#include "gpusim/fault_injector.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace dycuckoo {
+namespace gpusim {
+
+std::atomic<FaultInjector*> FaultInjector::active_{nullptr};
+
+namespace {
+// Cap forced TryLock failure: the voter loop revotes until the lock is won,
+// so certainty-of-failure would livelock the simulated kernel.
+constexpr double kMaxTryLockFailProbability = 0.95;
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultInjectorConfig& config)
+    : config_(config) {
+  config_.trylock_fail_probability = std::clamp(
+      config_.trylock_fail_probability, 0.0, kMaxTryLockFailProbability);
+  config_.alloc_fail_probability =
+      std::clamp(config_.alloc_fail_probability, 0.0, 1.0);
+  config_.warp_yield_probability =
+      std::clamp(config_.warp_yield_probability, 0.0, 1.0);
+}
+
+double FaultInjector::NextUniform(uint64_t stream) {
+  uint64_t event = events_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t bits = Mix64(config_.seed ^ Mix64(stream) ^ event);
+  // 53 mantissa bits -> uniform double in [0, 1).
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+bool FaultInjector::OnAllocation(size_t bytes, const std::string& tag) {
+  if (!config_.alloc_tag_filter.empty() &&
+      tag.find(config_.alloc_tag_filter) == std::string::npos) {
+    return false;
+  }
+  uint64_t index = allocs_seen_.fetch_add(1, std::memory_order_relaxed);
+  bool fail = false;
+  if (config_.fail_nth_alloc >= 0 &&
+      index == static_cast<uint64_t>(config_.fail_nth_alloc)) {
+    fail = true;
+  }
+  if (config_.fail_after_allocs >= 0 &&
+      index >= static_cast<uint64_t>(config_.fail_after_allocs)) {
+    fail = true;
+  }
+  if (config_.fail_every_k_allocs > 0 &&
+      (index + 1) % config_.fail_every_k_allocs == 0) {
+    fail = true;
+  }
+  if (!fail && config_.alloc_fail_probability > 0.0 &&
+      NextUniform(/*stream=*/1) < config_.alloc_fail_probability) {
+    fail = true;
+  }
+  if (fail) {
+    allocs_failed_.fetch_add(1, std::memory_order_relaxed);
+    DYCUCKOO_LOG(Debug) << "fault injector: failing allocation #" << index
+                        << " (" << bytes << " bytes, tag '" << tag << "')";
+  }
+  return fail;
+}
+
+void FaultInjector::OnWarpStart(uint64_t warp_id) {
+  if (config_.warp_yield_probability <= 0.0) return;
+  if (NextUniform(/*stream=*/2 + warp_id) < config_.warp_yield_probability) {
+    warps_delayed_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::yield();
+  }
+}
+
+bool FaultInjector::OnTryLock() {
+  if (config_.trylock_fail_probability <= 0.0) return false;
+  if (NextUniform(/*stream=*/3) < config_.trylock_fail_probability) {
+    trylock_failures_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+int FaultInjector::ClampEvictionChain(int configured_bound) const {
+  if (config_.max_eviction_chain < 0) return configured_bound;
+  return std::min(configured_bound, config_.max_eviction_chain);
+}
+
+ScopedFaultInjection::ScopedFaultInjection(const FaultInjectorConfig& config)
+    : injector_(config) {
+  previous_ = FaultInjector::active_.exchange(&injector_,
+                                              std::memory_order_acq_rel);
+}
+
+ScopedFaultInjection::~ScopedFaultInjection() {
+  FaultInjector::active_.store(previous_, std::memory_order_release);
+}
+
+}  // namespace gpusim
+}  // namespace dycuckoo

@@ -1,0 +1,168 @@
+// Deterministic fault injection for the gpusim substrate.
+//
+// Real GPU deployments fail in ways a happy-path test never exercises:
+// cudaMalloc returns cudaErrorMemoryAllocation mid-resize, warps are
+// scheduled in adversarial orders, and lock acquisition loses far more
+// often under contention than a single-threaded trace suggests.  The
+// FaultInjector lets tests reach every one of those branches on demand,
+// reproducibly: all decisions derive from Mix64(seed ^ event-counter), so
+// a given (config, op sequence) always injects the same faults.
+//
+// The injector is installed process-globally (mirroring SimCounters) so
+// the deepest substrate primitives — BucketLock::TryLock has no context
+// pointer — can consult it without plumbing.  Use the RAII helper:
+//
+//   gpusim::FaultInjectorConfig cfg;
+//   cfg.seed = 42;
+//   cfg.alloc_fail_probability = 0.05;
+//   cfg.alloc_tag_filter = "dycuckoo";
+//   gpusim::ScopedFaultInjection scoped(cfg);
+//   ... everything on this process now sees injected faults ...
+//
+// Hook points (all no-ops when no injector is installed):
+//   - DeviceArena::Allocate     -> OnAllocation (fail Nth / every-kth /
+//                                  probabilistic / per-tag)
+//   - Grid worker loop          -> OnWarpStart (std::this_thread::yield to
+//                                  widen race windows)
+//   - BucketLock::TryLock       -> OnTryLock (forced acquisition failure)
+//   - DynamicTable voter loop   -> ClampEvictionChain (truncate chains)
+
+#ifndef DYCUCKOO_GPUSIM_FAULT_INJECTOR_H_
+#define DYCUCKOO_GPUSIM_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace dycuckoo {
+namespace gpusim {
+
+/// Configuration for one fault-injection campaign.  All knobs default to
+/// "off"; any subset can be combined.
+struct FaultInjectorConfig {
+  /// Seed for every probabilistic decision.  Two runs with the same seed
+  /// and the same event sequence inject identical faults.
+  uint64_t seed = 0;
+
+  // --- Allocation faults (DeviceArena::Allocate) ---------------------------
+
+  /// Fail exactly the Nth matching allocation seen by this injector
+  /// (0-based).  -1 disables.
+  int64_t fail_nth_alloc = -1;
+
+  /// Fail every matching allocation once `fail_after_allocs` of them have
+  /// been observed (i.e. allocations [N, inf) all fail).  -1 disables.
+  int64_t fail_after_allocs = -1;
+
+  /// Fail every k-th matching allocation (k, 2k, 3k, ...).  0 disables.
+  uint64_t fail_every_k_allocs = 0;
+
+  /// Independently fail each matching allocation with this probability.
+  double alloc_fail_probability = 0.0;
+
+  /// Only allocations whose tag contains this substring are candidates for
+  /// injected failure.  Empty matches every tag.
+  std::string alloc_tag_filter;
+
+  // --- Scheduling perturbation (Grid worker loop) --------------------------
+
+  /// Probability that a worker yields the CPU before running a warp,
+  /// shuffling warp interleavings to widen race windows.
+  double warp_yield_probability = 0.0;
+
+  // --- Lock faults (BucketLock::TryLock) -----------------------------------
+
+  /// Probability that a TryLock that would have succeeded is forced to
+  /// report failure (the CAS is not performed).  Clamped to 0.95: the voter
+  /// loop revotes on lock failure, so probability 1.0 would livelock.
+  double trylock_fail_probability = 0.0;
+
+  // --- Eviction-chain truncation (DynamicTable voter loop) -----------------
+
+  /// If >= 0, eviction chains are truncated to min(configured bound, this),
+  /// forcing the stash / fail-buffer paths at otherwise-healthy fill.
+  int max_eviction_chain = -1;
+};
+
+/// \brief Seeded deterministic fault source.  Thread-safe; every decision
+/// advances an atomic event counter that feeds Mix64, so concurrent warps
+/// draw distinct, reproducible-in-aggregate decisions.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultInjectorConfig& config);
+
+  /// The installed injector, or nullptr.  Lock-free; called on every
+  /// allocation / lock attempt, so keep it a single atomic load.
+  static FaultInjector* Active() {
+    return active_.load(std::memory_order_acquire);
+  }
+
+  /// Consulted by DeviceArena::Allocate.  True => the arena must behave as
+  /// if exhausted (return nullptr without allocating).
+  bool OnAllocation(size_t bytes, const std::string& tag);
+
+  /// Consulted by Grid workers before each warp body; yields the thread
+  /// with `warp_yield_probability`.
+  void OnWarpStart(uint64_t warp_id);
+
+  /// Consulted by BucketLock::TryLock.  True => report acquisition failure
+  /// without attempting the CAS.
+  bool OnTryLock();
+
+  /// Truncates an eviction-chain bound.
+  int ClampEvictionChain(int configured_bound) const;
+
+  const FaultInjectorConfig& config() const { return config_; }
+
+  // --- Campaign statistics (what was actually injected) --------------------
+  uint64_t allocations_seen() const {
+    return allocs_seen_.load(std::memory_order_relaxed);
+  }
+  uint64_t allocations_failed() const {
+    return allocs_failed_.load(std::memory_order_relaxed);
+  }
+  uint64_t warps_delayed() const {
+    return warps_delayed_.load(std::memory_order_relaxed);
+  }
+  uint64_t trylock_failures() const {
+    return trylock_failures_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class ScopedFaultInjection;
+
+  /// Deterministic uniform draw in [0, 1) for the next event in `stream`.
+  double NextUniform(uint64_t stream);
+
+  static std::atomic<FaultInjector*> active_;
+
+  FaultInjectorConfig config_;
+  std::atomic<uint64_t> events_{0};        // feeds Mix64 decisions
+  std::atomic<uint64_t> allocs_seen_{0};   // matching allocations observed
+  std::atomic<uint64_t> allocs_failed_{0};
+  std::atomic<uint64_t> warps_delayed_{0};
+  std::atomic<uint64_t> trylock_failures_{0};
+};
+
+/// \brief RAII guard: installs a FaultInjector for its lifetime.  Nesting is
+/// supported (the previous injector is restored on destruction), but only
+/// the innermost injector is consulted.
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(const FaultInjectorConfig& config);
+  ~ScopedFaultInjection();
+
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+
+  FaultInjector& injector() { return injector_; }
+
+ private:
+  FaultInjector injector_;
+  FaultInjector* previous_;
+};
+
+}  // namespace gpusim
+}  // namespace dycuckoo
+
+#endif  // DYCUCKOO_GPUSIM_FAULT_INJECTOR_H_

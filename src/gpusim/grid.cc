@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "gpusim/fault_injector.h"
 
 namespace dycuckoo {
 namespace gpusim {
@@ -97,7 +98,14 @@ void Grid::WorkerLoop() {
       uint64_t begin = launch->next.fetch_add(chunk, std::memory_order_relaxed);
       if (begin >= total) break;
       uint64_t end = std::min(begin + chunk, total);
-      for (uint64_t w = begin; w < end; ++w) (*launch->body)(w);
+      FaultInjector* injector = FaultInjector::Active();
+      for (uint64_t w = begin; w < end; ++w) {
+        // Scheduling perturbation: a real GPU gives no ordering guarantee
+        // between warps, so an injector may yield here to shuffle
+        // interleavings and widen race windows on locks and erase CASes.
+        if (injector != nullptr) injector->OnWarpStart(w);
+        (*launch->body)(w);
+      }
       processed += end - begin;
     }
     if (processed > 0) {

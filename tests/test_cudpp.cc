@@ -142,6 +142,36 @@ TEST(CudppTest, RebuildPreservesContents) {
   }
 }
 
+TEST(CudppTest, FailedRebuildStormNeverDropsResidents) {
+  // Overfill until the rebuild storm gives up.  The terminal pending set
+  // mixes the failing batch's keys with residents drained out of the
+  // table; only the former may be reported failed — residents must stay
+  // findable (parked host-side if they lost their slot).
+  CudppOptions o;
+  o.capacity_slots = 1 << 12;   // 4096 slots
+  o.expected_items = 3600;      // high target load => d=5
+  o.max_rebuilds = 3;
+  auto t = MakeTable(o);
+  auto resident_keys = UniqueKeys(3000, 21);
+  auto resident_values = SequentialValues(resident_keys.size());
+  ASSERT_TRUE(t->BulkInsert(resident_keys, resident_values).ok());
+
+  auto flood = UniqueKeys(2000, 22);  // cannot fit: 5000 > 4096
+  uint64_t num_failed = 0;
+  Status st = t->BulkInsert(flood, SequentialValues(flood.size(), 90000),
+                            &num_failed);
+  ASSERT_TRUE(st.IsInsertionFailure()) << st.ToString();
+  EXPECT_GT(num_failed, 0u);
+
+  std::vector<uint32_t> out(resident_keys.size());
+  std::vector<uint8_t> found(resident_keys.size());
+  t->BulkFind(resident_keys, out.data(), found.data());
+  for (size_t i = 0; i < resident_keys.size(); ++i) {
+    ASSERT_TRUE(found[i]) << "resident " << i << " lost in rebuild storm";
+    ASSERT_EQ(out[i], resident_values[i]);
+  }
+}
+
 TEST(CudppTest, ReservedKeyRejected) {
   auto t = MakeTable();
   std::vector<uint32_t> keys = {0xffffffffu};

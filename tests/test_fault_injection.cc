@@ -1,0 +1,397 @@
+// Deterministic fault injection: the injector itself, OOM injected into
+// resize paths, the transactional downsize guarantee, and a chaos soak
+// that runs a mixed workload under probabilistic injection against a
+// shadow map.
+//
+// The capped-arena downsize test doubles as the regression test for the
+// historical DownsizeInternal behaviour of dropping residual pairs when
+// the post-merge reinsertion could not grow the table: it needs no
+// injector, so it compiles and fails against that behaviour directly.
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dycuckoo/dycuckoo.h"
+#include "gpusim/device_arena.h"
+#include "gpusim/fault_injector.h"
+#include "test_util.h"
+
+namespace dycuckoo {
+namespace {
+
+using testing::SequentialValues;
+using testing::UniqueKeys;
+
+// ---------------------------------------------------------------------------
+// Injector unit behaviour
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectorTest, FailsExactlyTheNthAllocation) {
+  gpusim::FaultInjectorConfig cfg;
+  cfg.fail_nth_alloc = 3;
+  gpusim::FaultInjector fi(cfg);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(fi.OnAllocation(64, "t"), i == 3) << i;
+  }
+  EXPECT_EQ(fi.allocations_seen(), 10u);
+  EXPECT_EQ(fi.allocations_failed(), 1u);
+}
+
+TEST(FaultInjectorTest, FailsEveryKthAllocation) {
+  gpusim::FaultInjectorConfig cfg;
+  cfg.fail_every_k_allocs = 4;
+  gpusim::FaultInjector fi(cfg);
+  int failed = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (fi.OnAllocation(64, "t")) ++failed;
+  }
+  EXPECT_EQ(failed, 4);  // allocations 3, 7, 11, 15 (0-based)
+}
+
+TEST(FaultInjectorTest, FailsEverythingAfterThreshold) {
+  gpusim::FaultInjectorConfig cfg;
+  cfg.fail_after_allocs = 5;
+  gpusim::FaultInjector fi(cfg);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(fi.OnAllocation(64, "t"), i >= 5) << i;
+  }
+}
+
+TEST(FaultInjectorTest, TagFilterSelectsMatchingAllocationsOnly) {
+  gpusim::FaultInjectorConfig cfg;
+  cfg.fail_after_allocs = 0;  // fail every matching allocation
+  cfg.alloc_tag_filter = "victim";
+  gpusim::FaultInjector fi(cfg);
+  EXPECT_FALSE(fi.OnAllocation(64, "bystander"));
+  EXPECT_TRUE(fi.OnAllocation(64, "victim"));
+  EXPECT_TRUE(fi.OnAllocation(64, "the-victim-table"));  // substring match
+  EXPECT_FALSE(fi.OnAllocation(64, "other"));
+  // Non-matching allocations are not even counted as seen.
+  EXPECT_EQ(fi.allocations_seen(), 2u);
+}
+
+TEST(FaultInjectorTest, ProbabilisticDecisionsAreSeedDeterministic) {
+  gpusim::FaultInjectorConfig cfg;
+  cfg.seed = 1234;
+  cfg.alloc_fail_probability = 0.3;
+  gpusim::FaultInjector a(cfg);
+  gpusim::FaultInjector b(cfg);
+  int fails = 0;
+  for (int i = 0; i < 1000; ++i) {
+    bool fa = a.OnAllocation(64, "t");
+    bool fb = b.OnAllocation(64, "t");
+    EXPECT_EQ(fa, fb) << "same seed, same event sequence => same decision";
+    if (fa) ++fails;
+  }
+  // Rate is in the right ballpark for p=0.3.
+  EXPECT_GT(fails, 200);
+  EXPECT_LT(fails, 400);
+
+  gpusim::FaultInjectorConfig other = cfg;
+  other.seed = 99;
+  gpusim::FaultInjector c(other);
+  int diverged = 0;
+  gpusim::FaultInjector a2(cfg);
+  for (int i = 0; i < 1000; ++i) {
+    if (a2.OnAllocation(64, "t") != c.OnAllocation(64, "t")) ++diverged;
+  }
+  EXPECT_GT(diverged, 0) << "different seeds must give different campaigns";
+}
+
+TEST(FaultInjectorTest, TryLockProbabilityIsClampedBelowLivelock) {
+  gpusim::FaultInjectorConfig cfg;
+  cfg.trylock_fail_probability = 1.0;  // would livelock the voter revote loop
+  gpusim::FaultInjector fi(cfg);
+  EXPECT_LE(fi.config().trylock_fail_probability, 0.95);
+  int succeeded = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (!fi.OnTryLock()) ++succeeded;
+  }
+  EXPECT_GT(succeeded, 0) << "some acquisitions must still get through";
+}
+
+TEST(FaultInjectorTest, ClampsEvictionChain) {
+  gpusim::FaultInjectorConfig cfg;
+  cfg.max_eviction_chain = 5;
+  gpusim::FaultInjector fi(cfg);
+  EXPECT_EQ(fi.ClampEvictionChain(64), 5);
+  EXPECT_EQ(fi.ClampEvictionChain(3), 3);
+
+  gpusim::FaultInjectorConfig off;
+  gpusim::FaultInjector none(off);
+  EXPECT_EQ(none.ClampEvictionChain(64), 64);
+}
+
+TEST(FaultInjectorTest, ScopedInstallAndNestingRestorePrevious) {
+  EXPECT_EQ(gpusim::FaultInjector::Active(), nullptr);
+  {
+    gpusim::FaultInjectorConfig outer_cfg;
+    outer_cfg.seed = 1;
+    gpusim::ScopedFaultInjection outer(outer_cfg);
+    EXPECT_EQ(gpusim::FaultInjector::Active(), &outer.injector());
+    {
+      gpusim::FaultInjectorConfig inner_cfg;
+      inner_cfg.seed = 2;
+      gpusim::ScopedFaultInjection inner(inner_cfg);
+      EXPECT_EQ(gpusim::FaultInjector::Active(), &inner.injector());
+    }
+    EXPECT_EQ(gpusim::FaultInjector::Active(), &outer.injector());
+  }
+  EXPECT_EQ(gpusim::FaultInjector::Active(), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Injected OOM during resize
+// ---------------------------------------------------------------------------
+
+// A subtable allocates three arrays (keys, values, locks); failing each of
+// the first three allocations exercises every partial-construction path.
+TEST(ResizeFaultTest, MidUpsizeAllocFailureLeavesTableUntouched) {
+  for (int64_t nth = 0; nth < 3; ++nth) {
+    gpusim::DeviceArena arena(64ull << 20);
+    DyCuckooOptions o;
+    o.initial_capacity = 8192;
+    o.auto_resize = false;
+    o.arena = &arena;
+    o.memory_tag = "upsize-fault";
+    std::unique_ptr<DyCuckooMap> t;
+    ASSERT_TRUE(DyCuckooMap::Create(o, &t).ok());
+
+    auto keys = UniqueKeys(4000, 11);
+    auto values = SequentialValues(keys.size());
+    ASSERT_TRUE(t->BulkInsert(keys, values).ok());
+    const uint64_t used_before = arena.used_bytes();
+    const uint64_t size_before = t->size();
+
+    Status st;
+    {
+      gpusim::FaultInjectorConfig cfg;
+      cfg.fail_nth_alloc = nth;
+      cfg.alloc_tag_filter = "upsize-fault";
+      gpusim::ScopedFaultInjection scoped(cfg);
+      st = t->Upsize();
+      EXPECT_GE(scoped.injector().allocations_failed(), 1u);
+    }
+    EXPECT_TRUE(st.IsOutOfMemory()) << "nth=" << nth << ": " << st.ToString();
+    EXPECT_EQ(arena.used_bytes(), used_before)
+        << "nth=" << nth << ": partial upsize must free its allocations";
+    EXPECT_EQ(t->size(), size_before);
+    EXPECT_TRUE(t->Validate().ok());
+
+    std::vector<uint32_t> out(keys.size());
+    std::vector<uint8_t> found(keys.size());
+    t->BulkFind(keys, out.data(), found.data());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      ASSERT_TRUE(found[i]) << "nth=" << nth << " key " << i;
+      ASSERT_EQ(out[i], values[i]);
+    }
+
+    // With the injector gone the same upsize succeeds.
+    EXPECT_TRUE(t->Upsize().ok());
+    EXPECT_TRUE(t->Validate().ok());
+  }
+}
+
+TEST(ResizeFaultTest, MidDownsizeAllocFailureLeavesTableUntouched) {
+  gpusim::DeviceArena arena(64ull << 20);
+  DyCuckooOptions o;
+  o.initial_capacity = 16384;
+  o.auto_resize = false;
+  o.arena = &arena;
+  o.memory_tag = "downsize-fault";
+  std::unique_ptr<DyCuckooMap> t;
+  ASSERT_TRUE(DyCuckooMap::Create(o, &t).ok());
+
+  auto keys = UniqueKeys(2000, 13);  // low fill: downsize is legal
+  auto values = SequentialValues(keys.size());
+  ASSERT_TRUE(t->BulkInsert(keys, values).ok());
+  const uint64_t used_before = arena.used_bytes();
+
+  Status st;
+  {
+    gpusim::FaultInjectorConfig cfg;
+    cfg.fail_nth_alloc = 0;  // the merged (smaller) subtable allocation
+    cfg.alloc_tag_filter = "downsize-fault";
+    gpusim::ScopedFaultInjection scoped(cfg);
+    st = t->Downsize();
+  }
+  EXPECT_TRUE(st.IsOutOfMemory()) << st.ToString();
+  EXPECT_EQ(arena.used_bytes(), used_before);
+  EXPECT_EQ(t->size(), keys.size());
+  EXPECT_TRUE(t->Validate().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Transactional downsize (no injector: demonstrates the historical
+// residual-dropping bug directly)
+// ---------------------------------------------------------------------------
+
+TEST(ResizeFaultTest, CappedArenaDownsizeNeverLosesKeys) {
+  DyCuckooOptions o;
+  o.num_subtables = 2;
+  o.initial_capacity = 64 * 1024;
+  o.auto_resize = false;
+  o.memory_tag = "downsize-capped";
+
+  // Measure the configuration's footprint, then rebuild it in an arena with
+  // room for the merged (quarter-footprint) subtable but never for an
+  // upsize.  With d=2 every residual's only alternate subtable is the one
+  // being merged away, so the post-merge reinsertion pass is guaranteed to
+  // strand far more pairs than the commit-with-spill bound tolerates.
+  uint64_t table_bytes = 0;
+  {
+    gpusim::DeviceArena probe_arena(64ull << 20);
+    o.arena = &probe_arena;
+    std::unique_ptr<DyCuckooMap> probe;
+    ASSERT_TRUE(DyCuckooMap::Create(o, &probe).ok());
+    table_bytes = probe_arena.used_bytes();
+  }
+  gpusim::DeviceArena arena(table_bytes + table_bytes / 4 + 8192);
+  o.arena = &arena;
+  std::unique_ptr<DyCuckooMap> t;
+  ASSERT_TRUE(DyCuckooMap::Create(o, &t).ok());
+
+  auto keys = UniqueKeys(52000, 7);  // ~79% of 65536
+  auto values = SequentialValues(keys.size());
+  Status ist = t->BulkInsert(keys, values);
+  ASSERT_TRUE(ist.ok() || ist.IsInsertionFailure()) << ist.ToString();
+
+  // Ground truth is whatever actually landed in the table.
+  std::vector<uint32_t> out_before(keys.size());
+  std::vector<uint8_t> found_before(keys.size());
+  t->BulkFind(keys, out_before.data(), found_before.data());
+  const uint64_t size_before = t->size();
+  ASSERT_GT(size_before, 40000u);
+
+  Status st = t->Downsize();
+  EXPECT_TRUE(st.ok()) << "a downsize that cannot complete must roll back, "
+                          "not fail dropping residuals: " << st.ToString();
+  EXPECT_EQ(t->stats().Capture().downsize_rollbacks, 1u);
+  EXPECT_EQ(t->size(), size_before);
+  EXPECT_TRUE(t->Validate().ok());
+
+  std::vector<uint32_t> out_after(keys.size());
+  std::vector<uint8_t> found_after(keys.size());
+  t->BulkFind(keys, out_after.data(), found_after.data());
+  uint64_t lost = 0;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (found_before[i] && !found_after[i]) ++lost;
+    if (found_before[i] && found_after[i]) {
+      ASSERT_EQ(out_after[i], out_before[i]) << "key " << i;
+    }
+  }
+  EXPECT_EQ(lost, 0u) << "downsize rollback dropped stored pairs";
+}
+
+// ---------------------------------------------------------------------------
+// Chaos soak: mixed workload under probabilistic injection vs a shadow map
+// ---------------------------------------------------------------------------
+
+TEST(ChaosSoakTest, MixedWorkloadUnderInjectionAgreesWithShadowMap) {
+  for (uint64_t seed : {1ull, 2ull, 3ull}) {
+    gpusim::DeviceArena arena(64ull << 20);
+    DyCuckooOptions o;
+    o.initial_capacity = 4096;
+    o.arena = &arena;
+    o.memory_tag = "chaos";
+    o.seed = 0xC0FFEEull + seed;
+    std::unique_ptr<DyCuckooMap> t;
+    ASSERT_TRUE(DyCuckooMap::Create(o, &t).ok());
+
+    gpusim::FaultInjectorConfig cfg;
+    cfg.seed = seed;
+    cfg.alloc_fail_probability = 0.02;
+    cfg.alloc_tag_filter = "chaos";
+    cfg.trylock_fail_probability = 0.05;
+    cfg.warp_yield_probability = 0.02;
+    cfg.max_eviction_chain = 24;
+    gpusim::ScopedFaultInjection scoped(cfg);
+
+    std::unordered_map<uint32_t, uint32_t> shadow;
+    SplitMix64 rng(seed * 7919 + 1);
+    auto fresh_key = [&] {
+      for (;;) {
+        uint32_t k = static_cast<uint32_t>(rng.Next());
+        if (k < 0xfffffffeu && shadow.count(k) == 0) return k;
+      }
+    };
+
+    constexpr int kRounds = 50;
+    constexpr size_t kBatch = 512;
+    for (int round = 0; round < kRounds; ++round) {
+      // Insert a batch of fresh keys; under injection some may fail, and
+      // BulkInsert reports exactly how many of *this batch's* keys failed.
+      std::vector<uint32_t> ins_keys;
+      std::vector<uint32_t> ins_values;
+      for (size_t i = 0; i < kBatch; ++i) {
+        ins_keys.push_back(fresh_key());
+        ins_values.push_back(static_cast<uint32_t>(rng.Next()));
+        shadow[ins_keys.back()] = ins_values.back();  // tentative
+      }
+      Status st = t->BulkInsert(ins_keys, ins_values);
+      ASSERT_TRUE(st.ok() || st.IsInsertionFailure() || st.IsOutOfMemory())
+          << st.ToString();
+
+      std::vector<uint32_t> out(ins_keys.size());
+      std::vector<uint8_t> found(ins_keys.size());
+      t->BulkFind(ins_keys, out.data(), found.data());
+      for (size_t i = 0; i < ins_keys.size(); ++i) {
+        if (found[i]) {
+          ASSERT_EQ(out[i], ins_values[i]) << "seed " << seed;
+        } else {
+          shadow.erase(ins_keys[i]);  // legitimately failed under injection
+        }
+      }
+
+      // Erase a sample of resident keys plus some that never existed.
+      std::vector<uint32_t> del_keys;
+      for (auto it = shadow.begin();
+           it != shadow.end() && del_keys.size() < kBatch / 4; ++it) {
+        del_keys.push_back(it->first);
+      }
+      size_t resident = del_keys.size();
+      for (size_t i = 0; i < kBatch / 8; ++i) del_keys.push_back(fresh_key());
+      uint64_t erased = 0;
+      Status est = t->BulkErase(del_keys, &erased);
+      ASSERT_TRUE(est.ok() || est.IsOutOfMemory()) << est.ToString();
+      EXPECT_GE(erased, resident) << "seed " << seed;
+      for (size_t i = 0; i < resident; ++i) shadow.erase(del_keys[i]);
+
+      // Every shadow key must still be present with the right value.
+      std::vector<uint32_t> all_keys;
+      std::vector<uint32_t> expect;
+      all_keys.reserve(shadow.size());
+      for (const auto& [k, v] : shadow) {
+        all_keys.push_back(k);
+        expect.push_back(v);
+      }
+      std::vector<uint32_t> got(all_keys.size());
+      std::vector<uint8_t> hit(all_keys.size());
+      t->BulkFind(all_keys, got.data(), hit.data());
+      uint64_t lost = 0;
+      for (size_t i = 0; i < all_keys.size(); ++i) {
+        if (!hit[i]) {
+          ++lost;
+        } else {
+          ASSERT_EQ(got[i], expect[i])
+              << "seed " << seed << " round " << round;
+        }
+      }
+      ASSERT_EQ(lost, 0u) << "seed " << seed << " round " << round
+                          << ": keys lost under fault injection";
+      ASSERT_EQ(t->size(), shadow.size())
+          << "seed " << seed << " round " << round;
+      ASSERT_TRUE(t->Validate().ok())
+          << "seed " << seed << " round " << round;
+    }
+    EXPECT_GT(scoped.injector().allocations_seen(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace dycuckoo

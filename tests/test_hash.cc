@@ -130,6 +130,24 @@ TEST(MixHashTest, SeedChangesFunction) {
   EXPECT_EQ(diff, 256);
 }
 
+TEST(Crc32Test, KnownAnswerAndIncrementalComposition) {
+  // CRC-32/ISO-HDLC check value (the standard "123456789" vector).
+  const char* kCheck = "123456789";
+  EXPECT_EQ(Crc32Update(0, kCheck, 9), 0xCBF43926u);
+
+  // Incremental updates over arbitrary splits must match one-shot.
+  const char data[] = "deterministic fault injection";
+  uint32_t whole = Crc32Update(0, data, sizeof(data) - 1);
+  for (size_t split = 0; split < sizeof(data) - 1; ++split) {
+    uint32_t crc = Crc32Update(0, data, split);
+    crc = Crc32Update(crc, data + split, sizeof(data) - 1 - split);
+    EXPECT_EQ(crc, whole) << "split at " << split;
+  }
+
+  EXPECT_EQ(Crc32Update(0, "", 0), 0u);
+  EXPECT_NE(Crc32Update(0, "a", 1), Crc32Update(0, "b", 1));
+}
+
 TEST(MixHashTest, PowerOfTwoSplitIdentity) {
   // The conflict-free upsize relies on: x & (2n-1) is x & (n-1) or +n.
   MixHash h(77);

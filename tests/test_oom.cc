@@ -64,8 +64,15 @@ TEST(OomTest, GrowthStopsWithOutOfMemoryAndTableStaysConsistent) {
     ASSERT_EQ(out[i], values[i]);
   }
 
-  // Deleting makes room again: the table recovers.
-  ASSERT_TRUE(t->BulkErase(probe).ok());
+  // The failing batch ran degraded (at current capacity) rather than being
+  // aborted outright; the table records that it wanted more memory.
+  EXPECT_GT(t->stats().Capture().degraded_batches, 0u);
+
+  // Deleting makes room again: the table recovers.  Erase every attempted
+  // key — the degraded batch legitimately stored part of itself.
+  size_t attempted_until = std::min(keys.size(), inserted_until + 10000);
+  std::vector<uint32_t> attempted(keys.begin(), keys.begin() + attempted_until);
+  ASSERT_TRUE(t->BulkErase(attempted).ok());
   EXPECT_EQ(t->size(), 0u);
   ASSERT_TRUE(t->Insert(1, 2).ok());
 }
@@ -89,14 +96,17 @@ TEST(OomTest, MegaKvRehashOomRestoresOldTable) {
   }
   EXPECT_FALSE(st.ok());
   ASSERT_GT(inserted_until, 0u);
-  // The table still answers queries for what it holds.
+  // The failed rehash restored the old table exactly (storage, seeds and
+  // size counter) and parked any displaced residents, so every key from a
+  // completed batch is still answerable — not just "most".
+  EXPECT_GE(t->rehash_rollbacks(), 1u);
   std::vector<uint32_t> probe(keys.begin(),
-                              keys.begin() + inserted_until / 2);
+                              keys.begin() + inserted_until);
   std::vector<uint8_t> found(probe.size());
   t->BulkFind(probe, nullptr, found.data());
   uint64_t hits = 0;
   for (auto f : found) hits += f;
-  EXPECT_GT(hits, probe.size() * 9 / 10);
+  EXPECT_EQ(hits, probe.size());
 }
 
 TEST(OomTest, CudppCreateFailsCleanly) {
