@@ -13,12 +13,25 @@ cmake --build build
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 
+# Each benchmark gets a hard wall-clock budget so one hung binary cannot
+# wedge the whole sweep; the loop also skips CMake build droppings
+# (CMakeFiles/, *.cmake, object files) that live next to the executables.
+BENCH_TIMEOUT="${BENCH_TIMEOUT:-600}"
+
 {
+  status=0
   for b in build/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
     echo "==== $b ===="
-    "$b"
+    rc=0
+    timeout --signal=TERM --kill-after=10 "$BENCH_TIMEOUT" "$b" || rc=$?
+    if [ "$rc" -ne 0 ]; then
+      echo "FAILED: $b exited with status $rc" >&2
+      status=1
+    fi
     echo
   done
+  exit "$status"
 } 2>&1 | tee bench_output.txt
 
 echo "done: test_output.txt, bench_output.txt"

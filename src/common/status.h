@@ -22,6 +22,9 @@ enum class StatusCode : int {
   kNotSupported = 4,       // operation unsupported by this table (e.g. CUDPP delete)
   kInternal = 5,
   kOutOfMemory = 6,
+  kDeadlineExceeded = 7,    // request deadline passed before it could run
+  kResourceExhausted = 8,   // admission queue full; caller must shed or retry
+  kUnavailable = 9,         // serving layer degraded (e.g. breaker open)
 };
 
 /// \brief Result of a fallible operation.
@@ -51,6 +54,15 @@ class Status {
   static Status OutOfMemory(std::string msg) {
     return Status(StatusCode::kOutOfMemory, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -62,6 +74,13 @@ class Status {
   bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
   bool IsOutOfMemory() const { return code_ == StatusCode::kOutOfMemory; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// "OK" or "<code>: <message>".
   std::string ToString() const;

@@ -363,10 +363,13 @@ class DynamicTable {
       return Status::InvalidArgument("snapshot key/value width mismatch");
     }
     uint32_t crc = Crc32Update(0, header, sizeof(header));
-    DYCUCKOO_RETURN_NOT_OK(Create(options, out));
+    // Build into a local table and publish only on success: a corrupt
+    // stream must never hand the caller a partially-populated table.
+    std::unique_ptr<DynamicTable> table;
+    DYCUCKOO_RETURN_NOT_OK(Create(options, &table));
     const uint64_t count = header[3];
-    if ((*out)->options_.auto_resize) {
-      DYCUCKOO_RETURN_NOT_OK((*out)->Reserve(count));
+    if (table->options_.auto_resize) {
+      DYCUCKOO_RETURN_NOT_OK(table->Reserve(count));
     }
     constexpr uint64_t kChunk = 1 << 16;
     std::vector<Key> keys(std::min(count, kChunk));
@@ -385,7 +388,7 @@ class DynamicTable {
         crc = Crc32Update(crc, &keys[i], sizeof(Key));
         crc = Crc32Update(crc, &values[i], sizeof(Value));
       }
-      DYCUCKOO_RETURN_NOT_OK((*out)->BulkInsert(
+      DYCUCKOO_RETURN_NOT_OK(table->BulkInsert(
           std::span<const Key>(keys.data(), n),
           std::span<const Value>(values.data(), n)));
       remaining -= n;
@@ -398,6 +401,7 @@ class DynamicTable {
     if (stored_crc != crc) {
       return Status::InvalidArgument("snapshot corrupt: CRC mismatch");
     }
+    *out = std::move(table);
     return Status::OK();
   }
 
@@ -632,6 +636,161 @@ class DynamicTable {
     return Status::OK();
   }
 
+  // ---------------------------------------------------------------------
+  // Online invariant scrubbing (serving-layer self-checking).
+  //
+  // Unlike Validate() — a read-only test oracle that fails fast — the
+  // scrubber is an incremental *repair* pass designed to run between
+  // batches in production: it walks a bounded slice of buckets per call,
+  // re-homes any pair stored outside its probe set (so FIND's <= 2-bucket
+  // guarantee holds for every key), re-synchronises the stash occupancy
+  // counter, and reports whether theta currently honours [alpha, beta].
+  // Must be called from the host thread with no kernels in flight (the
+  // same threading contract as every other host-side entry point).
+  // ---------------------------------------------------------------------
+
+  /// What one scrub slice (or full pass) observed and fixed.
+  struct ScrubReport {
+    uint64_t buckets_scanned = 0;
+    uint64_t misplaced_found = 0;    ///< pairs stored outside their probe set
+    uint64_t misplaced_repaired = 0; ///< of those, re-homed (rest stashed)
+    uint64_t stash_fixes = 0;        ///< stash size counter re-synchronised
+    bool filled_factor_ok = true;    ///< theta within [alpha, beta]
+
+    void MergeFrom(const ScrubReport& o) {
+      buckets_scanned += o.buckets_scanned;
+      misplaced_found += o.misplaced_found;
+      misplaced_repaired += o.misplaced_repaired;
+      stash_fixes += o.stash_fixes;
+      filled_factor_ok = filled_factor_ok && o.filled_factor_ok;
+    }
+  };
+
+  /// Scrubs up to `max_buckets` buckets of subtable `table_idx` starting at
+  /// `begin_bucket`.  A stored pair violates placement when it sits in a
+  /// bucket other than BucketIndex(key) or (two-layer mode) in a subtable
+  /// outside its layer-1 pair; violators are removed under the bucket lock
+  /// and re-inserted through the normal path (landing in their correct
+  /// bucket, or the stash as a last resort — never dropped).
+  ScrubReport ScrubBuckets(int table_idx, uint64_t begin_bucket,
+                           uint64_t max_buckets) {
+    ScrubReport report;
+    SubtableT& t = tables_[table_idx];
+    const uint64_t end =
+        std::min(t.num_buckets(), begin_bucket + max_buckets);
+    std::vector<Key> evicted_keys;
+    std::vector<Value> evicted_values;
+    for (uint64_t b = begin_bucket; b < end; ++b) {
+      ++report.buckets_scanned;
+      // No kernels are in flight, so only injected TryLock failures (capped
+      // below certainty) contend here; the spin always terminates.
+      while (!t.lock(b).TryLock()) {
+      }
+      gpusim::CountBucketRead();
+      for (int s = 0; s < kSlots; ++s) {
+        Key k = t.KeyAt(b, s);
+        if (k == kEmptyKey) continue;
+        bool wrong_bucket = t.BucketIndex(k) != b;
+        bool wrong_table =
+            options_.enable_two_layer &&
+            !pair_map_.PairFor(static_cast<uint64_t>(k)).Contains(table_idx);
+        if (!wrong_bucket && !wrong_table) continue;
+        ++report.misplaced_found;
+        evicted_keys.push_back(k);
+        evicted_values.push_back(t.ValueAt(b, s));
+        t.StoreKey(b, s, kEmptyKey);
+        gpusim::CountBucketWrite();
+        t.AddSize(-1);
+      }
+      t.lock(b).Unlock();
+    }
+    if (!evicted_keys.empty()) {
+      // Partner-checked reinsertion: if a correct copy already exists the
+      // misplaced one was a duplicate and the reinsert collapses into an
+      // update, removing the duplicate for good.
+      FailBuffer fail(evicted_keys.size());
+      InsertKernel(evicted_keys.data(), evicted_values.data(),
+                   evicted_keys.size(), /*exclude_table=*/-1,
+                   /*check_partner=*/true, &fail);
+      report.misplaced_repaired = evicted_keys.size() - fail.count();
+      for (uint64_t i = 0; i < fail.count(); ++i) {
+        ForceStash(fail.keys()[i], fail.values()[i]);
+        stats_.recovery_spills.fetch_add(1, kRelaxed);
+      }
+    }
+    // Below-alpha is only actionable when a downsize is still possible; a
+    // near-empty minimum-size table is healthy, not in violation.
+    double theta = filled_factor();
+    report.filled_factor_ok =
+        theta <= options_.upper_bound &&
+        (theta >= options_.lower_bound || !CanDownsize());
+    stats_.scrub_buckets_scanned.fetch_add(report.buckets_scanned, kRelaxed);
+    stats_.scrub_misplaced_found.fetch_add(report.misplaced_found, kRelaxed);
+    stats_.scrub_misplaced_repaired.fetch_add(report.misplaced_repaired,
+                                              kRelaxed);
+    return report;
+  }
+
+  /// Re-counts stash occupancy against the stash_size_ counter and repairs
+  /// the counter on mismatch (a mismatch indicates a lost update; the slots
+  /// themselves are the ground truth).
+  void ScrubStash(ScrubReport* report) {
+    uint64_t occupied = 0;
+    for (const auto& k : stash_keys_) {
+      if (k.load(std::memory_order_relaxed) != kEmptyKey) ++occupied;
+    }
+    uint64_t counted = stash_size_.load(std::memory_order_relaxed);
+    if (counted != occupied) {
+      stash_size_.store(occupied, std::memory_order_relaxed);
+      ++report->stash_fixes;
+      stats_.scrub_stash_fixes.fetch_add(1, kRelaxed);
+      DYCUCKOO_LOG(Warning) << "scrub: stash counter " << counted
+                            << " re-synchronised to occupancy " << occupied;
+    }
+  }
+
+  /// One full scrub pass: every bucket of every subtable plus the stash.
+  ScrubReport ScrubAll() {
+    ScrubReport total;
+    for (int i = 0; i < num_subtables(); ++i) {
+      total.MergeFrom(ScrubBuckets(i, 0, tables_[i].num_buckets()));
+    }
+    ScrubStash(&total);
+    MarkScrubPass();
+    return total;
+  }
+
+  /// Records a completed full scrub sweep in stats (incremental scrubbers
+  /// call this when their cursor wraps; ScrubAll calls it itself).
+  void MarkScrubPass() { stats_.scrub_passes.fetch_add(1, kRelaxed); }
+
+  /// TEST HOOK: stores (key, value) directly into a bucket *outside* the
+  /// key's probe set, bypassing the insert path — simulating the silent
+  /// placement corruption (bit-flipped pointer walks, lost eviction
+  /// updates) the scrubber exists to catch.  Size counters are kept
+  /// consistent so only the placement invariant is violated.  Returns
+  /// false when no wrong home with a free slot exists.
+  bool PlantMisplacedPairForTest(Key key, Value value) {
+    if (key == kEmptyKey) return false;
+    for (int t = 0; t < num_subtables(); ++t) {
+      SubtableT& table = tables_[t];
+      if (table.num_buckets() < 2) continue;
+      uint64_t wrong = (table.BucketIndex(key) + 1) % table.num_buckets();
+      while (!table.lock(wrong).TryLock()) {
+      }
+      for (int s = 0; s < kSlots; ++s) {
+        if (table.KeyAt(wrong, s) == kEmptyKey) {
+          table.StoreSlot(wrong, s, key, value);
+          table.AddSize(1);
+          table.lock(wrong).Unlock();
+          return true;
+        }
+      }
+      table.lock(wrong).Unlock();
+    }
+    return false;
+  }
+
  private:
   static constexpr int kMaxInsertRetryRounds = 16;
   static constexpr int kMaxResizeIterations = 4096;
@@ -655,10 +814,12 @@ class DynamicTable {
     if (header[0] != sizeof(Key) || header[1] != sizeof(Value)) {
       return Status::InvalidArgument("snapshot key/value width mismatch");
     }
-    DYCUCKOO_RETURN_NOT_OK(Create(options, out));
+    // As in Load: publish the table only after the whole stream parsed.
+    std::unique_ptr<DynamicTable> table;
+    DYCUCKOO_RETURN_NOT_OK(Create(options, &table));
     const uint64_t count = header[2];
-    if ((*out)->options_.auto_resize) {
-      DYCUCKOO_RETURN_NOT_OK((*out)->Reserve(count));
+    if (table->options_.auto_resize) {
+      DYCUCKOO_RETURN_NOT_OK(table->Reserve(count));
     }
     constexpr uint64_t kChunk = 1 << 16;
     std::vector<Key> keys(std::min(count, kChunk));
@@ -671,11 +832,12 @@ class DynamicTable {
         is.read(reinterpret_cast<char*>(&values[i]), sizeof(Value));
       }
       if (!is.good()) return Status::InvalidArgument("snapshot truncated");
-      DYCUCKOO_RETURN_NOT_OK((*out)->BulkInsert(
+      DYCUCKOO_RETURN_NOT_OK(table->BulkInsert(
           std::span<const Key>(keys.data(), n),
           std::span<const Value>(values.data(), n)));
       remaining -= n;
     }
+    *out = std::move(table);
     return Status::OK();
   }
 

@@ -12,9 +12,16 @@ Status DyCuckooOptions::Validate() const {
     return Status::InvalidArgument(
         "require 0 < lower_bound < upper_bound <= 1");
   }
-  // Paper Section IV-B: one upsize lowers theta to at least beta*d/(d+1), so
-  // a lower bound at or above d/(d+1)*beta could oscillate; the hard
-  // requirement derived in the paper is alpha < d/(d+1).
+  // Paper Section IV-B: an upsize doubles ONE of the d equally-sized
+  // subtables, shrinking the filled factor only to theta * d/(d+1) — not to
+  // theta/2 as a whole-table rehash would.  If the shrink landed at or below
+  // alpha, the very next batch of deletions would trigger a downsize and the
+  // table could oscillate between resize directions on every flush.  The
+  // An upsize fires only when theta > beta, so the post-upsize factor
+  // exceeds beta * d/(d+1); the paper's hard requirement alpha < d/(d+1) is
+  // the beta -> 1 limit of the no-oscillation condition alpha <=
+  // beta * d/(d+1).  For d=2 the boundary is 2/3: alpha = 0.66 is accepted,
+  // alpha = 0.667 is rejected.
   double d = static_cast<double>(num_subtables);
   if (lower_bound >= d / (d + 1.0)) {
     std::ostringstream os;

@@ -16,7 +16,12 @@ std::string TableStats::Snapshot::ToString() const {
      << " downsize_rollbacks=" << downsize_rollbacks
      << " degraded_batches=" << degraded_batches
      << " resize_oom_skips=" << resize_oom_skips
-     << " recovery_spills=" << recovery_spills;
+     << " recovery_spills=" << recovery_spills
+     << " scrub_buckets_scanned=" << scrub_buckets_scanned
+     << " scrub_misplaced_found=" << scrub_misplaced_found
+     << " scrub_misplaced_repaired=" << scrub_misplaced_repaired
+     << " scrub_stash_fixes=" << scrub_stash_fixes
+     << " scrub_passes=" << scrub_passes;
   return os.str();
 }
 

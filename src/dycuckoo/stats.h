@@ -35,6 +35,13 @@ class TableStats {
   std::atomic<uint64_t> resize_oom_skips{0};    // auto-resize skipped on OOM
   std::atomic<uint64_t> recovery_spills{0};     // keys force-parked in stash
 
+  // Online invariant scrubber (DynamicTable::ScrubBuckets / ScrubAll).
+  std::atomic<uint64_t> scrub_buckets_scanned{0};
+  std::atomic<uint64_t> scrub_misplaced_found{0};     // pairs outside probe set
+  std::atomic<uint64_t> scrub_misplaced_repaired{0};  // pairs re-homed
+  std::atomic<uint64_t> scrub_stash_fixes{0};         // stash counter repaired
+  std::atomic<uint64_t> scrub_passes{0};              // full sweeps completed
+
   struct Snapshot {
     uint64_t inserts_new = 0;
     uint64_t inserts_updated = 0;
@@ -54,6 +61,11 @@ class TableStats {
     uint64_t degraded_batches = 0;
     uint64_t resize_oom_skips = 0;
     uint64_t recovery_spills = 0;
+    uint64_t scrub_buckets_scanned = 0;
+    uint64_t scrub_misplaced_found = 0;
+    uint64_t scrub_misplaced_repaired = 0;
+    uint64_t scrub_stash_fixes = 0;
+    uint64_t scrub_passes = 0;
 
     std::string ToString() const;
   };
@@ -78,6 +90,14 @@ class TableStats {
     s.degraded_batches = degraded_batches.load(std::memory_order_relaxed);
     s.resize_oom_skips = resize_oom_skips.load(std::memory_order_relaxed);
     s.recovery_spills = recovery_spills.load(std::memory_order_relaxed);
+    s.scrub_buckets_scanned =
+        scrub_buckets_scanned.load(std::memory_order_relaxed);
+    s.scrub_misplaced_found =
+        scrub_misplaced_found.load(std::memory_order_relaxed);
+    s.scrub_misplaced_repaired =
+        scrub_misplaced_repaired.load(std::memory_order_relaxed);
+    s.scrub_stash_fixes = scrub_stash_fixes.load(std::memory_order_relaxed);
+    s.scrub_passes = scrub_passes.load(std::memory_order_relaxed);
     return s;
   }
 };

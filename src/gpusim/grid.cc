@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "gpusim/fault_injector.h"
+#include "gpusim/virtual_clock.h"
 
 namespace dycuckoo {
 namespace gpusim {
@@ -69,6 +70,12 @@ void Grid::LaunchWarps(uint64_t num_warps,
              launch.workers_inside == 0;
     });
     current_ = nullptr;
+  }
+  // Virtual time: one tick per warp, charged on the launching thread after
+  // the launch drains so the advance is deterministic regardless of how the
+  // workers interleaved.
+  if (VirtualClock* clock = VirtualClock::Active()) {
+    clock->OnLaunchCompleted(num_warps);
   }
 }
 

@@ -1,0 +1,18 @@
+#include "gpusim/virtual_clock.h"
+
+namespace dycuckoo {
+namespace gpusim {
+
+std::atomic<VirtualClock*> VirtualClock::active_{nullptr};
+
+ScopedVirtualClock::ScopedVirtualClock(VirtualClock* clock) {
+  previous_ =
+      VirtualClock::active_.exchange(clock, std::memory_order_acq_rel);
+}
+
+ScopedVirtualClock::~ScopedVirtualClock() {
+  VirtualClock::active_.store(previous_, std::memory_order_release);
+}
+
+}  // namespace gpusim
+}  // namespace dycuckoo

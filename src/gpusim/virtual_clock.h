@@ -1,0 +1,95 @@
+// Deterministic virtual time for the gpusim substrate.
+//
+// Wall-clock deadlines make timeout behaviour unreproducible: the same op
+// sequence times out on a loaded CI box and passes locally.  The serving
+// layer instead measures time in *ticks of simulated device work*: the
+// Grid advances the installed clock by one tick per warp it launches, and
+// hosts model idle waiting (retry backoff, breaker cooldown) by advancing
+// the clock explicitly.  Two runs of the same op sequence therefore see
+// bit-identical timestamps, so every deadline expiry and breaker
+// transition is reproducible per seed — the same property the
+// FaultInjector gives injected faults.
+//
+// Like the FaultInjector, the clock is installed process-globally via an
+// RAII guard so the Grid can consult it without plumbing:
+//
+//   gpusim::VirtualClock clock;
+//   gpusim::ScopedVirtualClock scoped(&clock);
+//   ... every Grid::LaunchWarps now advances `clock` ...
+//
+// When no clock is installed the Grid hook is a no-op.
+
+#ifndef DYCUCKOO_GPUSIM_VIRTUAL_CLOCK_H_
+#define DYCUCKOO_GPUSIM_VIRTUAL_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace dycuckoo {
+namespace gpusim {
+
+/// \brief Monotonic tick counter; 1 tick == 1 warp of launched kernel work.
+///
+/// Thread-safe: the Grid advances it from the launching host thread (after
+/// the launch completes, so the count per launch is deterministic) and
+/// servers read/advance it between batches.
+class VirtualClock {
+ public:
+  VirtualClock() = default;
+  VirtualClock(const VirtualClock&) = delete;
+  VirtualClock& operator=(const VirtualClock&) = delete;
+
+  /// Current virtual time in ticks.
+  uint64_t Now() const { return ticks_.load(std::memory_order_acquire); }
+
+  /// Advances time; used by the Grid (kernel work) and by hosts modelling
+  /// idle waits (retry backoff, breaker cooldown).
+  void Advance(uint64_t ticks) {
+    ticks_.fetch_add(ticks, std::memory_order_acq_rel);
+  }
+
+  /// Ticks contributed by Grid launches (diagnostic split of Now()).
+  uint64_t work_ticks() const {
+    return work_ticks_.load(std::memory_order_relaxed);
+  }
+
+  /// Called by Grid::LaunchWarps once per completed launch.
+  void OnLaunchCompleted(uint64_t num_warps) {
+    work_ticks_.fetch_add(num_warps, std::memory_order_relaxed);
+    Advance(num_warps);
+  }
+
+  /// The installed clock, or nullptr.  Single atomic load: consulted on
+  /// every Grid launch.
+  static VirtualClock* Active() {
+    return active_.load(std::memory_order_acquire);
+  }
+
+ private:
+  friend class ScopedVirtualClock;
+
+  static std::atomic<VirtualClock*> active_;
+
+  std::atomic<uint64_t> ticks_{0};
+  std::atomic<uint64_t> work_ticks_{0};
+};
+
+/// \brief RAII guard: installs a VirtualClock for its lifetime.  Nesting
+/// restores the previous clock on destruction; only the innermost clock
+/// advances.
+class ScopedVirtualClock {
+ public:
+  explicit ScopedVirtualClock(VirtualClock* clock);
+  ~ScopedVirtualClock();
+
+  ScopedVirtualClock(const ScopedVirtualClock&) = delete;
+  ScopedVirtualClock& operator=(const ScopedVirtualClock&) = delete;
+
+ private:
+  VirtualClock* previous_;
+};
+
+}  // namespace gpusim
+}  // namespace dycuckoo
+
+#endif  // DYCUCKOO_GPUSIM_VIRTUAL_CLOCK_H_

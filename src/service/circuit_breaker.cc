@@ -1,0 +1,69 @@
+#include "service/circuit_breaker.h"
+
+#include "common/logging.h"
+
+namespace dycuckoo {
+namespace service {
+
+bool CircuitBreaker::AllowWrite(uint64_t now) {
+  if (state_ == State::kOpen) {
+    if (now < open_until_) return false;
+    state_ = State::kHalfOpen;
+    probe_in_flight_ = false;
+    DYCUCKOO_LOG(Info) << "circuit breaker half-open at t=" << now
+                       << ": admitting one probe write";
+  }
+  if (state_ == State::kHalfOpen) {
+    if (probe_in_flight_) return false;
+    probe_in_flight_ = true;
+    return true;
+  }
+  return true;  // kClosed
+}
+
+void CircuitBreaker::OnWriteSuccess() {
+  consecutive_failures_ = 0;
+  if (state_ == State::kHalfOpen) {
+    state_ = State::kClosed;
+    probe_in_flight_ = false;
+    ++recoveries_;
+    DYCUCKOO_LOG(Info) << "circuit breaker closed: probe write succeeded";
+  }
+}
+
+void CircuitBreaker::OnWriteFailure(uint64_t now) {
+  if (state_ == State::kHalfOpen) {
+    Trip(now);  // the probe itself failed: straight back to open
+    return;
+  }
+  if (state_ == State::kClosed &&
+      ++consecutive_failures_ >= options_.failure_threshold) {
+    Trip(now);
+  }
+}
+
+void CircuitBreaker::Trip(uint64_t now) {
+  state_ = State::kOpen;
+  open_until_ = now + options_.cooldown_ticks;
+  probe_in_flight_ = false;
+  consecutive_failures_ = 0;
+  ++trips_;
+  DYCUCKOO_LOG(Warning) << "circuit breaker open at t=" << now
+                        << " (cooldown " << options_.cooldown_ticks
+                        << " ticks): serving reads only";
+}
+
+const char* CircuitBreaker::StateName(State s) {
+  switch (s) {
+    case State::kClosed:
+      return "closed";
+    case State::kOpen:
+      return "open";
+    case State::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+}  // namespace service
+}  // namespace dycuckoo

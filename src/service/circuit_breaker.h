@@ -1,0 +1,80 @@
+// Write-path circuit breaker: closed -> open -> half-open -> closed.
+//
+// When the table repeatedly cannot grow (consecutive write requests end in
+// OutOfMemory / InsertionFailure even after retries), hammering it with
+// more writes only deepens the overload.  The breaker flips the server
+// into read-only degraded mode: writes are rejected immediately with
+// kUnavailable (reads keep flowing), and after a cooldown measured on the
+// virtual clock a single probe write is let through — success closes the
+// breaker, failure re-opens it for another cooldown.
+//
+// State machine:
+//
+//   kClosed    --(N consecutive write failures)-->            kOpen
+//   kOpen      --(cooldown elapsed; next AllowWrite)-->       kHalfOpen
+//   kHalfOpen  --(probe write succeeds)-->                    kClosed
+//   kHalfOpen  --(probe write fails)-->                       kOpen
+//
+// Not thread-safe: driven only by the serving thread between batches.
+
+#ifndef DYCUCKOO_SERVICE_CIRCUIT_BREAKER_H_
+#define DYCUCKOO_SERVICE_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+
+namespace dycuckoo {
+namespace service {
+
+struct CircuitBreakerOptions {
+  /// Consecutive failed write requests (post-retry) that trip the breaker.
+  int failure_threshold = 3;
+
+  /// Virtual-clock ticks the breaker stays open before admitting a probe.
+  uint64_t cooldown_ticks = 2048;
+};
+
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(const CircuitBreakerOptions& options)
+      : options_(options) {}
+
+  /// Whether a write may proceed at virtual time `now`.  In kOpen past the
+  /// cooldown this transitions to kHalfOpen and admits exactly one probe;
+  /// further writes are rejected until the probe resolves via
+  /// OnWriteSuccess / OnWriteFailure.
+  bool AllowWrite(uint64_t now);
+
+  /// A write request completed OK: resets the failure streak; a successful
+  /// half-open probe closes the breaker.
+  void OnWriteSuccess();
+
+  /// A write request failed terminally (retries exhausted): extends the
+  /// streak and trips at the threshold; a failed half-open probe re-opens.
+  void OnWriteFailure(uint64_t now);
+
+  State state() const { return state_; }
+  bool read_only() const { return state_ != State::kClosed; }
+  int consecutive_failures() const { return consecutive_failures_; }
+  uint64_t trips() const { return trips_; }
+  uint64_t recoveries() const { return recoveries_; }
+
+  static const char* StateName(State s);
+
+ private:
+  void Trip(uint64_t now);
+
+  CircuitBreakerOptions options_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  bool probe_in_flight_ = false;
+  uint64_t open_until_ = 0;
+  uint64_t trips_ = 0;
+  uint64_t recoveries_ = 0;
+};
+
+}  // namespace service
+}  // namespace dycuckoo
+
+#endif  // DYCUCKOO_SERVICE_CIRCUIT_BREAKER_H_

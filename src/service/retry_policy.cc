@@ -1,0 +1,30 @@
+#include "service/retry_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace dycuckoo {
+namespace service {
+
+uint64_t RetryPolicy::BackoffTicks(int attempt, uint64_t request_id) const {
+  if (attempt < 1) attempt = 1;
+  double base = static_cast<double>(initial_backoff_ticks);
+  for (int i = 1; i < attempt && base < static_cast<double>(max_backoff_ticks);
+       ++i) {
+    base *= backoff_multiplier;
+  }
+  base = std::min(base, static_cast<double>(max_backoff_ticks));
+  double j = std::clamp(jitter, 0.0, 1.0);
+  if (j > 0.0) {
+    uint64_t bits = Mix64(seed ^ Mix64(request_id * 0x9E3779B97F4A7C15ULL +
+                                       static_cast<uint64_t>(attempt)));
+    double u = static_cast<double>(bits >> 11) * 0x1.0p-53;  // [0, 1)
+    base *= 1.0 - j * u;
+  }
+  return std::max<uint64_t>(1, static_cast<uint64_t>(std::llround(base)));
+}
+
+}  // namespace service
+}  // namespace dycuckoo

@@ -1,0 +1,61 @@
+// Seeded retry policy: exponential backoff with deterministic jitter.
+//
+// Transient failures — an insert that lost to a hot resize
+// (kInsertionFailure), an arena briefly exhausted mid-growth
+// (kOutOfMemory) — deserve a bounded number of retries with growing,
+// jittered delays so retrying requests do not re-collide in lockstep.
+// Delays are measured in virtual-clock ticks (gpusim::VirtualClock) and
+// the jitter is drawn from Mix64(seed, request, attempt), so a retry
+// schedule is a pure function of (policy, request id): bit-identical
+// across runs, like every other fault-path decision in this repo.
+
+#ifndef DYCUCKOO_SERVICE_RETRY_POLICY_H_
+#define DYCUCKOO_SERVICE_RETRY_POLICY_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace dycuckoo {
+namespace service {
+
+/// \brief Backoff schedule configuration plus the retryability predicate.
+struct RetryPolicy {
+  /// Total execution attempts per request (first try included).  1 means
+  /// never retry.
+  int max_attempts = 4;
+
+  /// Delay before the first retry, in virtual-clock ticks.
+  uint64_t initial_backoff_ticks = 64;
+
+  /// Growth factor per further retry.
+  double backoff_multiplier = 2.0;
+
+  /// Ceiling for any single delay.
+  uint64_t max_backoff_ticks = 4096;
+
+  /// Fraction of each delay randomized away: the delay for attempt k is
+  /// drawn uniformly from [backoff_k * (1 - jitter), backoff_k].  0 means
+  /// fully deterministic spacing; must be in [0, 1].
+  double jitter = 0.5;
+
+  /// Seed for the jitter draws.
+  uint64_t seed = 0;
+
+  /// True for failures worth retrying: transient pressure
+  /// (kInsertionFailure, kOutOfMemory).  Rejections that cannot improve by
+  /// waiting on this request (kInvalidArgument, kUnavailable, deadline and
+  /// admission rejections) are not retryable.
+  bool ShouldRetry(const Status& status) const {
+    return status.IsInsertionFailure() || status.IsOutOfMemory();
+  }
+
+  /// Delay in ticks before retry number `attempt` (1 = first retry) of
+  /// request `request_id`.  Deterministic in (policy, request_id, attempt).
+  uint64_t BackoffTicks(int attempt, uint64_t request_id) const;
+};
+
+}  // namespace service
+}  // namespace dycuckoo
+
+#endif  // DYCUCKOO_SERVICE_RETRY_POLICY_H_

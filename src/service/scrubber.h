@@ -1,0 +1,82 @@
+// Incremental online scrubber: amortizes DynamicTable::ScrubAll over the
+// serving loop.
+//
+// A full integrity sweep of a large table is far too much work to wedge
+// between two latency-sensitive batches, so the scrubber keeps a cursor
+// (subtable, bucket) and verifies a bounded slice per call; when the
+// cursor wraps it also re-checks stash consistency and records a full
+// pass.  Resizes between slices are tolerated: the cursor is clamped to
+// the current bucket count, so a slice never reads out of bounds (a
+// shrunk subtable simply ends the slice early; its remaining buckets are
+// covered on the next pass).
+
+#ifndef DYCUCKOO_SERVICE_SCRUBBER_H_
+#define DYCUCKOO_SERVICE_SCRUBBER_H_
+
+#include <cstdint>
+
+#include "dycuckoo/dynamic_table.h"
+
+namespace dycuckoo {
+namespace service {
+
+template <typename Key, typename Value>
+class OnlineScrubber {
+ public:
+  using Table = DynamicTable<Key, Value>;
+  using Report = typename Table::ScrubReport;
+
+  explicit OnlineScrubber(Table* table) : table_(table) {}
+
+  /// Scrubs up to `max_buckets` buckets from the cursor onward and
+  /// advances it, wrapping across subtables.  Returns what this slice
+  /// observed and repaired.
+  Report Step(uint64_t max_buckets) {
+    Report slice;
+    uint64_t remaining = max_buckets;
+    while (remaining > 0) {
+      const uint64_t buckets = table_->subtable_buckets(table_idx_);
+      if (bucket_ >= buckets) {
+        AdvanceSubtable(&slice);
+        continue;
+      }
+      uint64_t chunk = std::min(remaining, buckets - bucket_);
+      Report r = table_->ScrubBuckets(table_idx_, bucket_, chunk);
+      slice.MergeFrom(r);
+      totals_.MergeFrom(r);
+      bucket_ += chunk;
+      remaining -= chunk;
+      if (bucket_ >= table_->subtable_buckets(table_idx_)) {
+        AdvanceSubtable(&slice);
+      }
+    }
+    return slice;
+  }
+
+  const Report& totals() const { return totals_; }
+  uint64_t full_passes() const { return full_passes_; }
+  int cursor_subtable() const { return table_idx_; }
+  uint64_t cursor_bucket() const { return bucket_; }
+
+ private:
+  void AdvanceSubtable(Report* slice) {
+    bucket_ = 0;
+    if (++table_idx_ >= table_->num_subtables()) {
+      table_idx_ = 0;
+      table_->ScrubStash(slice);
+      table_->MarkScrubPass();
+      ++full_passes_;
+    }
+  }
+
+  Table* table_;
+  int table_idx_ = 0;
+  uint64_t bucket_ = 0;
+  Report totals_;
+  uint64_t full_passes_ = 0;
+};
+
+}  // namespace service
+}  // namespace dycuckoo
+
+#endif  // DYCUCKOO_SERVICE_SCRUBBER_H_

@@ -1,0 +1,489 @@
+// TableServer: the overload-safe serving front-end over DynamicTable.
+//
+// Callers hitting DynamicTable::Bulk* directly get no admission control,
+// no deadlines, and no retry policy — a hot resize or an injected fault
+// stalls or fails them outright.  The TableServer wraps the table with the
+// contract a production service needs:
+//
+//  * Bounded admission (AdmissionQueue): Submit never buffers without
+//    bound; a full queue is an explicit kResourceExhausted.
+//  * Micro-batching: queued requests are coalesced (up to max_batch_ops
+//    operations) into one mixed grid launch per Step, amortizing launch
+//    overhead exactly like the paper's batched execution model.
+//  * Deadlines on the deterministic virtual clock: a request carries an
+//    absolute tick deadline; expiry yields kDeadlineExceeded at admission,
+//    at dequeue, or between retry attempts — never a silent drop and never
+//    an unbounded stall.  An in-flight grid launch is not preempted
+//    (kernels run to completion), matching GPU semantics.
+//  * Retry with seeded exponential backoff + jitter (RetryPolicy) for
+//    transient failures; backoff advances the virtual clock, so deadlines
+//    keep ticking while a request waits.
+//  * A circuit breaker (CircuitBreaker) that flips the server into
+//    read-only degraded mode after consecutive terminal write failures and
+//    auto-recovers via a probe write after a cooldown.
+//  * An online invariant scrubber (OnlineScrubber) walking a bounded slice
+//    of buckets between batches, repairing placement violations and
+//    triggering bounds maintenance when theta drifts outside [alpha, beta].
+//
+// Side-effect contract per response status (what a shadow-map test may
+// assume):
+//   kResourceExhausted / kUnavailable .... request never executed
+//   kDeadlineExceeded with attempts == 0 . request never executed
+//   kDeadlineExceeded with attempts > 0 .. earlier attempts may have
+//                                          partially applied (idempotent
+//                                          upserts/erases: re-execution safe)
+//   kInsertionFailure / kOutOfMemory ..... partially applied; failed count
+//                                          refers to this request's keys
+//   OK ................................... fully applied
+//
+// Threading: Submit/TakeResponse are safe from any thread; Step (and
+// everything it drives) runs on one serving thread, mirroring the one-
+// host-thread-per-table contract of DynamicTable.
+
+#ifndef DYCUCKOO_SERVICE_TABLE_SERVER_H_
+#define DYCUCKOO_SERVICE_TABLE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/status.h"
+#include "dycuckoo/dynamic_table.h"
+#include "dycuckoo/options.h"
+#include "gpusim/virtual_clock.h"
+#include "service/admission_queue.h"
+#include "service/circuit_breaker.h"
+#include "service/retry_policy.h"
+#include "service/scrubber.h"
+
+namespace dycuckoo {
+namespace service {
+
+/// Server-side counters (all monotonic; Capture() for a coherent-enough
+/// snapshot — same relaxed contract as TableStats).
+struct ServerStats {
+  std::atomic<uint64_t> submitted{0};
+  std::atomic<uint64_t> admitted{0};
+  std::atomic<uint64_t> rejected_queue_full{0};
+  std::atomic<uint64_t> rejected_deadline{0};   // at submit, dequeue or retry
+  std::atomic<uint64_t> rejected_unavailable{0};
+  std::atomic<uint64_t> completed_ok{0};
+  std::atomic<uint64_t> completed_error{0};     // terminal non-OK executions
+  std::atomic<uint64_t> batch_launches{0};      // coalesced BulkExecute calls
+  std::atomic<uint64_t> coalesced_fallbacks{0}; // batches re-run per request
+  std::atomic<uint64_t> retries{0};             // re-executions beyond first
+  std::atomic<uint64_t> backoff_ticks_slept{0};
+  std::atomic<uint64_t> scrub_steps{0};
+  std::atomic<uint64_t> scrub_resizes{0};       // bounds repairs it triggered
+
+  struct Snapshot {
+    uint64_t submitted = 0;
+    uint64_t admitted = 0;
+    uint64_t rejected_queue_full = 0;
+    uint64_t rejected_deadline = 0;
+    uint64_t rejected_unavailable = 0;
+    uint64_t completed_ok = 0;
+    uint64_t completed_error = 0;
+    uint64_t batch_launches = 0;
+    uint64_t coalesced_fallbacks = 0;
+    uint64_t retries = 0;
+    uint64_t backoff_ticks_slept = 0;
+    uint64_t scrub_steps = 0;
+    uint64_t scrub_resizes = 0;
+  };
+
+  Snapshot Capture() const {
+    Snapshot s;
+    s.submitted = submitted.load(std::memory_order_relaxed);
+    s.admitted = admitted.load(std::memory_order_relaxed);
+    s.rejected_queue_full =
+        rejected_queue_full.load(std::memory_order_relaxed);
+    s.rejected_deadline = rejected_deadline.load(std::memory_order_relaxed);
+    s.rejected_unavailable =
+        rejected_unavailable.load(std::memory_order_relaxed);
+    s.completed_ok = completed_ok.load(std::memory_order_relaxed);
+    s.completed_error = completed_error.load(std::memory_order_relaxed);
+    s.batch_launches = batch_launches.load(std::memory_order_relaxed);
+    s.coalesced_fallbacks =
+        coalesced_fallbacks.load(std::memory_order_relaxed);
+    s.retries = retries.load(std::memory_order_relaxed);
+    s.backoff_ticks_slept =
+        backoff_ticks_slept.load(std::memory_order_relaxed);
+    s.scrub_steps = scrub_steps.load(std::memory_order_relaxed);
+    s.scrub_resizes = scrub_resizes.load(std::memory_order_relaxed);
+    return s;
+  }
+};
+
+/// Serving-layer knobs (all bounds are hard, never best-effort).
+struct TableServerOptions {
+  /// Maximum queued (admitted, not yet executed) requests.
+  uint64_t queue_capacity = 256;
+
+  /// Operation budget per micro-batch: Step dequeues whole requests until
+  /// their combined op count reaches this (a single oversized request
+  /// still runs, alone).
+  uint64_t max_batch_ops = 4096;
+
+  /// Default deadline as a relative tick budget applied at Submit when the
+  /// request carries none.  0 means no default (wait forever).
+  uint64_t default_deadline_ticks = 0;
+
+  RetryPolicy retry;
+  CircuitBreakerOptions breaker;
+
+  /// Buckets verified by the online scrubber after each batch (0 disables
+  /// inline scrubbing).
+  uint64_t scrub_buckets_per_step = 0;
+
+  /// Let a scrub slice that finds theta outside [alpha, beta] trigger
+  /// ResizeToBounds().
+  bool resize_on_scrub_violation = true;
+};
+
+template <typename Key, typename Value>
+class TableServer {
+ public:
+  using Table = DynamicTable<Key, Value>;
+  using MixedOp = typename Table::MixedOp;
+  using OpType = typename Table::MixedOp::Type;
+
+  /// One operation of a request.
+  struct Op {
+    OpType type = OpType::kFind;
+    Key key{};
+    Value value{};
+  };
+
+  /// Per-op outcome (valid only when the response status is OK or a
+  /// partial-failure code; see the side-effect contract above).
+  struct OpResult {
+    uint8_t hit = 0;   ///< find located / erase removed the key
+    Value value{};     ///< find output
+  };
+
+  struct Request {
+    std::vector<Op> ops;
+    /// Absolute virtual-clock deadline; 0 means none (or the server
+    /// default, applied at Submit).
+    uint64_t deadline = 0;
+  };
+
+  struct Response {
+    Status status;
+    std::vector<OpResult> results;  ///< one per op when executed
+    uint32_t attempts = 0;          ///< executions of this request's ops
+    uint64_t completed_at = 0;      ///< virtual time of completion
+  };
+
+  /// Builds a server owning a fresh table.
+  static Status Create(const DyCuckooOptions& table_options,
+                       const TableServerOptions& server_options,
+                       std::unique_ptr<TableServer>* out) {
+    std::unique_ptr<Table> table;
+    DYCUCKOO_RETURN_NOT_OK(Table::Create(table_options, &table));
+    out->reset(new TableServer(std::move(table), server_options));
+    return Status::OK();
+  }
+
+  TableServer(const TableServer&) = delete;
+  TableServer& operator=(const TableServer&) = delete;
+
+  // ---------------------------------------------------------------------
+  // Client side (any thread).
+  // ---------------------------------------------------------------------
+
+  /// Admits a request.  Always assigns an id and guarantees a response
+  /// will be retrievable for it: immediate rejections (queue full, dead
+  /// on arrival) are completed right here with the rejecting status.
+  uint64_t Submit(Request request) {
+    uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+    stats_.submitted.fetch_add(1, std::memory_order_relaxed);
+    if (request.deadline == 0 && options_.default_deadline_ticks > 0) {
+      request.deadline = clock_.Now() + options_.default_deadline_ticks;
+    }
+    if (request.deadline != 0 && clock_.Now() > request.deadline) {
+      stats_.rejected_deadline.fetch_add(1, std::memory_order_relaxed);
+      Complete(id, Response{Status::DeadlineExceeded(
+                                "deadline passed before admission"),
+                            {}, 0, clock_.Now()});
+      return id;
+    }
+    Status st = queue_.Push(Pending{id, std::move(request)});
+    if (!st.ok()) {
+      stats_.rejected_queue_full.fetch_add(1, std::memory_order_relaxed);
+      Complete(id, Response{std::move(st), {}, 0, clock_.Now()});
+      return id;
+    }
+    stats_.admitted.fetch_add(1, std::memory_order_relaxed);
+    return id;
+  }
+
+  /// Retrieves (and removes) the response for `id`; false if not completed
+  /// yet.  Responses are held until taken — a client that never takes them
+  /// should bound its in-flight ids.
+  bool TakeResponse(uint64_t id, Response* out) {
+    std::lock_guard<std::mutex> lock(responses_mu_);
+    auto it = responses_.find(id);
+    if (it == responses_.end()) return false;
+    *out = std::move(it->second);
+    responses_.erase(it);
+    return true;
+  }
+
+  uint64_t queued() const { return queue_.size(); }
+  uint64_t completed_pending_take() const {
+    std::lock_guard<std::mutex> lock(responses_mu_);
+    return responses_.size();
+  }
+
+  // ---------------------------------------------------------------------
+  // Serving side (one thread).
+  // ---------------------------------------------------------------------
+
+  /// Executes one micro-batch plus one scrub slice.  Returns the number of
+  /// requests it completed (0 when idle).
+  uint64_t Step() {
+    gpusim::ScopedVirtualClock scoped(&clock_);
+    std::vector<Pending> batch;
+    uint64_t ops = 0;
+    while (ops < options_.max_batch_ops) {
+      Pending p;
+      if (!queue_.Pop(&p)) break;
+      ops += p.request.ops.size();
+      batch.push_back(std::move(p));
+    }
+    uint64_t completed = 0;
+    if (!batch.empty()) completed = ExecuteBatch(&batch);
+    ScrubSlice();
+    return completed;
+  }
+
+  /// Steps until the queue is empty.
+  void RunUntilIdle() {
+    while (!queue_.empty()) Step();
+  }
+
+  // ---------------------------------------------------------------------
+  // Introspection.
+  // ---------------------------------------------------------------------
+
+  Table* table() { return table_.get(); }
+  const Table* table() const { return table_.get(); }
+  gpusim::VirtualClock* clock() { return &clock_; }
+  uint64_t now() const { return clock_.Now(); }
+  const CircuitBreaker& breaker() const { return breaker_; }
+  bool read_only() const { return breaker_.read_only(); }
+  const ServerStats& stats() const { return stats_; }
+  const TableServerOptions& options() const { return options_; }
+  const OnlineScrubber<Key, Value>& scrubber() const { return scrubber_; }
+
+ private:
+  struct Pending {
+    uint64_t id = 0;
+    Request request;
+  };
+
+  TableServer(std::unique_ptr<Table> table,
+              const TableServerOptions& options)
+      : options_(options),
+        table_(std::move(table)),
+        queue_(options.queue_capacity),
+        breaker_(options.breaker),
+        scrubber_(table_.get()) {}
+
+  static bool HasWrite(const Request& r) {
+    for (const Op& op : r.ops) {
+      if (op.type != OpType::kFind) return true;
+    }
+    return false;
+  }
+
+  bool Expired(const Request& r) const {
+    return r.deadline != 0 && clock_.Now() > r.deadline;
+  }
+
+  void Complete(uint64_t id, Response response) {
+    std::lock_guard<std::mutex> lock(responses_mu_);
+    responses_.emplace(id, std::move(response));
+  }
+
+  /// Triage + coalesced fast path + per-request fallback.
+  uint64_t ExecuteBatch(std::vector<Pending>* batch) {
+    uint64_t completed = 0;
+    std::vector<Pending> runnable;
+    runnable.reserve(batch->size());
+    for (Pending& p : *batch) {
+      if (Expired(p.request)) {
+        stats_.rejected_deadline.fetch_add(1, std::memory_order_relaxed);
+        Complete(p.id, Response{Status::DeadlineExceeded(
+                                    "deadline passed while queued"),
+                                {}, 0, clock_.Now()});
+        ++completed;
+      } else if (HasWrite(p.request) && !breaker_.AllowWrite(clock_.Now())) {
+        stats_.rejected_unavailable.fetch_add(1, std::memory_order_relaxed);
+        Complete(p.id,
+                 Response{Status::Unavailable(
+                              "server degraded to read-only (breaker " +
+                              std::string(CircuitBreaker::StateName(
+                                  breaker_.state())) +
+                              ")"),
+                          {}, 0, clock_.Now()});
+        ++completed;
+      } else {
+        runnable.push_back(std::move(p));
+      }
+    }
+    if (runnable.empty()) return completed;
+
+    // Coalesced fast path: every runnable request's ops in one launch.
+    std::vector<MixedOp> ops;
+    for (const Pending& p : runnable) {
+      for (const Op& op : p.request.ops) {
+        ops.push_back(MixedOp{op.type, op.key, op.value, 0});
+      }
+    }
+    stats_.batch_launches.fetch_add(1, std::memory_order_relaxed);
+    Status st = table_->BulkExecute(ops);
+    if (st.ok()) {
+      uint64_t cursor = 0;
+      for (Pending& p : runnable) {
+        Response resp;
+        resp.status = Status::OK();
+        resp.attempts = 1;
+        resp.results.resize(p.request.ops.size());
+        for (size_t i = 0; i < p.request.ops.size(); ++i, ++cursor) {
+          resp.results[i].hit = ops[cursor].hit;
+          resp.results[i].value = ops[cursor].value;
+        }
+        resp.completed_at = clock_.Now();
+        if (HasWrite(p.request)) breaker_.OnWriteSuccess();
+        stats_.completed_ok.fetch_add(1, std::memory_order_relaxed);
+        Complete(p.id, std::move(resp));
+        ++completed;
+      }
+      return completed;
+    }
+
+    // Slow path: the coalesced batch failed, so outcomes cannot be
+    // attributed across requests.  Re-run each request alone (all ops are
+    // idempotent upserts/reads/deletes, so re-execution is safe) with the
+    // retry policy; the coalesced run counts as everyone's first attempt.
+    stats_.coalesced_fallbacks.fetch_add(1, std::memory_order_relaxed);
+    for (Pending& p : runnable) {
+      ExecuteWithRetry(&p, /*attempts_so_far=*/1);
+      ++completed;
+    }
+    return completed;
+  }
+
+  /// Runs one request's ops alone, retrying per policy while the deadline
+  /// allows; completes the request with its terminal response.
+  void ExecuteWithRetry(Pending* p, uint32_t attempts_so_far) {
+    std::vector<MixedOp> ops;
+    ops.reserve(p->request.ops.size());
+    for (const Op& op : p->request.ops) {
+      ops.push_back(MixedOp{op.type, op.key, op.value, 0});
+    }
+    const bool has_write = HasWrite(p->request);
+    uint32_t attempts = attempts_so_far;
+    Status st;
+    for (;;) {
+      for (MixedOp& op : ops) op.hit = 0;
+      st = table_->BulkExecute(ops);
+      ++attempts;
+      if (attempts > attempts_so_far + 1) {
+        stats_.retries.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (st.ok() || !options_.retry.ShouldRetry(st)) break;
+      if (attempts >= static_cast<uint32_t>(options_.retry.max_attempts)) {
+        break;
+      }
+      // Back off in virtual time; the wait itself can expire the deadline.
+      uint64_t backoff = options_.retry.BackoffTicks(
+          static_cast<int>(attempts), p->id);
+      clock_.Advance(backoff);
+      stats_.backoff_ticks_slept.fetch_add(backoff,
+                                           std::memory_order_relaxed);
+      if (Expired(p->request)) {
+        // If this write was the half-open probe, resolve it as a failure:
+        // leaving the probe unresolved would reject writes forever.
+        if (has_write &&
+            breaker_.state() == CircuitBreaker::State::kHalfOpen) {
+          breaker_.OnWriteFailure(clock_.Now());
+        }
+        stats_.rejected_deadline.fetch_add(1, std::memory_order_relaxed);
+        Complete(p->id,
+                 Response{Status::DeadlineExceeded(
+                              "deadline passed after " +
+                              std::to_string(attempts) + " attempts"),
+                          {}, attempts, clock_.Now()});
+        return;
+      }
+    }
+
+    Response resp;
+    resp.status = st;
+    resp.attempts = attempts;
+    resp.completed_at = clock_.Now();
+    resp.results.resize(ops.size());
+    for (size_t i = 0; i < ops.size(); ++i) {
+      resp.results[i].hit = ops[i].hit;
+      resp.results[i].value = ops[i].value;
+    }
+    if (has_write) {
+      if (st.ok()) {
+        breaker_.OnWriteSuccess();
+      } else {
+        breaker_.OnWriteFailure(clock_.Now());
+      }
+    }
+    if (st.ok()) {
+      stats_.completed_ok.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      stats_.completed_error.fetch_add(1, std::memory_order_relaxed);
+    }
+    Complete(p->id, std::move(resp));
+  }
+
+  /// One bounded scrub slice between batches.
+  void ScrubSlice() {
+    if (options_.scrub_buckets_per_step == 0) return;
+    stats_.scrub_steps.fetch_add(1, std::memory_order_relaxed);
+    auto report = scrubber_.Step(options_.scrub_buckets_per_step);
+    if (!report.filled_factor_ok && options_.resize_on_scrub_violation) {
+      stats_.scrub_resizes.fetch_add(1, std::memory_order_relaxed);
+      Status st = table_->ResizeToBounds();
+      if (!st.ok()) {
+        DYCUCKOO_LOG(Warning)
+            << "scrub-triggered ResizeToBounds failed: " << st.ToString();
+      }
+    }
+  }
+
+  TableServerOptions options_;
+  std::unique_ptr<Table> table_;
+  gpusim::VirtualClock clock_;
+  AdmissionQueue<Pending> queue_;
+  CircuitBreaker breaker_;
+  OnlineScrubber<Key, Value> scrubber_;
+  ServerStats stats_;
+
+  std::atomic<uint64_t> next_id_{1};
+  mutable std::mutex responses_mu_;
+  std::unordered_map<uint64_t, Response> responses_;
+};
+
+/// The paper's primary 4-byte configuration, served.
+using DyCuckooServer = TableServer<uint32_t, uint32_t>;
+
+}  // namespace service
+}  // namespace dycuckoo
+
+#endif  // DYCUCKOO_SERVICE_TABLE_SERVER_H_

@@ -1,0 +1,80 @@
+// AdmissionQueue: bounded FIFO with explicit backpressure.
+
+#include "service/admission_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace dycuckoo {
+namespace service {
+namespace {
+
+TEST(AdmissionQueueTest, FifoOrder) {
+  AdmissionQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.Push(i).ok());
+  EXPECT_EQ(q.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    int v = -1;
+    ASSERT_TRUE(q.Pop(&v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(AdmissionQueueTest, PopOnEmptyReturnsFalse) {
+  AdmissionQueue<int> q(2);
+  int v = 0;
+  EXPECT_FALSE(q.Pop(&v));
+}
+
+TEST(AdmissionQueueTest, RejectsBeyondCapacityWithResourceExhausted) {
+  AdmissionQueue<std::string> q(2);
+  EXPECT_TRUE(q.Push("a").ok());
+  EXPECT_TRUE(q.Push("b").ok());
+  Status st = q.Push("c");
+  EXPECT_TRUE(st.IsResourceExhausted()) << st.ToString();
+  EXPECT_EQ(q.size(), 2u);  // the rejected element was not buffered
+}
+
+TEST(AdmissionQueueTest, CapacityFreesUpAfterPop) {
+  AdmissionQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1).ok());
+  EXPECT_TRUE(q.Push(2).IsResourceExhausted());
+  int v = 0;
+  ASSERT_TRUE(q.Pop(&v));
+  EXPECT_TRUE(q.Push(2).ok());
+  ASSERT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 2);
+}
+
+TEST(AdmissionQueueTest, ConcurrentProducersNeverExceedCapacity) {
+  constexpr uint64_t kCapacity = 64;
+  AdmissionQueue<uint64_t> q(kCapacity);
+  std::atomic<uint64_t> accepted{0}, rejected{0};
+  std::vector<std::thread> producers;
+  for (int t = 0; t < 4; ++t) {
+    producers.emplace_back([&, t] {
+      for (uint64_t i = 0; i < 100; ++i) {
+        if (q.Push(static_cast<uint64_t>(t) * 1000 + i).ok()) {
+          accepted.fetch_add(1);
+        } else {
+          rejected.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(accepted.load(), kCapacity);  // queue was never drained
+  EXPECT_EQ(rejected.load(), 400 - kCapacity);
+  EXPECT_EQ(q.size(), kCapacity);
+  uint64_t drained = 0, v = 0;
+  while (q.Pop(&v)) ++drained;
+  EXPECT_EQ(drained, kCapacity);
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace dycuckoo

@@ -1,0 +1,98 @@
+// CircuitBreaker: the closed -> open -> half-open -> closed state machine.
+
+#include "service/circuit_breaker.h"
+
+#include <gtest/gtest.h>
+
+namespace dycuckoo {
+namespace service {
+namespace {
+
+CircuitBreakerOptions TestOptions() {
+  CircuitBreakerOptions o;
+  o.failure_threshold = 3;
+  o.cooldown_ticks = 100;
+  return o;
+}
+
+TEST(CircuitBreakerTest, StartsClosedAndAllowsWrites) {
+  CircuitBreaker b(TestOptions());
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kClosed);
+  EXPECT_FALSE(b.read_only());
+  EXPECT_TRUE(b.AllowWrite(0));
+  EXPECT_TRUE(b.AllowWrite(0));  // no probe bookkeeping while closed
+}
+
+TEST(CircuitBreakerTest, TripsAfterConsecutiveFailures) {
+  CircuitBreaker b(TestOptions());
+  b.OnWriteFailure(10);
+  b.OnWriteFailure(11);
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kClosed);
+  b.OnWriteFailure(12);
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kOpen);
+  EXPECT_TRUE(b.read_only());
+  EXPECT_EQ(b.trips(), 1u);
+  EXPECT_FALSE(b.AllowWrite(12));
+  EXPECT_FALSE(b.AllowWrite(111));  // cooldown ends at 12 + 100
+}
+
+TEST(CircuitBreakerTest, SuccessResetsFailureStreak) {
+  CircuitBreaker b(TestOptions());
+  b.OnWriteFailure(0);
+  b.OnWriteFailure(1);
+  b.OnWriteSuccess();
+  EXPECT_EQ(b.consecutive_failures(), 0);
+  b.OnWriteFailure(2);
+  b.OnWriteFailure(3);
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, HalfOpenAdmitsExactlyOneProbe) {
+  CircuitBreaker b(TestOptions());
+  for (int i = 0; i < 3; ++i) b.OnWriteFailure(0);
+  ASSERT_EQ(b.state(), CircuitBreaker::State::kOpen);
+  EXPECT_TRUE(b.AllowWrite(200));  // past cooldown: the probe
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_TRUE(b.read_only());  // still degraded until the probe resolves
+  EXPECT_FALSE(b.AllowWrite(200));
+  EXPECT_FALSE(b.AllowWrite(500));  // only the probe flies, however late
+}
+
+TEST(CircuitBreakerTest, ProbeSuccessClosesAndCountsRecovery) {
+  CircuitBreaker b(TestOptions());
+  for (int i = 0; i < 3; ++i) b.OnWriteFailure(0);
+  ASSERT_TRUE(b.AllowWrite(150));
+  b.OnWriteSuccess();
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kClosed);
+  EXPECT_FALSE(b.read_only());
+  EXPECT_EQ(b.recoveries(), 1u);
+  EXPECT_TRUE(b.AllowWrite(151));
+  EXPECT_TRUE(b.AllowWrite(151));
+}
+
+TEST(CircuitBreakerTest, ProbeFailureReopensForAnotherCooldown) {
+  CircuitBreaker b(TestOptions());
+  for (int i = 0; i < 3; ++i) b.OnWriteFailure(0);
+  ASSERT_TRUE(b.AllowWrite(150));
+  b.OnWriteFailure(150);
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(b.trips(), 2u);
+  EXPECT_FALSE(b.AllowWrite(200));  // new cooldown runs to 150 + 100
+  EXPECT_TRUE(b.AllowWrite(250));   // next probe
+  b.OnWriteSuccess();
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(b.recoveries(), 1u);
+}
+
+TEST(CircuitBreakerTest, StateNames) {
+  EXPECT_STREQ(CircuitBreaker::StateName(CircuitBreaker::State::kClosed),
+               "closed");
+  EXPECT_STREQ(CircuitBreaker::StateName(CircuitBreaker::State::kOpen),
+               "open");
+  EXPECT_STREQ(CircuitBreaker::StateName(CircuitBreaker::State::kHalfOpen),
+               "half-open");
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace dycuckoo

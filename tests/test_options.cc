@@ -90,7 +90,8 @@ INSTANTIATE_TEST_SUITE_P(
                       BoundsCase{4, 0.30, 0.85, true},
                       BoundsCase{4, 0.85, 0.90, false},  // alpha >= 4/5
                       BoundsCase{8, 0.85, 0.95, true},   // 8/9 > 0.85
-                      BoundsCase{2, 0.66, 0.9, true},
+                      BoundsCase{2, 0.66, 0.9, true},    // just below 2/3
+                      BoundsCase{2, 0.667, 0.9, false},  // just above 2/3
                       BoundsCase{2, 0.67, 0.9, false},
                       BoundsCase{4, 0.5, 0.5, false}));
 

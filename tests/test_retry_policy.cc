@@ -1,0 +1,109 @@
+// RetryPolicy: retryability classification and seeded backoff/jitter.
+
+#include "service/retry_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace dycuckoo {
+namespace service {
+namespace {
+
+TEST(RetryPolicyTest, RetryableStatuses) {
+  RetryPolicy policy;
+  // Transient overload conditions are retryable...
+  EXPECT_TRUE(policy.ShouldRetry(Status::InsertionFailure("bound")));
+  EXPECT_TRUE(policy.ShouldRetry(Status::OutOfMemory("arena")));
+  // ...everything else is terminal.
+  EXPECT_FALSE(policy.ShouldRetry(Status::OK()));
+  EXPECT_FALSE(policy.ShouldRetry(Status::InvalidArgument("bad")));
+  EXPECT_FALSE(policy.ShouldRetry(Status::Internal("bug")));
+  EXPECT_FALSE(policy.ShouldRetry(Status::NotSupported("no")));
+  EXPECT_FALSE(policy.ShouldRetry(Status::CapacityExceeded("arena cap")));
+  EXPECT_FALSE(policy.ShouldRetry(Status::DeadlineExceeded("late")));
+  EXPECT_FALSE(policy.ShouldRetry(Status::ResourceExhausted("full")));
+  EXPECT_FALSE(policy.ShouldRetry(Status::Unavailable("degraded")));
+}
+
+TEST(RetryPolicyTest, BackoffGrowsExponentiallyWithoutJitter) {
+  RetryPolicy policy;
+  policy.initial_backoff_ticks = 10;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_ticks = 1000;
+  policy.jitter = 0.0;
+  EXPECT_EQ(policy.BackoffTicks(1, 7), 10u);
+  EXPECT_EQ(policy.BackoffTicks(2, 7), 20u);
+  EXPECT_EQ(policy.BackoffTicks(3, 7), 40u);
+  EXPECT_EQ(policy.BackoffTicks(4, 7), 80u);
+}
+
+TEST(RetryPolicyTest, BackoffIsCapped) {
+  RetryPolicy policy;
+  policy.initial_backoff_ticks = 100;
+  policy.backoff_multiplier = 10.0;
+  policy.max_backoff_ticks = 500;
+  policy.jitter = 0.0;
+  EXPECT_EQ(policy.BackoffTicks(2, 0), 500u);
+  EXPECT_EQ(policy.BackoffTicks(9, 0), 500u);
+}
+
+TEST(RetryPolicyTest, BackoffNeverBelowOneTick) {
+  RetryPolicy policy;
+  policy.initial_backoff_ticks = 1;
+  policy.jitter = 1.0;  // jitter may scale the wait all the way down
+  for (int attempt = 1; attempt < 5; ++attempt) {
+    for (uint64_t id = 0; id < 50; ++id) {
+      EXPECT_GE(policy.BackoffTicks(attempt, id), 1u);
+    }
+  }
+}
+
+TEST(RetryPolicyTest, JitterStaysWithinConfiguredFraction) {
+  RetryPolicy policy;
+  policy.initial_backoff_ticks = 1000;
+  policy.backoff_multiplier = 1.0;
+  policy.max_backoff_ticks = 1000;
+  policy.jitter = 0.5;
+  for (uint64_t id = 0; id < 200; ++id) {
+    uint64_t t = policy.BackoffTicks(1, id);
+    EXPECT_GE(t, 500u);
+    EXPECT_LE(t, 1000u);
+  }
+}
+
+TEST(RetryPolicyTest, JitterIsDeterministicPerSeedAttemptAndRequest) {
+  RetryPolicy a;
+  a.seed = 42;
+  a.jitter = 0.9;
+  RetryPolicy b = a;
+  bool saw_difference = false;
+  for (int attempt = 1; attempt < 4; ++attempt) {
+    for (uint64_t id = 0; id < 100; ++id) {
+      EXPECT_EQ(a.BackoffTicks(attempt, id), b.BackoffTicks(attempt, id));
+      if (a.BackoffTicks(attempt, id) != a.BackoffTicks(attempt, id + 1)) {
+        saw_difference = true;
+      }
+    }
+  }
+  // Distinct requests must not back off in lockstep (that is the point of
+  // jitter: decorrelating retry storms).
+  EXPECT_TRUE(saw_difference);
+}
+
+TEST(RetryPolicyTest, DifferentSeedsProduceDifferentJitter) {
+  RetryPolicy a;
+  a.jitter = 0.9;
+  a.seed = 1;
+  RetryPolicy b = a;
+  b.seed = 2;
+  bool differs = false;
+  for (uint64_t id = 0; id < 100 && !differs; ++id) {
+    differs = a.BackoffTicks(1, id) != b.BackoffTicks(1, id);
+  }
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace dycuckoo

@@ -1,0 +1,194 @@
+// Invariant scrubbing: DynamicTable::Scrub* plus the incremental
+// OnlineScrubber wrapper.
+
+#include "service/scrubber.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "dycuckoo/dynamic_table.h"
+#include "dycuckoo/options.h"
+#include "test_util.h"
+
+namespace dycuckoo {
+namespace service {
+namespace {
+
+using Table = DynamicTable<uint32_t, uint32_t>;
+
+std::unique_ptr<Table> MakeTable(uint64_t capacity, uint64_t stash = 64) {
+  DyCuckooOptions options;
+  options.initial_capacity = capacity;
+  options.stash_capacity = stash;
+  std::unique_ptr<Table> table;
+  Status st = Table::Create(options, &table);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return table;
+}
+
+uint64_t TotalBuckets(const Table& table) {
+  uint64_t total = 0;
+  for (int i = 0; i < table.num_subtables(); ++i) {
+    total += table.subtable_buckets(i);
+  }
+  return total;
+}
+
+TEST(ScrubTest, CleanTableScrubsClean) {
+  auto table = MakeTable(4096);
+  auto keys = testing::UniqueKeys(2000);
+  auto values = testing::SequentialValues(keys.size());
+  ASSERT_TRUE(table->BulkInsert(keys, values).ok());
+
+  auto report = table->ScrubAll();
+  EXPECT_EQ(report.buckets_scanned, TotalBuckets(*table));
+  EXPECT_EQ(report.misplaced_found, 0u);
+  EXPECT_EQ(report.misplaced_repaired, 0u);
+  EXPECT_EQ(report.stash_fixes, 0u);
+  EXPECT_TRUE(report.filled_factor_ok);
+  EXPECT_TRUE(table->Validate().ok());
+
+  auto stats = table->stats().Capture();
+  EXPECT_EQ(stats.scrub_buckets_scanned, report.buckets_scanned);
+  EXPECT_EQ(stats.scrub_misplaced_found, 0u);
+  EXPECT_EQ(stats.scrub_passes, 1u);
+}
+
+// Acceptance: a full scrub of a clean table with >= 1M slots reports zero
+// violations of every invariant.
+TEST(ScrubTest, CleanMillionSlotTableHasZeroViolations) {
+  auto table = MakeTable(1ull << 20);
+  ASSERT_GE(table->capacity_slots(), 1ull << 20);
+  auto keys = testing::UniqueKeys(600 * 1000, /*seed=*/7);
+  auto values = testing::SequentialValues(keys.size());
+  ASSERT_TRUE(table->BulkInsert(keys, values).ok());
+
+  auto report = table->ScrubAll();
+  EXPECT_EQ(report.buckets_scanned, TotalBuckets(*table));
+  EXPECT_EQ(report.misplaced_found, 0u);
+  EXPECT_EQ(report.misplaced_repaired, 0u);
+  EXPECT_EQ(report.stash_fixes, 0u);
+  EXPECT_TRUE(report.filled_factor_ok);
+}
+
+TEST(ScrubTest, DetectsAndRepairsPlantedMisplacedPair) {
+  auto table = MakeTable(4096);
+  auto keys = testing::UniqueKeys(1500);
+  auto values = testing::SequentialValues(keys.size());
+  ASSERT_TRUE(table->BulkInsert(keys, values).ok());
+
+  // Plant a pair in a bucket outside its probe set: Validate must flag the
+  // corruption and a normal FIND (<= 2 probes + stash) must miss it.
+  const uint32_t planted_key = 0xDEADBEEFu;
+  const uint32_t planted_value = 777;
+  ASSERT_TRUE(table->PlantMisplacedPairForTest(planted_key, planted_value));
+  EXPECT_FALSE(table->Validate().ok());
+  uint32_t value = 0;
+  uint8_t found = 0;
+  table->BulkFind(std::vector<uint32_t>{planted_key}, &value, &found);
+  EXPECT_EQ(found, 0u);
+
+  // One full scrub pass re-homes it.
+  auto report = table->ScrubAll();
+  EXPECT_EQ(report.misplaced_found, 1u);
+  EXPECT_EQ(report.misplaced_repaired + report.stash_fixes, 1u);
+  EXPECT_TRUE(table->Validate().ok()) << table->Validate().ToString();
+
+  // The repaired pair is reachable through the normal probe path again.
+  table->BulkFind(std::vector<uint32_t>{planted_key}, &value, &found);
+  EXPECT_EQ(found, 1u);
+  EXPECT_EQ(value, planted_value);
+
+  // The repair is visible in TableStats.
+  auto stats = table->stats().Capture();
+  EXPECT_EQ(stats.scrub_misplaced_found, 1u);
+  EXPECT_EQ(stats.scrub_misplaced_repaired, 1u);
+  EXPECT_EQ(stats.scrub_passes, 1u);
+}
+
+TEST(ScrubTest, RepairCollapsesMisplacedDuplicate) {
+  auto table = MakeTable(2048);
+  auto keys = testing::UniqueKeys(500);
+  auto values = testing::SequentialValues(keys.size());
+  ASSERT_TRUE(table->BulkInsert(keys, values).ok());
+
+  // Plant a *duplicate* of a resident key in a wrong bucket: the scrubber's
+  // partner-checked reinsertion must collapse it into the correct copy
+  // instead of storing the key twice.
+  const uint32_t dup_key = keys[123];
+  ASSERT_TRUE(table->PlantMisplacedPairForTest(dup_key, 0xABCDu));
+  EXPECT_FALSE(table->Validate().ok());
+
+  auto report = table->ScrubAll();
+  EXPECT_EQ(report.misplaced_found, 1u);
+  EXPECT_TRUE(table->Validate().ok()) << table->Validate().ToString();
+  EXPECT_EQ(table->size(), keys.size());
+
+  uint32_t value = 0;
+  uint8_t found = 0;
+  table->BulkFind(std::vector<uint32_t>{dup_key}, &value, &found);
+  EXPECT_EQ(found, 1u);
+  EXPECT_EQ(value, 0xABCDu);  // the reinsert upserted the planted value
+}
+
+TEST(OnlineScrubberTest, IncrementalStepsCoverTheWholeTable) {
+  auto table = MakeTable(4096);
+  auto keys = testing::UniqueKeys(1800);
+  auto values = testing::SequentialValues(keys.size());
+  ASSERT_TRUE(table->BulkInsert(keys, values).ok());
+
+  OnlineScrubber<uint32_t, uint32_t> scrubber(table.get());
+  const uint64_t total = TotalBuckets(*table);
+  uint64_t steps = 0;
+  while (scrubber.full_passes() == 0) {
+    scrubber.Step(/*max_buckets=*/37);  // deliberately not a divisor
+    ASSERT_LT(++steps, 10000u);
+  }
+  EXPECT_GE(scrubber.totals().buckets_scanned, total);
+  EXPECT_EQ(scrubber.totals().misplaced_found, 0u);
+  EXPECT_EQ(table->stats().Capture().scrub_passes, 1u);
+}
+
+TEST(OnlineScrubberTest, FindsPlantedPairMidPass) {
+  auto table = MakeTable(4096);
+  auto keys = testing::UniqueKeys(1000);
+  auto values = testing::SequentialValues(keys.size());
+  ASSERT_TRUE(table->BulkInsert(keys, values).ok());
+  ASSERT_TRUE(table->PlantMisplacedPairForTest(0xFEEDF00Du, 9));
+
+  OnlineScrubber<uint32_t, uint32_t> scrubber(table.get());
+  uint64_t steps = 0;
+  while (scrubber.full_passes() == 0) {
+    scrubber.Step(64);
+    ASSERT_LT(++steps, 10000u);
+  }
+  EXPECT_EQ(scrubber.totals().misplaced_found, 1u);
+  EXPECT_TRUE(table->Validate().ok());
+}
+
+TEST(OnlineScrubberTest, ToleratesResizeBetweenSlices) {
+  auto table = MakeTable(1024);
+  OnlineScrubber<uint32_t, uint32_t> scrubber(table.get());
+
+  auto keys = testing::UniqueKeys(6000);
+  auto values = testing::SequentialValues(keys.size());
+  // Interleave growth (auto-resize upsizes shift bucket counts under the
+  // cursor) with scrub slices; the scrubber must stay in bounds.
+  for (uint64_t off = 0; off < keys.size(); off += 500) {
+    uint64_t n = std::min<uint64_t>(500, keys.size() - off);
+    ASSERT_TRUE(table
+                    ->BulkInsert(std::span(keys.data() + off, n),
+                                 std::span(values.data() + off, n))
+                    .ok());
+    scrubber.Step(51);
+  }
+  while (scrubber.full_passes() == 0) scrubber.Step(512);
+  EXPECT_TRUE(table->Validate().ok());
+  EXPECT_EQ(scrubber.totals().misplaced_found, 0u);
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace dycuckoo

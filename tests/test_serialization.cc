@@ -107,6 +107,48 @@ TEST(SerializationTest, RejectsTruncatedStream) {
       DyCuckooMap::Load(cut, o, &restored).IsInvalidArgument());
 }
 
+TEST(SerializationTest, RejectsTruncatedHeader) {
+  DyCuckooOptions o;
+  std::unique_ptr<DyCuckooMap> t;
+  ASSERT_TRUE(DyCuckooMap::Create(o, &t).ok());
+  ASSERT_TRUE(t->Insert(1, 2).ok());
+  std::stringstream ss;
+  ASSERT_TRUE(t->Save(ss).ok());
+  std::string data = ss.str();
+
+  // Cut inside the fixed-size header (after the magic but before the count):
+  // the loader must fail cleanly, not read uninitialized header fields.
+  for (size_t cut : {size_t{9}, size_t{17}, size_t{33}}) {
+    std::stringstream truncated(data.substr(0, cut));
+    std::unique_ptr<DyCuckooMap> restored;
+    Status st = DyCuckooMap::Load(truncated, o, &restored);
+    EXPECT_TRUE(st.IsInvalidArgument()) << "cut=" << cut << ": "
+                                        << st.ToString();
+    EXPECT_EQ(restored, nullptr);
+  }
+}
+
+TEST(SerializationTest, RejectsTruncatedLegacyPayload) {
+  // A version-1 stream whose header claims more pairs than the stream
+  // holds must come back as a clean non-OK status, never a crash or a
+  // partially-populated table.
+  constexpr uint64_t kLegacyMagic = 0xD1C0CC00'5A4B1705ULL;
+  std::stringstream ss;
+  uint64_t header[4] = {kLegacyMagic, sizeof(uint32_t), sizeof(uint32_t),
+                        /*claimed pairs=*/1000};
+  ss.write(reinterpret_cast<const char*>(header), sizeof(header));
+  for (uint32_t i = 0; i < 10; ++i) {  // only 10 pairs actually present
+    uint32_t key = i + 1, value = i;
+    ss.write(reinterpret_cast<const char*>(&key), sizeof(key));
+    ss.write(reinterpret_cast<const char*>(&value), sizeof(value));
+  }
+
+  std::unique_ptr<DyCuckooMap> restored;
+  Status st = DyCuckooMap::Load(ss, DyCuckooOptions{}, &restored);
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+  EXPECT_EQ(restored, nullptr);
+}
+
 TEST(SerializationTest, DetectsSingleBitFlip) {
   DyCuckooOptions o;
   std::unique_ptr<DyCuckooMap> t;
@@ -126,6 +168,7 @@ TEST(SerializationTest, DetectsSingleBitFlip) {
   EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
   EXPECT_NE(st.message().find("snapshot corrupt"), std::string::npos)
       << st.ToString();
+  EXPECT_EQ(restored, nullptr);  // no partially-populated table escapes
 }
 
 TEST(SerializationTest, DetectsMissingCrcTrailer) {

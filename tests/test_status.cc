@@ -30,6 +30,39 @@ TEST(StatusTest, AllCodesRoundTrip) {
   EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
   EXPECT_TRUE(Status::Internal("x").IsInternal());
   EXPECT_TRUE(Status::OutOfMemory("x").IsOutOfMemory());
+  EXPECT_TRUE(Status::DeadlineExceeded("x").IsDeadlineExceeded());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+}
+
+TEST(StatusTest, EveryFactoryMatchesItsCodeExactly) {
+  struct Case {
+    Status status;
+    StatusCode code;
+  };
+  const Case cases[] = {
+      {Status::OK(), StatusCode::kOk},
+      {Status::InvalidArgument("m"), StatusCode::kInvalidArgument},
+      {Status::CapacityExceeded("m"), StatusCode::kCapacityExceeded},
+      {Status::InsertionFailure("m"), StatusCode::kInsertionFailure},
+      {Status::NotSupported("m"), StatusCode::kNotSupported},
+      {Status::Internal("m"), StatusCode::kInternal},
+      {Status::OutOfMemory("m"), StatusCode::kOutOfMemory},
+      {Status::DeadlineExceeded("m"), StatusCode::kDeadlineExceeded},
+      {Status::ResourceExhausted("m"), StatusCode::kResourceExhausted},
+      {Status::Unavailable("m"), StatusCode::kUnavailable},
+  };
+  for (const Case& c : cases) {
+    EXPECT_EQ(c.status.code(), c.code);
+    // Exactly one of the predicates fires for each non-OK code.
+    int hits = c.status.IsInvalidArgument() + c.status.IsCapacityExceeded() +
+               c.status.IsInsertionFailure() + c.status.IsNotSupported() +
+               c.status.IsInternal() + c.status.IsOutOfMemory() +
+               c.status.IsDeadlineExceeded() + c.status.IsResourceExhausted() +
+               c.status.IsUnavailable();
+    EXPECT_EQ(hits, c.status.ok() ? 0 : 1) << c.status.ToString();
+    if (!c.status.ok()) EXPECT_EQ(c.status.message(), "m");
+  }
 }
 
 TEST(StatusTest, CodeNamesInToString) {
@@ -41,6 +74,23 @@ TEST(StatusTest, CodeNamesInToString) {
             std::string::npos);
   EXPECT_NE(Status::OutOfMemory("m").ToString().find("OutOfMemory"),
             std::string::npos);
+  EXPECT_NE(Status::DeadlineExceeded("m").ToString().find("DeadlineExceeded"),
+            std::string::npos);
+  EXPECT_NE(
+      Status::ResourceExhausted("m").ToString().find("ResourceExhausted"),
+      std::string::npos);
+  EXPECT_NE(Status::Unavailable("m").ToString().find("Unavailable"),
+            std::string::npos);
+}
+
+TEST(StatusTest, CopyAndMovePreserveCodeAndMessage) {
+  Status st = Status::Unavailable("breaker open");
+  Status copy = st;
+  EXPECT_TRUE(copy.IsUnavailable());
+  EXPECT_EQ(copy.message(), "breaker open");
+  Status moved = std::move(st);
+  EXPECT_TRUE(moved.IsUnavailable());
+  EXPECT_EQ(moved.message(), "breaker open");
 }
 
 TEST(StatusTest, EqualityComparesCodeOnly) {

@@ -1,0 +1,89 @@
+// VirtualClock: deterministic tick source + the Grid launch hook.
+
+#include "gpusim/virtual_clock.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "gpusim/grid.h"
+
+namespace dycuckoo {
+namespace gpusim {
+namespace {
+
+TEST(VirtualClockTest, StartsAtZeroAndAdvances) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.Now(), 0u);
+  EXPECT_EQ(clock.work_ticks(), 0u);
+  clock.Advance(5);
+  EXPECT_EQ(clock.Now(), 5u);
+  EXPECT_EQ(clock.work_ticks(), 0u);  // explicit waits are not work
+  clock.Advance(0);
+  EXPECT_EQ(clock.Now(), 5u);
+}
+
+TEST(VirtualClockTest, OnLaunchCompletedCountsWorkAndTime) {
+  VirtualClock clock;
+  clock.OnLaunchCompleted(3);
+  clock.Advance(10);
+  clock.OnLaunchCompleted(4);
+  EXPECT_EQ(clock.Now(), 17u);
+  EXPECT_EQ(clock.work_ticks(), 7u);
+}
+
+TEST(VirtualClockTest, NoClockInstalledByDefault) {
+  EXPECT_EQ(VirtualClock::Active(), nullptr);
+}
+
+TEST(VirtualClockTest, ScopedInstallAndRestore) {
+  VirtualClock outer;
+  {
+    ScopedVirtualClock a(&outer);
+    EXPECT_EQ(VirtualClock::Active(), &outer);
+    VirtualClock inner;
+    {
+      ScopedVirtualClock b(&inner);
+      EXPECT_EQ(VirtualClock::Active(), &inner);
+    }
+    EXPECT_EQ(VirtualClock::Active(), &outer);
+  }
+  EXPECT_EQ(VirtualClock::Active(), nullptr);
+}
+
+TEST(VirtualClockTest, GridAdvancesInstalledClockPerWarp) {
+  Grid grid(2);
+  VirtualClock clock;
+  std::atomic<uint64_t> ran{0};
+  {
+    ScopedVirtualClock scoped(&clock);
+    grid.LaunchWarps(7, [&](uint64_t) { ran.fetch_add(1); });
+    grid.LaunchWarps(3, [&](uint64_t) { ran.fetch_add(1); });
+  }
+  EXPECT_EQ(ran.load(), 10u);
+  EXPECT_EQ(clock.Now(), 10u);       // 1 tick per warp launched
+  EXPECT_EQ(clock.work_ticks(), 10u);
+  // Launches after the scope must not advance the detached clock.
+  grid.LaunchWarps(5, [&](uint64_t) {});
+  EXPECT_EQ(clock.Now(), 10u);
+}
+
+TEST(VirtualClockTest, GridTicksAreDeterministicAcrossRuns) {
+  auto run = [] {
+    Grid grid(4);
+    VirtualClock clock;
+    ScopedVirtualClock scoped(&clock);
+    for (int i = 0; i < 50; ++i) {
+      grid.LaunchWarps(static_cast<uint64_t>(1 + i % 7), [&](uint64_t) {});
+    }
+    return clock.Now();
+  };
+  uint64_t a = run();
+  uint64_t b = run();
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a, 0u);
+}
+
+}  // namespace
+}  // namespace gpusim
+}  // namespace dycuckoo
