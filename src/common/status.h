@@ -25,6 +25,8 @@ enum class StatusCode : int {
   kDeadlineExceeded = 7,    // request deadline passed before it could run
   kResourceExhausted = 8,   // admission queue full; caller must shed or retry
   kUnavailable = 9,         // serving layer degraded (e.g. breaker open)
+  kDataLoss = 10,           // bytes are corrupt or missing (CRC mismatch,
+                            // torn write, truncated snapshot/WAL)
 };
 
 /// \brief Result of a fallible operation.
@@ -63,6 +65,9 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -81,6 +86,7 @@ class Status {
     return code_ == StatusCode::kResourceExhausted;
   }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
 
   /// "OK" or "<code>: <message>".
   std::string ToString() const;

@@ -1,0 +1,207 @@
+// DurabilityManager: the serving layer's single handle on durable state.
+//
+// Owns the WAL writer and the checkpoint store and sequences the
+// checkpoint protocol.  TableServer drives it from exactly two places:
+//
+//   - per micro-batch: Log*() for each acknowledged-successful write, then
+//     Commit() — the group commit.  Acks are released only after Commit()
+//     returns OK; a clean flush failure surfaces as DataLoss on the
+//     affected responses, a crash-style fault leaves the server crashed().
+//   - per scrub slot (between batches): MaybeCheckpoint(table), which
+//     snapshots the table once the WAL has grown past the configured
+//     thresholds, then truncates the log head.
+//
+// Checkpoint protocol (and why the WAL trims to the *previous* LSN):
+//
+//   append checkpoint entry @ LSN C      (chunked, CRC-trailed)
+//   append + flush kCheckpointMark(C)    (operators can see it in the log)
+//   truncate WAL head to C_prev          (records lsn <= C_prev dropped)
+//   prune store to the last 2 entries
+//
+// If the newest checkpoint is torn/corrupt by a crash, recovery falls back
+// to the previous one — and the WAL still holds every record after C_prev,
+// so no acknowledged write is lost.  Only when the *next* checkpoint
+// commits does the log give up the bytes that older checkpoint made
+// redundant.
+
+#ifndef DYCUCKOO_DURABILITY_MANAGER_H_
+#define DYCUCKOO_DURABILITY_MANAGER_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "common/status.h"
+#include "durability/checkpoint.h"
+#include "durability/wal.h"
+#include "dycuckoo/dynamic_table.h"
+#include "gpusim/fault_injector.h"
+
+namespace dycuckoo {
+namespace durability {
+
+struct DurabilityOptions {
+  /// Take a checkpoint once this many WAL bytes were flushed since the
+  /// last one.  0 disables the byte trigger.
+  uint64_t checkpoint_wal_bytes = 1ull << 20;
+
+  /// ... or once this many records were flushed since the last one.
+  /// 0 disables the record trigger.
+  uint64_t checkpoint_wal_records = 0;
+
+  /// Checkpoints retained after pruning.  Must be >= 2: recovery needs a
+  /// fallback when the newest entry is torn by a crash.
+  int keep_checkpoints = 2;
+
+  /// Truncate the WAL head after a successful checkpoint.
+  bool truncate_wal = true;
+};
+
+struct DurabilityStats {
+  uint64_t records_logged = 0;
+  uint64_t group_commits = 0;
+  uint64_t commit_failures = 0;   // clean flush failures (retried)
+  uint64_t checkpoints = 0;
+  uint64_t checkpoint_failures = 0;
+  uint64_t checkpoint_skips = 0;  // trigger hit but WAL had retained records
+  uint64_t truncations = 0;
+};
+
+template <typename Key, typename Value>
+class DurabilityManager {
+ public:
+  using Table = DynamicTable<Key, Value>;
+
+  explicit DurabilityManager(const DurabilityOptions& options = {},
+                             uint64_t start_lsn = 1)
+      : options_(options), wal_(start_lsn) {
+    if (options_.keep_checkpoints < 2) options_.keep_checkpoints = 2;
+  }
+
+  // --- Per-batch hooks (called by TableServer) -----------------------------
+
+  void LogInsert(Key key, Value value) {
+    wal_.AppendInsert(key, value);
+    ++stats_.records_logged;
+  }
+
+  void LogErase(Key key) {
+    wal_.AppendErase(key);
+    ++stats_.records_logged;
+  }
+
+  void LogResizeBarrier(uint64_t capacity_slots) {
+    wal_.AppendResizeBarrier(capacity_slots);
+    ++stats_.records_logged;
+  }
+
+  /// Group commit: one flush for everything logged since the last call.
+  Status Commit() {
+    if (wal_.pending_records() == 0) return Status::OK();
+    Status st = wal_.Flush();
+    if (st.ok()) {
+      ++stats_.group_commits;
+    } else if (!dead()) {
+      ++stats_.commit_failures;
+    }
+    return st;
+  }
+
+  // --- Checkpointing (called from the between-batch scrub slot) ------------
+
+  bool ShouldCheckpoint() const {
+    uint64_t bytes = wal_.bytes_flushed() - bytes_at_last_checkpoint_;
+    uint64_t records = wal_.records_flushed() - records_at_last_checkpoint_;
+    return (options_.checkpoint_wal_bytes > 0 &&
+            bytes >= options_.checkpoint_wal_bytes) ||
+           (options_.checkpoint_wal_records > 0 &&
+            records >= options_.checkpoint_wal_records);
+  }
+
+  Status MaybeCheckpoint(Table* table) {
+    if (dead()) return Status::Unavailable("durability: crashed");
+    if (!ShouldCheckpoint()) return Status::OK();
+    return CheckpointNow(table);
+  }
+
+  /// Runs the full checkpoint protocol now.  A clean injected failure is
+  /// counted and returned; the next trigger retries.
+  Status CheckpointNow(Table* table) {
+    if (dead()) return Status::Unavailable("durability: crashed");
+    if (wal_.pending_records() > 0) {
+      // Records retained by a cleanly failed flush are not durable yet; a
+      // checkpoint taken now would stamp an LSN the log cannot back.
+      ++stats_.checkpoint_skips;
+      return Status::OK();
+    }
+    const uint64_t checkpoint_lsn = wal_.durable_lsn();
+
+    std::ostringstream snapshot;
+    Status st = table->Save(snapshot);
+    if (!st.ok()) {
+      ++stats_.checkpoint_failures;
+      return st;
+    }
+    st = checkpoints_.AppendEntry(checkpoint_lsn, snapshot.str());
+    if (!st.ok()) {
+      if (!dead()) ++stats_.checkpoint_failures;
+      return st;
+    }
+
+    // Mark the checkpoint in the log (operators can correlate the two
+    // streams); recovery does not depend on the mark.
+    wal_.AppendCheckpointMark(checkpoint_lsn);
+    st = Commit();
+    if (dead()) return st;
+    auto* injector = gpusim::FaultInjector::Active();
+    if (injector && injector->OnKillPoint("ckpt.mark")) {
+      killed_ = true;
+      return Status::Unavailable("durability: simulated crash at ckpt.mark");
+    }
+
+    const uint64_t previous_lsn = last_checkpoint_lsn_;
+    last_checkpoint_lsn_ = checkpoint_lsn;
+    bytes_at_last_checkpoint_ = wal_.bytes_flushed();
+    records_at_last_checkpoint_ = wal_.records_flushed();
+    ++stats_.checkpoints;
+
+    if (options_.truncate_wal && previous_lsn > 0) {
+      st = wal_.TruncateHead(previous_lsn);
+      if (!st.ok()) return st;
+      ++stats_.truncations;
+    }
+    DYCUCKOO_RETURN_NOT_OK(
+        checkpoints_.PruneToLast(options_.keep_checkpoints));
+    return Status::OK();
+  }
+
+  // --- State ---------------------------------------------------------------
+
+  /// True once any crash-style fault or kill point fired: the process is
+  /// dead as far as durability is concerned, and the server must stop
+  /// acknowledging.  Recover() from the durable images is the only exit.
+  bool dead() const { return killed_ || wal_.dead() || checkpoints_.dead(); }
+
+  WalWriter<Key, Value>& wal() { return wal_; }
+  const WalWriter<Key, Value>& wal() const { return wal_; }
+  CheckpointStore& checkpoints() { return checkpoints_; }
+  const CheckpointStore& checkpoints() const { return checkpoints_; }
+  const DurabilityStats& stats() const { return stats_; }
+  const DurabilityOptions& options() const { return options_; }
+  uint64_t last_checkpoint_lsn() const { return last_checkpoint_lsn_; }
+
+ private:
+  DurabilityOptions options_;
+  WalWriter<Key, Value> wal_;
+  CheckpointStore checkpoints_;
+  DurabilityStats stats_;
+  bool killed_ = false;
+  uint64_t last_checkpoint_lsn_ = 0;
+  uint64_t bytes_at_last_checkpoint_ = 0;
+  uint64_t records_at_last_checkpoint_ = 0;
+};
+
+}  // namespace durability
+}  // namespace dycuckoo
+
+#endif  // DYCUCKOO_DURABILITY_MANAGER_H_

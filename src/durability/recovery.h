@@ -1,0 +1,231 @@
+// Point-in-time crash recovery: newest valid checkpoint + WAL replay.
+//
+// Recover() rebuilds the table a crashed server would have acknowledged:
+//
+//   1. scan the checkpoint stream for the newest entry whose frame and CRC
+//      are intact (falling back to older entries, then to an empty table);
+//   2. validate the WAL header and replay the suffix of records with
+//      lsn > checkpoint_lsn, in LSN order, stopping at the last intact
+//      record (inserts are upserts and erases are idempotent, so replaying
+//      a record whose effect the checkpoint already contains is harmless);
+//   3. distinguish a *torn tail* (the log simply stops mid-record — the
+//      expected shape after a crash during a group commit; the partial
+//      record was never acknowledged, so it is counted and discarded) from
+//      *mid-log corruption* (an intact record follows the damage, meaning
+//      acknowledged records were lost — reported as DataLoss, never
+//      silently skipped).
+//
+// The returned RecoveryReport is deterministic: two recoveries of the same
+// byte images produce identical reports (compare with Digest()).
+
+#ifndef DYCUCKOO_DURABILITY_RECOVERY_H_
+#define DYCUCKOO_DURABILITY_RECOVERY_H_
+
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "common/status.h"
+#include "durability/checkpoint.h"
+#include "durability/log_format.h"
+#include "dycuckoo/dynamic_table.h"
+
+namespace dycuckoo {
+namespace durability {
+
+/// What a recovery did, for operators and for determinism checks.
+struct RecoveryReport {
+  uint64_t checkpoint_lsn = 0;      // 0 = no usable checkpoint (empty start)
+  uint64_t checkpoints_scanned = 0;
+  uint64_t checkpoints_corrupt = 0;
+  uint64_t wal_records_scanned = 0;
+  uint64_t wal_records_applied = 0;  // state-mutating replays (insert/erase)
+  uint64_t wal_records_skipped = 0;  // lsn <= checkpoint_lsn (already covered)
+  uint64_t last_lsn = 0;             // highest intact LSN seen (0 = none)
+  uint64_t torn_tail_bytes = 0;      // bytes discarded at the torn tail
+
+  /// FNV-1a over every field; equal digests <=> identical recoveries.
+  uint64_t Digest() const {
+    uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](uint64_t v) {
+      for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= 1099511628211ull;
+      }
+    };
+    mix(checkpoint_lsn);
+    mix(checkpoints_scanned);
+    mix(checkpoints_corrupt);
+    mix(wal_records_scanned);
+    mix(wal_records_applied);
+    mix(wal_records_skipped);
+    mix(last_lsn);
+    mix(torn_tail_bytes);
+    return h;
+  }
+};
+
+namespace internal {
+
+inline std::string DrainStream(std::istream& is) {
+  std::ostringstream out;
+  out << is.rdbuf();
+  return out.str();
+}
+
+/// True if any offset in [from, image.size()) parses as an intact record —
+/// the signature of mid-log corruption rather than a torn tail.
+inline bool HasIntactRecordAfter(const std::string& image, size_t from) {
+  if (image.size() < kWalFrameHeaderBytes + kWalRecordPrefixBytes) {
+    return false;
+  }
+  size_t last = image.size() - kWalFrameHeaderBytes - kWalRecordPrefixBytes;
+  for (size_t off = from; off <= last; ++off) {
+    ParsedRecord rec;
+    if (ParseFrame(image.data() + off, image.size() - off, &rec) ==
+        ParseResult::kOk) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace internal
+
+/// Rebuilds a table from a checkpoint stream and a WAL stream (either may
+/// be empty).  On success `*out` holds the recovered table and `*report`
+/// describes the recovery.  Returns DataLoss when acknowledged bytes are
+/// provably gone (WAL truncated past the checkpoint, mid-log corruption,
+/// unreadable WAL header); a torn tail is NOT an error.
+template <typename Key, typename Value>
+Status Recover(std::istream& checkpoint_stream, std::istream& wal_stream,
+               const DyCuckooOptions& options,
+               std::unique_ptr<DynamicTable<Key, Value>>* out,
+               RecoveryReport* report) {
+  *report = RecoveryReport{};
+  out->reset();
+  const std::string ckpt_image = internal::DrainStream(checkpoint_stream);
+  const std::string wal_image = internal::DrainStream(wal_stream);
+
+  // --- 1. newest valid checkpoint -----------------------------------------
+  std::unique_ptr<DynamicTable<Key, Value>> table;
+  uint64_t checkpoint_lsn = 0;
+  std::vector<CheckpointEntryView> entries = CheckpointStore::Scan(ckpt_image);
+  report->checkpoints_scanned = entries.size();
+  for (auto it = entries.rbegin(); it != entries.rend() && !table; ++it) {
+    if (!it->valid) {
+      ++report->checkpoints_corrupt;
+      continue;
+    }
+    std::istringstream snap(
+        ckpt_image.substr(it->payload_offset, it->payload_len));
+    Status st = DynamicTable<Key, Value>::Load(snap, options, &table);
+    if (st.ok()) {
+      checkpoint_lsn = it->checkpoint_lsn;
+    } else {
+      // CRC-valid wrapper around an unloadable snapshot: count it and fall
+      // back to the previous checkpoint rather than failing recovery.
+      ++report->checkpoints_corrupt;
+      table.reset();
+    }
+  }
+  if (!table) {
+    Status created = DynamicTable<Key, Value>::Create(options, &table);
+    if (!created.ok()) return created;
+  }
+  report->checkpoint_lsn = checkpoint_lsn;
+
+  // --- 2. WAL replay ------------------------------------------------------
+  if (!wal_image.empty()) {
+    WalFileHeader header;
+    if (ParseWalFileHeader(wal_image.data(), wal_image.size(), &header) !=
+        ParseResult::kOk) {
+      return Status::DataLoss("recovery: WAL file header corrupt");
+    }
+    if (header.key_width != sizeof(Key) ||
+        header.value_width != sizeof(Value)) {
+      return Status::InvalidArgument(
+          "recovery: WAL key/value widths do not match this table type");
+    }
+    if (checkpoint_lsn + 1 < header.first_lsn) {
+      return Status::DataLoss(
+          "recovery: WAL truncated past the newest usable checkpoint "
+          "(need lsn " + std::to_string(checkpoint_lsn + 1) +
+          ", log starts at " + std::to_string(header.first_lsn) + ")");
+    }
+    size_t offset = kWalFileHeaderBytes;
+    uint64_t expected_lsn = header.first_lsn;
+    while (offset < wal_image.size()) {
+      ParsedRecord rec;
+      ParseResult pr = ParseFrame(wal_image.data() + offset,
+                                  wal_image.size() - offset, &rec);
+      if (pr != ParseResult::kOk) {
+        if (internal::HasIntactRecordAfter(wal_image, offset + 1)) {
+          return Status::DataLoss(
+              "recovery: corrupt WAL record at offset " +
+              std::to_string(offset) + " with intact records after it");
+        }
+        report->torn_tail_bytes = wal_image.size() - offset;
+        break;
+      }
+      if (rec.lsn != expected_lsn) {
+        return Status::DataLoss(
+            "recovery: LSN gap in WAL (expected " +
+            std::to_string(expected_lsn) + ", found " +
+            std::to_string(rec.lsn) + ")");
+      }
+      expected_lsn = rec.lsn + 1;
+      ++report->wal_records_scanned;
+      report->last_lsn = rec.lsn;
+      if (rec.lsn <= checkpoint_lsn) {
+        ++report->wal_records_skipped;
+        offset += rec.frame_len;
+        continue;
+      }
+      switch (rec.type) {
+        case WalRecordType::kInsert: {
+          if (rec.payload_len != sizeof(Key) + sizeof(Value)) {
+            return Status::DataLoss("recovery: malformed insert record");
+          }
+          Key k;
+          Value v;
+          std::memcpy(&k, rec.payload, sizeof(Key));
+          std::memcpy(&v, rec.payload + sizeof(Key), sizeof(Value));
+          Status st = table->Insert(k, v);
+          if (!st.ok()) {
+            return Status::Internal("recovery: replay of insert at lsn " +
+                                    std::to_string(rec.lsn) +
+                                    " failed: " + st.ToString());
+          }
+          ++report->wal_records_applied;
+          break;
+        }
+        case WalRecordType::kErase: {
+          if (rec.payload_len != sizeof(Key)) {
+            return Status::DataLoss("recovery: malformed erase record");
+          }
+          Key k;
+          std::memcpy(&k, rec.payload, sizeof(Key));
+          table->Erase(k);  // idempotent; absent key is fine
+          ++report->wal_records_applied;
+          break;
+        }
+        case WalRecordType::kResizeBarrier:
+        case WalRecordType::kCheckpointMark:
+          break;  // markers carry no table state
+      }
+      offset += rec.frame_len;
+    }
+  }
+
+  *out = std::move(table);
+  return Status::OK();
+}
+
+}  // namespace durability
+}  // namespace dycuckoo
+
+#endif  // DYCUCKOO_DURABILITY_RECOVERY_H_

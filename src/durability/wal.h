@@ -1,0 +1,239 @@
+// Write-ahead log writer with group commit.
+//
+// The serving loop appends one record per acknowledged-to-be write
+// (insert/erase), then calls Flush() once per micro-batch — the group
+// commit.  Acks are released only after Flush() returns OK, so the durable
+// log is always a superset of what clients were told succeeded.
+//
+// "Durable" here is an in-memory byte string (`durable_image()`), matching
+// the repo's simulation philosophy: DeviceArena simulates cudaMalloc
+// accounting, VirtualClock simulates elapsed time, and WalWriter simulates
+// a log file plus fsync.  Everything interesting about durability — framing,
+// torn tails, group-commit batching, truncation, crash recovery — is about
+// the *bytes*, and keeping them in memory lets the chaos tests crash and
+// recover thousands of times per second with zero filesystem flake.
+//
+// Crash semantics: injected I/O faults (gpusim::FaultInjector::OnIoFlush)
+// and kill points can leave a prefix of a flush durable and mark the writer
+// dead.  A dead writer persists nothing further and fails every call —
+// the serving layer must stop acknowledging (see TableServer::crashed()).
+
+#ifndef DYCUCKOO_DURABILITY_WAL_H_
+#define DYCUCKOO_DURABILITY_WAL_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "durability/log_format.h"
+#include "gpusim/fault_injector.h"
+
+namespace dycuckoo {
+namespace durability {
+
+template <typename Key, typename Value>
+class WalWriter {
+ public:
+  /// A fresh log whose first record will carry `start_lsn` (1 for a new
+  /// deployment; last_recovered_lsn + 1 when restarting after recovery).
+  explicit WalWriter(uint64_t start_lsn = 1)
+      : next_lsn_(start_lsn), durable_lsn_(start_lsn - 1) {
+    AppendWalFileHeader(&durable_, sizeof(Key), sizeof(Value), start_lsn);
+  }
+
+  // --- Appends (buffered; durable only after Flush) ------------------------
+
+  uint64_t AppendInsert(Key key, Value value) {
+    char payload[sizeof(Key) + sizeof(Value)];
+    std::memcpy(payload, &key, sizeof(Key));
+    std::memcpy(payload + sizeof(Key), &value, sizeof(Value));
+    return AppendRecord(WalRecordType::kInsert, payload, sizeof(payload));
+  }
+
+  uint64_t AppendErase(Key key) {
+    return AppendRecord(WalRecordType::kErase, &key, sizeof(Key));
+  }
+
+  uint64_t AppendResizeBarrier(uint64_t capacity_slots) {
+    return AppendRecord(WalRecordType::kResizeBarrier, &capacity_slots,
+                        sizeof(capacity_slots));
+  }
+
+  uint64_t AppendCheckpointMark(uint64_t checkpoint_lsn) {
+    return AppendRecord(WalRecordType::kCheckpointMark, &checkpoint_lsn,
+                        sizeof(checkpoint_lsn));
+  }
+
+  // --- Group commit --------------------------------------------------------
+
+  /// Makes every buffered record durable, in order.  One injected-fault
+  /// consultation per call.  On a clean injected failure the buffer is
+  /// retained and the next Flush() retries; on a crash-style fault a prefix
+  /// (possibly torn or bit-flipped) is persisted and the writer goes dead.
+  Status Flush() {
+    if (dead_) return CrashedStatus();
+    if (pending_.empty()) return Status::OK();
+    auto* injector = gpusim::FaultInjector::Active();
+    if (injector && injector->OnKillPoint("wal.commit.before")) {
+      dead_ = true;
+      return CrashedStatus();
+    }
+    gpusim::IoWriteFault fault =
+        injector ? injector->OnIoFlush() : gpusim::IoWriteFault::kNone;
+    switch (fault) {
+      case gpusim::IoWriteFault::kFailCleanly:
+        ++flush_failures_;
+        return Status::Internal(
+            "wal: group commit flush failed (injected); " +
+            std::to_string(pending_.size()) + " records retained for retry");
+      case gpusim::IoWriteFault::kShortWrite: {
+        // A prefix of the batch reaches the log, cut at a record boundary.
+        PersistPrefix(injector->NextDraw(/*stream=*/5) % pending_.size());
+        dead_ = true;
+        return CrashedStatus();
+      }
+      case gpusim::IoWriteFault::kTornWrite: {
+        size_t keep = injector->NextDraw(/*stream=*/5) % pending_.size();
+        PersistPrefix(keep);
+        const std::string& torn = pending_[keep];
+        size_t cut = 1 + injector->NextDraw(/*stream=*/6) % (torn.size() - 1);
+        durable_.append(torn.data(), cut);
+        dead_ = true;
+        return CrashedStatus();
+      }
+      case gpusim::IoWriteFault::kBitFlip: {
+        // The full batch reaches the log, but one bit of the final record
+        // is corrupted in flight; the process dies before acking, so the
+        // damage is confined to never-acknowledged records at the tail.
+        size_t last_start = durable_.size();
+        for (size_t i = 0; i + 1 < pending_.size(); ++i) {
+          last_start += pending_[i].size();
+        }
+        PersistPrefix(pending_.size());
+        uint64_t bit = injector->NextDraw(/*stream=*/7) %
+                       ((durable_.size() - last_start) * 8);
+        durable_[last_start + bit / 8] ^= static_cast<char>(1u << (bit % 8));
+        dead_ = true;
+        return CrashedStatus();
+      }
+      case gpusim::IoWriteFault::kNone:
+        break;
+    }
+    if (injector && injector->OnKillPoint("wal.commit.mid")) {
+      PersistPrefix((pending_.size() + 1) / 2);
+      dead_ = true;
+      return CrashedStatus();
+    }
+    size_t records = pending_.size();
+    size_t bytes = PersistPrefix(records);
+    pending_.clear();
+    ++flushes_;
+    records_flushed_ += records;
+    bytes_flushed_ += bytes;
+    if (injector && injector->OnKillPoint("wal.commit.after")) {
+      // Everything is durable but no ack will ever be released: recovery
+      // replays these records, the client retries — idempotent upserts.
+      dead_ = true;
+      return CrashedStatus();
+    }
+    return Status::OK();
+  }
+
+  /// Drops whole records with lsn <= `checkpoint_lsn` from the head and
+  /// advances the file header's first_lsn.  Atomic (modelled as a
+  /// write-temp-then-rename); the kill point fires only after the rename.
+  Status TruncateHead(uint64_t checkpoint_lsn) {
+    if (dead_) return CrashedStatus();
+    WalFileHeader header;
+    if (ParseWalFileHeader(durable_.data(), durable_.size(), &header) !=
+        ParseResult::kOk) {
+      return Status::DataLoss("wal: own header unreadable during truncation");
+    }
+    size_t offset = kWalFileHeaderBytes;
+    uint64_t new_first = header.first_lsn;
+    while (offset < durable_.size()) {
+      ParsedRecord rec;
+      if (ParseFrame(durable_.data() + offset, durable_.size() - offset,
+                     &rec) != ParseResult::kOk) {
+        break;
+      }
+      if (rec.lsn > checkpoint_lsn) break;
+      offset += rec.frame_len;
+      new_first = rec.lsn + 1;
+    }
+    std::string rebuilt;
+    rebuilt.reserve(kWalFileHeaderBytes + (durable_.size() - offset));
+    AppendWalFileHeader(&rebuilt, sizeof(Key), sizeof(Value), new_first);
+    rebuilt.append(durable_, offset, std::string::npos);
+    durable_ = std::move(rebuilt);
+    ++truncations_;
+    auto* injector = gpusim::FaultInjector::Active();
+    if (injector && injector->OnKillPoint("wal.truncate.after")) {
+      dead_ = true;
+      return CrashedStatus();
+    }
+    return Status::OK();
+  }
+
+  // --- Introspection -------------------------------------------------------
+
+  /// True once a crash-style fault fired; the writer persists nothing more.
+  bool dead() const { return dead_; }
+
+  /// The log bytes a crash would leave behind.  Feed to Recover().
+  const std::string& durable_image() const { return durable_; }
+
+  uint64_t next_lsn() const { return next_lsn_; }
+  uint64_t durable_lsn() const { return durable_lsn_; }
+  size_t pending_records() const { return pending_.size(); }
+  uint64_t durable_bytes() const { return durable_.size(); }
+  uint64_t flushes() const { return flushes_; }
+  uint64_t flush_failures() const { return flush_failures_; }
+  uint64_t records_flushed() const { return records_flushed_; }
+  uint64_t bytes_flushed() const { return bytes_flushed_; }
+  uint64_t truncations() const { return truncations_; }
+
+ private:
+  static Status CrashedStatus() {
+    return Status::Unavailable("wal: writer dead after simulated crash");
+  }
+
+  uint64_t AppendRecord(WalRecordType type, const void* payload, size_t len) {
+    uint64_t lsn = next_lsn_++;
+    std::string frame;
+    AppendFrame(&frame, lsn, type, payload, len);
+    pending_.push_back(std::move(frame));
+    return lsn;
+  }
+
+  /// Moves the first `count` pending records into the durable image.
+  /// Returns the bytes appended.  Does not clear `pending_` (crash paths
+  /// leave it as the abandoned in-flight state).
+  size_t PersistPrefix(size_t count) {
+    size_t bytes = 0;
+    for (size_t i = 0; i < count; ++i) {
+      durable_ += pending_[i];
+      bytes += pending_[i].size();
+      ++durable_lsn_;
+    }
+    return bytes;
+  }
+
+  std::string durable_;
+  std::vector<std::string> pending_;  // framed records awaiting group commit
+  uint64_t next_lsn_;
+  uint64_t durable_lsn_;
+  bool dead_ = false;
+  uint64_t flushes_ = 0;
+  uint64_t flush_failures_ = 0;
+  uint64_t records_flushed_ = 0;
+  uint64_t bytes_flushed_ = 0;
+  uint64_t truncations_ = 0;
+};
+
+}  // namespace durability
+}  // namespace dycuckoo
+
+#endif  // DYCUCKOO_DURABILITY_WAL_H_

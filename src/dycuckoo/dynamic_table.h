@@ -326,15 +326,31 @@ class DynamicTable {
     uint64_t header[5] = {kSnapshotMagicV2, kSnapshotFormatVersion, sizeof(Key),
                           sizeof(Value), size()};
     os.write(reinterpret_cast<const char*>(header), sizeof(header));
+    uint64_t bytes_written = 0;
     uint32_t crc = Crc32Update(0, &header[1], 4 * sizeof(uint64_t));
-    ForEach([&](Key k, Value v) {
-      os.write(reinterpret_cast<const char*>(&k), sizeof(Key));
-      os.write(reinterpret_cast<const char*>(&v), sizeof(Value));
-      crc = Crc32Update(crc, &k, sizeof(Key));
-      crc = Crc32Update(crc, &v, sizeof(Value));
-    });
+    if (os.good()) {
+      bytes_written += sizeof(header);
+      // Abort the walk on the first failed write instead of streaming the
+      // rest of the table into a dead stream.
+      ForEachUntil([&](Key k, Value v) {
+        os.write(reinterpret_cast<const char*>(&k), sizeof(Key));
+        os.write(reinterpret_cast<const char*>(&v), sizeof(Value));
+        if (!os.good()) return false;
+        bytes_written += sizeof(Key) + sizeof(Value);
+        crc = Crc32Update(crc, &k, sizeof(Key));
+        crc = Crc32Update(crc, &v, sizeof(Value));
+        return true;
+      });
+    }
+    if (!os.good()) {
+      return Status::Internal("snapshot write failed after " +
+                              std::to_string(bytes_written) + " bytes");
+    }
     os.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
-    if (!os.good()) return Status::Internal("snapshot write failed");
+    if (!os.good()) {
+      return Status::Internal("snapshot write failed after " +
+                              std::to_string(bytes_written) + " bytes");
+    }
     return Status::OK();
   }
 
@@ -353,7 +369,7 @@ class DynamicTable {
     uint64_t header[4] = {0, 0, 0, 0};
     is.read(reinterpret_cast<char*>(header), sizeof(header));
     if (!is.good()) {
-      return Status::InvalidArgument("snapshot corrupt: truncated header");
+      return Status::DataLoss("snapshot corrupt: truncated header");
     }
     if (header[0] != kSnapshotFormatVersion) {
       return Status::InvalidArgument("unsupported snapshot format version " +
@@ -382,7 +398,7 @@ class DynamicTable {
         is.read(reinterpret_cast<char*>(&values[i]), sizeof(Value));
       }
       if (!is.good()) {
-        return Status::InvalidArgument("snapshot corrupt: truncated payload");
+        return Status::DataLoss("snapshot corrupt: truncated payload");
       }
       for (uint64_t i = 0; i < n; ++i) {
         crc = Crc32Update(crc, &keys[i], sizeof(Key));
@@ -396,10 +412,10 @@ class DynamicTable {
     uint32_t stored_crc = 0;
     is.read(reinterpret_cast<char*>(&stored_crc), sizeof(stored_crc));
     if (!is.good()) {
-      return Status::InvalidArgument("snapshot corrupt: missing CRC trailer");
+      return Status::DataLoss("snapshot corrupt: missing CRC trailer");
     }
     if (stored_crc != crc) {
-      return Status::InvalidArgument("snapshot corrupt: CRC mismatch");
+      return Status::DataLoss("snapshot corrupt: CRC mismatch");
     }
     *out = std::move(table);
     return Status::OK();
@@ -429,18 +445,29 @@ class DynamicTable {
   /// The callback must not mutate the table.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
+    ForEachUntil([&fn](Key k, Value v) {
+      fn(k, v);
+      return true;
+    });
+  }
+
+  /// Like ForEach, but the callback returns false to stop the walk early
+  /// (e.g. Save() aborting on the first failed stream write).
+  template <typename Fn>
+  void ForEachUntil(Fn&& fn) const {
     for (const auto& t : tables_) {
       for (uint64_t b = 0; b < t.num_buckets(); ++b) {
         for (int s = 0; s < kSlots; ++s) {
           Key k = t.KeyAt(b, s);
-          if (k != kEmptyKey) fn(k, t.ValueAt(b, s));
+          if (k != kEmptyKey && !fn(k, t.ValueAt(b, s))) return;
         }
       }
     }
     for (size_t i = 0; i < stash_keys_.size(); ++i) {
       Key k = stash_keys_[i].load(std::memory_order_relaxed);
-      if (k != kEmptyKey) {
-        fn(k, stash_values_[i].load(std::memory_order_relaxed));
+      if (k != kEmptyKey &&
+          !fn(k, stash_values_[i].load(std::memory_order_relaxed))) {
+        return;
       }
     }
   }
@@ -655,6 +682,7 @@ class DynamicTable {
     uint64_t misplaced_found = 0;    ///< pairs stored outside their probe set
     uint64_t misplaced_repaired = 0; ///< of those, re-homed (rest stashed)
     uint64_t stash_fixes = 0;        ///< stash size counter re-synchronised
+    uint64_t duplicates_collapsed = 0; ///< shadowed extra copies removed
     bool filled_factor_ok = true;    ///< theta within [alpha, beta]
 
     void MergeFrom(const ScrubReport& o) {
@@ -662,6 +690,7 @@ class DynamicTable {
       misplaced_found += o.misplaced_found;
       misplaced_repaired += o.misplaced_repaired;
       stash_fixes += o.stash_fixes;
+      duplicates_collapsed += o.duplicates_collapsed;
       filled_factor_ok = filled_factor_ok && o.filled_factor_ok;
     }
   };
@@ -694,7 +723,19 @@ class DynamicTable {
         bool wrong_table =
             options_.enable_two_layer &&
             !pair_map_.PairFor(static_cast<uint64_t>(k)).Contains(table_idx);
-        if (!wrong_bucket && !wrong_table) continue;
+        if (!wrong_bucket && !wrong_table) {
+          // Correctly placed — but a second, equally valid copy may exist
+          // in an earlier-probed candidate bucket (a duplicate born from a
+          // racing eviction chain).  FIND stops at the first hit, so the
+          // earlier copy is the live one; this shadowed copy is removed.
+          if (ShadowedByEarlierCandidate(k, table_idx)) {
+            t.StoreKey(b, s, kEmptyKey);
+            gpusim::CountBucketWrite();
+            t.AddSize(-1);
+            ++report.duplicates_collapsed;
+          }
+          continue;
+        }
         ++report.misplaced_found;
         evicted_keys.push_back(k);
         evicted_values.push_back(t.ValueAt(b, s));
@@ -728,13 +769,49 @@ class DynamicTable {
     stats_.scrub_misplaced_found.fetch_add(report.misplaced_found, kRelaxed);
     stats_.scrub_misplaced_repaired.fetch_add(report.misplaced_repaired,
                                               kRelaxed);
+    if (report.duplicates_collapsed) {
+      stats_.scrub_duplicates_collapsed.fetch_add(report.duplicates_collapsed,
+                                                  kRelaxed);
+    }
     return report;
+  }
+
+  /// True when key `k` also resides in a candidate bucket that FIND probes
+  /// *before* subtable `table_idx` — i.e. the copy in `table_idx` can never
+  /// be returned by a lookup and is safe to collapse.
+  bool ShadowedByEarlierCandidate(Key k, int table_idx) const {
+    int candidates[16];
+    int n_cand = CandidateTables(k, candidates);
+    for (int c = 0; c < n_cand; ++c) {
+      if (candidates[c] == table_idx) return false;
+      const SubtableT& t = tables_[candidates[c]];
+      uint64_t loc = t.BucketIndex(k);
+      gpusim::CountBucketRead();
+      Key snap[kSlots];
+      t.SnapshotKeys(loc, snap);
+      for (int s = 0; s < kSlots; ++s) {
+        if (snap[s] == k) return true;
+      }
+    }
+    return false;
   }
 
   /// Re-counts stash occupancy against the stash_size_ counter and repairs
   /// the counter on mismatch (a mismatch indicates a lost update; the slots
   /// themselves are the ground truth).
   void ScrubStash(ScrubReport* report) {
+    // A stash entry whose key also lives in a candidate bucket is shadowed
+    // (FIND probes buckets before the stash) — collapse it.
+    for (size_t i = 0; i < stash_keys_.size(); ++i) {
+      Key k = stash_keys_[i].load(std::memory_order_relaxed);
+      if (k == kEmptyKey) continue;
+      if (ShadowedByEarlierCandidate(k, /*table_idx=*/-1)) {
+        stash_keys_[i].store(kEmptyKey, std::memory_order_relaxed);
+        stash_size_.fetch_sub(1, kRelaxed);
+        ++report->duplicates_collapsed;
+        stats_.scrub_duplicates_collapsed.fetch_add(1, kRelaxed);
+      }
+    }
     uint64_t occupied = 0;
     for (const auto& k : stash_keys_) {
       if (k.load(std::memory_order_relaxed) != kEmptyKey) ++occupied;
@@ -787,6 +864,61 @@ class DynamicTable {
         }
       }
       table.lock(wrong).Unlock();
+    }
+    return false;
+  }
+
+  /// TEST HOOK: plants a duplicate copy of an already-stored key into a
+  /// *later* candidate bucket (or the stash), reproducing the shadowed
+  /// duplicates an interrupted eviction chain can leave behind.  The copy
+  /// is correctly placed for its own bucket, so only the global-uniqueness
+  /// invariant is violated; FIND still returns the earlier copy.  Returns
+  /// false if the key is absent or no later candidate (or stash slot) has
+  /// room.
+  bool PlantShadowedDuplicateForTest(Key key, Value stale_value,
+                                     bool into_stash = false) {
+    if (key == kEmptyKey) return false;
+    int candidates[16];
+    int n_cand = CandidateTables(key, candidates);
+    int home = -1;
+    for (int c = 0; c < n_cand && home < 0; ++c) {
+      SubtableT& t = tables_[candidates[c]];
+      uint64_t loc = t.BucketIndex(key);
+      Key snap[kSlots];
+      t.SnapshotKeys(loc, snap);
+      for (int s = 0; s < kSlots; ++s) {
+        if (snap[s] == key) {
+          home = c;
+          break;
+        }
+      }
+    }
+    if (home < 0) return false;
+    if (into_stash) {
+      for (size_t i = 0; i < stash_keys_.size(); ++i) {
+        if (stash_keys_[i].load(std::memory_order_relaxed) == kEmptyKey) {
+          stash_values_[i].store(stale_value, std::memory_order_relaxed);
+          stash_keys_[i].store(key, std::memory_order_relaxed);
+          stash_size_.fetch_add(1, kRelaxed);
+          return true;
+        }
+      }
+      return false;
+    }
+    for (int c = home + 1; c < n_cand; ++c) {
+      SubtableT& t = tables_[candidates[c]];
+      uint64_t loc = t.BucketIndex(key);
+      while (!t.lock(loc).TryLock()) {
+      }
+      for (int s = 0; s < kSlots; ++s) {
+        if (t.KeyAt(loc, s) == kEmptyKey) {
+          t.StoreSlot(loc, s, key, stale_value);
+          t.AddSize(1);
+          t.lock(loc).Unlock();
+          return true;
+        }
+      }
+      t.lock(loc).Unlock();
     }
     return false;
   }
@@ -1144,8 +1276,8 @@ class DynamicTable {
                         &ops[lane], &local_updated);
     }
 
-    RunVoterLoop(ops, exclude_table, fail, &local_new, &local_updated,
-                 &local_failed, &local_evictions);
+    RunVoterLoop(ops, exclude_table, check_partner, fail, &local_new,
+                 &local_updated, &local_failed, &local_evictions);
 
     if (local_new) stats_.inserts_new.fetch_add(local_new, kRelaxed);
     if (local_updated) stats_.inserts_updated.fetch_add(local_updated, kRelaxed);
@@ -1202,13 +1334,22 @@ class DynamicTable {
   /// is maintained incrementally — on hardware __ballot_sync is a single
   /// cycle, so recomputing it with a 32-lane loop each round would charge
   /// the simulation a cost the GPU never pays.
-  void RunVoterLoop(LaneOp* ops, int exclude_table, FailBuffer* fail,
-                    uint64_t* local_new, uint64_t* local_updated,
-                    uint64_t* local_failed, uint64_t* local_evictions) {
+  void RunVoterLoop(LaneOp* ops, int exclude_table, bool check_partner,
+                    FailBuffer* fail, uint64_t* local_new,
+                    uint64_t* local_updated, uint64_t* local_failed,
+                    uint64_t* local_evictions) {
     uint64_t& new_count = *local_new;
     uint64_t& updated = *local_updated;
     uint64_t& failed = *local_failed;
     uint64_t& evicted = *local_evictions;
+    // Becomes true once any eviction chain in this loop has displaced a
+    // resident pair.  From that point the prepare-phase upsert probes are
+    // stale: a key the probe cleared may since have moved into one of its
+    // other candidate buckets (or the stash), and claiming a slot for it
+    // here would store a second, validly-placed copy — invisible to both
+    // FIND (which stops at the first hit) and the scrubber's placement
+    // check.  Lanes re-probe before their first placement once this is set.
+    bool displaced = false;
     int chain_limit = options_.max_eviction_chain;
     if (gpusim::FaultInjector* fi = gpusim::FaultInjector::Active()) {
       chain_limit = fi->ClampEvictionChain(chain_limit);
@@ -1255,6 +1396,34 @@ class DynamicTable {
         active &= ~(gpusim::LaneMask{1} << leader);
         ++updated;
         continue;
+      }
+      if (displaced && check_partner && op.evictions == 0) {
+        // An eviction chain may have moved this key after the prepare-phase
+        // probe cleared its other buckets.  The relocated copy is either
+        // already re-placed (another candidate bucket or the stash) or still
+        // in flight as a displaced pair in another lane's chain — update it
+        // wherever it lives instead of storing a duplicate.
+        bool updated_elsewhere =
+            UpdateIfPresentElsewhere(op.key, op.value, op.target);
+        if (!updated_elsewhere) {
+          for (int l = 0; l < gpusim::kWarpSize; ++l) {
+            LaneOp& other = ops[l];
+            if (l != leader && other.active && other.evictions > 0 &&
+                other.key == op.key) {
+              other.value = op.value;
+              updated_elsewhere = true;
+              break;
+            }
+          }
+        }
+        if (updated_elsewhere) {
+          table.lock(loc).Unlock();
+          op.active = false;
+          active &= ~(gpusim::LaneMask{1} << leader);
+          ++updated;
+          stats_.insert_reprobe_updates.fetch_add(1, kRelaxed);
+          continue;
+        }
       }
       if (empty_slot >= 0) {
         table.StoreSlot(loc, empty_slot, op.key, op.value);
@@ -1323,12 +1492,46 @@ class DynamicTable {
       table.lock(loc).Unlock();
       gpusim::CountEviction();
       ++evicted;
+      displaced = true;
 
       op.key = vk;
       op.value = vv;
       op.target = next_target;
       ++op.evictions;
     }
+  }
+
+  /// Probes the key's candidate buckets other than `skip_table`, then the
+  /// stash, updating the value in place on a hit.  Used by the voter loop
+  /// to close the window between a lane's prepare-phase upsert probe and
+  /// its placement, during which an eviction chain may have relocated the
+  /// key.
+  bool UpdateIfPresentElsewhere(Key key, Value value, int skip_table) {
+    int candidates[16];
+    int n_cand = CandidateTables(key, candidates);
+    for (int c = 0; c < n_cand; ++c) {
+      if (candidates[c] == skip_table) continue;
+      SubtableT& t = tables_[candidates[c]];
+      uint64_t loc = t.BucketIndex(key);
+      gpusim::CountBucketRead();
+      Key snap[kSlots];
+      t.SnapshotKeys(loc, snap);
+      for (int s = 0; s < kSlots; ++s) {
+        if (snap[s] == key) {
+          t.StoreValue(loc, s, value);
+          return true;
+        }
+      }
+    }
+    if (stash_size_.load(std::memory_order_relaxed) > 0) {
+      for (size_t i = 0; i < stash_keys_.size(); ++i) {
+        if (stash_keys_[i].load(std::memory_order_relaxed) == key) {
+          stash_values_[i].store(value, std::memory_order_relaxed);
+          return true;
+        }
+      }
+    }
+    return false;
   }
 
   /// One warp's share of a mixed batch: finds and erases execute directly
@@ -1377,8 +1580,8 @@ class DynamicTable {
       }
     }
 
-    RunVoterLoop(lane_ops, /*exclude_table=*/-1, fail, &local_new,
-                 &local_updated, &local_failed, &local_evictions);
+    RunVoterLoop(lane_ops, /*exclude_table=*/-1, /*check_partner=*/true, fail,
+                 &local_new, &local_updated, &local_failed, &local_evictions);
 
     if (local_new) stats_.inserts_new.fetch_add(local_new, kRelaxed);
     if (local_updated) stats_.inserts_updated.fetch_add(local_updated, kRelaxed);

@@ -10,6 +10,7 @@ std::string TableStats::Snapshot::ToString() const {
      << " insert_failures=" << insert_failures << " finds=" << finds
      << " find_hits=" << find_hits << " erases=" << erases
      << " erase_hits=" << erase_hits << " evictions=" << evictions
+     << " insert_reprobe_updates=" << insert_reprobe_updates
      << " upsizes=" << upsizes << " downsizes=" << downsizes
      << " rehashed_kvs=" << rehashed_kvs << " residual_kvs=" << residual_kvs
      << " stash_inserts=" << stash_inserts << " stash_drains=" << stash_drains
@@ -21,6 +22,7 @@ std::string TableStats::Snapshot::ToString() const {
      << " scrub_misplaced_found=" << scrub_misplaced_found
      << " scrub_misplaced_repaired=" << scrub_misplaced_repaired
      << " scrub_stash_fixes=" << scrub_stash_fixes
+     << " scrub_duplicates_collapsed=" << scrub_duplicates_collapsed
      << " scrub_passes=" << scrub_passes;
   return os.str();
 }

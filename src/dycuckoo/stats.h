@@ -21,6 +21,7 @@ class TableStats {
   std::atomic<uint64_t> erases{0};
   std::atomic<uint64_t> erase_hits{0};
   std::atomic<uint64_t> evictions{0};
+  std::atomic<uint64_t> insert_reprobe_updates{0};  // dup averted at placement
   std::atomic<uint64_t> upsizes{0};
   std::atomic<uint64_t> downsizes{0};
   std::atomic<uint64_t> rehashed_kvs{0};     // KVs touched by resize kernels
@@ -40,6 +41,7 @@ class TableStats {
   std::atomic<uint64_t> scrub_misplaced_found{0};     // pairs outside probe set
   std::atomic<uint64_t> scrub_misplaced_repaired{0};  // pairs re-homed
   std::atomic<uint64_t> scrub_stash_fixes{0};         // stash counter repaired
+  std::atomic<uint64_t> scrub_duplicates_collapsed{0};  // shadowed copies freed
   std::atomic<uint64_t> scrub_passes{0};              // full sweeps completed
 
   struct Snapshot {
@@ -51,6 +53,7 @@ class TableStats {
     uint64_t erases = 0;
     uint64_t erase_hits = 0;
     uint64_t evictions = 0;
+    uint64_t insert_reprobe_updates = 0;
     uint64_t upsizes = 0;
     uint64_t downsizes = 0;
     uint64_t rehashed_kvs = 0;
@@ -65,6 +68,7 @@ class TableStats {
     uint64_t scrub_misplaced_found = 0;
     uint64_t scrub_misplaced_repaired = 0;
     uint64_t scrub_stash_fixes = 0;
+    uint64_t scrub_duplicates_collapsed = 0;
     uint64_t scrub_passes = 0;
 
     std::string ToString() const;
@@ -80,6 +84,8 @@ class TableStats {
     s.erases = erases.load(std::memory_order_relaxed);
     s.erase_hits = erase_hits.load(std::memory_order_relaxed);
     s.evictions = evictions.load(std::memory_order_relaxed);
+    s.insert_reprobe_updates =
+        insert_reprobe_updates.load(std::memory_order_relaxed);
     s.upsizes = upsizes.load(std::memory_order_relaxed);
     s.downsizes = downsizes.load(std::memory_order_relaxed);
     s.rehashed_kvs = rehashed_kvs.load(std::memory_order_relaxed);
@@ -97,6 +103,8 @@ class TableStats {
     s.scrub_misplaced_repaired =
         scrub_misplaced_repaired.load(std::memory_order_relaxed);
     s.scrub_stash_fixes = scrub_stash_fixes.load(std::memory_order_relaxed);
+    s.scrub_duplicates_collapsed =
+        scrub_duplicates_collapsed.load(std::memory_order_relaxed);
     s.scrub_passes = scrub_passes.load(std::memory_order_relaxed);
     return s;
   }

@@ -25,6 +25,8 @@ FaultInjector::FaultInjector(const FaultInjectorConfig& config)
       std::clamp(config_.alloc_fail_probability, 0.0, 1.0);
   config_.warp_yield_probability =
       std::clamp(config_.warp_yield_probability, 0.0, 1.0);
+  config_.io_flush_fail_probability =
+      std::clamp(config_.io_flush_fail_probability, 0.0, 1.0);
 }
 
 double FaultInjector::NextUniform(uint64_t stream) {
@@ -85,6 +87,55 @@ bool FaultInjector::OnTryLock() {
 int FaultInjector::ClampEvictionChain(int configured_bound) const {
   if (config_.max_eviction_chain < 0) return configured_bound;
   return std::min(configured_bound, config_.max_eviction_chain);
+}
+
+IoWriteFault FaultInjector::OnIoFlush() {
+  uint64_t index = io_flushes_seen_.fetch_add(1, std::memory_order_relaxed);
+  IoWriteFault fault = IoWriteFault::kNone;
+  // Crash-style faults take precedence over a clean failure at the same
+  // index: a torn write subsumes "the fsync also failed".
+  if (config_.io_torn_write_at_flush >= 0 &&
+      index == static_cast<uint64_t>(config_.io_torn_write_at_flush)) {
+    fault = IoWriteFault::kTornWrite;
+  } else if (config_.io_short_write_at_flush >= 0 &&
+             index == static_cast<uint64_t>(config_.io_short_write_at_flush)) {
+    fault = IoWriteFault::kShortWrite;
+  } else if (config_.io_bit_flip_at_flush >= 0 &&
+             index == static_cast<uint64_t>(config_.io_bit_flip_at_flush)) {
+    fault = IoWriteFault::kBitFlip;
+  } else if (config_.io_fail_nth_flush >= 0 &&
+             index == static_cast<uint64_t>(config_.io_fail_nth_flush)) {
+    fault = IoWriteFault::kFailCleanly;
+  } else if (config_.io_flush_fail_probability > 0.0 &&
+             NextUniform(/*stream=*/4) < config_.io_flush_fail_probability) {
+    fault = IoWriteFault::kFailCleanly;
+  }
+  if (fault != IoWriteFault::kNone) {
+    io_faults_injected_.fetch_add(1, std::memory_order_relaxed);
+    DYCUCKOO_LOG(Debug) << "fault injector: I/O fault "
+                        << static_cast<int>(fault) << " at flush #" << index;
+  }
+  return fault;
+}
+
+bool FaultInjector::OnKillPoint(const char* name) {
+  if (config_.kill_at_point < 0) return false;
+  if (!config_.kill_point_filter.empty() &&
+      std::string(name).find(config_.kill_point_filter) ==
+          std::string::npos) {
+    return false;
+  }
+  uint64_t index = kill_points_seen_.fetch_add(1, std::memory_order_relaxed);
+  if (index != static_cast<uint64_t>(config_.kill_at_point)) return false;
+  kill_points_fired_.fetch_add(1, std::memory_order_relaxed);
+  DYCUCKOO_LOG(Debug) << "fault injector: kill point '" << name
+                      << "' fired at crossing #" << index;
+  return true;
+}
+
+uint64_t FaultInjector::NextDraw(uint64_t stream) {
+  uint64_t event = events_.fetch_add(1, std::memory_order_relaxed);
+  return Mix64(config_.seed ^ Mix64(stream) ^ event);
 }
 
 ScopedFaultInjection::ScopedFaultInjection(const FaultInjectorConfig& config)

@@ -82,6 +82,54 @@ struct FaultInjectorConfig {
   /// If >= 0, eviction chains are truncated to min(configured bound, this),
   /// forcing the stash / fail-buffer paths at otherwise-healthy fill.
   int max_eviction_chain = -1;
+
+  // --- I/O faults (durability layer: WAL flushes, checkpoint writes) -------
+  //
+  // Each durable write (a WAL group commit or a checkpoint entry) consults
+  // OnIoFlush() once and gets back one fault verdict.  kFailCleanly models
+  // an fsync that returns an error with nothing written — retryable.  The
+  // other three model a crash mid-write: the caller persists a prefix
+  // (short: cut at a record boundary; torn: cut mid-record) or corrupted
+  // bytes (bit flip) and then dies without acknowledging anything.
+
+  /// Fail exactly the Nth durable flush cleanly (0-based; nothing written,
+  /// error returned, process keeps running).  -1 disables.
+  int64_t io_fail_nth_flush = -1;
+
+  /// Independently fail each durable flush cleanly with this probability.
+  double io_flush_fail_probability = 0.0;
+
+  /// On the Nth durable flush, persist only a prefix ending at a record
+  /// boundary, then crash.  -1 disables.
+  int64_t io_short_write_at_flush = -1;
+
+  /// On the Nth durable flush, persist a prefix torn mid-record, then
+  /// crash.  -1 disables.
+  int64_t io_torn_write_at_flush = -1;
+
+  /// On the Nth durable flush, persist the full write with one bit flipped
+  /// in its final record, then crash.  -1 disables.
+  int64_t io_bit_flip_at_flush = -1;
+
+  // --- Kill points (durability layer: crash-at-step) -----------------------
+
+  /// Crash the process (as seen by the durability layer: everything in
+  /// flight is abandoned, only already-durable bytes survive) at the Nth
+  /// crossing of a matching kill point (0-based).  -1 disables.
+  int64_t kill_at_point = -1;
+
+  /// Only kill points whose name contains this substring count toward
+  /// `kill_at_point`.  Empty matches every kill point.
+  std::string kill_point_filter;
+};
+
+/// Verdict for one durable write, from FaultInjector::OnIoFlush().
+enum class IoWriteFault {
+  kNone = 0,         // write succeeds in full
+  kFailCleanly = 1,  // nothing written, error returned; retryable
+  kShortWrite = 2,   // prefix persisted (record boundary), then crash
+  kTornWrite = 3,    // prefix persisted (mid-record), then crash
+  kBitFlip = 4,      // full write persisted with a flipped bit, then crash
 };
 
 /// \brief Seeded deterministic fault source.  Thread-safe; every decision
@@ -112,6 +160,21 @@ class FaultInjector {
   /// Truncates an eviction-chain bound.
   int ClampEvictionChain(int configured_bound) const;
 
+  /// Consulted once per durable write (WAL group commit / checkpoint
+  /// entry).  The caller is responsible for realizing the verdict: persist
+  /// a prefix, corrupt a bit, or return an error — and for treating every
+  /// verdict except kNone/kFailCleanly as a process crash.
+  IoWriteFault OnIoFlush();
+
+  /// Consulted at each named crash point in the durability layer.  True =>
+  /// the caller must behave as if the process died here: persist nothing
+  /// further and stop acknowledging.
+  bool OnKillPoint(const char* name);
+
+  /// Deterministic 64-bit draw for fault shaping (e.g. where to tear a
+  /// record).  Same event sequence => same draws.
+  uint64_t NextDraw(uint64_t stream);
+
   const FaultInjectorConfig& config() const { return config_; }
 
   // --- Campaign statistics (what was actually injected) --------------------
@@ -126,6 +189,18 @@ class FaultInjector {
   }
   uint64_t trylock_failures() const {
     return trylock_failures_.load(std::memory_order_relaxed);
+  }
+  uint64_t io_flushes_seen() const {
+    return io_flushes_seen_.load(std::memory_order_relaxed);
+  }
+  uint64_t io_faults_injected() const {
+    return io_faults_injected_.load(std::memory_order_relaxed);
+  }
+  uint64_t kill_points_seen() const {
+    return kill_points_seen_.load(std::memory_order_relaxed);
+  }
+  uint64_t kill_points_fired() const {
+    return kill_points_fired_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -142,6 +217,10 @@ class FaultInjector {
   std::atomic<uint64_t> allocs_failed_{0};
   std::atomic<uint64_t> warps_delayed_{0};
   std::atomic<uint64_t> trylock_failures_{0};
+  std::atomic<uint64_t> io_flushes_seen_{0};
+  std::atomic<uint64_t> io_faults_injected_{0};
+  std::atomic<uint64_t> kill_points_seen_{0};
+  std::atomic<uint64_t> kill_points_fired_{0};
 };
 
 /// \brief RAII guard: installs a FaultInjector for its lifetime.  Nesting is

@@ -34,7 +34,22 @@
 //                                          upserts/erases: re-execution safe)
 //   kInsertionFailure / kOutOfMemory ..... partially applied; failed count
 //                                          refers to this request's keys
-//   OK ................................... fully applied
+//   kDataLoss ............................ applied to the table but NOT
+//                                          durable (group-commit flush
+//                                          failed); lost if the process
+//                                          dies before a later flush
+//   OK ................................... fully applied (and durable when
+//                                          a DurabilityManager is attached:
+//                                          the ack is released only after
+//                                          the WAL group commit)
+//
+// Durability: AttachDurability() hooks a durability::DurabilityManager in.
+// Each micro-batch's acknowledged writes are appended to the WAL and
+// flushed with ONE group commit before any of the batch's responses are
+// completed; the between-batch slot additionally takes incremental
+// checkpoints.  A crash-style injected fault marks the server crashed():
+// it stops executing and never acknowledges in-flight requests — exactly
+// what a real process death would do.  Recovery is durability::Recover().
 //
 // Threading: Submit/TakeResponse are safe from any thread; Step (and
 // everything it drives) runs on one serving thread, mirroring the one-
@@ -54,6 +69,7 @@
 
 #include "common/logging.h"
 #include "common/status.h"
+#include "durability/manager.h"
 #include "dycuckoo/dynamic_table.h"
 #include "dycuckoo/options.h"
 #include "gpusim/virtual_clock.h"
@@ -192,6 +208,29 @@ class TableServer {
     return Status::OK();
   }
 
+  /// Builds a server around an existing table — the resumption path after
+  /// durability::Recover() hands back the recovered state.
+  static Status Adopt(std::unique_ptr<Table> table,
+                      const TableServerOptions& server_options,
+                      std::unique_ptr<TableServer>* out) {
+    if (table == nullptr) {
+      return Status::InvalidArgument("Adopt: table must not be null");
+    }
+    out->reset(new TableServer(std::move(table), server_options));
+    return Status::OK();
+  }
+
+  /// Attaches (or detaches, with nullptr) the durability manager.  Not
+  /// owned; must outlive the server.  Attach before serving traffic —
+  /// writes acknowledged earlier are not retroactively logged.
+  void AttachDurability(durability::DurabilityManager<Key, Value>* manager) {
+    durability_ = manager;
+  }
+
+  /// True once the durability layer took a crash-style injected fault: the
+  /// server stops executing and never acknowledges in-flight requests.
+  bool crashed() const { return durability_ != nullptr && durability_->dead(); }
+
   TableServer(const TableServer&) = delete;
   TableServer& operator=(const TableServer&) = delete;
 
@@ -250,6 +289,7 @@ class TableServer {
   /// Executes one micro-batch plus one scrub slice.  Returns the number of
   /// requests it completed (0 when idle).
   uint64_t Step() {
+    if (crashed()) return 0;
     gpusim::ScopedVirtualClock scoped(&clock_);
     std::vector<Pending> batch;
     uint64_t ops = 0;
@@ -261,13 +301,16 @@ class TableServer {
     }
     uint64_t completed = 0;
     if (!batch.empty()) completed = ExecuteBatch(&batch);
+    if (crashed()) return completed;
     ScrubSlice();
+    MaybeCheckpoint();
     return completed;
   }
 
-  /// Steps until the queue is empty.
+  /// Steps until the queue is empty (or the durability layer crashed — a
+  /// dead server would otherwise spin on a queue it can never drain).
   void RunUntilIdle() {
-    while (!queue_.empty()) Step();
+    while (!queue_.empty() && !crashed()) Step();
   }
 
   // ---------------------------------------------------------------------
@@ -283,6 +326,13 @@ class TableServer {
   const ServerStats& stats() const { return stats_; }
   const TableServerOptions& options() const { return options_; }
   const OnlineScrubber<Key, Value>& scrubber() const { return scrubber_; }
+  durability::DurabilityManager<Key, Value>* durability() {
+    return durability_;
+  }
+
+  /// Releases the owned table — for tearing a crashed server down while
+  /// keeping its live state inspectable (tests).
+  std::unique_ptr<Table> ReleaseTable() { return std::move(table_); }
 
  private:
   struct Pending {
@@ -352,10 +402,22 @@ class TableServer {
     stats_.batch_launches.fetch_add(1, std::memory_order_relaxed);
     Status st = table_->BulkExecute(ops);
     if (st.ok()) {
+      // Group commit: append every acknowledged-to-be write to the WAL and
+      // flush ONCE for the whole micro-batch, before any ack is released.
+      Status commit = LogAndCommitWrites(runnable);
+      if (crashed()) return completed;  // simulated death: acks never leave
       uint64_t cursor = 0;
       for (Pending& p : runnable) {
+        const bool write = HasWrite(p.request);
         Response resp;
-        resp.status = Status::OK();
+        if (write && !commit.ok()) {
+          // The ops are applied but the flush failed cleanly: the write is
+          // live yet not durable, and honesty demands saying so.
+          resp.status = Status::DataLoss("write applied but not durable: " +
+                                         commit.message());
+        } else {
+          resp.status = Status::OK();
+        }
         resp.attempts = 1;
         resp.results.resize(p.request.ops.size());
         for (size_t i = 0; i < p.request.ops.size(); ++i, ++cursor) {
@@ -363,8 +425,18 @@ class TableServer {
           resp.results[i].value = ops[cursor].value;
         }
         resp.completed_at = clock_.Now();
-        if (HasWrite(p.request)) breaker_.OnWriteSuccess();
-        stats_.completed_ok.fetch_add(1, std::memory_order_relaxed);
+        if (write) {
+          if (resp.status.ok()) {
+            breaker_.OnWriteSuccess();
+          } else {
+            breaker_.OnWriteFailure(clock_.Now());
+          }
+        }
+        if (resp.status.ok()) {
+          stats_.completed_ok.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          stats_.completed_error.fetch_add(1, std::memory_order_relaxed);
+        }
         Complete(p.id, std::move(resp));
         ++completed;
       }
@@ -377,10 +449,28 @@ class TableServer {
     // retry policy; the coalesced run counts as everyone's first attempt.
     stats_.coalesced_fallbacks.fetch_add(1, std::memory_order_relaxed);
     for (Pending& p : runnable) {
+      if (crashed()) break;  // remaining requests die unacknowledged
       ExecuteWithRetry(&p, /*attempts_so_far=*/1);
       ++completed;
     }
     return completed;
+  }
+
+  /// Appends one WAL record per write op across the batch's successful
+  /// requests, then flushes them with a single group commit.  OK when no
+  /// durability manager is attached.
+  Status LogAndCommitWrites(const std::vector<Pending>& runnable) {
+    if (durability_ == nullptr) return Status::OK();
+    for (const Pending& p : runnable) {
+      for (const Op& op : p.request.ops) {
+        if (op.type == OpType::kInsert) {
+          durability_->LogInsert(op.key, op.value);
+        } else if (op.type == OpType::kErase) {
+          durability_->LogErase(op.key);
+        }
+      }
+    }
+    return durability_->Commit();
   }
 
   /// Runs one request's ops alone, retrying per policy while the deadline
@@ -428,6 +518,25 @@ class TableServer {
       }
     }
 
+    // Only an OK execution is acknowledged as applied, so only OK writes
+    // enter the WAL (non-OK partial applications are "uncertain" by the
+    // side-effect contract; checkpoints still capture whatever stuck).
+    if (st.ok() && has_write && durability_ != nullptr) {
+      for (const Op& op : p->request.ops) {
+        if (op.type == OpType::kInsert) {
+          durability_->LogInsert(op.key, op.value);
+        } else if (op.type == OpType::kErase) {
+          durability_->LogErase(op.key);
+        }
+      }
+      Status commit = durability_->Commit();
+      if (crashed()) return;  // simulated death: the ack never leaves
+      if (!commit.ok()) {
+        st = Status::DataLoss("write applied but not durable: " +
+                              commit.message());
+      }
+    }
+
     Response resp;
     resp.status = st;
     resp.attempts = attempts;
@@ -463,12 +572,29 @@ class TableServer {
       if (!st.ok()) {
         DYCUCKOO_LOG(Warning)
             << "scrub-triggered ResizeToBounds failed: " << st.ToString();
+      } else if (durability_ != nullptr && !crashed()) {
+        // Mark the layout change in the log so an operator replaying it can
+        // line resizes up with latency shifts; carries no table state.
+        durability_->LogResizeBarrier(table_->capacity_slots());
+        durability_->Commit();
       }
+    }
+  }
+
+  /// Between-batch checkpoint slot: snapshots the table once the WAL has
+  /// grown past the configured thresholds, then truncates the log head.
+  void MaybeCheckpoint() {
+    if (durability_ == nullptr || crashed()) return;
+    Status st = durability_->MaybeCheckpoint(table_.get());
+    if (!st.ok() && !crashed()) {
+      DYCUCKOO_LOG(Warning) << "checkpoint failed (will retry): "
+                            << st.ToString();
     }
   }
 
   TableServerOptions options_;
   std::unique_ptr<Table> table_;
+  durability::DurabilityManager<Key, Value>* durability_ = nullptr;
   gpusim::VirtualClock clock_;
   AdmissionQueue<Pending> queue_;
   CircuitBreaker breaker_;

@@ -293,7 +293,11 @@ TEST(ResizeFaultTest, CappedArenaDownsizeNeverLosesKeys) {
 // ---------------------------------------------------------------------------
 
 TEST(ChaosSoakTest, MixedWorkloadUnderInjectionAgreesWithShadowMap) {
-  for (uint64_t seed : {1ull, 2ull, 3ull}) {
+  // DYCUCKOO_CHAOS_SEED=<seed> reruns just that seed (e.g. one CI printed).
+  std::vector<uint64_t> seeds = {1ull, 2ull, 3ull};
+  if (uint64_t forced = testing::ChaosSeedFromEnv(0)) seeds = {forced};
+  for (uint64_t seed : seeds) {
+    SCOPED_TRACE("DYCUCKOO_CHAOS_SEED=" + std::to_string(seed));
     gpusim::DeviceArena arena(64ull << 20);
     DyCuckooOptions o;
     o.initial_capacity = 4096;

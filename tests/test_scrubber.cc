@@ -133,6 +133,72 @@ TEST(ScrubTest, RepairCollapsesMisplacedDuplicate) {
   EXPECT_EQ(value, 0xABCDu);  // the reinsert upserted the planted value
 }
 
+TEST(ScrubTest, CollapsesShadowedDuplicateInLaterCandidateBucket) {
+  auto table = MakeTable(2048);
+  auto keys = testing::UniqueKeys(500);
+  auto values = testing::SequentialValues(keys.size());
+  ASSERT_TRUE(table->BulkInsert(keys, values).ok());
+
+  // Plant a stale second copy of a resident key in a *later* candidate
+  // bucket — the shape an interrupted eviction chain can leave behind.
+  // Both copies are correctly placed for their own buckets, so only the
+  // global-uniqueness invariant is violated and FIND keeps returning the
+  // earlier (live) copy.  Not every key has a later candidate with room,
+  // so probe until one plants.
+  uint32_t dup_key = 0;
+  uint32_t live_value = 0;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (table->PlantShadowedDuplicateForTest(keys[i], 0xBAD0BAD0u)) {
+      dup_key = keys[i];
+      live_value = values[i];
+      break;
+    }
+  }
+  ASSERT_NE(dup_key, 0u) << "no key accepted a shadowed duplicate";
+  EXPECT_FALSE(table->Validate().ok());
+  uint32_t value = 0;
+  uint8_t found = 0;
+  table->BulkFind(std::vector<uint32_t>{dup_key}, &value, &found);
+  ASSERT_EQ(found, 1u);
+  EXPECT_EQ(value, live_value);  // the stale copy is FIND-invisible
+
+  // One scrub pass frees the shadowed copy and keeps the live one.
+  auto report = table->ScrubAll();
+  EXPECT_EQ(report.duplicates_collapsed, 1u);
+  EXPECT_EQ(report.misplaced_found, 0u);  // both copies were well-placed
+  EXPECT_TRUE(table->Validate().ok()) << table->Validate().ToString();
+  EXPECT_EQ(table->size(), keys.size());
+  table->BulkFind(std::vector<uint32_t>{dup_key}, &value, &found);
+  EXPECT_EQ(found, 1u);
+  EXPECT_EQ(value, live_value);
+  EXPECT_EQ(table->stats().Capture().scrub_duplicates_collapsed, 1u);
+}
+
+TEST(ScrubTest, CollapsesShadowedDuplicateInStash) {
+  auto table = MakeTable(2048);
+  auto keys = testing::UniqueKeys(400);
+  auto values = testing::SequentialValues(keys.size());
+  ASSERT_TRUE(table->BulkInsert(keys, values).ok());
+
+  // A stash entry whose key also lives in a bucket is shadowed (buckets
+  // probe before the stash) and must be collapsed, not drained back.
+  const uint32_t dup_key = keys[42];
+  ASSERT_TRUE(table->PlantShadowedDuplicateForTest(dup_key, 0xFEEDFACEu,
+                                                   /*into_stash=*/true));
+  ASSERT_EQ(table->stash_size(), 1u);
+
+  auto report = table->ScrubAll();
+  EXPECT_EQ(report.duplicates_collapsed, 1u);
+  EXPECT_EQ(table->stash_size(), 0u);
+  EXPECT_TRUE(table->Validate().ok()) << table->Validate().ToString();
+
+  uint32_t value = 0;
+  uint8_t found = 0;
+  table->BulkFind(std::vector<uint32_t>{dup_key}, &value, &found);
+  EXPECT_EQ(found, 1u);
+  EXPECT_EQ(value, values[42]);
+}
+
 TEST(OnlineScrubberTest, IncrementalStepsCoverTheWholeTable) {
   auto table = MakeTable(4096);
   auto keys = testing::UniqueKeys(1800);

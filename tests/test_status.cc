@@ -33,6 +33,7 @@ TEST(StatusTest, AllCodesRoundTrip) {
   EXPECT_TRUE(Status::DeadlineExceeded("x").IsDeadlineExceeded());
   EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
   EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+  EXPECT_TRUE(Status::DataLoss("x").IsDataLoss());
 }
 
 TEST(StatusTest, EveryFactoryMatchesItsCodeExactly) {
@@ -51,6 +52,7 @@ TEST(StatusTest, EveryFactoryMatchesItsCodeExactly) {
       {Status::DeadlineExceeded("m"), StatusCode::kDeadlineExceeded},
       {Status::ResourceExhausted("m"), StatusCode::kResourceExhausted},
       {Status::Unavailable("m"), StatusCode::kUnavailable},
+      {Status::DataLoss("m"), StatusCode::kDataLoss},
   };
   for (const Case& c : cases) {
     EXPECT_EQ(c.status.code(), c.code);
@@ -59,7 +61,7 @@ TEST(StatusTest, EveryFactoryMatchesItsCodeExactly) {
                c.status.IsInsertionFailure() + c.status.IsNotSupported() +
                c.status.IsInternal() + c.status.IsOutOfMemory() +
                c.status.IsDeadlineExceeded() + c.status.IsResourceExhausted() +
-               c.status.IsUnavailable();
+               c.status.IsUnavailable() + c.status.IsDataLoss();
     EXPECT_EQ(hits, c.status.ok() ? 0 : 1) << c.status.ToString();
     if (!c.status.ok()) EXPECT_EQ(c.status.message(), "m");
   }
@@ -81,6 +83,8 @@ TEST(StatusTest, CodeNamesInToString) {
       std::string::npos);
   EXPECT_NE(Status::Unavailable("m").ToString().find("Unavailable"),
             std::string::npos);
+  EXPECT_NE(Status::DataLoss("m").ToString().find("DataLoss"),
+            std::string::npos);
 }
 
 TEST(StatusTest, CopyAndMovePreserveCodeAndMessage) {
@@ -91,6 +95,23 @@ TEST(StatusTest, CopyAndMovePreserveCodeAndMessage) {
   Status moved = std::move(st);
   EXPECT_TRUE(moved.IsUnavailable());
   EXPECT_EQ(moved.message(), "breaker open");
+}
+
+TEST(StatusTest, DataLossCopyAndMovePreserveCodeAndMessage) {
+  Status st = Status::DataLoss("CRC mismatch at lsn 7");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(st.ToString(), "DataLoss: CRC mismatch at lsn 7");
+  Status copy = st;
+  EXPECT_TRUE(copy.IsDataLoss());
+  EXPECT_EQ(copy.message(), "CRC mismatch at lsn 7");
+  Status moved = std::move(st);
+  EXPECT_TRUE(moved.IsDataLoss());
+  EXPECT_EQ(moved.message(), "CRC mismatch at lsn 7");
+  // DataLoss is distinct from the codes it could be confused with.
+  EXPECT_FALSE(copy.IsInternal());
+  EXPECT_FALSE(copy.IsInvalidArgument());
+  EXPECT_FALSE(Status::DataLoss("a") == Status::Internal("a"));
 }
 
 TEST(StatusTest, EqualityComparesCodeOnly) {

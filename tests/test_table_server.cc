@@ -632,8 +632,11 @@ void RunChaos(uint64_t seed, ChaosOutcome* out) {
 }
 
 TEST(TableServerChaosTest, ShadowMapSoakWithFaultsAndDeadlines) {
+  // Failures print the seed; rerun it locally with DYCUCKOO_CHAOS_SEED.
+  const uint64_t seed = testing::ChaosSeedFromEnv(7);
+  SCOPED_TRACE("DYCUCKOO_CHAOS_SEED=" + std::to_string(seed));
   ChaosOutcome run1;
-  RunChaos(/*seed=*/7, &run1);
+  RunChaos(seed, &run1);
 
   // >= 50k mixed ops were driven through the server.
   EXPECT_GE(run1.ok + run1.deadline_unexecuted + run1.deadline_partial +
@@ -657,7 +660,7 @@ TEST(TableServerChaosTest, ShadowMapSoakWithFaultsAndDeadlines) {
   // Bit-identical reproduction: a second run with the same seed must match
   // in every observable, including the op-level digest.
   ChaosOutcome run2;
-  RunChaos(/*seed=*/7, &run2);
+  RunChaos(seed, &run2);
   EXPECT_EQ(run1.digest, run2.digest);
   EXPECT_EQ(run1.ok, run2.ok);
   EXPECT_EQ(run1.deadline_unexecuted, run2.deadline_unexecuted);

@@ -5,6 +5,7 @@
 #define DYCUCKOO_TESTS_TEST_UTIL_H_
 
 #include <cstdint>
+#include <cstdlib>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -13,6 +14,15 @@
 
 namespace dycuckoo {
 namespace testing {
+
+/// Seed override for chaos harnesses.  CI failure messages print the seed
+/// that failed; rerun it locally with DYCUCKOO_CHAOS_SEED=<seed> (decimal
+/// or 0x-hex).  Returns `fallback` when the variable is unset or empty.
+inline uint64_t ChaosSeedFromEnv(uint64_t fallback) {
+  const char* env = std::getenv("DYCUCKOO_CHAOS_SEED");
+  if (env == nullptr || *env == '\0') return fallback;
+  return std::strtoull(env, nullptr, 0);
+}
 
 /// `count` distinct keys, none equal to the reserved sentinels.
 inline std::vector<uint32_t> UniqueKeys(uint64_t count, uint64_t seed = 42) {

@@ -1,0 +1,391 @@
+// Unit tests for the durability subsystem: WAL framing, group commit,
+// head truncation, the checkpoint store, and point-in-time recovery.
+
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "durability/checkpoint.h"
+#include "durability/log_format.h"
+#include "durability/manager.h"
+#include "durability/recovery.h"
+#include "durability/wal.h"
+#include "dycuckoo/dynamic_table.h"
+#include "gpusim/device_arena.h"
+#include "gpusim/fault_injector.h"
+
+namespace dycuckoo {
+namespace durability {
+namespace {
+
+using Table = DynamicTable<uint32_t, uint32_t>;
+using Wal = WalWriter<uint32_t, uint32_t>;
+using Manager = DurabilityManager<uint32_t, uint32_t>;
+
+// One insert record on the wire: frame header + (lsn, type) + key + value.
+constexpr size_t kInsertFrameBytes =
+    kWalFrameHeaderBytes + kWalRecordPrefixBytes + 2 * sizeof(uint32_t);
+
+Status RecoverFromImages(const std::string& ckpt, const std::string& wal,
+                         const DyCuckooOptions& options,
+                         std::unique_ptr<Table>* out, RecoveryReport* report) {
+  std::istringstream ckpt_stream(ckpt);
+  std::istringstream wal_stream(wal);
+  return Recover<uint32_t, uint32_t>(ckpt_stream, wal_stream, options, out,
+                                     report);
+}
+
+TEST(LogFormatTest, FrameRoundTrip) {
+  std::string log;
+  uint32_t payload = 0xDEADBEEF;
+  AppendFrame(&log, /*lsn=*/7, WalRecordType::kErase, &payload,
+              sizeof(payload));
+  ParsedRecord rec;
+  ASSERT_EQ(ParseFrame(log.data(), log.size(), &rec), ParseResult::kOk);
+  EXPECT_EQ(rec.lsn, 7u);
+  EXPECT_EQ(rec.type, WalRecordType::kErase);
+  ASSERT_EQ(rec.payload_len, sizeof(payload));
+  uint32_t out = 0;
+  std::memcpy(&out, rec.payload, sizeof(out));
+  EXPECT_EQ(out, payload);
+  EXPECT_EQ(rec.frame_len, log.size());
+}
+
+TEST(LogFormatTest, FrameDetectsCorruptionAndTruncation) {
+  std::string log;
+  uint64_t payload = 42;
+  AppendFrame(&log, 1, WalRecordType::kResizeBarrier, &payload,
+              sizeof(payload));
+  ParsedRecord rec;
+  for (size_t i = 0; i < log.size(); ++i) {
+    std::string bad = log;
+    bad[i] ^= 0x04;
+    EXPECT_NE(ParseFrame(bad.data(), bad.size(), &rec), ParseResult::kOk)
+        << "flip at byte " << i;
+  }
+  for (size_t cut = 0; cut < log.size(); ++cut) {
+    EXPECT_EQ(ParseFrame(log.data(), cut, &rec), ParseResult::kTruncated)
+        << "cut at " << cut;
+  }
+}
+
+TEST(LogFormatTest, FileHeaderRoundTripAndCorruption) {
+  std::string log;
+  AppendWalFileHeader(&log, 4, 8, /*first_lsn=*/123);
+  ASSERT_EQ(log.size(), kWalFileHeaderBytes);
+  WalFileHeader header;
+  ASSERT_EQ(ParseWalFileHeader(log.data(), log.size(), &header),
+            ParseResult::kOk);
+  EXPECT_EQ(header.version, kWalFormatVersion);
+  EXPECT_EQ(header.key_width, 4u);
+  EXPECT_EQ(header.value_width, 8u);
+  EXPECT_EQ(header.first_lsn, 123u);
+  std::string bad = log;
+  bad[20] ^= 0x01;  // inside the CRC-covered fields
+  EXPECT_EQ(ParseWalFileHeader(bad.data(), bad.size(), &header),
+            ParseResult::kCorrupt);
+  EXPECT_EQ(ParseWalFileHeader(log.data(), 10, &header),
+            ParseResult::kTruncated);
+}
+
+TEST(WalWriterTest, GroupCommitIsOneFlushForManyRecords) {
+  Wal wal;
+  for (uint32_t i = 0; i < 8; ++i) wal.AppendInsert(i + 1, i);
+  EXPECT_EQ(wal.pending_records(), 8u);
+  EXPECT_EQ(wal.durable_lsn(), 0u);
+  ASSERT_TRUE(wal.Flush().ok());
+  EXPECT_EQ(wal.pending_records(), 0u);
+  EXPECT_EQ(wal.durable_lsn(), 8u);
+  EXPECT_EQ(wal.flushes(), 1u);
+  EXPECT_EQ(wal.durable_bytes(),
+            kWalFileHeaderBytes + 8 * kInsertFrameBytes);
+}
+
+TEST(WalWriterTest, CleanFlushFailureRetainsRecordsForRetry) {
+  gpusim::FaultInjectorConfig cfg;
+  cfg.io_fail_nth_flush = 0;
+  gpusim::ScopedFaultInjection scoped(cfg);
+  Wal wal;
+  wal.AppendInsert(1, 2);
+  Status st = wal.Flush();
+  EXPECT_TRUE(st.IsInternal()) << st.ToString();
+  EXPECT_FALSE(wal.dead());
+  EXPECT_EQ(wal.pending_records(), 1u);
+  EXPECT_EQ(wal.flush_failures(), 1u);
+  // The retry (flush #1, not targeted) succeeds and loses nothing.
+  ASSERT_TRUE(wal.Flush().ok());
+  EXPECT_EQ(wal.durable_lsn(), 1u);
+}
+
+TEST(WalWriterTest, TruncateHeadDropsCoveredRecordsAndAdvancesFirstLsn) {
+  Wal wal;
+  for (uint32_t i = 0; i < 10; ++i) wal.AppendInsert(i + 1, i);
+  ASSERT_TRUE(wal.Flush().ok());
+  ASSERT_TRUE(wal.TruncateHead(/*checkpoint_lsn=*/4).ok());
+  const std::string& image = wal.durable_image();
+  WalFileHeader header;
+  ASSERT_EQ(ParseWalFileHeader(image.data(), image.size(), &header),
+            ParseResult::kOk);
+  EXPECT_EQ(header.first_lsn, 5u);
+  size_t offset = kWalFileHeaderBytes;
+  uint64_t expect = 5;
+  while (offset < image.size()) {
+    ParsedRecord rec;
+    ASSERT_EQ(ParseFrame(image.data() + offset, image.size() - offset, &rec),
+              ParseResult::kOk);
+    EXPECT_EQ(rec.lsn, expect++);
+    offset += rec.frame_len;
+  }
+  EXPECT_EQ(expect, 11u);
+}
+
+// Acceptance: Recover() on a log whose tail is torn mid-record succeeds
+// and reports the discarded byte count.
+TEST(RecoveryTest, TornTailSucceedsAndReportsDiscardedBytes) {
+  Wal wal;
+  for (uint32_t i = 0; i < 10; ++i) wal.AppendInsert(i + 1, 100 + i);
+  ASSERT_TRUE(wal.Flush().ok());
+  std::string image = wal.durable_image();
+  // Tear the last record 5 bytes short of complete.
+  image.resize(image.size() - 5);
+  const uint64_t expected_discard = kInsertFrameBytes - 5;
+
+  gpusim::DeviceArena arena(0);
+  DyCuckooOptions options;
+  options.arena = &arena;
+  std::unique_ptr<Table> table;
+  RecoveryReport report;
+  Status st = RecoverFromImages("", image, options, &table, &report);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(report.torn_tail_bytes, expected_discard);
+  EXPECT_EQ(report.last_lsn, 9u);
+  EXPECT_EQ(report.wal_records_applied, 9u);
+  ASSERT_NE(table, nullptr);
+  EXPECT_EQ(table->size(), 9u);
+  uint32_t value = 0;
+  EXPECT_TRUE(table->Find(9, &value));
+  EXPECT_EQ(value, 108u);
+  EXPECT_FALSE(table->Find(10));  // the torn record was never acknowledged
+}
+
+TEST(RecoveryTest, MidLogCorruptionIsDataLossNotSilentSkip) {
+  Wal wal;
+  for (uint32_t i = 0; i < 10; ++i) wal.AppendInsert(i + 1, i);
+  ASSERT_TRUE(wal.Flush().ok());
+  std::string image = wal.durable_image();
+  // Corrupt the SECOND record: intact records follow, so acknowledged
+  // bytes are provably gone and recovery must refuse to paper over it.
+  image[kWalFileHeaderBytes + kInsertFrameBytes + 10] ^= 0x40;
+
+  gpusim::DeviceArena arena(0);
+  DyCuckooOptions options;
+  options.arena = &arena;
+  std::unique_ptr<Table> table;
+  RecoveryReport report;
+  Status st = RecoverFromImages("", image, options, &table, &report);
+  EXPECT_TRUE(st.IsDataLoss()) << st.ToString();
+  EXPECT_EQ(table, nullptr);
+}
+
+TEST(RecoveryTest, WalTruncatedPastCheckpointIsDataLoss) {
+  // A WAL that starts at LSN 10 with no checkpoint backing LSNs 1..9.
+  Wal wal(/*start_lsn=*/10);
+  wal.AppendInsert(1, 1);
+  ASSERT_TRUE(wal.Flush().ok());
+  gpusim::DeviceArena arena(0);
+  DyCuckooOptions options;
+  options.arena = &arena;
+  std::unique_ptr<Table> table;
+  RecoveryReport report;
+  Status st =
+      RecoverFromImages("", wal.durable_image(), options, &table, &report);
+  EXPECT_TRUE(st.IsDataLoss()) << st.ToString();
+}
+
+TEST(RecoveryTest, EmptyImagesRecoverToEmptyTable) {
+  gpusim::DeviceArena arena(0);
+  DyCuckooOptions options;
+  options.arena = &arena;
+  std::unique_ptr<Table> table;
+  RecoveryReport report;
+  ASSERT_TRUE(RecoverFromImages("", "", options, &table, &report).ok());
+  ASSERT_NE(table, nullptr);
+  EXPECT_EQ(table->size(), 0u);
+  EXPECT_EQ(report.checkpoint_lsn, 0u);
+  EXPECT_EQ(report.wal_records_scanned, 0u);
+}
+
+// Drives the full manager protocol: checkpoint + mark + truncation, then
+// recovery from checkpoint + WAL suffix.
+TEST(ManagerTest, CheckpointThenSuffixReplayRecoversEverything) {
+  gpusim::DeviceArena arena(0);
+  DyCuckooOptions options;
+  options.arena = &arena;
+  std::unique_ptr<Table> table;
+  ASSERT_TRUE(Table::Create(options, &table).ok());
+
+  DurabilityOptions dopts;
+  dopts.checkpoint_wal_bytes = 0;
+  dopts.checkpoint_wal_records = 0;  // manual checkpoints only
+  Manager manager(dopts);
+
+  auto apply = [&](uint32_t key, uint32_t value) {
+    ASSERT_TRUE(table->Insert(key, value).ok());
+    manager.LogInsert(key, value);
+  };
+  for (uint32_t i = 1; i <= 50; ++i) apply(i, i * 10);
+  ASSERT_TRUE(manager.Commit().ok());
+  ASSERT_TRUE(manager.CheckpointNow(table.get()).ok());
+  EXPECT_EQ(manager.stats().checkpoints, 1u);
+  EXPECT_EQ(manager.last_checkpoint_lsn(), 50u);
+
+  for (uint32_t i = 51; i <= 80; ++i) apply(i, i * 10);
+  ASSERT_TRUE(table->Erase(7));
+  manager.LogErase(7);
+  ASSERT_TRUE(manager.Commit().ok());
+
+  std::unique_ptr<Table> recovered;
+  RecoveryReport report;
+  Status st = RecoverFromImages(manager.checkpoints().durable_image(),
+                                manager.wal().durable_image(), options,
+                                &recovered, &report);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(report.checkpoint_lsn, 50u);
+  EXPECT_GT(report.wal_records_skipped, 0u);
+  EXPECT_EQ(recovered->size(), 79u);  // 80 inserts - 1 erase
+  uint32_t value = 0;
+  EXPECT_TRUE(recovered->Find(80, &value));
+  EXPECT_EQ(value, 800u);
+  EXPECT_FALSE(recovered->Find(7));
+}
+
+TEST(ManagerTest, CorruptNewestCheckpointFallsBackToPrevious) {
+  gpusim::DeviceArena arena(0);
+  DyCuckooOptions options;
+  options.arena = &arena;
+  std::unique_ptr<Table> table;
+  ASSERT_TRUE(Table::Create(options, &table).ok());
+
+  DurabilityOptions dopts;
+  dopts.checkpoint_wal_bytes = 0;
+  dopts.checkpoint_wal_records = 0;
+  Manager manager(dopts);
+  auto apply = [&](uint32_t key, uint32_t value) {
+    ASSERT_TRUE(table->Insert(key, value).ok());
+    manager.LogInsert(key, value);
+  };
+  for (uint32_t i = 1; i <= 30; ++i) apply(i, i);
+  ASSERT_TRUE(manager.Commit().ok());
+  ASSERT_TRUE(manager.CheckpointNow(table.get()).ok());
+  for (uint32_t i = 31; i <= 60; ++i) apply(i, i);
+  ASSERT_TRUE(manager.Commit().ok());
+  ASSERT_TRUE(manager.CheckpointNow(table.get()).ok());
+  for (uint32_t i = 61; i <= 70; ++i) apply(i, i);
+  ASSERT_TRUE(manager.Commit().ok());
+
+  // Flip a bit inside the newest checkpoint entry's payload.
+  std::string ckpt = manager.checkpoints().durable_image();
+  auto entries = CheckpointStore::Scan(ckpt);
+  ASSERT_EQ(entries.size(), 2u);
+  ASSERT_TRUE(entries[1].valid);
+  ckpt[entries[1].payload_offset + entries[1].payload_len / 2] ^= 0x08;
+
+  std::unique_ptr<Table> recovered;
+  RecoveryReport report;
+  Status st = RecoverFromImages(ckpt, manager.wal().durable_image(), options,
+                                &recovered, &report);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(report.checkpoints_corrupt, 1u);
+  EXPECT_EQ(report.checkpoint_lsn, 30u);  // fell back to the previous one
+  // The WAL was only truncated to the previous checkpoint, so the longer
+  // suffix replay still reconstructs everything.
+  EXPECT_EQ(recovered->size(), 70u);
+  for (uint32_t i = 1; i <= 70; ++i) {
+    EXPECT_TRUE(recovered->Find(i)) << i;
+  }
+}
+
+TEST(ManagerTest, TruncationKeepsRecordsBackToPreviousCheckpoint) {
+  gpusim::DeviceArena arena(0);
+  DyCuckooOptions options;
+  options.arena = &arena;
+  std::unique_ptr<Table> table;
+  ASSERT_TRUE(Table::Create(options, &table).ok());
+  DurabilityOptions dopts;
+  dopts.checkpoint_wal_bytes = 0;
+  dopts.checkpoint_wal_records = 0;
+  Manager manager(dopts);
+  for (uint32_t i = 1; i <= 20; ++i) {
+    ASSERT_TRUE(table->Insert(i, i).ok());
+    manager.LogInsert(i, i);
+  }
+  ASSERT_TRUE(manager.Commit().ok());
+  ASSERT_TRUE(manager.CheckpointNow(table.get()).ok());
+  EXPECT_EQ(manager.wal().truncations(), 0u);  // first checkpoint: no trim
+  for (uint32_t i = 21; i <= 40; ++i) {
+    ASSERT_TRUE(table->Insert(i, i).ok());
+    manager.LogInsert(i, i);
+  }
+  ASSERT_TRUE(manager.Commit().ok());
+  ASSERT_TRUE(manager.CheckpointNow(table.get()).ok());
+  EXPECT_EQ(manager.wal().truncations(), 1u);
+  WalFileHeader header;
+  const std::string& image = manager.wal().durable_image();
+  ASSERT_EQ(ParseWalFileHeader(image.data(), image.size(), &header),
+            ParseResult::kOk);
+  EXPECT_EQ(header.first_lsn, 21u);  // records after checkpoint #1 retained
+}
+
+TEST(CheckpointStoreTest, PruneKeepsNewestTwoEntries) {
+  CheckpointStore store;
+  ASSERT_TRUE(store.AppendEntry(10, std::string(100, 'a')).ok());
+  ASSERT_TRUE(store.AppendEntry(20, std::string(200, 'b')).ok());
+  ASSERT_TRUE(store.AppendEntry(30, std::string(300, 'c')).ok());
+  ASSERT_TRUE(store.PruneToLast(2).ok());
+  auto entries = CheckpointStore::Scan(store.durable_image());
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].checkpoint_lsn, 20u);
+  EXPECT_EQ(entries[1].checkpoint_lsn, 30u);
+  EXPECT_TRUE(entries[0].valid);
+  EXPECT_TRUE(entries[1].valid);
+}
+
+TEST(CheckpointStoreTest, ScanFlagsTornTailEntry) {
+  CheckpointStore store;
+  ASSERT_TRUE(store.AppendEntry(10, std::string(100, 'a')).ok());
+  std::string image = store.durable_image();
+  ASSERT_TRUE(store.AppendEntry(20, std::string(200, 'b')).ok());
+  // Simulate a crash mid-write of entry #2: keep only half its bytes.
+  size_t full = store.durable_image().size();
+  image = store.durable_image().substr(0, image.size() + (full - image.size()) / 2);
+  auto entries = CheckpointStore::Scan(image);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_TRUE(entries[0].valid);
+  EXPECT_FALSE(entries[1].valid);
+}
+
+TEST(RecoveryTest, SameImagesProduceIdenticalReports) {
+  Wal wal;
+  for (uint32_t i = 0; i < 25; ++i) wal.AppendInsert(i + 1, i);
+  ASSERT_TRUE(wal.Flush().ok());
+  std::string image = wal.durable_image();
+  image.resize(image.size() - 3);  // torn tail for a non-trivial report
+
+  gpusim::DeviceArena arena(0);
+  DyCuckooOptions options;
+  options.arena = &arena;
+  RecoveryReport first, second;
+  std::unique_ptr<Table> t1, t2;
+  ASSERT_TRUE(RecoverFromImages("", image, options, &t1, &first).ok());
+  ASSERT_TRUE(RecoverFromImages("", image, options, &t2, &second).ok());
+  EXPECT_EQ(first.Digest(), second.Digest());
+  EXPECT_EQ(t1->size(), t2->size());
+}
+
+}  // namespace
+}  // namespace durability
+}  // namespace dycuckoo
