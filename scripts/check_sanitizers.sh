@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
-# Builds and runs the test suite under AddressSanitizer+UBSan and under
-# ThreadSanitizer.  The gpusim substrate runs warps on real threads, so
-# TSan findings are genuine races, not simulation artifacts.
+# Builds and runs the test suite under AddressSanitizer+UBSan, under
+# ThreadSanitizer, and under the gpusim RaceCheck dynamic analysis.  The
+# gpusim substrate runs warps on real threads, so TSan findings are
+# genuine races, not simulation artifacts; RaceCheck watches the
+# *simulated* device side (docs/analysis.md) and needs no special build —
+# it is the normal binary with DYCUCKOO_RACECHECK=1.
 #
-# Usage:  scripts/check_sanitizers.sh [address|thread|all]   (default: all)
+# Usage:  scripts/check_sanitizers.sh [address|thread|racecheck|all]
+#         (default: all)
 #
-# Build trees land in build-asan/ and build-tsan/ next to build/ and are
-# reused across runs.
+# Build trees land in build-asan/, build-tsan/, and build-rcheck/ next to
+# build/ and are reused across runs.
 
 set -euo pipefail
 
@@ -34,11 +38,29 @@ run_preset() {
     ctest --test-dir "${dir}" --output-on-failure
 }
 
+run_racecheck() {
+  local dir="build-rcheck"
+  echo "=== racecheck: configure + build (${dir}) ==="
+  cmake -B "${dir}" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DDYCUCKOO_BUILD_BENCHMARKS=OFF \
+    -DDYCUCKOO_BUILD_EXAMPLES=OFF
+  cmake --build "${dir}" -j "$(nproc)"
+  echo "=== racecheck: ctest (serial; see docs/analysis.md) ==="
+  # Serial on purpose: the checker's overhead under parallel load can
+  # stretch the (pre-existing, documented) eviction displacement window
+  # into test-visible territory, and one report per test is readable.
+  DYCUCKOO_RACECHECK=1 \
+  DYCUCKOO_RACECHECK_REPORT="${dir}/racecheck_report.txt" \
+    ctest --test-dir "${dir}" --output-on-failure
+}
+
 what="${1:-all}"
 case "$what" in
-  address) run_preset a ;;
-  thread)  run_preset t ;;
-  all)     run_preset a; run_preset t ;;
-  *) echo "usage: $0 [address|thread|all]" >&2; exit 2 ;;
+  address)   run_preset a ;;
+  thread)    run_preset t ;;
+  racecheck) run_racecheck ;;
+  all)       run_preset a; run_preset t; run_racecheck ;;
+  *) echo "usage: $0 [address|thread|racecheck|all]" >&2; exit 2 ;;
 esac
 echo "sanitizer checks passed"

@@ -255,8 +255,7 @@ void CudppCuckooTable::BulkFind(std::span<const Key> keys, Value* values,
       Value v{};
       if (IsStorableKey(k)) {
         for (int f = 0; f < num_functions_ && !hit; ++f) {
-          uint64_t packed =
-              slots_[SlotIndex(f, k)].load(std::memory_order_relaxed);
+          uint64_t packed = gpusim::Load(&slots_[SlotIndex(f, k)]);
           gpusim::CountBucketRead();
           if (PackedKey(packed) == k) {
             v = PackedValue(packed);

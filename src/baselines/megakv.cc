@@ -381,8 +381,8 @@ Status MegaKvTable::Rehash(bool grow) {
     for (int t = 0; t < 2; ++t) {
       grid_->LaunchWarps(old_buckets, [&, t](uint64_t bucket) {
         for (int s = 0; s < kSlotsPerBucket; ++s) {
-          uint64_t packed = old_slots[t][bucket * kSlotsPerBucket + s].load(
-              std::memory_order_relaxed);
+          uint64_t packed =
+              gpusim::Load(&old_slots[t][bucket * kSlotsPerBucket + s]);
           if (PackedKey(packed) == kEmptyKey32) continue;
           uint64_t spilled = 0;
           if (!InsertOne(PackedKey(packed), PackedValue(packed), &spilled)) {
@@ -418,8 +418,7 @@ Status MegaKvTable::Rehash(bool grow) {
       uint64_t stored = 0;
       for (int t = 0; t < 2; ++t) {
         for (uint64_t s = 0; s < buckets_per_table_ * kSlotsPerBucket; ++s) {
-          if (PackedKey(slots_[t][s].load(std::memory_order_relaxed)) !=
-              kEmptyKey32) {
+          if (PackedKey(gpusim::Load(&slots_[t][s])) != kEmptyKey32) {
             ++stored;
           }
         }
@@ -465,7 +464,7 @@ MegaKvTable::Dump() const {
   std::vector<std::pair<Key, Value>> out;
   for (int t = 0; t < 2; ++t) {
     for (uint64_t s = 0; s < buckets_per_table_ * kSlotsPerBucket; ++s) {
-      uint64_t packed = slots_[t][s].load(std::memory_order_relaxed);
+      uint64_t packed = gpusim::Load(&slots_[t][s]);
       if (PackedKey(packed) != kEmptyKey32) {
         out.emplace_back(PackedKey(packed), PackedValue(packed));
       }

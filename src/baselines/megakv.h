@@ -22,6 +22,7 @@
 #include "baselines/packed_kv.h"
 #include "baselines/table_interface.h"
 #include "common/status.h"
+#include "gpusim/racecheck.h"
 
 namespace dycuckoo {
 
@@ -103,6 +104,8 @@ class MegaKvTable : public HashTableInterface {
   void SnapshotBucket(int table, uint64_t bucket,
                       uint64_t out[kSlotsPerBucket]) const {
     static_assert(sizeof(std::atomic<uint64_t>) == sizeof(uint64_t));
+    gpusim::RangeLoadCheck(slots_[table] + bucket * kSlotsPerBucket,
+                           sizeof(uint64_t) * kSlotsPerBucket);
     std::memcpy(out,
                 reinterpret_cast<const char*>(slots_[table] +
                                               bucket * kSlotsPerBucket),

@@ -137,7 +137,7 @@ bool SlabHashTable::InsertOne(Key key, Value value) {
           reusable_old = old;
         }
       }
-      uint32_t next = slab->next.load(std::memory_order_acquire);
+      uint32_t next = gpusim::LoadAcquire(&slab->next);
       if (next == kNullSlab) break;
       slab_idx = next;
       slab = Resolve(next);
@@ -243,7 +243,7 @@ void SlabHashTable::BulkFind(std::span<const Key> keys, Value* values,
               break;
             }
           }
-          slab_idx = slab->next.load(std::memory_order_acquire);
+          slab_idx = gpusim::LoadAcquire(&slab->next);
         }
       }
       if (found != nullptr) found[i] = hit ? 1 : 0;
@@ -283,7 +283,7 @@ Status SlabHashTable::BulkErase(std::span<const Key> keys,
               }
             }
           }
-          slab_idx = slab->next.load(std::memory_order_acquire);
+          slab_idx = gpusim::LoadAcquire(&slab->next);
         }
       }
     });
@@ -311,7 +311,7 @@ uint64_t SlabHashTable::MaxChainLength() const {
     uint32_t idx = static_cast<uint32_t>(b);
     while (idx != kNullSlab) {
       ++len;
-      idx = Resolve(idx)->next.load(std::memory_order_acquire);
+      idx = gpusim::LoadAcquire(&Resolve(idx)->next);
     }
     max_len = std::max(max_len, len);
   }
@@ -324,7 +324,7 @@ double SlabHashTable::AverageChainLength() const {
     uint32_t idx = static_cast<uint32_t>(b);
     while (idx != kNullSlab) {
       ++total;
-      idx = Resolve(idx)->next.load(std::memory_order_acquire);
+      idx = gpusim::LoadAcquire(&Resolve(idx)->next);
     }
   }
   return static_cast<double>(total) / static_cast<double>(num_buckets_);

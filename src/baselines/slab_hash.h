@@ -26,6 +26,7 @@
 #include "baselines/packed_kv.h"
 #include "baselines/table_interface.h"
 #include "common/status.h"
+#include "gpusim/racecheck.h"
 
 namespace dycuckoo {
 
@@ -115,6 +116,7 @@ class SlabHashTable : public HashTableInterface {
   /// One simulated coalesced slab transaction (see Subtable::SnapshotKeys).
   static void SnapshotSlab(const Slab* slab, uint64_t out[kSlotsPerSlab]) {
     static_assert(sizeof(std::atomic<uint64_t>) == sizeof(uint64_t));
+    gpusim::RangeLoadCheck(slab->kv, sizeof(uint64_t) * kSlotsPerSlab);
     std::memcpy(out, reinterpret_cast<const char*>(slab->kv),
                 sizeof(uint64_t) * kSlotsPerSlab);
   }

@@ -1309,7 +1309,10 @@ class DynamicTable {
       pt.SnapshotKeys(loc, snap);
       for (int s = 0; s < kSlots; ++s) {
         if (snap[s] == key) {
-          pt.StoreValue(loc, s, value);
+          // Unlocked upsert: concurrent upserts of the same key are
+          // last-writer-wins by contract (the slot never changes owner
+          // under us — only the bucket-locked paths move keys).
+          pt.StoreValueRacy(loc, s, value);
           op->active = false;
           ++*updated;
           break;
@@ -1318,8 +1321,8 @@ class DynamicTable {
     }
     if (op->active && stash_size_.load(std::memory_order_relaxed) > 0) {
       for (size_t i = 0; i < stash_keys_.size(); ++i) {
-        if (stash_keys_[i].load(std::memory_order_relaxed) == key) {
-          stash_values_[i].store(value, std::memory_order_relaxed);
+        if (gpusim::Load(&stash_keys_[i]) == key) {
+          gpusim::StoreRacy(&stash_values_[i], value);
           op->active = false;
           ++*updated;
           break;
@@ -1518,15 +1521,17 @@ class DynamicTable {
       t.SnapshotKeys(loc, snap);
       for (int s = 0; s < kSlots; ++s) {
         if (snap[s] == key) {
-          t.StoreValue(loc, s, value);
+          // Unlocked upsert; same last-writer-wins contract as the
+          // prepare-phase probe.
+          t.StoreValueRacy(loc, s, value);
           return true;
         }
       }
     }
     if (stash_size_.load(std::memory_order_relaxed) > 0) {
       for (size_t i = 0; i < stash_keys_.size(); ++i) {
-        if (stash_keys_[i].load(std::memory_order_relaxed) == key) {
-          stash_values_[i].store(value, std::memory_order_relaxed);
+        if (gpusim::Load(&stash_keys_[i]) == key) {
+          gpusim::StoreRacy(&stash_values_[i], value);
           return true;
         }
       }
@@ -1643,8 +1648,8 @@ class DynamicTable {
     if (stash_size_.load(std::memory_order_relaxed) > 0) {
       gpusim::CountBucketRead();
       for (size_t i = 0; i < stash_keys_.size(); ++i) {
-        if (stash_keys_[i].load(std::memory_order_relaxed) == k) {
-          *v = stash_values_[i].load(std::memory_order_relaxed);
+        if (gpusim::Load(&stash_keys_[i]) == k) {
+          *v = gpusim::Load(&stash_values_[i]);
           return true;
         }
       }
@@ -1655,10 +1660,10 @@ class DynamicTable {
   /// Claims a free stash slot for a failed insertion; false when full.
   bool StashInsert(Key k, Value v) {
     for (size_t i = 0; i < stash_keys_.size(); ++i) {
-      Key expected = kEmptyKey;
-      if (stash_keys_[i].compare_exchange_strong(expected, k,
-                                                 std::memory_order_acq_rel)) {
-        stash_values_[i].store(v, std::memory_order_relaxed);
+      if (gpusim::AtomicCasWord(&stash_keys_[i], kEmptyKey, k)) {
+        // Racy by contract: a concurrent upsert of k may write the value
+        // slot the moment the key CAS publishes it; last writer wins.
+        gpusim::StoreRacy(&stash_values_[i], v);
         stash_size_.fetch_add(1, kRelaxed);
         stats_.stash_inserts.fetch_add(1, kRelaxed);
         return true;
@@ -1765,10 +1770,8 @@ class DynamicTable {
     if (stash_size_.load(std::memory_order_relaxed) > 0) {
       gpusim::CountBucketRead();
       for (size_t i = 0; i < stash_keys_.size(); ++i) {
-        Key expected = k;
-        if (stash_keys_[i].load(std::memory_order_relaxed) == k &&
-            stash_keys_[i].compare_exchange_strong(
-                expected, kEmptyKey, std::memory_order_acq_rel)) {
+        if (gpusim::Load(&stash_keys_[i]) == k &&
+            gpusim::AtomicCasWord(&stash_keys_[i], k, kEmptyKey)) {
           stash_size_.fetch_sub(1, kRelaxed);
           ++released;
         }

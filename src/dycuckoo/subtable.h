@@ -24,6 +24,7 @@
 #include "common/math_util.h"
 #include "gpusim/atomics.h"
 #include "gpusim/device_arena.h"
+#include "gpusim/racecheck.h"
 
 namespace dycuckoo {
 
@@ -121,7 +122,7 @@ class Subtable {
   }
 
   Key KeyAt(uint64_t bucket, int slot) const {
-    return keys_[bucket * kSlots + slot].load(std::memory_order_relaxed);
+    return gpusim::Load(&keys_[bucket * kSlots + slot]);
   }
 
   /// Snapshots a bucket's key row — the simulated analogue of the single
@@ -131,24 +132,32 @@ class Subtable {
   /// count (as it does on the GPU), instead of 32 serialized atomic loads.
   void SnapshotKeys(uint64_t bucket, Key out[kSlots]) const {
     static_assert(sizeof(std::atomic<Key>) == sizeof(Key));
+    gpusim::RangeLoadCheck(keys_ + bucket * kSlots, sizeof(Key) * kSlots);
     std::memcpy(out, reinterpret_cast<const char*>(keys_ + bucket * kSlots),
                 sizeof(Key) * kSlots);
   }
   Value ValueAt(uint64_t bucket, int slot) const {
-    return values_[bucket * kSlots + slot].load(std::memory_order_relaxed);
+    return gpusim::Load(&values_[bucket * kSlots + slot]);
   }
 
   /// Value-row analogue of SnapshotKeys (resize kernels move whole rows).
   void SnapshotValues(uint64_t bucket, Value out[kSlots]) const {
     static_assert(sizeof(std::atomic<Value>) == sizeof(Value));
+    gpusim::RangeLoadCheck(values_ + bucket * kSlots, sizeof(Value) * kSlots);
     std::memcpy(out, reinterpret_cast<const char*>(values_ + bucket * kSlots),
                 sizeof(Value) * kSlots);
   }
   void StoreKey(uint64_t bucket, int slot, Key k) {
-    keys_[bucket * kSlots + slot].store(k, std::memory_order_relaxed);
+    gpusim::Store(&keys_[bucket * kSlots + slot], k);
   }
   void StoreValue(uint64_t bucket, int slot, Value v) {
-    values_[bucket * kSlots + slot].store(v, std::memory_order_relaxed);
+    gpusim::Store(&values_[bucket * kSlots + slot], v);
+  }
+  /// Value store with a documented last-writer-wins contract (the
+  /// unlocked duplicate-upsert path): recorded by RaceCheck but never
+  /// reported as a race.
+  void StoreValueRacy(uint64_t bucket, int slot, Value v) {
+    gpusim::StoreRacy(&values_[bucket * kSlots + slot], v);
   }
   void StoreSlot(uint64_t bucket, int slot, Key k, Value v) {
     StoreValue(bucket, slot, v);
@@ -158,12 +167,16 @@ class Subtable {
   /// CAS on a key slot (used by lock-free DELETE: only the winner of the
   /// kEmptyKey exchange decrements the size counter).
   bool CasKey(uint64_t bucket, int slot, Key expected, Key desired) {
-    return keys_[bucket * kSlots + slot].compare_exchange_strong(
-        expected, desired, std::memory_order_acq_rel,
-        std::memory_order_relaxed);
+    return gpusim::AtomicCasWord(&keys_[bucket * kSlots + slot], expected,
+                                 desired);
   }
 
   gpusim::BucketLock& lock(uint64_t bucket) { return locks_[bucket]; }
+
+  /// Raw key-slot storage, exposed for diagnostics and for the RaceCheck
+  /// use-after-free regression test (which must hold a stale pointer
+  /// across a resize).  Not part of the table API.
+  const std::atomic<Key>* keys_data() const { return keys_; }
 
   /// Bytes of device memory this subtable occupies.
   uint64_t memory_bytes() const {

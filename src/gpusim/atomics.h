@@ -10,6 +10,13 @@
 // All atomics are optionally instrumented through SimCounters so the bench
 // harness can reproduce the paper's Figure 5 (atomic throughput collapse
 // under conflicts) and count lock conflicts in the voter scheme.
+//
+// When a RaceCheck session is installed, every atomic is additionally a
+// synchronization event: the release half publishes the warp's vector
+// clock to the word *before* the hardware op, the acquire half joins the
+// word's clock back *after* it, so a real release/acquire pair always
+// yields a happens-before edge (a failed CAS over-approximates — it still
+// publishes — which can only suppress reports, never invent them).
 
 #ifndef DYCUCKOO_GPUSIM_ATOMICS_H_
 #define DYCUCKOO_GPUSIM_ATOMICS_H_
@@ -18,6 +25,7 @@
 #include <cstdint>
 
 #include "gpusim/fault_injector.h"
+#include "gpusim/racecheck.h"
 #include "gpusim/sim_counters.h"
 
 namespace dycuckoo {
@@ -26,6 +34,8 @@ namespace gpusim {
 /// atomicCAS with CUDA return-old semantics.
 inline uint32_t AtomicCas(std::atomic<uint32_t>* address, uint32_t compare,
                           uint32_t val) {
+  RaceCheck* rc = RaceCheck::Active();
+  if (rc != nullptr) rc->OnAtomicRelease(address);
   uint32_t expected = compare;
   bool won =
       address->compare_exchange_strong(expected, val, std::memory_order_acq_rel,
@@ -34,18 +44,25 @@ inline uint32_t AtomicCas(std::atomic<uint32_t>* address, uint32_t compare,
   if (!won) {
     SimCounters::Get().atomic_cas_failed.fetch_add(1, std::memory_order_relaxed);
   }
+  if (rc != nullptr) rc->OnAtomicAcquire(address, sizeof(uint32_t));
   return won ? compare : expected;
 }
 
 /// atomicExch with CUDA return-old semantics.
 inline uint32_t AtomicExch(std::atomic<uint32_t>* address, uint32_t val) {
+  RaceCheck* rc = RaceCheck::Active();
+  if (rc != nullptr) rc->OnAtomicRelease(address);
   SimCounters::Get().atomic_exch.fetch_add(1, std::memory_order_relaxed);
-  return address->exchange(val, std::memory_order_acq_rel);
+  uint32_t old = address->exchange(val, std::memory_order_acq_rel);
+  if (rc != nullptr) rc->OnAtomicAcquire(address, sizeof(uint32_t));
+  return old;
 }
 
 /// 64-bit atomicCAS (packed KV transactions in the baselines).
 inline uint64_t AtomicCas64(std::atomic<uint64_t>* address, uint64_t compare,
                             uint64_t val) {
+  RaceCheck* rc = RaceCheck::Active();
+  if (rc != nullptr) rc->OnAtomicRelease(address);
   uint64_t expected = compare;
   bool won =
       address->compare_exchange_strong(expected, val, std::memory_order_acq_rel,
@@ -54,18 +71,46 @@ inline uint64_t AtomicCas64(std::atomic<uint64_t>* address, uint64_t compare,
   if (!won) {
     SimCounters::Get().atomic_cas_failed.fetch_add(1, std::memory_order_relaxed);
   }
+  if (rc != nullptr) rc->OnAtomicAcquire(address, sizeof(uint64_t));
   return won ? compare : expected;
 }
 
 /// 64-bit atomicExch.
 inline uint64_t AtomicExch64(std::atomic<uint64_t>* address, uint64_t val) {
+  RaceCheck* rc = RaceCheck::Active();
+  if (rc != nullptr) rc->OnAtomicRelease(address);
   SimCounters::Get().atomic_exch.fetch_add(1, std::memory_order_relaxed);
-  return address->exchange(val, std::memory_order_acq_rel);
+  uint64_t old = address->exchange(val, std::memory_order_acq_rel);
+  if (rc != nullptr) rc->OnAtomicAcquire(address, sizeof(uint64_t));
+  return old;
 }
 
 /// atomicAdd (used for size counters and residual-buffer cursors).
 inline uint64_t AtomicAdd(std::atomic<uint64_t>* address, uint64_t val) {
-  return address->fetch_add(val, std::memory_order_acq_rel);
+  RaceCheck* rc = RaceCheck::Active();
+  if (rc != nullptr) rc->OnAtomicRelease(address);
+  uint64_t old = address->fetch_add(val, std::memory_order_acq_rel);
+  if (rc != nullptr) rc->OnAtomicAcquire(address, sizeof(uint64_t));
+  return old;
+}
+
+/// Generic success/failure CAS over any word-sized slot type (key slots in
+/// the cuckoo table, stash entries).  Same counters and synchronization
+/// hooks as the CUDA-shaped wrappers above.
+template <typename T>
+inline bool AtomicCasWord(std::atomic<T>* address, T expected, T desired) {
+  static_assert(sizeof(T) <= 8, "CAS operand wider than a device word");
+  RaceCheck* rc = RaceCheck::Active();
+  if (rc != nullptr) rc->OnAtomicRelease(address);
+  bool won = address->compare_exchange_strong(expected, desired,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire);
+  SimCounters::Get().atomic_cas.fetch_add(1, std::memory_order_relaxed);
+  if (!won) {
+    SimCounters::Get().atomic_cas_failed.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (rc != nullptr) rc->OnAtomicAcquire(address, sizeof(T));
+  return won;
 }
 
 /// \brief Per-bucket spinlock in the exact idiom of the paper:
@@ -90,10 +135,20 @@ class BucketLock {
         return false;
       }
     }
-    return AtomicCas(&word_, 0, 1) == 0;
+    bool acquired = AtomicCas(&word_, 0, 1) == 0;
+    if (acquired) {
+      // Lockset membership only; the happens-before edge already flowed
+      // through the CAS on word_ above.
+      if (RaceCheck* rc = RaceCheck::Active()) rc->OnLockAcquire(this);
+    }
+    return acquired;
   }
 
-  void Unlock() { AtomicExch(&word_, 0); }
+  void Unlock() {
+    // Leave the lockset before the exchange publishes the lock as free.
+    if (RaceCheck* rc = RaceCheck::Active()) rc->OnLockRelease(this);
+    AtomicExch(&word_, 0);
+  }
 
   bool IsLocked() const {
     return word_.load(std::memory_order_acquire) != 0;

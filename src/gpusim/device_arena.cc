@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "gpusim/fault_injector.h"
+#include "gpusim/racecheck.h"
 
 namespace dycuckoo {
 namespace gpusim {
@@ -14,8 +15,8 @@ DeviceArena::DeviceArena(uint64_t capacity_bytes)
 DeviceArena::~DeviceArena() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [ptr, alloc] : live_) {
-    std::free(ptr);
-    (void)alloc;
+    (void)ptr;
+    std::free(alloc.block);
   }
 }
 
@@ -32,6 +33,16 @@ void* DeviceArena::Allocate(size_t bytes, const std::string& tag) {
     // returning cudaErrorMemoryAllocation.
     if (injector->OnAllocation(bytes, tag)) return nullptr;
   }
+  // Redzones surround the user range when a checker is installed, so an
+  // instrumented access one element past the end lands on tracked guard
+  // bytes instead of foreign memory.  They are checker overhead, not
+  // device memory: the budget is charged the user bytes only.
+  RaceCheck* rc = RaceCheck::Active();
+  const size_t redzone = rc != nullptr ? rc->config().redzone_bytes : 0;
+  size_t block_bytes = 0;
+  if (__builtin_add_overflow(bytes, 2 * redzone, &block_bytes)) {
+    return nullptr;
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (capacity_bytes_ != 0 && used_bytes_ + bytes > capacity_bytes_) {
@@ -44,14 +55,18 @@ void* DeviceArena::Allocate(size_t bytes, const std::string& tag) {
     if (used_bytes_ > peak_bytes_) peak_bytes_ = used_bytes_;
     used_by_tag_[tag] += bytes;
     // Reserve the accounting slot first so a malloc failure can roll back.
-    void* ptr = std::malloc(bytes);
-    if (ptr == nullptr) {
+    void* block = std::malloc(block_bytes);
+    if (block == nullptr) {
       used_bytes_ -= bytes;
       used_by_tag_[tag] -= bytes;
       return nullptr;
     }
-    live_.emplace(ptr, Allocation{bytes, tag});
-    return ptr;
+    void* user = static_cast<char*>(block) + redzone;
+    live_.emplace(user, Allocation{bytes, tag, block});
+    if (rc != nullptr) {
+      rc->OnArenaAllocate(user, bytes, block, block_bytes, tag);
+    }
+    return user;
   }
 }
 
@@ -59,15 +74,39 @@ void DeviceArena::Free(void* ptr) {
   if (ptr == nullptr) return;
   std::lock_guard<std::mutex> lock(mu_);
   auto it = live_.find(ptr);
-  DYCUCKOO_CHECK(it != live_.end());
+  if (it == live_.end()) {
+    // Double free or a pointer that was never ours.  Report and leave the
+    // accounting untouched: mutating the budget for a bogus pointer would
+    // silently skew every later capacity decision.
+    ++invalid_frees_;
+    std::string original_tag;
+    bool double_free = false;
+    if (RaceCheck* rc = RaceCheck::Active()) {
+      double_free = rc->shadow().WasFreed(ptr, &original_tag);
+      rc->OnBadFree(double_free, original_tag);
+    }
+    if (double_free) {
+      DYCUCKOO_LOG(Error) << "device arena: double free of allocation tagged '"
+                          << original_tag << "'";
+    } else {
+      DYCUCKOO_LOG(Error) << "device arena: free of unknown pointer";
+    }
+    return;
+  }
   used_bytes_ -= it->second.bytes;
   auto tag_it = used_by_tag_.find(it->second.tag);
   if (tag_it != used_by_tag_.end()) {
     tag_it->second -= it->second.bytes;
     if (tag_it->second == 0) used_by_tag_.erase(tag_it);
   }
+  void* block = it->second.block;
   live_.erase(it);
-  std::free(ptr);
+  // The checker quarantines blocks it registered (keeping the range
+  // classifiable as freed); everything else is released immediately.
+  RaceCheck* rc = RaceCheck::Active();
+  if (rc == nullptr || !rc->OnArenaFree(ptr, block)) {
+    std::free(block);
+  }
 }
 
 uint64_t DeviceArena::used_bytes() const {
@@ -89,6 +128,11 @@ uint64_t DeviceArena::used_bytes_for(const std::string& tag) const {
 size_t DeviceArena::live_allocations() const {
   std::lock_guard<std::mutex> lock(mu_);
   return live_.size();
+}
+
+uint64_t DeviceArena::invalid_frees() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return invalid_frees_;
 }
 
 void DeviceArena::ResetPeak() {

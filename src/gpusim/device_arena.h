@@ -48,19 +48,30 @@ class DeviceArena {
   static DeviceArena* Global();
 
   /// Allocates `bytes` tagged with `tag` (for per-structure reporting).
-  /// Returns nullptr when the budget is exhausted.
+  /// Returns nullptr when the budget is exhausted.  Under an installed
+  /// RaceCheck session the block is surrounded by redzones and its extent
+  /// registered in shadow memory.
   void* Allocate(size_t bytes, const std::string& tag);
 
-  /// Frees a pointer previously returned by Allocate.
+  /// Frees a pointer previously returned by Allocate.  A pointer the
+  /// arena does not own (never allocated, or already freed) is reported —
+  /// deterministically, without touching the accounting — instead of
+  /// crashing or corrupting the budget; see invalid_frees().
   void Free(void* ptr);
 
   /// Typed helper: allocates `count` value-initialized T.  T must be
   /// trivially destructible (device structures are POD-like by design).
+  /// Returns nullptr when `count * sizeof(T)` would overflow size_t (a
+  /// wrapped product would silently allocate a tiny block).
   template <typename T>
   T* AllocateArray(size_t count, const std::string& tag) {
     static_assert(std::is_trivially_destructible_v<T>,
                   "arena arrays must be trivially destructible");
-    void* raw = Allocate(count * sizeof(T), tag);
+    size_t total_bytes = 0;
+    if (__builtin_mul_overflow(count, sizeof(T), &total_bytes)) {
+      return nullptr;
+    }
+    void* raw = Allocate(total_bytes, tag);
     if (raw == nullptr) return nullptr;
     T* typed = static_cast<T*>(raw);
     for (size_t i = 0; i < count; ++i) new (typed + i) T();
@@ -82,12 +93,17 @@ class DeviceArena {
   /// Number of live allocations (for leak checks in tests).
   size_t live_allocations() const;
 
+  /// Frees of pointers the arena did not own (double frees and unknown
+  /// pointers) that were reported instead of honored.
+  uint64_t invalid_frees() const;
+
   void ResetPeak();
 
  private:
   struct Allocation {
-    size_t bytes;
+    size_t bytes;       // user-visible size (what the budget is charged)
     std::string tag;
+    void* block;        // malloc base: == user pointer unless redzoned
   };
 
   mutable std::mutex mu_;
@@ -96,6 +112,7 @@ class DeviceArena {
   uint64_t peak_bytes_ = 0;
   std::map<void*, Allocation> live_;
   std::map<std::string, uint64_t> used_by_tag_;
+  uint64_t invalid_frees_ = 0;
 };
 
 }  // namespace gpusim

@@ -19,7 +19,14 @@ unsigned DefaultThreads() {
 }
 }  // namespace
 
-Grid::Grid(unsigned num_threads) {
+Grid::Grid(unsigned num_threads) : Grid(GridOptions{num_threads, false, {}}) {}
+
+Grid::Grid(const GridOptions& options) {
+  if (options.racecheck) {
+    own_checker_ = std::make_unique<RaceCheck>(options.racecheck_config);
+    previous_checker_ = RaceCheck::Install(own_checker_.get());
+  }
+  unsigned num_threads = options.num_threads;
   if (num_threads == 0) num_threads = DefaultThreads();
   workers_.reserve(num_threads);
   for (unsigned i = 0; i < num_threads; ++i) {
@@ -34,6 +41,10 @@ Grid::~Grid() {
   }
   work_cv_.notify_all();
   for (auto& t : workers_) t.join();
+  if (own_checker_ != nullptr &&
+      RaceCheck::Active() == own_checker_.get()) {
+    RaceCheck::Install(previous_checker_);
+  }
 }
 
 Grid* Grid::Global() {
@@ -51,6 +62,12 @@ void Grid::LaunchWarps(uint64_t num_warps,
   Launch launch;
   launch.num_warps = num_warps;
   launch.body = &body;
+  // Capture the checker once so every warp of this launch reports to the
+  // same session even if a Scoped checker is swapped mid-flight.
+  launch.race_check = RaceCheck::Active();
+  if (launch.race_check != nullptr) {
+    launch.race_check->OnLaunchBegin(num_warps);
+  }
 
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -70,6 +87,9 @@ void Grid::LaunchWarps(uint64_t num_warps,
              launch.workers_inside == 0;
     });
     current_ = nullptr;
+  }
+  if (launch.race_check != nullptr) {
+    launch.race_check->OnLaunchEnd();
   }
   // Virtual time: one tick per warp, charged on the launching thread after
   // the launch drains so the advance is deterministic regardless of how the
@@ -106,12 +126,15 @@ void Grid::WorkerLoop() {
       if (begin >= total) break;
       uint64_t end = std::min(begin + chunk, total);
       FaultInjector* injector = FaultInjector::Active();
+      RaceCheck* rc = launch->race_check;
       for (uint64_t w = begin; w < end; ++w) {
         // Scheduling perturbation: a real GPU gives no ordering guarantee
         // between warps, so an injector may yield here to shuffle
         // interleavings and widen race windows on locks and erase CASes.
         if (injector != nullptr) injector->OnWarpStart(w);
+        if (rc != nullptr) rc->OnWarpBegin(w);
         (*launch->body)(w);
+        if (rc != nullptr) rc->OnWarpEnd();
       }
       processed += end - begin;
     }

@@ -13,12 +13,30 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "gpusim/racecheck.h"
+
 namespace dycuckoo {
 namespace gpusim {
+
+/// Construction-time configuration for a Grid.
+struct GridOptions {
+  /// Worker threads; 0 picks a default sized to the host.
+  unsigned num_threads = 0;
+
+  /// Install a RaceCheck session for this grid's lifetime: every launch
+  /// on it runs checked (fork/join edges, warp contexts) and the report
+  /// is available via Grid::race_check().  The previously installed
+  /// checker, if any, is restored when the grid is destroyed.
+  bool racecheck = false;
+
+  /// Knobs for the grid-owned checker (ignored unless racecheck is set).
+  RaceCheckConfig racecheck_config;
+};
 
 /// \brief Persistent worker pool that executes grid launches.
 ///
@@ -30,6 +48,7 @@ class Grid {
  public:
   /// \param num_threads worker threads; 0 picks a default.
   explicit Grid(unsigned num_threads = 0);
+  explicit Grid(const GridOptions& options);
   ~Grid();
 
   Grid(const Grid&) = delete;
@@ -47,10 +66,14 @@ class Grid {
 
   unsigned num_threads() const { return static_cast<unsigned>(workers_.size()); }
 
+  /// The grid-owned checker (GridOptions::racecheck), or nullptr.
+  RaceCheck* race_check() { return own_checker_.get(); }
+
  private:
   struct Launch {
     uint64_t num_warps = 0;
     const std::function<void(uint64_t)>* body = nullptr;
+    RaceCheck* race_check = nullptr;  // checker active for this launch
     std::atomic<uint64_t> next{0};
     std::atomic<uint64_t> done{0};
     int workers_inside = 0;  // guarded by Grid::mu_
@@ -66,6 +89,8 @@ class Grid {
   uint64_t launch_epoch_ = 0;       // guarded by mu_
   bool shutting_down_ = false;      // guarded by mu_
   std::vector<std::thread> workers_;
+  std::unique_ptr<RaceCheck> own_checker_;  // GridOptions::racecheck
+  RaceCheck* previous_checker_ = nullptr;   // restored at destruction
 };
 
 /// Warps needed to cover `items` with one lane per item.

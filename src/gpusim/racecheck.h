@@ -1,0 +1,305 @@
+// RaceCheck: a compute-sanitizer-style dynamic analysis for simulated
+// device code.
+//
+// Real deployments run `compute-sanitizer --tool racecheck/memcheck` over
+// their kernels; the gpusim substrate gets the equivalent here, as an
+// opt-in layer with two halves:
+//
+//  * Memory checking (shadow_memory.h): every DeviceArena allocation is
+//    registered with redzones and freed blocks are quarantined, so any
+//    instrumented access that lands out of bounds or on freed storage is
+//    reported with the owning tag and byte offset.
+//
+//  * Race checking: an Eraser-style lockset check backed by vector-clock
+//    happens-before.  The unit of execution is the *warp* (a warp's 32
+//    lanes run lockstep on one host thread and can never race with each
+//    other — the warp-lockstep exemption; Ballot/Shfl are therefore
+//    intra-warp sync points and free of cross-warp effects).  Plain
+//    stores routed through gpusim::Store are checked: two stores to the
+//    same word from different warps of the same launch race unless they
+//    share a bucket lock or are ordered by a synchronization chain
+//    (atomics in atomics.h and BucketLock acquire/release carry
+//    vector-clock edges; each kernel launch is a fork/join barrier, so
+//    accesses from different launches never race).  Writes with a
+//    documented last-writer-wins contract go through gpusim::StoreRacy:
+//    they update the shadow state but are never reported.
+//
+// Reports are deterministic: findings are keyed by logical coordinates
+// (kind, owning tag, byte offset, access size, first launch ordinal) —
+// never raw addresses or warp schedules — deduplicated, sorted, and
+// digested FNV-1a like durability::RecoveryReport, so a CI failure is a
+// reproducible artifact.
+//
+// Zero cost when disabled: every accessor and hook guards on one relaxed
+// atomic load of the installed-checker pointer.
+//
+// Enabling:
+//   * per test: `ScopedRaceCheck scoped;` (innermost checker wins, like
+//     ScopedFaultInjection);
+//   * per grid: `Grid grid(GridOptions{.racecheck = true});` — installed
+//     for the grid's lifetime;
+//   * whole process: DYCUCKOO_RACECHECK=1 in the environment — a session
+//     is installed before main() and, at exit, prints its report (also
+//     written to $DYCUCKOO_RACECHECK_REPORT if set) and terminates with
+//     status 66 when any finding survived, which is how the CI racecheck
+//     job fails the build.
+
+#ifndef DYCUCKOO_GPUSIM_RACECHECK_H_
+#define DYCUCKOO_GPUSIM_RACECHECK_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpusim/shadow_memory.h"
+
+namespace dycuckoo {
+namespace gpusim {
+
+/// Knobs for one checking session.  Defaults match the CI job.
+struct RaceCheckConfig {
+  /// Guard bytes placed on each side of every arena allocation.
+  size_t redzone_bytes = 64;
+
+  /// Freed-block quarantine budget (bytes of malloc'd storage kept
+  /// unreusable so stale pointers classify as use-after-free).
+  size_t quarantine_bytes = 8ull << 20;
+
+  /// Stop recording new distinct findings past this many (the digest
+  /// would be unstable if the cap truncated a sorted set, so the cap
+  /// applies to the dedup map, not the report).
+  size_t max_findings = 1024;
+
+  /// Also report checked *loads* that observe an unsynchronized write
+  /// from another warp.  Off by default: table slots are CUDA-style
+  /// word-atomics and lock-free readers are part of the design; turning
+  /// this on is for auditing new kernels, not CI.
+  bool track_reads = false;
+};
+
+enum class FindingKind : int {
+  kWriteWriteRace = 0,  // two unsynchronized checked stores, same word
+  kReadWriteRace = 1,   // checked load vs unsynchronized store (opt-in)
+  kOutOfBounds = 2,     // access inside a redzone
+  kUseAfterFree = 3,    // access inside a quarantined (freed) block
+  kDoubleFree = 4,      // Free() of an already-freed arena pointer
+  kInvalidFree = 5,     // Free() of a pointer the arena never handed out
+};
+
+const char* FindingKindName(FindingKind kind);
+
+/// One deduplicated defect, in logical (address-free) coordinates.
+struct RaceFinding {
+  FindingKind kind = FindingKind::kWriteWriteRace;
+  /// Owning allocation's tag; "<untracked>" when the word is not arena
+  /// memory, "<unknown>" for an invalid free.
+  std::string tag;
+  /// Byte offset from the owner's user base (see AccessInfo::offset).
+  int64_t offset = 0;
+  /// Access width in bytes (0 for free-path findings).
+  uint32_t access_bytes = 0;
+  /// Launch ordinal (1-based) of the first occurrence; 0 = host code
+  /// outside any launch.
+  uint64_t launch = 0;
+  /// Human detail (e.g. the warp pair first caught racing).  Excluded
+  /// from the digest: which pair trips first is schedule-dependent.
+  std::string detail;
+};
+
+/// Snapshot of a checking session.  Deterministic for a deterministic
+/// workload; compare sessions with Digest().
+struct RaceReport {
+  std::vector<RaceFinding> findings;  // sorted, deduplicated
+  uint64_t launches = 0;
+  uint64_t checked_loads = 0;
+  uint64_t checked_stores = 0;
+  uint64_t sync_events = 0;
+  uint64_t warp_syncs = 0;
+
+  bool clean() const { return findings.empty(); }
+
+  /// FNV-1a over the sorted findings' stable keys (kind, tag, offset,
+  /// access size, launch).  Counters are excluded: retry loops make
+  /// access counts schedule-dependent even when the findings are not.
+  uint64_t Digest() const;
+
+  std::string ToString() const;
+};
+
+/// \brief One checking session.  Install at most one at a time (Active);
+/// all hooks are no-ops unless routed through the installed instance.
+class RaceCheck {
+ public:
+  explicit RaceCheck(const RaceCheckConfig& config = RaceCheckConfig());
+  ~RaceCheck();
+
+  RaceCheck(const RaceCheck&) = delete;
+  RaceCheck& operator=(const RaceCheck&) = delete;
+
+  /// The installed checker, or nullptr.  One relaxed-ish atomic load —
+  /// this is the only cost instrumentation pays when checking is off.
+  static RaceCheck* Active() {
+    return active_.load(std::memory_order_acquire);
+  }
+
+  /// Installs `checker` (nullptr allowed) and returns the previous one.
+  /// Prefer ScopedRaceCheck; Grid uses this for GridOptions::racecheck.
+  static RaceCheck* Install(RaceCheck* checker);
+
+  const RaceCheckConfig& config() const { return config_; }
+  ShadowMemory& shadow() { return shadow_; }
+
+  /// Sorted, deduplicated, digest-stable snapshot.
+  RaceReport Report() const;
+
+  // --- Grid hooks ----------------------------------------------------------
+  void OnLaunchBegin(uint64_t num_warps);
+  void OnLaunchEnd();
+  void OnWarpBegin(uint64_t warp_id);
+  void OnWarpEnd();
+  /// Ballot/Shfl: lanes of one warp are lockstep, so this is semantically
+  /// a no-op for cross-warp state; it exists so the report can show that
+  /// warp-sync points were exercised.
+  void OnWarpSync();
+
+  // --- Synchronization hooks (atomics.h) -----------------------------------
+  /// Lockset maintenance around BucketLock.  Vector-clock edges flow
+  /// through the lock word's atomic ops, not through these.
+  void OnLockAcquire(const void* lock);
+  void OnLockRelease(const void* lock);
+  /// Called *before* an atomic RMW: publishes the warp's clock to the
+  /// word's sync state (release half).
+  void OnAtomicRelease(const void* addr);
+  /// Called *after* an atomic RMW: joins the word's sync state into the
+  /// warp's clock (acquire half), bounds-checks the word, and marks it
+  /// atomically-written so later plain stores are judged against the
+  /// atomic, not a stale plain write.
+  void OnAtomicAcquire(const void* addr, uint32_t bytes);
+
+  // --- Memory hooks (gpusim::Load / Store below) ---------------------------
+  void OnLoad(const void* addr, uint32_t bytes);
+  void OnStore(const void* addr, uint32_t bytes, bool racy_ok);
+  /// One classification for a multi-word range (bucket row snapshots);
+  /// participates in bounds/use-after-free checking only.
+  void OnRangeLoad(const void* addr, size_t bytes);
+
+  // --- Arena hooks ---------------------------------------------------------
+  void OnArenaAllocate(const void* user, size_t user_bytes, void* block,
+                       size_t block_bytes, const std::string& tag);
+  /// True when the checker quarantined (took ownership of) `block`.
+  bool OnArenaFree(const void* user, void* block);
+  /// Free() of a pointer with no live allocation: `double_free` when the
+  /// shadow knows it was freed (original tag supplied), else invalid.
+  void OnBadFree(bool double_free, const std::string& original_tag);
+
+ private:
+  struct WarpContext;  // per-(worker thread, warp) analysis state
+  struct State;        // sharded shadow-word / sync-object / finding maps
+
+  static constexpr uint64_t kHostThread = ~0ull;
+
+  WarpContext* CurrentWarp();
+  void CheckAccessClass(const void* addr, uint32_t bytes);
+  void RecordFinding(FindingKind kind, const std::string& tag, int64_t offset,
+                     uint32_t access_bytes, const std::string& detail);
+
+  static std::atomic<RaceCheck*> active_;
+  static thread_local WarpContext tls_warp_;
+
+  const RaceCheckConfig config_;
+  ShadowMemory shadow_;
+  std::unique_ptr<State> state_;
+
+  // Epoch advances at every launch begin AND end, so host-side accesses
+  // between launches live in their own epoch and never pair with
+  // in-launch stores.
+  std::atomic<uint64_t> epoch_{0};
+  std::atomic<uint64_t> launch_ordinal_{0};  // 1-based; 0 = outside a launch
+
+  std::atomic<uint64_t> launches_{0};
+  std::atomic<uint64_t> checked_loads_{0};
+  std::atomic<uint64_t> checked_stores_{0};
+  std::atomic<uint64_t> sync_events_{0};
+  std::atomic<uint64_t> warp_syncs_{0};
+};
+
+/// \brief RAII guard: installs a RaceCheck for its lifetime.  Nesting is
+/// supported; only the innermost checker observes events (mirroring
+/// ScopedFaultInjection).
+class ScopedRaceCheck {
+ public:
+  explicit ScopedRaceCheck(const RaceCheckConfig& config = RaceCheckConfig())
+      : checker_(config), previous_(RaceCheck::Install(&checker_)) {}
+  ~ScopedRaceCheck() { RaceCheck::Install(previous_); }
+
+  ScopedRaceCheck(const ScopedRaceCheck&) = delete;
+  ScopedRaceCheck& operator=(const ScopedRaceCheck&) = delete;
+
+  RaceCheck& checker() { return checker_; }
+
+ private:
+  RaceCheck checker_;
+  RaceCheck* previous_;
+};
+
+// --- Instrumented accessors --------------------------------------------------
+//
+// Device data structures route their plain (relaxed) word traffic through
+// these so the checker sees it.  With no checker installed each compiles
+// to the raw relaxed operation behind a single atomic load.
+
+/// Checked relaxed load.
+template <typename T>
+inline T Load(const std::atomic<T>* addr) {
+  if (RaceCheck* rc = RaceCheck::Active()) {
+    rc->OnLoad(addr, static_cast<uint32_t>(sizeof(T)));
+  }
+  return addr->load(std::memory_order_relaxed);
+}
+
+/// Checked load that preserves acquire ordering (slab-chain next-pointer
+/// walks pair with a release publication of the linked slab).
+template <typename T>
+inline T LoadAcquire(const std::atomic<T>* addr) {
+  if (RaceCheck* rc = RaceCheck::Active()) {
+    rc->OnLoad(addr, static_cast<uint32_t>(sizeof(T)));
+  }
+  return addr->load(std::memory_order_acquire);
+}
+
+/// Checked relaxed store: flagged when it races with another checked
+/// store from a different warp.
+template <typename T>
+inline void Store(std::atomic<T>* addr, T value) {
+  if (RaceCheck* rc = RaceCheck::Active()) {
+    rc->OnStore(addr, static_cast<uint32_t>(sizeof(T)), /*racy_ok=*/false);
+  }
+  addr->store(value, std::memory_order_relaxed);
+}
+
+/// Annotated racy store for documented last-writer-wins contracts (e.g.
+/// the unlocked duplicate-upsert value write): bounds/use-after-free
+/// checked and recorded, but never reported as a race.
+template <typename T>
+inline void StoreRacy(std::atomic<T>* addr, T value) {
+  if (RaceCheck* rc = RaceCheck::Active()) {
+    rc->OnStore(addr, static_cast<uint32_t>(sizeof(T)), /*racy_ok=*/true);
+  }
+  addr->store(value, std::memory_order_relaxed);
+}
+
+/// Bounds/use-after-free check for a coalesced multi-word read (bucket
+/// row snapshots that memcpy whole rows).
+inline void RangeLoadCheck(const void* addr, size_t bytes) {
+  if (RaceCheck* rc = RaceCheck::Active()) {
+    rc->OnRangeLoad(addr, bytes);
+  }
+}
+
+}  // namespace gpusim
+}  // namespace dycuckoo
+
+#endif  // DYCUCKOO_GPUSIM_RACECHECK_H_

@@ -1,0 +1,181 @@
+#include "gpusim/shadow_memory.h"
+
+#include <cstdlib>
+#include <mutex>
+
+namespace dycuckoo {
+namespace gpusim {
+
+std::atomic<uint64_t> ShadowMemory::global_version_{1};
+thread_local ShadowMemory::CacheEntry
+    ShadowMemory::tls_cache_[ShadowMemory::kCacheEntries];
+thread_local unsigned ShadowMemory::tls_cache_next_ = 0;
+
+ShadowMemory::ShadowMemory(size_t quarantine_budget_bytes)
+    : quarantine_budget_bytes_(quarantine_budget_bytes) {}
+
+ShadowMemory::~ShadowMemory() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  for (auto& [begin, extent] : extents_) {
+    if (extent.freed && extent.block != nullptr) std::free(extent.block);
+  }
+  extents_.clear();
+  quarantine_fifo_.clear();
+  BumpVersion();
+}
+
+void ShadowMemory::Register(const void* user, size_t user_bytes, void* block,
+                            size_t block_bytes, const std::string& tag) {
+  Extent extent;
+  extent.block_begin = reinterpret_cast<uintptr_t>(block);
+  extent.block_end = extent.block_begin + block_bytes;
+  extent.user_begin = reinterpret_cast<uintptr_t>(user);
+  extent.user_end = extent.user_begin + user_bytes;
+  extent.tag = tag;
+  extent.block = block;
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  extents_[extent.block_begin] = extent;
+  ++live_extents_;
+  BumpVersion();
+}
+
+bool ShadowMemory::KnowsLive(const void* user) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const Extent* e = FindLocked(reinterpret_cast<uintptr_t>(user));
+  return e != nullptr && !e->freed &&
+         e->user_begin == reinterpret_cast<uintptr_t>(user);
+}
+
+bool ShadowMemory::QuarantineFree(const void* user) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  const uintptr_t addr = reinterpret_cast<uintptr_t>(user);
+  const Extent* found = FindLocked(addr);
+  if (found == nullptr || found->freed || found->user_begin != addr) {
+    return false;
+  }
+  Extent* e = &extents_[found->block_begin];
+  e->freed = true;
+  --live_extents_;
+  quarantine_fifo_.push_back(e->block_begin);
+  quarantine_bytes_ += e->block_end - e->block_begin;
+  EvictLocked();
+  BumpVersion();
+  return true;
+}
+
+void ShadowMemory::Drop(const void* user) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  const uintptr_t addr = reinterpret_cast<uintptr_t>(user);
+  const Extent* found = FindLocked(addr);
+  if (found == nullptr || found->freed || found->user_begin != addr) return;
+  --live_extents_;
+  extents_.erase(found->block_begin);
+  BumpVersion();
+}
+
+bool ShadowMemory::WasFreed(const void* user, std::string* original_tag) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const uintptr_t addr = reinterpret_cast<uintptr_t>(user);
+  const Extent* e = FindLocked(addr);
+  if (e == nullptr || !e->freed || e->user_begin != addr) return false;
+  if (original_tag != nullptr) *original_tag = e->tag;
+  return true;
+}
+
+AccessInfo ShadowMemory::Classify(const void* addr, size_t bytes,
+                                  bool need_tag) const {
+  AccessInfo info;
+  if (bytes == 0) bytes = 1;
+  const uintptr_t begin = reinterpret_cast<uintptr_t>(addr);
+  if (!need_tag) {
+    // TLB-style fast path: an unchanged global version proves every cached
+    // live extent is still live with the same bounds.
+    const uint64_t v = global_version_.load(std::memory_order_acquire);
+    for (const CacheEntry& c : tls_cache_) {
+      if (c.owner == this && c.version == v && begin >= c.user_begin &&
+          begin + bytes <= c.user_end) {
+        info.cls = AccessClass::kValid;
+        info.offset = static_cast<int64_t>(begin) -
+                      static_cast<int64_t>(c.user_begin);
+        info.alloc_bytes = c.user_end - c.user_begin;
+        return info;
+      }
+    }
+  }
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const Extent* e = FindLocked(begin);
+  if (e == nullptr) return info;  // kUntracked
+  const uintptr_t end = begin + bytes;  // may poke into the right redzone
+  if (need_tag) info.tag = e->tag;
+  info.alloc_bytes = e->user_end - e->user_begin;
+  if (e->freed) {
+    info.cls = AccessClass::kFreed;
+    info.offset = static_cast<int64_t>(begin) -
+                  static_cast<int64_t>(e->user_begin);
+    return info;
+  }
+  if (begin < e->user_begin) {
+    info.cls = AccessClass::kRedzone;
+    info.offset = static_cast<int64_t>(begin) -
+                  static_cast<int64_t>(e->user_begin);
+    return info;
+  }
+  if (end > e->user_end) {
+    info.cls = AccessClass::kRedzone;
+    // First offending byte: the access may start in bounds and run off
+    // the end (an overlong range read); report where it went wrong.
+    const uintptr_t offending = begin >= e->user_end ? begin : e->user_end;
+    info.offset = static_cast<int64_t>(offending) -
+                  static_cast<int64_t>(e->user_begin);
+    return info;
+  }
+  info.cls = AccessClass::kValid;
+  info.offset = static_cast<int64_t>(begin) -
+                static_cast<int64_t>(e->user_begin);
+  if (!e->freed) {
+    // Cache the resolved live extent for this thread's next accesses.
+    // Version is re-read under the lock: an entry installed against a
+    // version from before a concurrent mutation must not survive it.
+    CacheEntry& slot = tls_cache_[tls_cache_next_++ % kCacheEntries];
+    slot.owner = this;
+    slot.version = global_version_.load(std::memory_order_acquire);
+    slot.user_begin = e->user_begin;
+    slot.user_end = e->user_end;
+  }
+  return info;
+}
+
+uint64_t ShadowMemory::live_extents() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return live_extents_;
+}
+
+uint64_t ShadowMemory::quarantined_blocks() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return quarantine_fifo_.size();
+}
+
+const ShadowMemory::Extent* ShadowMemory::FindLocked(uintptr_t addr) const {
+  auto it = extents_.upper_bound(addr);
+  if (it == extents_.begin()) return nullptr;
+  --it;
+  const Extent& e = it->second;
+  if (addr < e.block_begin || addr >= e.block_end) return nullptr;
+  return &e;
+}
+
+void ShadowMemory::EvictLocked() {
+  while (quarantine_bytes_ > quarantine_budget_bytes_ &&
+         !quarantine_fifo_.empty()) {
+    const uintptr_t begin = quarantine_fifo_.front();
+    quarantine_fifo_.pop_front();
+    auto it = extents_.find(begin);
+    if (it == extents_.end()) continue;
+    quarantine_bytes_ -= it->second.block_end - it->second.block_begin;
+    std::free(it->second.block);
+    extents_.erase(it);
+  }
+}
+
+}  // namespace gpusim
+}  // namespace dycuckoo

@@ -1,0 +1,157 @@
+// Shadow memory for the simulated device heap.
+//
+// Mirrors what compute-sanitizer's memcheck keeps on real hardware: for
+// every live DeviceArena allocation an *extent* — the user range, the
+// owning tag, and a redzone on either side — plus a bounded quarantine of
+// freed blocks whose memory is deliberately kept unreusable so that stale
+// pointers keep pointing at *known-freed* bytes instead of at whatever
+// malloc hands out next.  Classify() maps an instrumented access to one
+// of four verdicts:
+//
+//   kValid      inside the user range of a live allocation
+//   kRedzone    inside a redzone (out-of-bounds relative to the owner)
+//   kFreed      inside a quarantined (freed) allocation — use-after-free
+//   kUntracked  ordinary host memory; never reported
+//
+// The shadow map is keyed and reported in *logical* coordinates (owning
+// tag + byte offset from the user base), never raw pointers, so reports
+// are stable across ASLR and re-runs.
+//
+// Thread-safe: registration/free take an exclusive lock.  Classification
+// (the hot path — every instrumented load/store) first consults a small
+// thread-local cache of recently hit live extents, TLB-style: a hit costs
+// a few compares and no lock.  The cache is validated against a global
+// version counter bumped by every extent mutation anywhere, so a stale
+// entry can never classify a freed or re-registered range as valid —
+// except within the mutation's own race window, where the access races
+// with the free itself and any verdict is honest.
+
+#ifndef DYCUCKOO_GPUSIM_SHADOW_MEMORY_H_
+#define DYCUCKOO_GPUSIM_SHADOW_MEMORY_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <shared_mutex>
+#include <string>
+
+namespace dycuckoo {
+namespace gpusim {
+
+enum class AccessClass : int {
+  kUntracked = 0,  // not arena memory (host-side state); ignored
+  kValid = 1,      // inside a live allocation's user range
+  kRedzone = 2,    // out of bounds: inside a guard zone
+  kFreed = 3,      // use-after-free: inside a quarantined block
+};
+
+/// Verdict for one instrumented access.
+struct AccessInfo {
+  AccessClass cls = AccessClass::kUntracked;
+  /// Owning allocation's tag ("" for kUntracked).
+  std::string tag;
+  /// First offending (or first accessed) byte, relative to the owner's user
+  /// base.  Negative inside the left redzone, >= alloc_bytes past the end.
+  int64_t offset = 0;
+  /// User-visible size of the owning allocation.
+  uint64_t alloc_bytes = 0;
+};
+
+/// \brief Extent registry + freed-block quarantine.
+///
+/// Owned by a RaceCheck session.  The arena transfers ownership of a freed
+/// block's storage into the quarantine (QuarantineFree); the quarantine
+/// releases storage FIFO once its byte budget is exceeded, and frees any
+/// remainder on destruction.
+class ShadowMemory {
+ public:
+  explicit ShadowMemory(size_t quarantine_budget_bytes);
+  ~ShadowMemory();
+
+  ShadowMemory(const ShadowMemory&) = delete;
+  ShadowMemory& operator=(const ShadowMemory&) = delete;
+
+  /// Registers a live allocation: `user` points at `user_bytes` usable
+  /// bytes inside the malloc'd block [block, block + block_bytes).
+  void Register(const void* user, size_t user_bytes, void* block,
+                size_t block_bytes, const std::string& tag);
+
+  /// True iff `user` is the user base of a registered live allocation.
+  bool KnowsLive(const void* user) const;
+
+  /// Marks a registered allocation freed and takes ownership of its block
+  /// (deferring the underlying free).  Returns false — and takes no
+  /// ownership — when `user` was never registered here.
+  bool QuarantineFree(const void* user);
+
+  /// Drops a live extent without quarantining (e.g. the checker that
+  /// registered it is being torn down while the memory stays live).
+  void Drop(const void* user);
+
+  /// True iff `user` is the user base of a quarantined (freed) block;
+  /// fills `*original_tag` with the tag it was allocated under.
+  bool WasFreed(const void* user, std::string* original_tag) const;
+
+  /// Classifies the access [addr, addr + bytes).  With need_tag == false
+  /// a kValid verdict may come from the thread-local extent cache and
+  /// carries an empty tag (callers that only gate on the class — the
+  /// per-access bounds check — never pay for a tag copy); non-valid
+  /// verdicts always carry the owning tag.
+  AccessInfo Classify(const void* addr, size_t bytes,
+                      bool need_tag = true) const;
+
+  uint64_t live_extents() const;
+  uint64_t quarantined_blocks() const;
+
+ private:
+  struct Extent {
+    uintptr_t block_begin = 0;
+    uintptr_t block_end = 0;
+    uintptr_t user_begin = 0;
+    uintptr_t user_end = 0;
+    std::string tag;
+    bool freed = false;
+    void* block = nullptr;  // owned once freed == true
+  };
+
+  // One thread-local classification cache slot: a live extent this thread
+  // recently resolved, valid while the global version is unchanged.
+  struct CacheEntry {
+    const ShadowMemory* owner = nullptr;
+    uint64_t version = 0;
+    uintptr_t user_begin = 0;
+    uintptr_t user_end = 0;
+  };
+  static constexpr int kCacheEntries = 4;
+
+  // Must hold mu_.  Returns the extent containing addr, or nullptr.
+  const Extent* FindLocked(uintptr_t addr) const;
+  // Must hold mu_ exclusively.  Evicts quarantined blocks down to budget.
+  void EvictLocked();
+  // Invalidates every thread's classification cache (all instances).
+  static void BumpVersion() {
+    global_version_.fetch_add(1, std::memory_order_release);
+  }
+
+  // Monotonic across all ShadowMemory instances, so a cache entry from a
+  // destroyed instance can never match a new one at the same address.
+  static std::atomic<uint64_t> global_version_;
+  static thread_local CacheEntry tls_cache_[kCacheEntries];
+  static thread_local unsigned tls_cache_next_;
+
+  const size_t quarantine_budget_bytes_;
+  mutable std::shared_mutex mu_;
+  // Keyed by block_begin; extents never overlap (quarantined blocks are
+  // not returned to malloc until they leave the map).
+  std::map<uintptr_t, Extent> extents_;
+  std::deque<uintptr_t> quarantine_fifo_;  // block_begin, oldest first
+  size_t quarantine_bytes_ = 0;
+  uint64_t live_extents_ = 0;
+};
+
+}  // namespace gpusim
+}  // namespace dycuckoo
+
+#endif  // DYCUCKOO_GPUSIM_SHADOW_MEMORY_H_

@@ -19,6 +19,7 @@ void SimCounters::Reset() {
   evictions.store(0, std::memory_order_relaxed);
   lock_conflicts.store(0, std::memory_order_relaxed);
   chain_nodes_visited.store(0, std::memory_order_relaxed);
+  racecheck_findings.store(0, std::memory_order_relaxed);
 }
 
 SimCounters::Snapshot SimCounters::Capture() const {
@@ -31,6 +32,7 @@ SimCounters::Snapshot SimCounters::Capture() const {
   s.evictions = evictions.load(std::memory_order_relaxed);
   s.lock_conflicts = lock_conflicts.load(std::memory_order_relaxed);
   s.chain_nodes_visited = chain_nodes_visited.load(std::memory_order_relaxed);
+  s.racecheck_findings = racecheck_findings.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -45,6 +47,7 @@ SimCounters::Snapshot SimCounters::Snapshot::operator-(
   d.evictions = evictions - rhs.evictions;
   d.lock_conflicts = lock_conflicts - rhs.lock_conflicts;
   d.chain_nodes_visited = chain_nodes_visited - rhs.chain_nodes_visited;
+  d.racecheck_findings = racecheck_findings - rhs.racecheck_findings;
   return d;
 }
 
@@ -54,7 +57,8 @@ std::string SimCounters::Snapshot::ToString() const {
      << " exch=" << atomic_exch << " bucket_reads=" << bucket_reads
      << " bucket_writes=" << bucket_writes << " evictions=" << evictions
      << " lock_conflicts=" << lock_conflicts
-     << " chain_nodes=" << chain_nodes_visited;
+     << " chain_nodes=" << chain_nodes_visited
+     << " racecheck_findings=" << racecheck_findings;
   return os.str();
 }
 

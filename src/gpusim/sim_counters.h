@@ -24,6 +24,7 @@ struct SimCounters {
   std::atomic<uint64_t> evictions{0};      // cuckoo displacement events
   std::atomic<uint64_t> lock_conflicts{0}; // failed bucket-lock attempts
   std::atomic<uint64_t> chain_nodes_visited{0};  // slab-list traversal hops
+  std::atomic<uint64_t> racecheck_findings{0};   // distinct RaceCheck defects
 
   static SimCounters& Get();
 
@@ -39,6 +40,7 @@ struct SimCounters {
     uint64_t evictions = 0;
     uint64_t lock_conflicts = 0;
     uint64_t chain_nodes_visited = 0;
+    uint64_t racecheck_findings = 0;
 
     Snapshot operator-(const Snapshot& rhs) const;
     std::string ToString() const;

@@ -20,6 +20,8 @@
 
 #include <cstdint>
 
+#include "gpusim/racecheck.h"
+
 namespace dycuckoo {
 namespace gpusim {
 
@@ -41,9 +43,13 @@ inline int FirstLane(LaneMask mask) {
 inline int LaneCount(LaneMask mask) { return __builtin_popcount(mask); }
 
 /// Evaluates `pred(lane)` for each of the 32 lanes and packs the results,
-/// mirroring `__ballot_sync(kFullMask, pred)`.
+/// mirroring `__ballot_sync(kFullMask, pred)`.  An intra-warp sync point:
+/// lanes run lockstep on one host thread, so this is a cross-warp no-op,
+/// but the RaceCheck hook records that the warp passed through a named
+/// sync so reports can show warp-sync coverage.
 template <typename Pred>
 inline LaneMask Ballot(Pred&& pred) {
+  if (RaceCheck* rc = RaceCheck::Active()) rc->OnWarpSync();
   LaneMask mask = 0;
   for (int lane = 0; lane < kWarpSize; ++lane) {
     if (pred(lane)) mask |= (LaneMask{1} << lane);
@@ -54,6 +60,7 @@ inline LaneMask Ballot(Pred&& pred) {
 /// Ballot restricted to lanes set in `active`.
 template <typename Pred>
 inline LaneMask BallotActive(LaneMask active, Pred&& pred) {
+  if (RaceCheck* rc = RaceCheck::Active()) rc->OnWarpSync();
   LaneMask mask = 0;
   for (int lane = 0; lane < kWarpSize; ++lane) {
     if ((active >> lane) & 1u) {

@@ -9,6 +9,12 @@
 // the current bucket count, so a slice never reads out of bounds (a
 // shrunk subtable simply ends the slice early; its remaining buckets are
 // covered on the next pass).
+//
+// All slot traffic goes through DynamicTable::ScrubBuckets, which reads
+// via the Subtable accessors — so under RaceCheck (docs/analysis.md) a
+// scrub slice is bounds- and use-after-free-checked like any kernel, and
+// a cursor bug that outlived the clamp above would surface as a tagged
+// out-of-bounds finding rather than silent corruption.
 
 #ifndef DYCUCKOO_SERVICE_SCRUBBER_H_
 #define DYCUCKOO_SERVICE_SCRUBBER_H_

@@ -2,8 +2,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 
 #include <gtest/gtest.h>
+
+#include "gpusim/racecheck.h"
 
 namespace dycuckoo {
 namespace gpusim {
@@ -109,6 +112,72 @@ TEST(DeviceArenaTest, FreeNullIsNoop) {
   DeviceArena arena(1024);
   arena.Free(nullptr);
   EXPECT_EQ(arena.used_bytes(), 0u);
+}
+
+// Uninstalls any active checker (e.g. the DYCUCKOO_RACECHECK=1 session)
+// so a planted bad free exercises the arena's *own* hardening without
+// becoming a process-level finding.
+class NoActiveChecker {
+ public:
+  NoActiveChecker() : previous_(RaceCheck::Install(nullptr)) {}
+  ~NoActiveChecker() { RaceCheck::Install(previous_); }
+
+ private:
+  RaceCheck* previous_;
+};
+
+TEST(DeviceArenaTest, UnknownPointerFreeIsReportedNotHonored) {
+  NoActiveChecker no_checker;
+  DeviceArena arena(1 << 20);
+  void* p = arena.Allocate(512, "t");
+  ASSERT_NE(p, nullptr);
+  int not_ours = 0;
+  arena.Free(&not_ours);
+  EXPECT_EQ(arena.invalid_frees(), 1u);
+  // Accounting untouched: the live allocation is still charged.
+  EXPECT_EQ(arena.used_bytes(), 512u);
+  EXPECT_EQ(arena.live_allocations(), 1u);
+  arena.Free(p);
+  EXPECT_EQ(arena.used_bytes(), 0u);
+}
+
+TEST(DeviceArenaTest, DoubleFreeWithoutCheckerIsReportedNotHonored) {
+  NoActiveChecker no_checker;
+  DeviceArena arena(1 << 20);
+  void* a = arena.Allocate(100, "t");
+  void* b = arena.Allocate(200, "t");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  arena.Free(a);
+  arena.Free(a);  // double free: must not crash or re-credit the budget
+  EXPECT_EQ(arena.invalid_frees(), 1u);
+  EXPECT_EQ(arena.used_bytes(), 200u);
+  EXPECT_EQ(arena.live_allocations(), 1u);
+  arena.Free(b);
+}
+
+TEST(DeviceArenaTest, DoubleFreeUnderCheckerRecordsFinding) {
+  ScopedRaceCheck scope;
+  DeviceArena arena(1 << 20);
+  void* p = arena.Allocate(64, "dbl");
+  ASSERT_NE(p, nullptr);
+  arena.Free(p);
+  arena.Free(p);
+  EXPECT_EQ(arena.invalid_frees(), 1u);
+  RaceReport report = scope.checker().Report();
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].kind, FindingKind::kDoubleFree);
+  // The quarantine remembers the original owner.
+  EXPECT_EQ(report.findings[0].tag, "dbl");
+}
+
+TEST(DeviceArenaTest, AllocateArrayCountOverflowReturnsNull) {
+  DeviceArena arena(0);  // unbounded: only the multiply guard can reject
+  const size_t huge = std::numeric_limits<size_t>::max() / sizeof(uint64_t) + 2;
+  auto* arr = arena.AllocateArray<uint64_t>(huge, "t");
+  EXPECT_EQ(arr, nullptr);
+  EXPECT_EQ(arena.used_bytes(), 0u);
+  EXPECT_EQ(arena.live_allocations(), 0u);
 }
 
 }  // namespace

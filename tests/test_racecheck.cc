@@ -1,0 +1,225 @@
+// Planted-defect tests for the gpusim RaceCheck dynamic analysis.
+//
+// Each defect class the checker exists to catch is planted deliberately —
+// an unlocked two-warp bucket write, an off-by-one probe past a subtable's
+// key array, a use-after-free across a downsize — and the test asserts the
+// exact kind and owning tag of the resulting finding.  Clean workloads
+// (locked writes, annotated racy writes, a full table exercise) must stay
+// clean, and the report digest must be reproducible run to run.
+
+#include "gpusim/racecheck.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dycuckoo/dycuckoo.h"
+#include "dycuckoo/subtable.h"
+#include "gpusim/atomics.h"
+#include "gpusim/device_arena.h"
+#include "gpusim/grid.h"
+#include "test_util.h"
+
+namespace dycuckoo {
+namespace gpusim {
+namespace {
+
+using SubtableU32 = Subtable<uint32_t, uint32_t>;
+
+// Runs the canonical planted race: eight warps of one launch store to the
+// same word of a tagged arena array with no lock and no ordering.
+RaceReport RunUnlockedTwoWarpWrite() {
+  ScopedRaceCheck scope;
+  DeviceArena arena(0);
+  Grid grid(4);
+  auto* words = arena.AllocateArray<std::atomic<uint64_t>>(32, "bucket");
+  grid.LaunchWarps(8, [&](uint64_t warp) {
+    Store(&words[0], static_cast<uint64_t>(warp));
+  });
+  RaceReport report = scope.checker().Report();
+  arena.FreeArray(words);
+  return report;
+}
+
+TEST(RaceCheckTest, UnlockedTwoWarpBucketWriteIsReported) {
+  RaceReport report = RunUnlockedTwoWarpWrite();
+  ASSERT_EQ(report.findings.size(), 1u) << report.ToString();
+  const RaceFinding& f = report.findings[0];
+  EXPECT_EQ(f.kind, FindingKind::kWriteWriteRace);
+  EXPECT_EQ(f.tag, "bucket");
+  EXPECT_EQ(f.offset, 0);
+  EXPECT_EQ(f.access_bytes, sizeof(uint64_t));
+  EXPECT_EQ(f.launch, 1u);  // first (and only) launch of the session
+  EXPECT_EQ(report.launches, 1u);
+}
+
+TEST(RaceCheckTest, LockedWritesDoNotRace) {
+  ScopedRaceCheck scope;
+  DeviceArena arena(0);
+  Grid grid(4);
+  auto* words = arena.AllocateArray<std::atomic<uint64_t>>(32, "bucket");
+  auto* locks = arena.AllocateArray<BucketLock>(1, "lock");
+  grid.LaunchWarps(8, [&](uint64_t warp) {
+    while (!locks[0].TryLock()) {
+    }
+    Store(&words[0], static_cast<uint64_t>(warp));
+    locks[0].Unlock();
+  });
+  RaceReport report = scope.checker().Report();
+  EXPECT_TRUE(report.clean()) << report.ToString();
+  EXPECT_GT(report.sync_events, 0u);
+  arena.FreeArray(words);
+  arena.FreeArray(locks);
+}
+
+TEST(RaceCheckTest, StoreRacyAnnotationSuppressesReport) {
+  ScopedRaceCheck scope;
+  DeviceArena arena(0);
+  Grid grid(4);
+  auto* words = arena.AllocateArray<std::atomic<uint64_t>>(4, "upsert");
+  grid.LaunchWarps(8, [&](uint64_t warp) {
+    // Documented last-writer-wins contract: annotated, never reported.
+    StoreRacy(&words[0], static_cast<uint64_t>(warp));
+  });
+  EXPECT_TRUE(scope.checker().Report().clean());
+  arena.FreeArray(words);
+}
+
+TEST(RaceCheckTest, OffByOneProbePastSubtableExtentIsOutOfBounds) {
+  ScopedRaceCheck scope;
+  DeviceArena arena(0);
+  SubtableU32 table(4, /*seed=*/0x1234, &arena, "probe");
+  ASSERT_TRUE(table.ok());
+  // One bucket past the end: the classic missing `& (num_buckets - 1)`.
+  (void)table.KeyAt(table.num_buckets(), 0);
+  RaceReport report = scope.checker().Report();
+  ASSERT_EQ(report.findings.size(), 1u) << report.ToString();
+  const RaceFinding& f = report.findings[0];
+  EXPECT_EQ(f.kind, FindingKind::kOutOfBounds);
+  EXPECT_EQ(f.tag, "probe");
+  // First offending byte is exactly one byte past the key array.
+  EXPECT_EQ(f.offset,
+            static_cast<int64_t>(table.num_slots() * sizeof(uint32_t)));
+  EXPECT_EQ(f.access_bytes, sizeof(uint32_t));
+  EXPECT_EQ(f.launch, 0u);  // host-side access, outside any launch
+}
+
+TEST(RaceCheckTest, OverlongRangeSnapshotIsOutOfBounds) {
+  ScopedRaceCheck scope;
+  DeviceArena arena(0);
+  auto* row = arena.AllocateArray<std::atomic<uint64_t>>(16, "row");
+  // Starts in bounds, runs one word past the end.
+  RangeLoadCheck(row, 17 * sizeof(uint64_t));
+  RaceReport report = scope.checker().Report();
+  ASSERT_EQ(report.findings.size(), 1u) << report.ToString();
+  EXPECT_EQ(report.findings[0].kind, FindingKind::kOutOfBounds);
+  EXPECT_EQ(report.findings[0].tag, "row");
+  EXPECT_EQ(report.findings[0].offset,
+            static_cast<int64_t>(16 * sizeof(uint64_t)));
+  arena.FreeArray(row);
+}
+
+TEST(RaceCheckTest, UseAfterFreeAcrossDownsizeIsReported) {
+  ScopedRaceCheck scope;
+  DeviceArena arena(0);
+  SubtableU32 table(8, /*seed=*/0x1234, &arena, "t0-gen3");
+  ASSERT_TRUE(table.ok());
+  // A kernel that cached the key array across a resize — the bug class
+  // the quarantine exists for.
+  const std::atomic<uint32_t>* stale = table.keys_data();
+  table = SubtableU32(4, /*seed=*/0x5678, &arena, "t0-gen4");
+  ASSERT_TRUE(table.ok());
+  (void)Load(stale);
+  RaceReport report = scope.checker().Report();
+  ASSERT_EQ(report.findings.size(), 1u) << report.ToString();
+  const RaceFinding& f = report.findings[0];
+  EXPECT_EQ(f.kind, FindingKind::kUseAfterFree);
+  // The quarantine remembers the generation that owned the bytes.
+  EXPECT_EQ(f.tag, "t0-gen3");
+  EXPECT_EQ(f.offset, 0);
+}
+
+TEST(RaceCheckTest, GridOwnedCheckerViaOptions) {
+  // Under DYCUCKOO_RACECHECK=1 a process-wide checker is already
+  // installed; the grid must restore exactly that one, not nullptr.
+  RaceCheck* outer = RaceCheck::Active();
+  {
+    GridOptions options;
+    options.num_threads = 4;
+    options.racecheck = true;
+    Grid grid(options);
+    ASSERT_NE(grid.race_check(), nullptr);
+    EXPECT_EQ(RaceCheck::Active(), grid.race_check());
+    DeviceArena arena(0);
+    auto* words = arena.AllocateArray<std::atomic<uint64_t>>(8, "gridrace");
+    grid.LaunchWarps(8, [&](uint64_t warp) {
+      Store(&words[0], static_cast<uint64_t>(warp));
+    });
+    RaceReport report = grid.race_check()->Report();
+    ASSERT_EQ(report.findings.size(), 1u) << report.ToString();
+    EXPECT_EQ(report.findings[0].kind, FindingKind::kWriteWriteRace);
+    EXPECT_EQ(report.findings[0].tag, "gridrace");
+    arena.FreeArray(words);
+  }
+  // The grid restores the previously installed checker on destruction.
+  EXPECT_EQ(RaceCheck::Active(), outer);
+}
+
+TEST(RaceCheckTest, FullTableWorkloadIsCleanUnderChecker) {
+  ScopedRaceCheck scope;
+  DyCuckooOptions options;
+  options.initial_capacity = 4096;  // force upsizes and a later downsize
+  std::unique_ptr<DyCuckooMap> table;
+  ASSERT_TRUE(DyCuckooMap::Create(options, &table).ok());
+
+  auto keys = testing::UniqueKeys(20000);
+  auto values = testing::SequentialValues(keys.size());
+  ASSERT_TRUE(table->BulkInsert(keys, values).ok());
+
+  std::vector<uint32_t> out(keys.size());
+  std::vector<uint8_t> found(keys.size());
+  table->BulkFind(keys, out.data(), found.data());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(found[i]);
+    ASSERT_EQ(out[i], values[i]);
+  }
+  std::vector<uint32_t> first_half(keys.begin(),
+                                   keys.begin() + keys.size() / 2);
+  table->BulkErase(first_half);
+  ASSERT_TRUE(table->Validate().ok());
+  table.reset();  // free everything while the checker still watches
+
+  RaceReport report = scope.checker().Report();
+  EXPECT_TRUE(report.clean()) << report.ToString();
+  EXPECT_GT(report.launches, 0u);
+  EXPECT_GT(report.checked_loads, 0u);
+  EXPECT_GT(report.checked_stores, 0u);
+  EXPECT_GT(report.sync_events, 0u);
+}
+
+TEST(RaceCheckTest, ReportDigestIsStableAcrossRuns) {
+  RaceReport a = RunUnlockedTwoWarpWrite();
+  RaceReport b = RunUnlockedTwoWarpWrite();
+  ASSERT_FALSE(a.clean());
+  EXPECT_EQ(a.Digest(), b.Digest());
+  // Counters are schedule-dependent and must not feed the digest.
+  RaceReport c = a;
+  c.checked_stores += 12345;
+  EXPECT_EQ(a.Digest(), c.Digest());
+  // Findings do: perturbing one changes it.
+  RaceReport d = a;
+  d.findings[0].offset += 8;
+  EXPECT_NE(a.Digest(), d.Digest());
+}
+
+TEST(RaceCheckTest, ReportToStringNamesTheDefect) {
+  RaceReport report = RunUnlockedTwoWarpWrite();
+  const std::string text = report.ToString();
+  EXPECT_NE(text.find("write-write-race"), std::string::npos) << text;
+  EXPECT_NE(text.find("bucket"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace gpusim
+}  // namespace dycuckoo
