@@ -29,6 +29,7 @@
 #include <ostream>
 #include <span>
 #include <string>
+#include <thread>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -37,6 +38,7 @@
 #include "common/logging.h"
 #include "common/math_util.h"
 #include "common/status.h"
+#include "dycuckoo/handoff_ring.h"
 #include "dycuckoo/options.h"
 #include "dycuckoo/pair_map.h"
 #include "dycuckoo/stats.h"
@@ -239,6 +241,7 @@ class DynamicTable {
     grid_->LaunchWarps(gpusim::WarpsForItems(n), [&](uint64_t warp) {
       MixedWarp(op_data, n, warp, &fail, &invalid);
     });
+    SweepHandoffLeftovers(&fail);
 
     int rounds = 0;
     while (fail.count() > 0 && options_.auto_resize) {
@@ -438,7 +441,9 @@ class DynamicTable {
       t.SetSize(0);
     }
     for (auto& k : stash_keys_) k.store(kEmptyKey, std::memory_order_relaxed);
+    for (auto& s : stash_state_) s.store(kStashVacant, std::memory_order_relaxed);
     stash_size_.store(0, std::memory_order_relaxed);
+    ring_.Clear();
   }
 
   /// Visits every stored pair on the host thread (no particular order).
@@ -556,6 +561,11 @@ class DynamicTable {
     return stash_size_.load(std::memory_order_relaxed);
   }
 
+  /// Displaced pairs currently parked in the eviction handoff ring.
+  /// Non-zero only while an insert launch is in flight (the post-launch
+  /// sweep re-homes leftovers), so at rest this returns 0.
+  uint64_t handoff_size() const { return ring_.count(); }
+
   /// Total slot capacity (sum of n_i).
   uint64_t capacity_slots() const {
     uint64_t total = 0;
@@ -649,12 +659,27 @@ class DynamicTable {
     uint64_t stash_count = 0;
     for (size_t i = 0; i < stash_keys_.size(); ++i) {
       Key k = stash_keys_[i].load(std::memory_order_relaxed);
-      if (k == kEmptyKey) continue;
+      uint32_t state = stash_state_[i].load(std::memory_order_relaxed);
+      if (k == kEmptyKey) {
+        if (state != kStashVacant) {
+          return Status::Internal("vacant stash slot with non-vacant state");
+        }
+        continue;
+      }
+      if (state != kStashLive) {
+        return Status::Internal("occupied stash slot not in live state");
+      }
       ++stash_count;
       seen.push_back(k);
     }
     if (stash_count != stash_size_.load(std::memory_order_relaxed)) {
       return Status::Internal("stash size counter mismatch");
+    }
+    // Every launch sweeps chain leftovers before returning, so a table at
+    // rest must have no parked victims.
+    if (ring_.count() != 0) {
+      return Status::Internal("handoff ring not empty at rest: " +
+                              std::to_string(ring_.count()) + " entries");
     }
     std::sort(seen.begin(), seen.end());
     if (std::adjacent_find(seen.begin(), seen.end()) != seen.end()) {
@@ -807,14 +832,20 @@ class DynamicTable {
       if (k == kEmptyKey) continue;
       if (ShadowedByEarlierCandidate(k, /*table_idx=*/-1)) {
         stash_keys_[i].store(kEmptyKey, std::memory_order_relaxed);
+        stash_state_[i].store(kStashVacant, std::memory_order_relaxed);
         stash_size_.fetch_sub(1, kRelaxed);
         ++report->duplicates_collapsed;
         stats_.scrub_duplicates_collapsed.fetch_add(1, kRelaxed);
       }
     }
     uint64_t occupied = 0;
-    for (const auto& k : stash_keys_) {
-      if (k.load(std::memory_order_relaxed) != kEmptyKey) ++occupied;
+    for (size_t i = 0; i < stash_keys_.size(); ++i) {
+      bool live = stash_keys_[i].load(std::memory_order_relaxed) != kEmptyKey;
+      if (live) ++occupied;
+      // Keys are the ground truth; re-sync the writer-coordination state
+      // with them (a crashed publish could leave a stale claim behind).
+      stash_state_[i].store(live ? kStashLive : kStashVacant,
+                            std::memory_order_relaxed);
     }
     uint64_t counted = stash_size_.load(std::memory_order_relaxed);
     if (counted != occupied) {
@@ -899,6 +930,7 @@ class DynamicTable {
         if (stash_keys_[i].load(std::memory_order_relaxed) == kEmptyKey) {
           stash_values_[i].store(stale_value, std::memory_order_relaxed);
           stash_keys_[i].store(key, std::memory_order_relaxed);
+          stash_state_[i].store(kStashLive, std::memory_order_relaxed);
           stash_size_.fetch_add(1, kRelaxed);
           return true;
         }
@@ -923,9 +955,61 @@ class DynamicTable {
     return false;
   }
 
+  /// TEST HOOK: displaces a resident pair out of its bucket into the
+  /// handoff ring, freezing the exact mid-chain state a real eviction
+  /// passes through while a victim is in flight (bucket slot vacated, pair
+  /// findable only via the ring).  Returns true when the key was
+  /// bucket-resident and the ring had room.  Reconcile afterwards with
+  /// SweepHandoffForTest() — or exercise FIND/DELETE/upsert against the
+  /// parked copy first.
+  bool ParkVictimForTest(Key key) {
+    if (key == kEmptyKey) return false;
+    int candidates[16];
+    int n_cand = CandidateTables(key, candidates);
+    for (int c = 0; c < n_cand; ++c) {
+      SubtableT& t = tables_[candidates[c]];
+      uint64_t loc = t.BucketIndex(key);
+      while (!t.lock(loc).TryLock()) {
+      }
+      for (int s = 0; s < kSlots; ++s) {
+        if (t.KeyAt(loc, s) != key) continue;
+        int slot = -1;
+        uint64_t word = 0;
+        if (!ring_.Park(key, t.ValueAt(loc, s), &slot, &word)) {
+          t.lock(loc).Unlock();
+          return false;
+        }
+        stats_.parked_victims.fetch_add(1, kRelaxed);
+        t.StoreKey(loc, s, kEmptyKey);
+        t.lock(loc).Unlock();
+        // In-flight victims are uncounted (a real swap is count-neutral:
+        // the incoming pair takes the slot this hook leaves empty).
+        t.AddSize(-1);
+        return true;
+      }
+      t.lock(loc).Unlock();
+    }
+    return false;
+  }
+
+  /// TEST HOOK: runs the post-launch handoff reconciliation (claimed
+  /// entries dropped, survivors force-stashed), restoring the at-rest
+  /// invariant that the ring is empty.
+  void SweepHandoffForTest() { SweepHandoffLeftovers(nullptr); }
+
  private:
   static constexpr int kMaxInsertRetryRounds = 16;
   static constexpr int kMaxResizeIterations = 4096;
+  /// Retry budget for the epoch-validated lock-free probe loops
+  /// (FIND/DELETE/upsert re-probe).  Each retry requires the displacement
+  /// epoch to have changed during the probe, and parks/retires are bounded
+  /// per launch (ops x chain bound), so the budget is unreachable absent a
+  /// bug; it exists only to make non-termination impossible.
+  static constexpr int kMaxProbeRetries = 1 << 22;
+  /// Stash writer-coordination states (stash_state_).
+  static constexpr uint32_t kStashVacant = 0;
+  static constexpr uint32_t kStashLive = 1;
+  static constexpr uint32_t kStashBusy = 2;
   /// Legacy (version-1, headerless, no checksum) snapshot magic.
   static constexpr uint64_t kSnapshotMagic = 0xD1C0CC00'5A4B1705ULL;
   /// Version-2 snapshot magic (format-version field + CRC-32 trailer).
@@ -1051,10 +1135,13 @@ class DynamicTable {
     if (options_.stash_capacity > 0) {
       stash_keys_ = std::vector<std::atomic<Key>>(options_.stash_capacity);
       stash_values_ = std::vector<std::atomic<Value>>(options_.stash_capacity);
+      stash_state_ =
+          std::vector<std::atomic<uint32_t>>(options_.stash_capacity);
       for (auto& k : stash_keys_) {
         k.store(kEmptyKey, std::memory_order_relaxed);
       }
     }
+    ring_.Reset(options_.handoff_capacity);
     return Status::OK();
   }
 
@@ -1227,6 +1314,35 @@ class DynamicTable {
     const Key* keys() const { return keys_.data(); }
     const Value* values() const { return values_.data(); }
 
+    /// Host-side push with no kernels in flight: grows when full (the
+    /// handoff sweep may re-queue victims that were never in the batch,
+    /// e.g. planted by a test hook, exceeding the batch-sized capacity).
+    void PushHost(Key k, Value v) {
+      uint64_t i = cursor_.load(std::memory_order_relaxed);
+      if (i == keys_.size()) {
+        keys_.resize(keys_.size() + 1);
+        values_.resize(values_.size() + 1);
+      }
+      keys_[i] = k;
+      values_[i] = v;
+      cursor_.store(i + 1, std::memory_order_relaxed);
+    }
+
+    /// Host-side compaction: drops every queued entry whose key is in
+    /// `gone` (used by the handoff sweep to reconcile pairs that were
+    /// deleted — or re-queued with a fresher value — while parked).
+    void RemoveKeys(const std::unordered_set<Key>& gone) {
+      uint64_t n = cursor_.load(std::memory_order_relaxed);
+      uint64_t w = 0;
+      for (uint64_t i = 0; i < n; ++i) {
+        if (gone.count(keys_[i]) != 0) continue;
+        keys_[w] = keys_[i];
+        values_[w] = values_[i];
+        ++w;
+      }
+      cursor_.store(w, std::memory_order_relaxed);
+    }
+
    private:
     std::vector<Key> keys_;
     std::vector<Value> values_;
@@ -1243,7 +1359,36 @@ class DynamicTable {
       InsertWarp(keys, values, n, warp, exclude_table, check_partner, fail,
                  &invalid);
     });
+    SweepHandoffLeftovers(fail);
     return invalid.load(std::memory_order_relaxed);
+  }
+
+  /// Host-side reconciliation after every insert-capable launch.  A pair
+  /// still parked in the handoff ring belongs to an op that hit a terminal
+  /// failure with a full stash (ResolveStuckOp pushed its key to the
+  /// failure buffer and left it parked to stay findable).  Claimed entries
+  /// were deleted mid-flight — drop them AND scrub their queued retry so a
+  /// deleted key is not resurrected.  Unclaimed entries are re-queued with
+  /// their freshest (possibly upserted) value.  Runs with no kernels in
+  /// flight, so relaxed host-side access is safe.
+  void SweepHandoffLeftovers(FailBuffer* fail) {
+    if (ring_.count() == 0) return;
+    std::unordered_set<Key> stale;
+    std::vector<std::pair<Key, Value>> survivors;
+    ring_.HostSweepLeftovers([&](Key k, Value v, bool claimed) {
+      stale.insert(k);
+      if (!claimed) survivors.emplace_back(k, v);
+    });
+    if (stale.empty()) return;
+    if (fail != nullptr) {
+      fail->RemoveKeys(stale);
+      for (const auto& [k, v] : survivors) fail->PushHost(k, v);
+    } else {
+      for (const auto& [k, v] : survivors) {
+        ForceStash(k, v);
+        stats_.recovery_spills.fetch_add(1, kRelaxed);
+      }
+    }
   }
 
   struct LaneOp {
@@ -1253,6 +1398,15 @@ class DynamicTable {
     int target = 0;
     int evictions = 0;
     bool active = false;
+    // Handoff-ring slot holding this op's pair while it is a displaced
+    // victim in flight (-1 when the pair was never displaced), plus the
+    // ring word observed at park time (generation DCHECKs in Retire).
+    int ring_slot = -1;
+    uint64_t ring_word = 0;
+    // Ring epoch at prepare time; the voter loop re-probes for a relocated
+    // copy only when the epoch moved since (i.e. some chain displaced or
+    // re-homed a pair after the prepare-phase probe).
+    uint64_t prep_epoch = 0;
   };
 
   /// One warp's share of the insert batch: 32 ops, one per lane, processed
@@ -1297,6 +1451,7 @@ class DynamicTable {
     op->pair = pair_map_.PairFor(static_cast<uint64_t>(key));
     op->target = ChooseTarget(key, op->pair, exclude_table);
     op->active = true;
+    op->prep_epoch = ring_.epoch();
     if (!check_partner) return;
     int candidates[16];
     int n_cand = CandidateTables(key, candidates);
@@ -1310,18 +1465,27 @@ class DynamicTable {
       for (int s = 0; s < kSlots; ++s) {
         if (snap[s] == key) {
           // Unlocked upsert: concurrent upserts of the same key are
-          // last-writer-wins by contract (the slot never changes owner
-          // under us — only the bucket-locked paths move keys).
-          pt.StoreValueRacy(loc, s, value);
+          // last-writer-wins; TryUpsertSlotValue's CAS protocol keeps the
+          // write out of a slot an eviction chain recycled between the
+          // snapshot and the store.
+          if (!TryUpsertSlotValue(pt, loc, s, key, value)) continue;
           op->active = false;
           ++*updated;
           break;
         }
       }
     }
-    if (op->active && stash_size_.load(std::memory_order_relaxed) > 0) {
+    if (op->active && ring_.count() > 0 &&
+        ring_.UpdateValue(key, value)) {
+      // The key is mid-displacement in another chain; updating its parked
+      // copy is an upsert (the owning chain re-reads the parked value when
+      // it re-homes the victim).
+      op->active = false;
+      ++*updated;
+    }
+    if (op->active && stash_size_.load(std::memory_order_acquire) > 0) {
       for (size_t i = 0; i < stash_keys_.size(); ++i) {
-        if (gpusim::Load(&stash_keys_[i]) == key) {
+        if (gpusim::LoadAcquire(&stash_keys_[i]) == key) {
           gpusim::StoreRacy(&stash_values_[i], value);
           op->active = false;
           ++*updated;
@@ -1345,14 +1509,6 @@ class DynamicTable {
     uint64_t& updated = *local_updated;
     uint64_t& failed = *local_failed;
     uint64_t& evicted = *local_evictions;
-    // Becomes true once any eviction chain in this loop has displaced a
-    // resident pair.  From that point the prepare-phase upsert probes are
-    // stale: a key the probe cleared may since have moved into one of its
-    // other candidate buckets (or the stash), and claiming a slot for it
-    // here would store a second, validly-placed copy — invisible to both
-    // FIND (which stops at the first hit) and the scrubber's placement
-    // check.  Lanes re-probe before their first placement once this is set.
-    bool displaced = false;
     int chain_limit = options_.max_eviction_chain;
     if (gpusim::FaultInjector* fi = gpusim::FaultInjector::Active()) {
       chain_limit = fi->ClampEvictionChain(chain_limit);
@@ -1394,32 +1550,39 @@ class DynamicTable {
 
       if (match_slot >= 0) {
         table.StoreValue(loc, match_slot, op.value);
+        if (op.ring_slot >= 0) {
+          // The pair we carry is a displaced victim with a parked handoff
+          // copy, and the key is (again) resident in a bucket: collapse
+          // onto the bucket copy.  The parked value is the freshest (it
+          // absorbs in-flight upserts), so propagate it.
+          Value latest{};
+          if (ring_.Retire(op.ring_slot, op.ring_word, &latest)) {
+            if (!(latest == op.value)) table.StoreValue(loc, match_slot, latest);
+          } else {
+            // A concurrent DELETE claimed the parked copy: it wins, and it
+            // takes the bucket copy with it.
+            table.StoreKey(loc, match_slot, kEmptyKey);
+            table.AddSize(-1);
+            ring_.FreeClaimed(op.ring_slot);
+          }
+          op.ring_slot = -1;
+        }
         table.lock(loc).Unlock();
         op.active = false;
         active &= ~(gpusim::LaneMask{1} << leader);
         ++updated;
         continue;
       }
-      if (displaced && check_partner && op.evictions == 0) {
-        // An eviction chain may have moved this key after the prepare-phase
-        // probe cleared its other buckets.  The relocated copy is either
-        // already re-placed (another candidate bucket or the stash) or still
-        // in flight as a displaced pair in another lane's chain — update it
-        // wherever it lives instead of storing a duplicate.
-        bool updated_elsewhere =
-            UpdateIfPresentElsewhere(op.key, op.value, op.target);
-        if (!updated_elsewhere) {
-          for (int l = 0; l < gpusim::kWarpSize; ++l) {
-            LaneOp& other = ops[l];
-            if (l != leader && other.active && other.evictions > 0 &&
-                other.key == op.key) {
-              other.value = op.value;
-              updated_elsewhere = true;
-              break;
-            }
-          }
-        }
-        if (updated_elsewhere) {
+      if (check_partner && op.evictions == 0 &&
+          ring_.epoch() != op.prep_epoch) {
+        // The displacement epoch moved since this lane's prepare-phase
+        // probe cleared its other candidate homes, so an eviction chain
+        // may have relocated the key in the meantime.  The relocated copy
+        // is re-placed (another candidate bucket or the stash) or still in
+        // flight — and an in-flight pair is always visible in the handoff
+        // ring between voter iterations — so UpdateIfPresentElsewhere
+        // finds it wherever it lives instead of us storing a duplicate.
+        if (UpdateIfPresentElsewhere(op.key, op.value, op.target)) {
           table.lock(loc).Unlock();
           op.active = false;
           active &= ~(gpusim::LaneMask{1} << leader);
@@ -1429,10 +1592,9 @@ class DynamicTable {
         }
       }
       if (empty_slot >= 0) {
-        table.StoreSlot(loc, empty_slot, op.key, op.value);
-        gpusim::CountBucketWrite();
+        bool placed = PlaceTerminal(table, loc, empty_slot, &op);
         table.lock(loc).Unlock();
-        table.AddSize(1);
+        if (placed) table.AddSize(1);
         op.active = false;
         active &= ~(gpusim::LaneMask{1} << leader);
         ++new_count;
@@ -1447,10 +1609,7 @@ class DynamicTable {
         table.lock(loc).Unlock();
         op.active = false;
         active &= ~(gpusim::LaneMask{1} << leader);
-        if (stash_keys_.empty() || !StashInsert(op.key, op.value)) {
-          fail->Push(op.key, op.value);
-          ++failed;
-        }
+        ResolveStuckOp(&op, fail, &failed);
         continue;
       }
       int victim =
@@ -1466,10 +1625,9 @@ class DynamicTable {
         if (vk == kEmptyKey) {
           // A concurrent lock-free delete vacated the slot after our scan:
           // claim it directly instead of evicting.
-          table.StoreSlot(loc, victim, op.key, op.value);
-          gpusim::CountBucketWrite();
+          bool placed = PlaceTerminal(table, loc, victim, &op);
           table.lock(loc).Unlock();
-          table.AddSize(1);
+          if (placed) table.AddSize(1);
           op.active = false;
           active &= ~(gpusim::LaneMask{1} << leader);
           ++new_count;
@@ -1484,23 +1642,157 @@ class DynamicTable {
         table.lock(loc).Unlock();
         op.active = false;
         active &= ~(gpusim::LaneMask{1} << leader);
-        if (stash_keys_.empty() || !StashInsert(op.key, op.value)) {
-          fail->Push(op.key, op.value);
-          ++failed;
-        }
+        ResolveStuckOp(&op, fail, &failed);
         continue;
       }
-      table.StoreSlot(loc, victim, op.key, op.value);
-      gpusim::CountBucketWrite();
+
+      if (options_.unsafe_overwrite_before_park_for_test) {
+        // Test-only regression mode: the pre-fix behavior.  The victim's
+        // slot is overwritten while the displaced pair has no other
+        // visible home, re-opening the displacement window the handoff
+        // ring exists to close (the linearizability checker must flag the
+        // resulting transient misses).
+        table.StoreSlot(loc, victim, op.key, op.value);
+        gpusim::CountBucketWrite();
+        table.lock(loc).Unlock();
+        // Dawdle while the displaced pair has no visible home, widening
+        // the window so the checker reliably catches the transient miss.
+        for (int i = 0; i < options_.eviction_delay_spins_for_test; ++i) {
+          std::this_thread::yield();
+        }
+        gpusim::CountEviction();
+        ++evicted;
+        op.key = vk;
+        op.value = vv;
+        op.target = next_target;
+        ++op.evictions;
+        continue;
+      }
+
+      // Park the victim in the handoff ring BEFORE touching its slot, so
+      // FIND/DELETE (buckets -> ring -> stash) see the key at every
+      // instant of the chain.
+      int vslot = -1;
+      uint64_t vword = 0;
+      if (!ring_.Park(vk, vv, &vslot, &vword)) {
+        // Ring momentarily full: resolve the *incoming* pair through the
+        // stash/failure path and leave the victim untouched in its
+        // bucket — a displaced pair is never dropped.
+        stats_.handoff_full_fallbacks.fetch_add(1, kRelaxed);
+        table.lock(loc).Unlock();
+        op.active = false;
+        active &= ~(gpusim::LaneMask{1} << leader);
+        ResolveStuckOp(&op, fail, &failed);
+        continue;
+      }
+      stats_.parked_victims.fetch_add(1, kRelaxed);
+      // Unpublish the victim's key before the overwrite so no reader can
+      // pair vk with the incoming value mid-swap; the parked copy keeps vk
+      // findable through the empty window.
+      table.StoreKey(loc, victim, kEmptyKey);
+      bool placed = PlaceTerminal(table, loc, victim, &op);
       table.lock(loc).Unlock();
+      // A swap is count-neutral (victim out, incoming pair in); when the
+      // incoming pair was deleted mid-flight the slot ended up empty, so
+      // the subtable lost the victim without gaining a replacement.
+      if (!placed) table.AddSize(-1);
+      for (int i = 0; i < options_.eviction_delay_spins_for_test; ++i) {
+        std::this_thread::yield();
+      }
       gpusim::CountEviction();
       ++evicted;
-      displaced = true;
 
       op.key = vk;
       op.value = vv;
       op.target = next_target;
+      op.ring_slot = vslot;
+      op.ring_word = vword;
       ++op.evictions;
+    }
+  }
+
+  /// Final placement of a lane op into an empty (or just-vacated) slot of
+  /// a locked bucket.  Publishes the pair, then — when the op is a
+  /// displaced victim in flight — retires its parked handoff copy: the
+  /// bucket copy is visible before the ring copy disappears, so a reader
+  /// never observes a gap.  Returns false when a concurrent DELETE claimed
+  /// the parked copy: the placement is undone (the delete wins) and the
+  /// slot is left empty.  The caller still holds the bucket lock and owns
+  /// the size accounting either way.
+  bool PlaceTerminal(SubtableT& table, uint64_t loc, int slot, LaneOp* op) {
+    table.StoreSlot(loc, slot, op->key, op->value);
+    gpusim::CountBucketWrite();
+    if (op->ring_slot < 0) return true;
+    Value latest{};
+    if (ring_.Retire(op->ring_slot, op->ring_word, &latest)) {
+      // An upsert may have refreshed the parked copy after this chain
+      // captured op->value; the parked value is the freshest.
+      if (!(latest == op->value)) table.StoreValue(loc, slot, latest);
+      op->ring_slot = -1;
+      return true;
+    }
+    table.StoreKey(loc, slot, kEmptyKey);
+    ring_.FreeClaimed(op->ring_slot);
+    op->ring_slot = -1;
+    return false;
+  }
+
+  /// Terminal failure path (exhausted chain, dead end, or full handoff
+  /// ring).  A fresh op stashes or fails exactly as before.  A displaced
+  /// victim must never lose residency: it is copied into the stash
+  /// *before* its parked handoff copy is retired; when the stash is full
+  /// too, the pair stays parked (still findable) and the host-side sweep
+  /// after the launch reconciles it with the failure buffer.
+  void ResolveStuckOp(LaneOp* op, FailBuffer* fail, uint64_t* failed) {
+    if (op->ring_slot < 0) {
+      if (stash_keys_.empty() || !StashInsert(op->key, op->value)) {
+        fail->Push(op->key, op->value);
+        ++*failed;
+      }
+      return;
+    }
+    size_t stash_idx = 0;
+    if (!stash_keys_.empty() &&
+        StashInsert(op->key, ring_.CurrentValue(op->ring_slot), &stash_idx)) {
+      Value latest{};
+      if (ring_.Retire(op->ring_slot, op->ring_word, &latest)) {
+        // Propagate any upsert that hit the parked copy between the stash
+        // publish and the retire.
+        if (gpusim::Load(&stash_keys_[stash_idx]) == op->key) {
+          gpusim::StoreRacy(&stash_values_[stash_idx], latest);
+        }
+      } else {
+        // Claimed by a concurrent DELETE: withdraw the stash copy again.
+        StashRemoveAt(stash_idx, op->key);
+        ring_.FreeClaimed(op->ring_slot);
+      }
+      op->ring_slot = -1;
+      return;
+    }
+    fail->Push(op->key, op->value);
+    ++*failed;
+    // op->ring_slot stays set: the pair remains parked — and findable —
+    // until SweepHandoffLeftovers reconciles it after the launch.
+  }
+
+  /// Lock-free value upsert into a bucket slot believed to hold `key`.
+  /// The CAS pins the value read while the key matched, so the write can
+  /// never land in a slot an eviction chain re-keyed in between: either
+  /// the CAS fails (value already overwritten), or the key re-check after
+  /// the CAS catches the recycle and the second CAS restores the value we
+  /// displaced (nobody else has written since, or the restore fails
+  /// harmlessly).  Concurrent upserts of the same key remain
+  /// last-writer-wins, now with atomic arbitration instead of racy stores.
+  bool TryUpsertSlotValue(SubtableT& t, uint64_t loc, int s, Key key,
+                          Value value) {
+    for (;;) {
+      if (t.KeyAtAcquire(loc, s) != key) return false;
+      Value expected = t.ValueAt(loc, s);
+      if (expected == value) return true;
+      if (!t.CasValue(loc, s, expected, value)) continue;
+      if (t.KeyAtAcquire(loc, s) == key) return true;
+      t.CasValue(loc, s, value, expected);
+      return false;
     }
   }
 
@@ -1512,29 +1804,35 @@ class DynamicTable {
   bool UpdateIfPresentElsewhere(Key key, Value value, int skip_table) {
     int candidates[16];
     int n_cand = CandidateTables(key, candidates);
-    for (int c = 0; c < n_cand; ++c) {
-      if (candidates[c] == skip_table) continue;
-      SubtableT& t = tables_[candidates[c]];
-      uint64_t loc = t.BucketIndex(key);
-      gpusim::CountBucketRead();
-      Key snap[kSlots];
-      t.SnapshotKeys(loc, snap);
-      for (int s = 0; s < kSlots; ++s) {
-        if (snap[s] == key) {
-          // Unlocked upsert; same last-writer-wins contract as the
-          // prepare-phase probe.
-          t.StoreValueRacy(loc, s, value);
-          return true;
+    // Epoch-retry contract (see FindOneInternal): "absent elsewhere" is
+    // only trustworthy when no displacement overlapped the probe.  A copy
+    // in flight through another chain is updated in place in the handoff
+    // ring; the owning chain re-reads the parked value at retire time, so
+    // the update survives the re-homing.
+    for (int attempt = 0; attempt < kMaxProbeRetries; ++attempt) {
+      const uint64_t epoch = ring_.epoch();
+      for (int c = 0; c < n_cand; ++c) {
+        if (candidates[c] == skip_table) continue;
+        SubtableT& t = tables_[candidates[c]];
+        uint64_t loc = t.BucketIndex(key);
+        gpusim::CountBucketRead();
+        Key snap[kSlots];
+        t.SnapshotKeys(loc, snap);
+        for (int s = 0; s < kSlots; ++s) {
+          if (snap[s] != key) continue;
+          if (TryUpsertSlotValue(t, loc, s, key, value)) return true;
         }
       }
-    }
-    if (stash_size_.load(std::memory_order_relaxed) > 0) {
-      for (size_t i = 0; i < stash_keys_.size(); ++i) {
-        if (gpusim::Load(&stash_keys_[i]) == key) {
-          gpusim::StoreRacy(&stash_values_[i], value);
-          return true;
+      if (ring_.count() > 0 && ring_.UpdateValue(key, value)) return true;
+      if (stash_size_.load(std::memory_order_acquire) > 0) {
+        for (size_t i = 0; i < stash_keys_.size(); ++i) {
+          if (gpusim::LoadAcquire(&stash_keys_[i]) == key) {
+            gpusim::StoreRacy(&stash_values_[i], value);
+            return true;
+          }
         }
       }
+      if (ring_.epoch() == epoch) return false;
     }
     return false;
   }
@@ -1627,49 +1925,110 @@ class DynamicTable {
   }
 
   /// One lookup over the key's candidate buckets (≤2 in two-layer mode),
-  /// then the stash if one is configured and non-empty.
+  /// then the displaced-victim handoff ring, then the stash.
+  ///
+  /// Linearizable against concurrent eviction chains: a chain parks its
+  /// victim in the ring *before* overwriting the slot and retires it only
+  /// *after* the re-homed copy is published, and both transitions bump the
+  /// displacement epoch first.  So if this probe misses everywhere and the
+  /// epoch did not change across the whole probe, the key was genuinely
+  /// absent at the instant the probe started; otherwise a displacement
+  /// overlapped the probe and it retries.  Bucket hits re-validate the key
+  /// after reading the value (the overwrite unpublishes the old key before
+  /// writing the incoming pair), ruling out torn (key, value) results.
   bool FindOneInternal(Key k, Value* v) const {
     if (k == kEmptyKey) return false;
     int candidates[16];
     int n_cand = CandidateTables(k, candidates);
-    for (int c = 0; c < n_cand; ++c) {
-      const SubtableT& t = tables_[candidates[c]];
-      uint64_t loc = t.BucketIndex(k);
-      gpusim::CountBucketRead();
-      Key snap[kSlots];
-      t.SnapshotKeys(loc, snap);
-      for (int s = 0; s < kSlots; ++s) {
-        if (snap[s] == k) {
-          *v = t.ValueAt(loc, s);
+    for (int attempt = 0; attempt < kMaxProbeRetries; ++attempt) {
+      const uint64_t epoch = ring_.epoch();
+      for (int c = 0; c < n_cand; ++c) {
+        const SubtableT& t = tables_[candidates[c]];
+        uint64_t loc = t.BucketIndex(k);
+        gpusim::CountBucketRead();
+        Key snap[kSlots];
+        t.SnapshotKeys(loc, snap);
+        for (int s = 0; s < kSlots; ++s) {
+          if (snap[s] != k) continue;
+          Value val = t.ValueAt(loc, s);
+          if (t.KeyAtAcquire(loc, s) == k) {
+            *v = val;
+            return true;
+          }
+        }
+      }
+      if (ring_.count() > 0) {
+        gpusim::CountBucketRead();
+        if (ring_.TryFind(k, v)) {
+          stats_.handoff_hits.fetch_add(1, kRelaxed);
           return true;
         }
       }
+      if (stash_size_.load(std::memory_order_acquire) > 0) {
+        gpusim::CountBucketRead();
+        for (size_t i = 0; i < stash_keys_.size(); ++i) {
+          if (gpusim::LoadAcquire(&stash_keys_[i]) != k) continue;
+          Value val = gpusim::Load(&stash_values_[i]);
+          if (gpusim::Load(&stash_keys_[i]) == k) {
+            *v = val;
+            return true;
+          }
+        }
+      }
+      if (ring_.epoch() == epoch) return false;
     }
-    if (stash_size_.load(std::memory_order_relaxed) > 0) {
-      gpusim::CountBucketRead();
-      for (size_t i = 0; i < stash_keys_.size(); ++i) {
-        if (gpusim::Load(&stash_keys_[i]) == k) {
-          *v = gpusim::Load(&stash_values_[i]);
-          return true;
-        }
+    return false;  // unreachable absent a bug (see kMaxProbeRetries)
+  }
+
+  /// Claims a free stash slot for a failed insertion; false when full.
+  /// `slot_out` (optional) receives the claimed index.
+  ///
+  /// Publication order is load-bearing for lock-free readers: the slot is
+  /// claimed through stash_state_ (so a racing StashInsert can never write
+  /// its value into a slot another insert is about to publish), the
+  /// occupancy counter rises with release *before* the key becomes
+  /// visible (so a reader gating its scan on stash_size_ > 0 cannot skip
+  /// a published entry), and the key itself is stored last with release
+  /// (so a reader that observes it also observes the value).
+  bool StashInsert(Key k, Value v, size_t* slot_out = nullptr) {
+    for (size_t i = 0; i < stash_keys_.size(); ++i) {
+      if (gpusim::Load(&stash_state_[i]) != kStashVacant) continue;
+      if (!gpusim::AtomicCasWord(&stash_state_[i], kStashVacant, kStashBusy)) {
+        continue;
       }
+      stash_size_.fetch_add(1, std::memory_order_release);
+      // Racy by contract: a concurrent upsert of k may write the value
+      // slot the moment the key publishes it; last writer wins.
+      gpusim::StoreRacy(&stash_values_[i], v);
+      gpusim::StoreRelease(&stash_keys_[i], k);
+      bool ok = gpusim::AtomicCasWord(&stash_state_[i], kStashBusy, kStashLive);
+      DYCUCKOO_DCHECK(ok);
+      (void)ok;
+      stats_.stash_inserts.fetch_add(1, kRelaxed);
+      if (slot_out != nullptr) *slot_out = i;
+      return true;
     }
     return false;
   }
 
-  /// Claims a free stash slot for a failed insertion; false when full.
-  bool StashInsert(Key k, Value v) {
-    for (size_t i = 0; i < stash_keys_.size(); ++i) {
-      if (gpusim::AtomicCasWord(&stash_keys_[i], kEmptyKey, k)) {
-        // Racy by contract: a concurrent upsert of k may write the value
-        // slot the moment the key CAS publishes it; last writer wins.
-        gpusim::StoreRacy(&stash_values_[i], v);
-        stash_size_.fetch_add(1, kRelaxed);
-        stats_.stash_inserts.fetch_add(1, kRelaxed);
-        return true;
+  /// Removes the stash entry at slot `i` holding key `k` (device-side,
+  /// racing erasers allowed — exactly one wins).  Returns true for the
+  /// winner, which also owns the occupancy decrement and slot reclaim.
+  bool StashRemoveAt(size_t i, Key k) {
+    if (!gpusim::AtomicCasWord(&stash_keys_[i], k, kEmptyKey)) return false;
+    // The key-CAS winner owns the reclaim.  The state may still be kBusy
+    // when the key was caught mid-publish (value and key already written);
+    // the publisher's busy -> live transition takes no locks, so waiting
+    // for it here always makes progress.
+    for (;;) {
+      if (gpusim::LoadAcquire(&stash_state_[i]) == kStashLive &&
+          gpusim::AtomicCasWord(&stash_state_[i], kStashLive, kStashVacant)) {
+        break;
       }
+      std::this_thread::yield();
     }
-    return false;
+    stash_size_.fetch_sub(1, kRelaxed);
+    return true;
   }
 
   /// Stash insert that cannot fail: doubles the stash arrays (host memory,
@@ -1681,6 +2040,7 @@ class DynamicTable {
     const size_t new_cap = std::max<size_t>(16, old_cap * 2);
     std::vector<std::atomic<Key>> grown_keys(new_cap);
     std::vector<std::atomic<Value>> grown_values(new_cap);
+    std::vector<std::atomic<uint32_t>> grown_state(new_cap);
     for (size_t i = 0; i < new_cap; ++i) {
       grown_keys[i].store(kEmptyKey, std::memory_order_relaxed);
     }
@@ -1689,9 +2049,12 @@ class DynamicTable {
                           std::memory_order_relaxed);
       grown_values[i].store(stash_values_[i].load(std::memory_order_relaxed),
                             std::memory_order_relaxed);
+      grown_state[i].store(stash_state_[i].load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
     }
     stash_keys_ = std::move(grown_keys);
     stash_values_ = std::move(grown_values);
+    stash_state_ = std::move(grown_state);
     DYCUCKOO_CHECK(StashInsert(k, v));
   }
 
@@ -1710,6 +2073,7 @@ class DynamicTable {
       values.push_back(stash_values_[i].load(std::memory_order_relaxed));
       keys.push_back(k);
       stash_keys_[i].store(kEmptyKey, std::memory_order_relaxed);
+      stash_state_[i].store(kStashVacant, std::memory_order_relaxed);
       stash_size_.fetch_sub(1, kRelaxed);
     }
     if (keys.empty()) return;
@@ -1751,31 +2115,42 @@ class DynamicTable {
     uint64_t released = 0;
     int candidates[16];
     int n_cand = CandidateTables(k, candidates);
-    for (int c = 0; c < n_cand; ++c) {
-      if (candidates[c] == except_table) continue;
-      SubtableT& t = tables_[candidates[c]];
-      uint64_t loc = t.BucketIndex(k);
-      gpusim::CountBucketRead();
-      Key snap[kSlots];
-      t.SnapshotKeys(loc, snap);
-      for (int s = 0; s < kSlots; ++s) {
-        if (snap[s] == k) {
-          if (t.CasKey(loc, s, k, kEmptyKey)) {
-            t.AddSize(-1);
+    // Same epoch-retry contract as FindOneInternal: a miss is only final
+    // when no displacement overlapped the probe.  A key in flight through
+    // an eviction chain is claimed from the handoff ring instead — the
+    // claim linearizes the delete and the owning chain undoes its
+    // placement when it discovers the claim at retire time.
+    for (int attempt = 0; attempt < kMaxProbeRetries; ++attempt) {
+      const uint64_t epoch = ring_.epoch();
+      for (int c = 0; c < n_cand; ++c) {
+        if (candidates[c] == except_table) continue;
+        SubtableT& t = tables_[candidates[c]];
+        uint64_t loc = t.BucketIndex(k);
+        gpusim::CountBucketRead();
+        Key snap[kSlots];
+        t.SnapshotKeys(loc, snap);
+        for (int s = 0; s < kSlots; ++s) {
+          if (snap[s] == k) {
+            if (t.CasKey(loc, s, k, kEmptyKey)) {
+              t.AddSize(-1);
+              ++released;
+            }
+          }
+        }
+      }
+      if (stash_size_.load(std::memory_order_acquire) > 0) {
+        gpusim::CountBucketRead();
+        for (size_t i = 0; i < stash_keys_.size(); ++i) {
+          if (gpusim::Load(&stash_keys_[i]) == k && StashRemoveAt(i, k)) {
             ++released;
           }
         }
       }
-    }
-    if (stash_size_.load(std::memory_order_relaxed) > 0) {
-      gpusim::CountBucketRead();
-      for (size_t i = 0; i < stash_keys_.size(); ++i) {
-        if (gpusim::Load(&stash_keys_[i]) == k &&
-            gpusim::AtomicCasWord(&stash_keys_[i], k, kEmptyKey)) {
-          stash_size_.fetch_sub(1, kRelaxed);
-          ++released;
-        }
+      if (released == 0 && ring_.count() > 0 && ring_.TryClaimForDelete(k)) {
+        stats_.handoff_deletes.fetch_add(1, kRelaxed);
+        ++released;
       }
+      if (released > 0 || ring_.epoch() == epoch) break;
     }
     return released;
   }
@@ -1994,9 +2369,15 @@ class DynamicTable {
   uint64_t choice_salt_ = 0;
   std::vector<SubtableT> tables_;
   // Overflow stash (options_.stash_capacity entries; empty when disabled).
+  // stash_state_ serializes writers per slot (claim -> publish -> reclaim);
+  // readers validate purely through the key word and never touch it.
   std::vector<std::atomic<Key>> stash_keys_;
   std::vector<std::atomic<Value>> stash_values_;
+  std::vector<std::atomic<uint32_t>> stash_state_;
   std::atomic<uint64_t> stash_size_{0};
+  // Displaced-victim handoff (options_.handoff_capacity entries): keeps
+  // every key of an in-flight eviction chain reader-visible.
+  HandoffRing<Key, Value> ring_;
   mutable TableStats stats_;
 };
 

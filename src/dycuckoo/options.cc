@@ -34,6 +34,13 @@ Status DyCuckooOptions::Validate() const {
   if (max_eviction_chain < 1) {
     return Status::InvalidArgument("max_eviction_chain must be >= 1");
   }
+  if (handoff_capacity < 1) {
+    return Status::InvalidArgument("handoff_capacity must be >= 1");
+  }
+  if (eviction_delay_spins_for_test < 0) {
+    return Status::InvalidArgument(
+        "eviction_delay_spins_for_test must be >= 0");
+  }
   return Status::OK();
 }
 

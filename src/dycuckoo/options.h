@@ -80,6 +80,29 @@ struct DyCuckooOptions {
   /// every probe while it is non-empty.
   uint64_t stash_capacity = 0;
 
+  /// Capacity of the displaced-victim handoff ring, in entries.  Before an
+  /// eviction chain overwrites a victim's slot it parks the displaced pair
+  /// here so lock-free FIND/DELETE (buckets -> handoff -> stash) see every
+  /// resident key at every instant of the chain.  At most one entry per
+  /// in-flight chain is occupied, so warp width x active warps bounds the
+  /// useful size; when the ring is momentarily full the chain resolves the
+  /// incoming op via the stash / failure path instead (never dropping the
+  /// victim).  Must be >= 1.
+  uint64_t handoff_capacity = 256;
+
+  // --- Test-only hooks (never enable in production) ----------------------
+
+  /// Re-opens the eviction displacement window by overwriting the victim's
+  /// slot *without* parking it first (the pre-fix behavior).  Exists so the
+  /// linearizability checker can prove it detects the bug it guards
+  /// against.
+  bool unsafe_overwrite_before_park_for_test = false;
+
+  /// Yields this many times after an eviction chain unlocks the victim's
+  /// bucket and before it re-homes the victim, widening the displacement
+  /// window so races are observable on fast hosts.
+  int eviction_delay_spins_for_test = 0;
+
   /// Device memory arena; nullptr selects the process-global arena.
   gpusim::DeviceArena* arena = nullptr;
 

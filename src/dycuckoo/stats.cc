@@ -14,6 +14,10 @@ std::string TableStats::Snapshot::ToString() const {
      << " upsizes=" << upsizes << " downsizes=" << downsizes
      << " rehashed_kvs=" << rehashed_kvs << " residual_kvs=" << residual_kvs
      << " stash_inserts=" << stash_inserts << " stash_drains=" << stash_drains
+     << " parked_victims=" << parked_victims
+     << " handoff_hits=" << handoff_hits
+     << " handoff_full_fallbacks=" << handoff_full_fallbacks
+     << " handoff_deletes=" << handoff_deletes
      << " downsize_rollbacks=" << downsize_rollbacks
      << " degraded_batches=" << degraded_batches
      << " resize_oom_skips=" << resize_oom_skips

@@ -29,6 +29,15 @@ class TableStats {
   std::atomic<uint64_t> stash_inserts{0};    // failures absorbed by the stash
   std::atomic<uint64_t> stash_drains{0};     // stash entries moved back
 
+  // Eviction displacement handoff (docs/robustness.md "Consistency
+  // guarantees"): victims parked before their slot is overwritten, reads
+  // served from the ring, ring-full fallbacks, and DELETEs that consumed a
+  // parked entry.
+  std::atomic<uint64_t> parked_victims{0};
+  std::atomic<uint64_t> handoff_hits{0};
+  std::atomic<uint64_t> handoff_full_fallbacks{0};
+  std::atomic<uint64_t> handoff_deletes{0};
+
   // Recovery / fault-survival counters: how often the table degraded or
   // rolled back instead of failing (see docs/robustness.md).
   std::atomic<uint64_t> downsize_rollbacks{0};  // downsize undone losslessly
@@ -60,6 +69,10 @@ class TableStats {
     uint64_t residual_kvs = 0;
     uint64_t stash_inserts = 0;
     uint64_t stash_drains = 0;
+    uint64_t parked_victims = 0;
+    uint64_t handoff_hits = 0;
+    uint64_t handoff_full_fallbacks = 0;
+    uint64_t handoff_deletes = 0;
     uint64_t downsize_rollbacks = 0;
     uint64_t degraded_batches = 0;
     uint64_t resize_oom_skips = 0;
@@ -92,6 +105,11 @@ class TableStats {
     s.residual_kvs = residual_kvs.load(std::memory_order_relaxed);
     s.stash_inserts = stash_inserts.load(std::memory_order_relaxed);
     s.stash_drains = stash_drains.load(std::memory_order_relaxed);
+    s.parked_victims = parked_victims.load(std::memory_order_relaxed);
+    s.handoff_hits = handoff_hits.load(std::memory_order_relaxed);
+    s.handoff_full_fallbacks =
+        handoff_full_fallbacks.load(std::memory_order_relaxed);
+    s.handoff_deletes = handoff_deletes.load(std::memory_order_relaxed);
     s.downsize_rollbacks = downsize_rollbacks.load(std::memory_order_relaxed);
     s.degraded_batches = degraded_batches.load(std::memory_order_relaxed);
     s.resize_oom_skips = resize_oom_skips.load(std::memory_order_relaxed);

@@ -125,6 +125,16 @@ class Subtable {
     return gpusim::Load(&keys_[bucket * kSlots + slot]);
   }
 
+  /// Acquire-ordered key load, pairing with the release in StoreKey.  A
+  /// lock-free reader that observes a key through this accessor is
+  /// guaranteed to see the value stored before the key was published
+  /// (StoreSlot writes value first), so re-validating a snapshot hit with
+  /// KeyAtAcquire before reading the value rules out torn (key, value)
+  /// pairs.
+  Key KeyAtAcquire(uint64_t bucket, int slot) const {
+    return gpusim::LoadAcquire(&keys_[bucket * kSlots + slot]);
+  }
+
   /// Snapshots a bucket's key row — the simulated analogue of the single
   /// coalesced 128-byte transaction a warp issues on hardware.  memcpy from
   /// the atomic array lets the host compiler vectorize the subsequent
@@ -147,8 +157,10 @@ class Subtable {
     std::memcpy(out, reinterpret_cast<const char*>(values_ + bucket * kSlots),
                 sizeof(Value) * kSlots);
   }
+  /// Key stores publish with release ordering so the value written before
+  /// them (see StoreSlot) is visible to any reader that acquires the key.
   void StoreKey(uint64_t bucket, int slot, Key k) {
-    gpusim::Store(&keys_[bucket * kSlots + slot], k);
+    gpusim::StoreRelease(&keys_[bucket * kSlots + slot], k);
   }
   void StoreValue(uint64_t bucket, int slot, Value v) {
     gpusim::Store(&values_[bucket * kSlots + slot], v);
@@ -159,6 +171,10 @@ class Subtable {
   void StoreValueRacy(uint64_t bucket, int slot, Value v) {
     gpusim::StoreRacy(&values_[bucket * kSlots + slot], v);
   }
+  /// Publishes a (key, value) pair: value first, then the key with release
+  /// ordering.  When the slot currently holds a *different* live key the
+  /// caller must unpublish it first (StoreKey of kEmptyKey) so no reader
+  /// can pair the old key with the new value mid-overwrite.
   void StoreSlot(uint64_t bucket, int slot, Key k, Value v) {
     StoreValue(bucket, slot, v);
     StoreKey(bucket, slot, k);
@@ -168,6 +184,15 @@ class Subtable {
   /// kEmptyKey exchange decrements the size counter).
   bool CasKey(uint64_t bucket, int slot, Key expected, Key desired) {
     return gpusim::AtomicCasWord(&keys_[bucket * kSlots + slot], expected,
+                                 desired);
+  }
+
+  /// CAS on a value slot (the lock-free duplicate-upsert path): pinning the
+  /// value that was read while the key matched means the write can never
+  /// land in a slot an eviction chain has re-keyed in between — the CAS
+  /// fails instead, and the caller re-validates the key.
+  bool CasValue(uint64_t bucket, int slot, Value expected, Value desired) {
+    return gpusim::AtomicCasWord(&values_[bucket * kSlots + slot], expected,
                                  desired);
   }
 

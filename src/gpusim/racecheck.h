@@ -280,6 +280,18 @@ inline void Store(std::atomic<T>* addr, T value) {
   addr->store(value, std::memory_order_relaxed);
 }
 
+/// Checked store that publishes with release ordering.  Pairs with
+/// LoadAcquire on the same word: key-slot publication in the cuckoo
+/// buckets stores the value first and releases the key, so a reader that
+/// observes the key can never read a torn (key, value) pair.
+template <typename T>
+inline void StoreRelease(std::atomic<T>* addr, T value) {
+  if (RaceCheck* rc = RaceCheck::Active()) {
+    rc->OnStore(addr, static_cast<uint32_t>(sizeof(T)), /*racy_ok=*/false);
+  }
+  addr->store(value, std::memory_order_release);
+}
+
 /// Annotated racy store for documented last-writer-wins contracts (e.g.
 /// the unlocked duplicate-upsert value write): bounds/use-after-free
 /// checked and recorded, but never reported as a race.

@@ -43,6 +43,19 @@
 //                                          the ack is released only after
 //                                          the WAL group commit)
 //
+// Consistency (see docs/robustness.md "Consistency guarantees"): requests
+// coalesced into one micro-batch execute concurrently in a single mixed
+// grid launch, and the table's FIND-under-INSERT guarantee carries through
+// to responses: a key whose INSERT this server acknowledged (response OK
+// or kDataLoss) in an *earlier* batch, and whose DELETE it has not, is hit
+// by every subsequent FIND — even while inserts coalesced into the same
+// micro-batch displace pairs around it (the eviction handoff ring keeps
+// displaced victims reader-visible at every instant).  A FIND coalesced
+// into the same batch as an INSERT/DELETE of its key is concurrent with
+// it and may observe either side.  Value reads are last-writer-wins when
+// an upsert of a key races a displacement of that key within one batch;
+// membership is always linearizable.
+//
 // Durability: AttachDurability() hooks a durability::DurabilityManager in.
 // Each micro-batch's acknowledged writes are appended to the WAL and
 // flushed with ONE group commit before any of the batch's responses are

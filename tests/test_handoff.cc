@@ -1,0 +1,204 @@
+// Edge cases of the eviction displacement handoff ring (see
+// docs/robustness.md "Consistency guarantees"):
+//
+//  * FIND and upsert served from a parked copy while the victim has no
+//    bucket home;
+//  * DELETE of a parked key (the claim protocol) — the delete wins over
+//    the in-flight re-homing;
+//  * ring-full fallback: the incoming op is resolved through the
+//    stash/failure path and the victim is never dropped;
+//  * victims re-homed into concurrently-filling buckets under a heavy
+//    mixed insert/delete load, differentially checked against a model.
+//
+// The ParkVictimForTest hook freezes the exact mid-chain state a real
+// eviction passes through (bucket slot vacated, pair findable only via
+// the ring), making the first three cases deterministic.
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dycuckoo/dycuckoo.h"
+#include "test_util.h"
+
+namespace dycuckoo {
+namespace {
+
+std::unique_ptr<DyCuckooMap> MakeTable(uint64_t stash, uint64_t ring_cap,
+                                       bool auto_resize = true,
+                                       uint64_t capacity = 2048) {
+  DyCuckooOptions o;
+  o.initial_capacity = capacity;
+  o.stash_capacity = stash;
+  o.handoff_capacity = ring_cap;
+  o.auto_resize = auto_resize;
+  std::unique_ptr<DyCuckooMap> t;
+  EXPECT_TRUE(DyCuckooMap::Create(o, &t).ok());
+  return t;
+}
+
+TEST(HandoffRingTest, FindIsServedFromParkedVictim) {
+  auto t = MakeTable(/*stash=*/0, /*ring_cap=*/8);
+  auto keys = testing::UniqueKeys(200, 11);
+  ASSERT_TRUE(t->BulkInsert(keys, testing::SequentialValues(keys.size())).ok());
+
+  ASSERT_TRUE(t->ParkVictimForTest(keys[7]));
+  EXPECT_EQ(t->handoff_size(), 1u);
+
+  // The key's only copy lives in the ring; the probe order
+  // buckets -> handoff -> stash must still find it, with its value.
+  uint32_t v = 0;
+  uint8_t found = 0;
+  t->BulkFind(std::vector<uint32_t>{keys[7]}, &v, &found);
+  EXPECT_NE(found, 0);
+  EXPECT_EQ(v, 7u);
+  EXPECT_GT(t->stats().Capture().handoff_hits, 0u);
+
+  // Reconciliation re-homes the survivor; everything back to normal.
+  t->SweepHandoffForTest();
+  EXPECT_EQ(t->handoff_size(), 0u);
+  EXPECT_TRUE(t->Validate().ok());
+  t->BulkFind(std::vector<uint32_t>{keys[7]}, &v, &found);
+  EXPECT_NE(found, 0);
+  EXPECT_EQ(v, 7u);
+}
+
+TEST(HandoffRingTest, DeleteOfParkedKeyWins) {
+  auto t = MakeTable(/*stash=*/0, /*ring_cap=*/8);
+  auto keys = testing::UniqueKeys(200, 12);
+  ASSERT_TRUE(t->BulkInsert(keys, testing::SequentialValues(keys.size())).ok());
+  const uint64_t size_before = t->size();
+
+  ASSERT_TRUE(t->ParkVictimForTest(keys[3]));
+
+  // DELETE while the key's only copy is in flight: the claim protocol must
+  // count the release and the key must stay gone after reconciliation
+  // (the sweep drops claimed entries instead of re-homing them).
+  uint64_t erased = 0;
+  ASSERT_TRUE(t->BulkErase(std::vector<uint32_t>{keys[3]}, &erased).ok());
+  EXPECT_EQ(erased, 1u);
+  EXPECT_EQ(t->stats().Capture().handoff_deletes, 1u);
+
+  t->SweepHandoffForTest();
+  EXPECT_EQ(t->handoff_size(), 0u);
+  EXPECT_TRUE(t->Validate().ok());
+  uint8_t found = 0;
+  uint32_t v = 0;
+  t->BulkFind(std::vector<uint32_t>{keys[3]}, &v, &found);
+  EXPECT_EQ(found, 0);
+  EXPECT_EQ(t->size(), size_before - 1);
+}
+
+TEST(HandoffRingTest, UpsertOfParkedKeyUpdatesInFlightValue) {
+  auto t = MakeTable(/*stash=*/0, /*ring_cap=*/8);
+  auto keys = testing::UniqueKeys(200, 13);
+  ASSERT_TRUE(t->BulkInsert(keys, testing::SequentialValues(keys.size())).ok());
+
+  ASSERT_TRUE(t->ParkVictimForTest(keys[5]));
+  // An insert of the parked key is an upsert against the in-flight copy —
+  // the update must survive the re-homing.
+  ASSERT_TRUE(t->BulkInsert(std::vector<uint32_t>{keys[5]},
+                            std::vector<uint32_t>{777u})
+                  .ok());
+
+  t->SweepHandoffForTest();
+  EXPECT_TRUE(t->Validate().ok());
+  uint8_t found = 0;
+  uint32_t v = 0;
+  t->BulkFind(std::vector<uint32_t>{keys[5]}, &v, &found);
+  EXPECT_NE(found, 0);
+  EXPECT_EQ(v, 777u);
+}
+
+TEST(HandoffRingTest, RingFullFallbackNeverDropsTheVictim) {
+  // A capacity-1 ring pre-filled by a parked victim: every eviction chain
+  // of the next batch hits the ring-full fallback.  Incoming ops may
+  // stash or fail, but no already-resident key may vanish.
+  auto t = MakeTable(/*stash=*/16, /*ring_cap=*/1, /*auto_resize=*/false,
+                     /*capacity=*/4096);
+  auto keys = testing::UniqueKeys(3600, 14);
+  std::vector<uint32_t> resident(keys.begin(), keys.begin() + 3000);
+  ASSERT_TRUE(
+      t->BulkInsert(resident, testing::SequentialValues(resident.size()))
+          .ok());
+
+  ASSERT_TRUE(t->ParkVictimForTest(resident[42]));
+  EXPECT_EQ(t->handoff_size(), 1u);
+
+  // Dense inserts at ~0.75 filled: full buckets are routine, so chains
+  // must displace — and every park attempt fails on the full ring.
+  std::vector<uint32_t> fresh(keys.begin() + 3000, keys.end());
+  Status st = t->BulkInsert(fresh, testing::SequentialValues(fresh.size(),
+                                                             50000));
+  ASSERT_TRUE(st.ok() || st.IsInsertionFailure()) << st.ToString();
+  EXPECT_GT(t->stats().Capture().handoff_full_fallbacks, 0u);
+
+  // The post-launch sweep ran inside BulkInsert: the ring is empty and the
+  // planted victim was re-homed, not dropped.
+  EXPECT_EQ(t->handoff_size(), 0u);
+  EXPECT_TRUE(t->Validate().ok());
+  std::vector<uint32_t> out(resident.size());
+  std::vector<uint8_t> found(resident.size());
+  t->BulkFind(resident, out.data(), found.data());
+  for (size_t i = 0; i < resident.size(); ++i) {
+    ASSERT_NE(found[i], 0) << "resident key " << resident[i]
+                           << " lost in ring-full fallback";
+    ASSERT_EQ(out[i], static_cast<uint32_t>(i));
+  }
+}
+
+TEST(HandoffRingTest, VictimsRehomeIntoConcurrentlyFillingBuckets) {
+  // High-load mixed batches (disjoint keys per batch, so cross-batch
+  // semantics are exact) keep eviction chains re-homing victims into
+  // buckets that concurrent lanes are filling at the same time.  The
+  // table must match the model exactly at every rest point.
+  auto t = MakeTable(/*stash=*/64, /*ring_cap=*/256);
+  using Op = DyCuckooMap::MixedOp;
+  std::unordered_map<uint32_t, uint32_t> model;
+  SplitMix64 rng(0x5EED);
+  auto universe = testing::UniqueKeys(6000, 15);
+
+  for (int round = 0; round < 12; ++round) {
+    std::vector<Op> ops;
+    std::vector<uint8_t> used(universe.size(), 0);
+    for (int i = 0; i < 1200; ++i) {
+      uint64_t p = rng.NextBounded(universe.size());
+      if (used[p]) continue;
+      used[p] = 1;
+      Op op;
+      op.key = universe[p];
+      if (rng.NextBounded(10) < 7) {
+        op.type = Op::Type::kInsert;
+        op.value = static_cast<uint32_t>(rng.Next());
+        model[op.key] = op.value;
+      } else {
+        op.type = Op::Type::kErase;
+        model.erase(op.key);
+      }
+      ops.push_back(op);
+    }
+    ASSERT_TRUE(t->BulkExecute(ops).ok());
+    ASSERT_EQ(t->handoff_size(), 0u) << "round " << round;
+    ASSERT_EQ(t->size(), model.size()) << "round " << round;
+    ASSERT_TRUE(t->Validate().ok()) << "round " << round;
+  }
+  EXPECT_GT(t->stats().Capture().parked_victims, 0u)
+      << "load never displaced a victim; the test exercised nothing";
+
+  std::vector<uint32_t> all(universe);
+  std::vector<uint32_t> out(all.size());
+  std::vector<uint8_t> found(all.size());
+  t->BulkFind(all, out.data(), found.data());
+  for (size_t i = 0; i < all.size(); ++i) {
+    auto it = model.find(all[i]);
+    ASSERT_EQ(found[i] != 0, it != model.end()) << all[i];
+    if (found[i]) {
+      ASSERT_EQ(out[i], it->second);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dycuckoo

@@ -166,6 +166,57 @@ TEST_P(PropertyTest, MixedBatchesMatchModelAcrossBatches) {
   }
 }
 
+TEST_P(PropertyTest, ResidentKeysAlwaysFoundUnderConcurrentInserts) {
+  // The strict form of the FIND-under-INSERT guarantee (docs/robustness.md
+  // "Consistency guarantees"): a key acked as inserted and never deleted
+  // is found by EVERY concurrent FIND — no transient-miss allowance.
+  // Before the handoff ring closed the eviction displacement window this
+  // invariant flaked under DYCUCKOO_RACECHECK=1 plus load (a displaced
+  // victim was briefly invisible); it is now asserted unconditionally, and
+  // this test runs under RaceCheck/ASan/TSan in CI like every other.
+  const uint64_t seed = GetParam();
+  DyCuckooOptions o;
+  o.seed = seed;
+  o.initial_capacity = 2048;  // auto-resizes mid-run: chains + moves galore
+  std::unique_ptr<DyCuckooMap> t;
+  ASSERT_TRUE(DyCuckooMap::Create(o, &t).ok());
+  using Op = DyCuckooMap::MixedOp;
+
+  SplitMix64 rng(seed ^ 0x5AFE);
+  auto universe = UniqueKeys(12000, seed + 2);
+  std::vector<uint32_t> resident(universe.begin(), universe.begin() + 2000);
+  ASSERT_TRUE(
+      t->BulkInsert(resident, testing::SequentialValues(resident.size()))
+          .ok());
+
+  size_t next_fresh = 2000;
+  for (int round = 0; round < 10; ++round) {
+    std::vector<Op> ops;
+    for (int i = 0; i < 1000; ++i) {
+      Op op;
+      if (i % 2 == 0 && next_fresh < universe.size()) {
+        op.type = Op::Type::kInsert;
+        op.key = universe[next_fresh++];
+        op.value = static_cast<uint32_t>(rng.Next());
+      } else {
+        op.type = Op::Type::kFind;
+        op.key = resident[rng.NextBounded(resident.size())];
+      }
+      ops.push_back(op);
+    }
+    ASSERT_TRUE(t->BulkExecute(ops).ok());
+    for (const Op& op : ops) {
+      if (op.type != Op::Type::kFind) continue;
+      ASSERT_NE(op.hit, 0) << "seed " << seed << " round " << round
+                           << ": resident key " << op.key
+                           << " transiently missed during displacement";
+    }
+  }
+  EXPECT_GT(t->stats().Capture().evictions, 0u)
+      << "no eviction chains ran; the test exercised nothing";
+  EXPECT_TRUE(t->Validate().ok());
+}
+
 TEST_P(PropertyTest, ArenaNeverLeaksAcrossTableLifetime) {
   const uint64_t seed = GetParam();
   gpusim::DeviceArena arena(256 << 20);

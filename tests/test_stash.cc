@@ -2,6 +2,7 @@
 // insertion whose eviction chain is exhausted parks in a small stash
 // instead of failing / forcing another upsizing round.
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -140,6 +141,76 @@ TEST(StashTest, DynamicModeNeedsFewerUpsizeRounds) {
     return t->stats().upsizes.load();
   };
   EXPECT_LE(run(512), run(0));
+}
+
+TEST(StashTest, ConcurrentFindSeesStashWhileVictimsArePublished) {
+  // Regression for the stash-visibility race (the cousin of the eviction
+  // displacement window): FIND's stash scan is gated on the occupancy
+  // counter, and StashInsert publishes value-then-key under that gate.
+  // With relaxed ordering a reader could load a stale zero occupancy — or
+  // see the key before its value — and miss or misread a *resident* key
+  // while a concurrent eviction chain was parking its displaced victim in
+  // the stash.  The fix acquire-gates the scan and release-publishes the
+  // key; this test drives exactly that traffic and asserts the hard
+  // invariant (it also runs under TSan/RaceCheck in CI, which flag the
+  // ordering itself).
+  //
+  // A capacity-1 handoff ring pre-filled by a parked victim makes every
+  // eviction chain fall back to stashing mid-launch, so stash publication
+  // races the FINDs of the same batch.
+  DyCuckooOptions o;
+  o.auto_resize = false;
+  o.initial_capacity = 2048;
+  o.max_eviction_chain = 8;
+  o.stash_capacity = 256;
+  o.handoff_capacity = 1;
+  auto t = MakeTable(o);
+
+  auto keys = UniqueKeys(2200, 17);
+  std::vector<uint32_t> resident(keys.begin(), keys.begin() + 1500);
+  ASSERT_TRUE(t->BulkInsert(resident, SequentialValues(resident.size())).ok());
+  ASSERT_TRUE(t->ParkVictimForTest(resident[7]));
+
+  using Op = DyCuckooMap::MixedOp;
+  SplitMix64 rng(0x57A5);
+  size_t next_fresh = 1500;
+  const uint64_t stashed_before = t->stats().Capture().stash_inserts;
+  for (int round = 0; round < 6 && next_fresh < keys.size(); ++round) {
+    std::vector<Op> ops;
+    for (int i = 0; i < 600; ++i) {
+      Op op;
+      if (i % 6 == 0 && next_fresh < keys.size()) {
+        // Fresh inserts at ~0.73 filled: chains displace, the full ring
+        // rejects every park, and victims spill into the stash.
+        op.type = Op::Type::kInsert;
+        op.key = keys[next_fresh++];
+        op.value = 90000u + static_cast<uint32_t>(op.key);
+      } else {
+        op.type = Op::Type::kFind;
+        op.key = resident[rng.NextBounded(resident.size())];
+      }
+      ops.push_back(op);
+    }
+    Status st = t->BulkExecute(ops);
+    ASSERT_TRUE(st.ok() || st.IsInsertionFailure()) << st.ToString();
+    for (const Op& op : ops) {
+      if (op.type != Op::Type::kFind) continue;
+      ASSERT_NE(op.hit, 0)
+          << "resident key " << op.key
+          << " invisible while the stash was being published (round "
+          << round << ")";
+      ASSERT_EQ(op.value, static_cast<uint32_t>(
+                              std::find(resident.begin(), resident.end(),
+                                        op.key) -
+                              resident.begin()));
+    }
+  }
+  // The race must actually have been exercised: chains hit the full ring
+  // and published into the stash mid-launch, racing the batch's FINDs.
+  EXPECT_GT(t->stats().Capture().handoff_full_fallbacks, 0u);
+  EXPECT_GT(t->stats().Capture().stash_inserts, stashed_before)
+      << "no stash traffic: the test exercised nothing";
+  EXPECT_TRUE(t->Validate().ok());
 }
 
 TEST(StashTest, DisabledStashKeepsMemoryFootprint) {

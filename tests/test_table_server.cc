@@ -79,6 +79,62 @@ TEST(TableServerTest, InsertThenFindRoundTrip) {
   EXPECT_FALSE(server->TakeResponse(w, &resp));  // taken once
 }
 
+TEST(TableServerTest, AckedKeysAlwaysFoundUnderCoalescedInserts) {
+  // The server-level FIND-under-INSERT guarantee (see the header's
+  // "Consistency" contract): keys acknowledged in earlier batches must be
+  // hit by every later FIND, even when that FIND is coalesced into the
+  // same micro-batch — the same mixed grid launch — as inserts whose
+  // eviction chains displace pairs around it.  Before the handoff ring,
+  // a displaced victim was transiently invisible to exactly this FIND.
+  TableServerOptions sopt;
+  sopt.max_batch_ops = 4096;  // finds + fresh inserts coalesce into one launch
+  DyCuckooOptions topt;
+  topt.initial_capacity = 2048;  // auto-resizes mid-run: constant chains
+  auto server = MakeServer(sopt, topt);
+
+  auto universe = testing::UniqueKeys(12000, 31);
+  std::vector<uint32_t> resident(universe.begin(), universe.begin() + 2000);
+  auto values = testing::SequentialValues(resident.size(), 500);
+  server->Submit(InsertReq(resident, values));
+  server->RunUntilIdle();  // the resident set is now acknowledged
+
+  SplitMix64 rng(0xACED);
+  size_t next_fresh = 2000;
+  for (int round = 0; round < 8; ++round) {
+    // One pending FIND of acked keys + enough fresh-insert requests to
+    // keep eviction chains running, all drained in the same micro-batch.
+    std::vector<uint32_t> probe;
+    for (int i = 0; i < 400; ++i) {
+      probe.push_back(resident[rng.NextBounded(resident.size())]);
+    }
+    uint64_t find_id = server->Submit(FindReq(probe));
+    std::vector<uint32_t> fresh(universe.begin() + next_fresh,
+                                universe.begin() + next_fresh + 500);
+    next_fresh += 500;
+    uint64_t ins_id = server->Submit(
+        InsertReq(fresh, testing::SequentialValues(fresh.size())));
+    server->RunUntilIdle();
+
+    Server::Response resp;
+    ASSERT_TRUE(server->TakeResponse(find_id, &resp));
+    ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+    ASSERT_EQ(resp.results.size(), probe.size());
+    for (size_t i = 0; i < probe.size(); ++i) {
+      ASSERT_EQ(resp.results[i].hit, 1u)
+          << "acked key " << probe[i] << " missed in round " << round
+          << " while coalesced inserts were displacing pairs";
+      uint32_t idx = static_cast<uint32_t>(
+          std::find(resident.begin(), resident.end(), probe[i]) -
+          resident.begin());
+      ASSERT_EQ(resp.results[i].value, 500 + idx);
+    }
+    ASSERT_TRUE(server->TakeResponse(ins_id, &resp));
+    ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+  }
+  EXPECT_GT(server->table()->stats().Capture().evictions, 0u)
+      << "no eviction chains ran; the test proved nothing";
+}
+
 TEST(TableServerTest, EraseReportsHits) {
   auto server = MakeServer({});
   auto keys = testing::UniqueKeys(100);
