@@ -5,8 +5,12 @@
 // timeline — means can hide what maxima reveal.
 
 #include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
+#include "service/shard_router.h"
 
 namespace dycuckoo {
 namespace bench {
@@ -47,9 +51,130 @@ LatencyProfile Profile(HashTableInterface* table,
   return p;
 }
 
+// --- Sharded tail latency -------------------------------------------------
+//
+// The fault-isolation argument has a latency corollary: with the keyspace
+// partitioned across N independent tables (service::ShardRouter), a resize
+// stalls only the 1/N of each batch routed to the resizing shard.  Per-
+// shard per-batch latencies quantify that: the p99 of any one shard sits
+// well below the monolithic table's, because no shard ever rehashes the
+// whole keyspace at once.  Shard count comes from DYCUCKOO_BENCH_SHARDS
+// (default 4, matching the CI chaos matrix).
+
+struct ShardLatency {
+  uint32_t shard;
+  double mean_ms;
+  double p50_ms;
+  double p99_ms;
+  double max_ms;
+};
+
+std::vector<ShardLatency> ProfileSharded(
+    uint32_t num_shards, uint64_t seed,
+    const DynamicConfig& base_cfg,
+    const std::vector<workload::DynamicBatch>& batches) {
+  service::ShardRouter router(num_shards, seed);
+  std::vector<std::unique_ptr<HashTableInterface>> tables;
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    DynamicConfig cfg = base_cfg;
+    cfg.initial_capacity =
+        std::max<uint64_t>(1024, base_cfg.initial_capacity / num_shards);
+    cfg.seed = base_cfg.seed + s;
+    tables.push_back(MakeDyCuckooDynamic(cfg));
+  }
+
+  std::vector<std::vector<double>> ms(num_shards);
+  std::vector<uint32_t> ik, iv, fk, dk, out;
+  std::vector<uint8_t> found;
+  for (const auto& b : batches) {
+    for (uint32_t s = 0; s < num_shards; ++s) {
+      ik.clear();
+      iv.clear();
+      fk.clear();
+      dk.clear();
+      for (size_t i = 0; i < b.insert_keys.size(); ++i) {
+        if (router.ShardOf(b.insert_keys[i]) == s) {
+          ik.push_back(b.insert_keys[i]);
+          iv.push_back(b.insert_values[i]);
+        }
+      }
+      for (uint32_t k : b.find_keys) {
+        if (router.ShardOf(k) == s) fk.push_back(k);
+      }
+      for (uint32_t k : b.delete_keys) {
+        if (router.ShardOf(k) == s) dk.push_back(k);
+      }
+      Timer timer;
+      Status st = tables[s]->BulkInsert(ik, iv);
+      if (!st.ok() && !st.IsInsertionFailure()) CheckOk(st, "shard insert");
+      out.resize(fk.size());
+      found.resize(fk.size());
+      tables[s]->BulkFind(fk, out.data(), found.data());
+      CheckOk(tables[s]->BulkErase(dk), "shard erase");
+      ms[s].push_back(timer.ElapsedMillis());
+    }
+  }
+
+  std::vector<ShardLatency> profiles;
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    std::sort(ms[s].begin(), ms[s].end());
+    double sum = 0;
+    for (double m : ms[s]) sum += m;
+    ShardLatency p;
+    p.shard = s;
+    p.mean_ms = sum / static_cast<double>(ms[s].size());
+    p.p50_ms = ms[s][ms[s].size() / 2];
+    p.p99_ms = ms[s][std::min(ms[s].size() - 1,
+                              static_cast<size_t>(ms[s].size() * 0.99))];
+    p.max_ms = ms[s].back();
+    profiles.push_back(p);
+  }
+  return profiles;
+}
+
+struct ShardedDatasetResult {
+  std::string dataset;
+  std::vector<ShardLatency> shards;
+};
+
+void WriteShardsJson(const std::string& path, uint32_t num_shards,
+                     const std::vector<ShardedDatasetResult>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"stability_latency\",\n");
+  std::fprintf(f, "  \"num_shards\": %u,\n  \"datasets\": [\n", num_shards);
+  for (size_t d = 0; d < results.size(); ++d) {
+    std::fprintf(f, "    {\"name\": \"%s\", \"shards\": [\n",
+                 results[d].dataset.c_str());
+    for (size_t s = 0; s < results[d].shards.size(); ++s) {
+      const ShardLatency& p = results[d].shards[s];
+      std::fprintf(f,
+                   "      {\"shard\": %u, \"mean_ms\": %.4f, "
+                   "\"p50_ms\": %.4f, \"p99_ms\": %.4f, \"max_ms\": %.4f}%s\n",
+                   p.shard, p.mean_ms, p.p50_ms, p.p99_ms, p.max_ms,
+                   s + 1 < results[d].shards.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]}%s\n", d + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+uint32_t BenchShardsFromEnv() {
+  const char* env = std::getenv("DYCUCKOO_BENCH_SHARDS");
+  if (env == nullptr || *env == '\0') return 4;
+  unsigned long n = std::strtoul(env, nullptr, 0);
+  return n == 0 ? 4 : static_cast<uint32_t>(n);
+}
+
 int Main(int argc, char** argv) {
   BenchArgs args = BenchArgs::Parse(argc, argv, /*default_scale=*/0.002);
   auto datasets = AllDatasets(args.scale, args.seed);
+  const uint32_t num_shards = BenchShardsFromEnv();
+  std::vector<ShardedDatasetResult> sharded_results;
 
   PrintHeader("Stability: per-batch latency distribution over the dynamic "
               "timeline (r=0.2, scale=" + Fmt(args.scale, 4) + ")",
@@ -79,7 +204,23 @@ int Main(int argc, char** argv) {
               Fmt(pm.max_ms, 3), Fmt(pm.max_over_mean, 1)});
     PrintRow({data.name, "DyCuckoo", Fmt(pd.mean_ms, 3), Fmt(pd.p99_ms, 3),
               Fmt(pd.max_ms, 3), Fmt(pd.max_over_mean, 1)});
+
+    ShardedDatasetResult sharded;
+    sharded.dataset = data.name;
+    sharded.shards = ProfileSharded(num_shards, args.seed, cfg, batches);
+    for (const ShardLatency& p : sharded.shards) {
+      PrintRow({data.name,
+                "DyCuckoo-shard" + std::to_string(p.shard) + "/" +
+                    std::to_string(num_shards),
+                Fmt(p.mean_ms, 3), Fmt(p.p99_ms, 3), Fmt(p.max_ms, 3),
+                Fmt(p.max_ms / std::max(p.mean_ms, 1e-9), 1)});
+    }
+    sharded_results.push_back(std::move(sharded));
   }
+  WriteShardsJson("BENCH_shards.json", num_shards, sharded_results);
+  std::printf("# per-shard p50/p99 written to BENCH_shards.json (%u shards; "
+              "override with DYCUCKOO_BENCH_SHARDS)\n",
+              num_shards);
   return 0;
 }
 

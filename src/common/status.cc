@@ -41,6 +41,18 @@ std::string Status::ToString() const {
     out += ": ";
     out += message_;
   }
+  if (details_ && !details_->empty()) {
+    out += " {";
+    bool first = true;
+    for (const Detail& d : *details_) {
+      if (!first) out += ", ";
+      first = false;
+      out += d.first;
+      out += '=';
+      out += d.second;
+    }
+    out += '}';
+  }
   return out;
 }
 

@@ -8,8 +8,11 @@
 #ifndef DYCUCKOO_COMMON_STATUS_H_
 #define DYCUCKOO_COMMON_STATUS_H_
 
+#include <memory>
 #include <string>
+#include <string_view>
 #include <utility>
+#include <vector>
 
 namespace dycuckoo {
 
@@ -88,7 +91,47 @@ class Status {
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
   bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
 
-  /// "OK" or "<code>: <message>".
+  // --- Machine-readable details --------------------------------------------
+  //
+  // A non-OK status can carry structured key/value details alongside the
+  // human-readable message, so clients can react programmatically (e.g. a
+  // quarantined-shard rejection names the shard and a retry-after hint)
+  // without parsing free-form text.  Details are immutable once attached:
+  // copies of a Status share the same detail vector.
+
+  /// One structured detail: {key, value}, both UTF-8 strings.
+  using Detail = std::pair<std::string, std::string>;
+
+  /// Returns a copy of this status with `key` = `value` attached (existing
+  /// details are kept; a repeated key shadows the earlier entry in
+  /// FindDetail).  Chainable: Status::Unavailable(...).WithDetail(...).
+  Status WithDetail(std::string key, std::string value) const {
+    Status s = *this;
+    auto details = s.details_
+                       ? std::make_shared<std::vector<Detail>>(*s.details_)
+                       : std::make_shared<std::vector<Detail>>();
+    details->emplace_back(std::move(key), std::move(value));
+    s.details_ = std::move(details);
+    return s;
+  }
+
+  /// The value attached under `key`, or nullptr.  The newest entry wins
+  /// when a key was attached more than once.
+  const std::string* FindDetail(std::string_view key) const {
+    if (!details_) return nullptr;
+    for (auto it = details_->rbegin(); it != details_->rend(); ++it) {
+      if (it->first == key) return &it->second;
+    }
+    return nullptr;
+  }
+
+  /// Every attached detail, in attachment order (empty for most statuses).
+  const std::vector<Detail>& details() const {
+    static const std::vector<Detail> kEmpty;
+    return details_ ? *details_ : kEmpty;
+  }
+
+  /// "OK" or "<code>: <message>" plus " {k=v, ...}" when details exist.
   std::string ToString() const;
 
   bool operator==(const Status& other) const { return code_ == other.code_; }
@@ -99,6 +142,9 @@ class Status {
 
   StatusCode code_ = StatusCode::kOk;
   std::string message_;
+  /// Shared, effectively-immutable detail list (null when none attached):
+  /// copying a Status stays cheap and detail-free statuses pay nothing.
+  std::shared_ptr<const std::vector<Detail>> details_;
 };
 
 /// Evaluates an expression returning Status and propagates failure upward.

@@ -43,11 +43,18 @@ Status CrashedStatus() {
 
 }  // namespace
 
+const char* CheckpointStore::ScopedName(const char* name) {
+  if (scope_.empty()) return name;
+  scoped_name_ = scope_;
+  scoped_name_ += name;
+  return scoped_name_.c_str();
+}
+
 Status CheckpointStore::AppendEntry(uint64_t checkpoint_lsn,
                                     const std::string& snapshot) {
   if (dead_) return CrashedStatus();
   auto* injector = gpusim::FaultInjector::Active();
-  if (injector && injector->OnKillPoint("ckpt.begin")) {
+  if (injector && injector->OnKillPoint(ScopedName("ckpt.begin"))) {
     dead_ = true;
     return CrashedStatus();
   }
@@ -62,8 +69,8 @@ Status CheckpointStore::AppendEntry(uint64_t checkpoint_lsn,
   uint32_t crc = Crc32Update(0, entry.data() + 8, entry.size() - 8);
   PutU32(&entry, crc);
 
-  gpusim::IoWriteFault fault =
-      injector ? injector->OnIoFlush() : gpusim::IoWriteFault::kNone;
+  gpusim::IoWriteFault fault = injector ? injector->OnIoFlush(scope_.c_str())
+                                        : gpusim::IoWriteFault::kNone;
   switch (fault) {
     case gpusim::IoWriteFault::kFailCleanly:
       ++append_failures_;
@@ -99,7 +106,7 @@ Status CheckpointStore::AppendEntry(uint64_t checkpoint_lsn,
   // is on storage.
   size_t written = std::min(kCheckpointChunkBytes, entry.size());
   durable_.append(entry.data(), written);
-  if (injector && injector->OnKillPoint("ckpt.mid")) {
+  if (injector && injector->OnKillPoint(ScopedName("ckpt.mid"))) {
     dead_ = true;
     return CrashedStatus();
   }
@@ -109,7 +116,7 @@ Status CheckpointStore::AppendEntry(uint64_t checkpoint_lsn,
     written += n;
   }
   ++entries_written_;
-  if (injector && injector->OnKillPoint("ckpt.entry_end")) {
+  if (injector && injector->OnKillPoint(ScopedName("ckpt.entry_end"))) {
     dead_ = true;
     return CrashedStatus();
   }

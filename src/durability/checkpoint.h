@@ -35,11 +35,19 @@ struct CheckpointEntryView {
 
 class CheckpointStore {
  public:
+  /// An unscoped store (single-table deployments), or one scoped to a
+  /// fault domain: `scope` (e.g. "shard-00003/") prefixes every kill-point
+  /// name the store crosses and is passed to OnIoFlush, so chaos campaigns
+  /// can target one shard's checkpoint stream.
+  explicit CheckpointStore(std::string scope = "")
+      : scope_(std::move(scope)) {}
+
   /// Appends one entry wrapping `snapshot`, in chunks, consulting the
   /// active FaultInjector for I/O faults and the kill points ckpt.begin /
-  /// ckpt.mid / ckpt.entry_end.  On a clean injected failure nothing is
-  /// persisted and the caller may retry; on a crash-style fault a partial
-  /// or corrupted entry is persisted and the store goes dead.
+  /// ckpt.mid / ckpt.entry_end (scope-prefixed when scoped).  On a clean
+  /// injected failure nothing is persisted and the caller may retry; on a
+  /// crash-style fault a partial or corrupted entry is persisted and the
+  /// store goes dead.
   Status AppendEntry(uint64_t checkpoint_lsn, const std::string& snapshot);
 
   /// Keeps the newest `keep` valid entries (and any newer invalid bytes);
@@ -54,11 +62,17 @@ class CheckpointStore {
 
   bool dead() const { return dead_; }
   const std::string& durable_image() const { return durable_; }
+  const std::string& scope() const { return scope_; }
   uint64_t entries_written() const { return entries_written_; }
   uint64_t append_failures() const { return append_failures_; }
   uint64_t prunes() const { return prunes_; }
 
  private:
+  /// Scope-prefixed kill-point name (see WalWriter::ScopedName).
+  const char* ScopedName(const char* name);
+
+  std::string scope_;
+  std::string scoped_name_;  // scratch buffer for ScopedName
   std::string durable_;
   bool dead_ = false;
   uint64_t entries_written_ = 0;

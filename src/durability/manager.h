@@ -72,9 +72,17 @@ class DurabilityManager {
  public:
   using Table = DynamicTable<Key, Value>;
 
+  /// `scope` names this manager's fault domain (a shard's segment scope,
+  /// e.g. "shard-00003/"): it prefixes every durability kill point and
+  /// I/O-fault consultation underneath, so chaos campaigns can crash one
+  /// shard's WAL/checkpoint stream while the rest of the fleet runs
+  /// clean.  Empty = unscoped (the single-table deployment).
   explicit DurabilityManager(const DurabilityOptions& options = {},
-                             uint64_t start_lsn = 1)
-      : options_(options), wal_(start_lsn) {
+                             uint64_t start_lsn = 1, std::string scope = "")
+      : options_(options),
+        scope_(std::move(scope)),
+        wal_(start_lsn, scope_),
+        checkpoints_(scope_) {
     if (options_.keep_checkpoints < 2) options_.keep_checkpoints = 2;
   }
 
@@ -154,7 +162,9 @@ class DurabilityManager {
     st = Commit();
     if (dead()) return st;
     auto* injector = gpusim::FaultInjector::Active();
-    if (injector && injector->OnKillPoint("ckpt.mark")) {
+    if (injector && injector->OnKillPoint(
+                        scope_.empty() ? "ckpt.mark"
+                                       : (scope_ + "ckpt.mark").c_str())) {
       killed_ = true;
       return Status::Unavailable("durability: simulated crash at ckpt.mark");
     }
@@ -188,10 +198,12 @@ class DurabilityManager {
   const CheckpointStore& checkpoints() const { return checkpoints_; }
   const DurabilityStats& stats() const { return stats_; }
   const DurabilityOptions& options() const { return options_; }
+  const std::string& scope() const { return scope_; }
   uint64_t last_checkpoint_lsn() const { return last_checkpoint_lsn_; }
 
  private:
   DurabilityOptions options_;
+  std::string scope_;
   WalWriter<Key, Value> wal_;
   CheckpointStore checkpoints_;
   DurabilityStats stats_;

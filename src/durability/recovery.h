@@ -36,8 +36,19 @@
 namespace dycuckoo {
 namespace durability {
 
+/// Identity of the log a recovery is reading: which shard's WAL segment
+/// this is.  A single-table deployment can leave it defaulted; a sharded
+/// one passes each shard's id and segment name so two shards whose logs
+/// happen to hold identical bytes still produce distinguishable reports.
+struct RecoverySource {
+  uint64_t shard_id = 0;
+  std::string segment;  // WAL segment name, e.g. "wal-00003-of-00016.seg"
+};
+
 /// What a recovery did, for operators and for determinism checks.
 struct RecoveryReport {
+  uint64_t shard_id = 0;            // identity of the log summarized here
+  std::string segment;              // WAL segment name ("" = unsharded)
   uint64_t checkpoint_lsn = 0;      // 0 = no usable checkpoint (empty start)
   uint64_t checkpoints_scanned = 0;
   uint64_t checkpoints_corrupt = 0;
@@ -47,7 +58,10 @@ struct RecoveryReport {
   uint64_t last_lsn = 0;             // highest intact LSN seen (0 = none)
   uint64_t torn_tail_bytes = 0;      // bytes discarded at the torn tail
 
-  /// FNV-1a over every field; equal digests <=> identical recoveries.
+  /// FNV-1a over every field, the source identity included; equal digests
+  /// <=> identical recoveries *of the same log*.  Two shards replaying
+  /// byte-identical segments still differ, because the digest covers
+  /// shard_id and segment.
   uint64_t Digest() const {
     uint64_t h = 1469598103934665603ull;
     auto mix = [&h](uint64_t v) {
@@ -56,6 +70,12 @@ struct RecoveryReport {
         h *= 1099511628211ull;
       }
     };
+    mix(shard_id);
+    mix(segment.size());
+    for (char c : segment) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
     mix(checkpoint_lsn);
     mix(checkpoints_scanned);
     mix(checkpoints_corrupt);
@@ -65,6 +85,23 @@ struct RecoveryReport {
     mix(last_lsn);
     mix(torn_tail_bytes);
     return h;
+  }
+
+  /// Operator-facing one-report summary (chaos artifacts, heal logs).
+  std::string ToString() const {
+    std::ostringstream os;
+    os << "RecoveryReport{shard=" << shard_id << " segment="
+       << (segment.empty() ? "<unsharded>" : segment)
+       << " checkpoint_lsn=" << checkpoint_lsn
+       << " checkpoints_scanned=" << checkpoints_scanned
+       << " checkpoints_corrupt=" << checkpoints_corrupt
+       << " wal_scanned=" << wal_records_scanned
+       << " wal_applied=" << wal_records_applied
+       << " wal_skipped=" << wal_records_skipped
+       << " last_lsn=" << last_lsn
+       << " torn_tail_bytes=" << torn_tail_bytes
+       << " digest=" << Digest() << "}";
+    return os.str();
   }
 };
 
@@ -104,8 +141,10 @@ template <typename Key, typename Value>
 Status Recover(std::istream& checkpoint_stream, std::istream& wal_stream,
                const DyCuckooOptions& options,
                std::unique_ptr<DynamicTable<Key, Value>>* out,
-               RecoveryReport* report) {
+               RecoveryReport* report, const RecoverySource& source = {}) {
   *report = RecoveryReport{};
+  report->shard_id = source.shard_id;
+  report->segment = source.segment;
   out->reset();
   const std::string ckpt_image = internal::DrainStream(checkpoint_stream);
   const std::string wal_image = internal::DrainStream(wal_stream);

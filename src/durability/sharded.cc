@@ -1,0 +1,183 @@
+#include "durability/sharded.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/hash.h"
+
+namespace dycuckoo {
+namespace durability {
+
+namespace {
+
+std::string FixedWidth(const char* prefix, uint32_t shard_id,
+                       uint32_t num_shards, const char* suffix) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s%05u-of-%05u%s", prefix, shard_id,
+                num_shards, suffix);
+  return buf;
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+bool GetU32(const std::string& in, size_t* off, uint32_t* v) {
+  if (*off + sizeof(*v) > in.size()) return false;
+  std::memcpy(v, in.data() + *off, sizeof(*v));
+  *off += sizeof(*v);
+  return true;
+}
+
+bool GetU64(const std::string& in, size_t* off, uint64_t* v) {
+  if (*off + sizeof(*v) > in.size()) return false;
+  std::memcpy(v, in.data() + *off, sizeof(*v));
+  *off += sizeof(*v);
+  return true;
+}
+
+bool GetString(const std::string& in, size_t* off, std::string* s) {
+  uint32_t len = 0;
+  if (!GetU32(in, off, &len)) return false;
+  if (*off + len > in.size()) return false;
+  s->assign(in, *off, len);
+  *off += len;
+  return true;
+}
+
+}  // namespace
+
+std::string ShardScope(uint32_t shard_id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "shard-%05u/", shard_id);
+  return buf;
+}
+
+std::string WalSegmentName(uint32_t shard_id, uint32_t num_shards) {
+  return FixedWidth("wal-", shard_id, num_shards, ".seg");
+}
+
+std::string CheckpointSegmentName(uint32_t shard_id, uint32_t num_shards) {
+  return FixedWidth("ckpt-", shard_id, num_shards, ".seg");
+}
+
+ShardManifest ShardManifest::Make(uint32_t num_shards, uint64_t router_seed,
+                                  uint32_t key_width, uint32_t value_width) {
+  ShardManifest m;
+  m.num_shards = num_shards;
+  m.router_seed = router_seed;
+  m.key_width = key_width;
+  m.value_width = value_width;
+  m.shards.reserve(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    ShardManifestEntry e;
+    e.shard_id = s;
+    e.wal_segment = WalSegmentName(s, num_shards);
+    e.checkpoint_segment = CheckpointSegmentName(s, num_shards);
+    m.shards.push_back(std::move(e));
+  }
+  return m;
+}
+
+std::string ShardManifest::Encode() const {
+  std::string out;
+  PutU64(&out, kShardManifestMagic);
+  PutU64(&out, kShardManifestVersion);
+  PutU32(&out, num_shards);
+  PutU32(&out, key_width);
+  PutU32(&out, value_width);
+  PutU64(&out, router_seed);
+  PutU32(&out, static_cast<uint32_t>(shards.size()));
+  for (const ShardManifestEntry& e : shards) {
+    PutU32(&out, e.shard_id);
+    PutString(&out, e.wal_segment);
+    PutString(&out, e.checkpoint_segment);
+  }
+  // CRC over everything after the magic, like the checkpoint entries.
+  uint32_t crc = Crc32Update(0, out.data() + 8, out.size() - 8);
+  PutU32(&out, crc);
+  return out;
+}
+
+Status ShardManifest::Decode(const std::string& image, ShardManifest* out) {
+  *out = ShardManifest{};
+  size_t off = 0;
+  uint64_t magic = 0;
+  uint64_t version = 0;
+  if (!GetU64(image, &off, &magic) || magic != kShardManifestMagic) {
+    return Status::DataLoss("shard manifest: bad magic");
+  }
+  if (image.size() < off + 4) {
+    return Status::DataLoss("shard manifest: truncated");
+  }
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, image.data() + image.size() - 4, 4);
+  uint32_t actual_crc = Crc32Update(0, image.data() + 8, image.size() - 8 - 4);
+  if (stored_crc != actual_crc) {
+    return Status::DataLoss("shard manifest: CRC mismatch");
+  }
+  if (!GetU64(image, &off, &version) || version != kShardManifestVersion) {
+    return Status::InvalidArgument("shard manifest: unsupported version");
+  }
+  uint32_t entry_count = 0;
+  if (!GetU32(image, &off, &out->num_shards) ||
+      !GetU32(image, &off, &out->key_width) ||
+      !GetU32(image, &off, &out->value_width) ||
+      !GetU64(image, &off, &out->router_seed) ||
+      !GetU32(image, &off, &entry_count)) {
+    return Status::DataLoss("shard manifest: truncated header");
+  }
+  if (entry_count != out->num_shards) {
+    return Status::InvalidArgument(
+        "shard manifest: entry count does not match num_shards");
+  }
+  out->shards.resize(entry_count);
+  for (uint32_t i = 0; i < entry_count; ++i) {
+    ShardManifestEntry& e = out->shards[i];
+    if (!GetU32(image, &off, &e.shard_id) ||
+        !GetString(image, &off, &e.wal_segment) ||
+        !GetString(image, &off, &e.checkpoint_segment)) {
+      return Status::DataLoss("shard manifest: truncated entry");
+    }
+    if (e.shard_id != i) {
+      return Status::InvalidArgument(
+          "shard manifest: entries out of shard order");
+    }
+  }
+  return Status::OK();
+}
+
+Status ShardManifest::ValidateCompatible(uint32_t expect_shards,
+                                         uint64_t expect_router_seed,
+                                         uint32_t expect_key_width,
+                                         uint32_t expect_value_width) const {
+  if (num_shards != expect_shards) {
+    return Status::InvalidArgument(
+        "shard manifest: deployment has " + std::to_string(expect_shards) +
+        " shards but the manifest was written with " +
+        std::to_string(num_shards) +
+        " — replay would mis-route every key");
+  }
+  if (router_seed != expect_router_seed) {
+    return Status::InvalidArgument(
+        "shard manifest: router seed mismatch — the segments were written "
+        "under a different key->shard mapping");
+  }
+  if (key_width != expect_key_width || value_width != expect_value_width) {
+    return Status::InvalidArgument(
+        "shard manifest: key/value widths do not match this table type");
+  }
+  return Status::OK();
+}
+
+}  // namespace durability
+}  // namespace dycuckoo

@@ -1,0 +1,190 @@
+// Sharded durability: per-shard segment naming, the shard manifest, and
+// parallel crash recovery.
+//
+// A sharded deployment (service/sharded_server.h) gives every shard its
+// own WAL segment and checkpoint segment — independent fault domains: a
+// torn flush or corrupt snapshot in shard k's segments cannot damage any
+// other shard's durable state.  This header names those segments, ties
+// them together with a small CRC-framed manifest, and recovers all N
+// shards concurrently.
+//
+// Routing invariant (why the manifest exists): a key's shard is
+// ShardRouter::ShardOf(key), a pure function of (key, num_shards,
+// router_seed).  The WAL segments are only meaningful under the exact
+// routing that wrote them — replaying shard 3's log into a deployment
+// with a different shard count or router seed would re-home keys onto
+// shards whose probes will never look for them.  The manifest records
+// (num_shards, router_seed, key/value widths) so recovery can reject a
+// mis-configured resurrection as InvalidArgument instead of silently
+// scattering data.
+//
+// Parallel recovery: each shard's (checkpoint, WAL) pair is independent,
+// so RecoverAllShards replays them on a bounded thread pool.  Each
+// shard's recovery is single-threaded internally and touches no shared
+// mutable state, so per-shard reports are bit-identical to a serial
+// replay — parallelism changes wall-clock, never outcomes.
+
+#ifndef DYCUCKOO_DURABILITY_SHARDED_H_
+#define DYCUCKOO_DURABILITY_SHARDED_H_
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "durability/recovery.h"
+#include "dycuckoo/dynamic_table.h"
+
+namespace dycuckoo {
+namespace durability {
+
+// --- Segment naming --------------------------------------------------------
+
+/// Fault-domain scope prefix for shard `shard_id`: "shard-00003/".  Used
+/// as the DurabilityManager scope so kill points and I/O faults can be
+/// targeted per shard (gpusim::FaultInjectorConfig::io_scope_filter /
+/// kill_point_filter).
+std::string ShardScope(uint32_t shard_id);
+
+/// WAL segment name for one shard: "wal-00003-of-00016.seg".
+std::string WalSegmentName(uint32_t shard_id, uint32_t num_shards);
+
+/// Checkpoint segment name for one shard: "ckpt-00003-of-00016.seg".
+std::string CheckpointSegmentName(uint32_t shard_id, uint32_t num_shards);
+
+// --- Manifest --------------------------------------------------------------
+
+inline constexpr uint64_t kShardManifestMagic = 0xD1C0CC00'5AAD1F37ULL;
+inline constexpr uint64_t kShardManifestVersion = 1;
+
+struct ShardManifestEntry {
+  uint32_t shard_id = 0;
+  std::string wal_segment;
+  std::string checkpoint_segment;
+};
+
+/// The one file that makes a pile of per-shard segments a deployment:
+/// shard count, router identity, record widths, and each shard's segment
+/// names.  Encoded with a magic, a version, and a CRC32 trailer so a torn
+/// or corrupt manifest is detected, never trusted.
+struct ShardManifest {
+  uint32_t num_shards = 0;
+  uint64_t router_seed = 0;
+  uint32_t key_width = 0;
+  uint32_t value_width = 0;
+  std::vector<ShardManifestEntry> shards;
+
+  /// A manifest with the conventional segment names for every shard.
+  static ShardManifest Make(uint32_t num_shards, uint64_t router_seed,
+                            uint32_t key_width, uint32_t value_width);
+
+  std::string Encode() const;
+
+  /// Decodes and CRC-verifies `image`.  DataLoss on corruption,
+  /// InvalidArgument on a malformed (but intact) manifest.
+  static Status Decode(const std::string& image, ShardManifest* out);
+
+  /// The routing-invariant gate: recovery with a different shard count,
+  /// router seed, or record width would mis-route every key.
+  Status ValidateCompatible(uint32_t num_shards, uint64_t router_seed,
+                            uint32_t key_width, uint32_t value_width) const;
+};
+
+// --- Parallel recovery -----------------------------------------------------
+
+/// One shard's durable byte images, as a crash left them.
+struct ShardImages {
+  std::string checkpoint;
+  std::string wal;
+};
+
+/// The result of recovering one shard.  `status` is per shard: one
+/// poisoned segment yields one failed outcome while every other shard
+/// recovers — the caller (ShardedTableServer::AdoptRecovered) quarantines
+/// exactly the failed shards.
+template <typename Key, typename Value>
+struct ShardRecoveryOutcome {
+  uint32_t shard_id = 0;
+  Status status;
+  std::unique_ptr<DynamicTable<Key, Value>> table;  // null when !status.ok()
+  RecoveryReport report;
+};
+
+/// Replays all shards' (checkpoint, WAL) image pairs concurrently, at
+/// most `max_parallel` at a time (0 = hardware concurrency).  `options`
+/// holds each shard's table options (options[i] builds shard i).  Always
+/// returns one outcome per shard, in shard order; a failed shard's
+/// outcome carries the classifying status (e.g. DataLoss for mid-log
+/// corruption) and a report identifying the damaged segment.
+template <typename Key, typename Value>
+std::vector<ShardRecoveryOutcome<Key, Value>> RecoverAllShards(
+    const std::vector<ShardImages>& images,
+    const std::vector<DyCuckooOptions>& options, int max_parallel = 0) {
+  const uint32_t n = static_cast<uint32_t>(images.size());
+  std::vector<ShardRecoveryOutcome<Key, Value>> outcomes(n);
+  if (n == 0) return outcomes;
+  unsigned workers = max_parallel > 0
+                         ? static_cast<unsigned>(max_parallel)
+                         : std::max(1u, std::thread::hardware_concurrency());
+  if (workers > n) workers = n;
+
+  auto recover_one = [&](uint32_t shard) {
+    ShardRecoveryOutcome<Key, Value>& o = outcomes[shard];
+    o.shard_id = shard;
+    std::istringstream ckpt(images[shard].checkpoint);
+    std::istringstream wal(images[shard].wal);
+    RecoverySource source;
+    source.shard_id = shard;
+    source.segment = WalSegmentName(shard, n);
+    o.status = Recover<Key, Value>(ckpt, wal, options[shard], &o.table,
+                                   &o.report, source);
+  };
+
+  if (workers <= 1) {
+    for (uint32_t s = 0; s < n; ++s) recover_one(s);
+    return outcomes;
+  }
+  // Static round-robin sharding over the workers: outcome slots are
+  // disjoint per thread, so no synchronization beyond join is needed and
+  // every shard's replay is bit-identical to a serial run.
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w]() {
+      for (uint32_t s = w; s < n; s += workers) recover_one(s);
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  return outcomes;
+}
+
+/// Manifest-gated variant: validates the manifest against the caller's
+/// expected routing identity and the image count, then recovers.  This is
+/// the entry point a restart should use — it turns "operator pointed
+/// recovery at the wrong deployment" into a hard error before any replay.
+template <typename Key, typename Value>
+Status RecoverAllShards(const ShardManifest& manifest,
+                        const std::vector<ShardImages>& images,
+                        const std::vector<DyCuckooOptions>& options,
+                        uint64_t router_seed,
+                        std::vector<ShardRecoveryOutcome<Key, Value>>* out,
+                        int max_parallel = 0) {
+  DYCUCKOO_RETURN_NOT_OK(manifest.ValidateCompatible(
+      static_cast<uint32_t>(images.size()), router_seed,
+      static_cast<uint32_t>(sizeof(Key)),
+      static_cast<uint32_t>(sizeof(Value))));
+  if (options.size() != images.size()) {
+    return Status::InvalidArgument(
+        "sharded recovery: one DyCuckooOptions per shard required");
+  }
+  *out = RecoverAllShards<Key, Value>(images, options, max_parallel);
+  return Status::OK();
+}
+
+}  // namespace durability
+}  // namespace dycuckoo
+
+#endif  // DYCUCKOO_DURABILITY_SHARDED_H_

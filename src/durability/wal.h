@@ -38,8 +38,15 @@ class WalWriter {
  public:
   /// A fresh log whose first record will carry `start_lsn` (1 for a new
   /// deployment; last_recovered_lsn + 1 when restarting after recovery).
-  explicit WalWriter(uint64_t start_lsn = 1)
-      : next_lsn_(start_lsn), durable_lsn_(start_lsn - 1) {
+  /// `scope` names this log's fault domain (a shard's segment scope, e.g.
+  /// "shard-00003/"): it prefixes every kill-point name this writer
+  /// crosses and is passed to OnIoFlush, so a chaos campaign can target
+  /// one shard's log without touching the others.  Empty = unscoped
+  /// (single-table deployments; fully backward compatible).
+  explicit WalWriter(uint64_t start_lsn = 1, std::string scope = "")
+      : scope_(std::move(scope)),
+        next_lsn_(start_lsn),
+        durable_lsn_(start_lsn - 1) {
     AppendWalFileHeader(&durable_, sizeof(Key), sizeof(Value), start_lsn);
   }
 
@@ -76,12 +83,13 @@ class WalWriter {
     if (dead_) return CrashedStatus();
     if (pending_.empty()) return Status::OK();
     auto* injector = gpusim::FaultInjector::Active();
-    if (injector && injector->OnKillPoint("wal.commit.before")) {
+    if (injector && injector->OnKillPoint(ScopedName("wal.commit.before"))) {
       dead_ = true;
       return CrashedStatus();
     }
-    gpusim::IoWriteFault fault =
-        injector ? injector->OnIoFlush() : gpusim::IoWriteFault::kNone;
+    gpusim::IoWriteFault fault = injector
+                                     ? injector->OnIoFlush(scope_.c_str())
+                                     : gpusim::IoWriteFault::kNone;
     switch (fault) {
       case gpusim::IoWriteFault::kFailCleanly:
         ++flush_failures_;
@@ -121,7 +129,7 @@ class WalWriter {
       case gpusim::IoWriteFault::kNone:
         break;
     }
-    if (injector && injector->OnKillPoint("wal.commit.mid")) {
+    if (injector && injector->OnKillPoint(ScopedName("wal.commit.mid"))) {
       PersistPrefix((pending_.size() + 1) / 2);
       dead_ = true;
       return CrashedStatus();
@@ -132,7 +140,7 @@ class WalWriter {
     ++flushes_;
     records_flushed_ += records;
     bytes_flushed_ += bytes;
-    if (injector && injector->OnKillPoint("wal.commit.after")) {
+    if (injector && injector->OnKillPoint(ScopedName("wal.commit.after"))) {
       // Everything is durable but no ack will ever be released: recovery
       // replays these records, the client retries — idempotent upserts.
       dead_ = true;
@@ -170,7 +178,7 @@ class WalWriter {
     durable_ = std::move(rebuilt);
     ++truncations_;
     auto* injector = gpusim::FaultInjector::Active();
-    if (injector && injector->OnKillPoint("wal.truncate.after")) {
+    if (injector && injector->OnKillPoint(ScopedName("wal.truncate.after"))) {
       dead_ = true;
       return CrashedStatus();
     }
@@ -181,6 +189,9 @@ class WalWriter {
 
   /// True once a crash-style fault fired; the writer persists nothing more.
   bool dead() const { return dead_; }
+
+  /// This log's fault-domain scope ("" when unscoped).
+  const std::string& scope() const { return scope_; }
 
   /// The log bytes a crash would leave behind.  Feed to Recover().
   const std::string& durable_image() const { return durable_; }
@@ -198,6 +209,16 @@ class WalWriter {
  private:
   static Status CrashedStatus() {
     return Status::Unavailable("wal: writer dead after simulated crash");
+  }
+
+  /// Kill-point name with the fault-domain scope prefixed ("shard-00003/
+  /// wal.commit.mid").  Substring filters keep working unscoped — the
+  /// unprefixed name is a suffix of the scoped one.
+  const char* ScopedName(const char* name) {
+    if (scope_.empty()) return name;
+    scoped_name_ = scope_;
+    scoped_name_ += name;
+    return scoped_name_.c_str();
   }
 
   uint64_t AppendRecord(WalRecordType type, const void* payload, size_t len) {
@@ -221,6 +242,8 @@ class WalWriter {
     return bytes;
   }
 
+  std::string scope_;
+  std::string scoped_name_;  // scratch for ScopedName (avoids reallocating)
   std::string durable_;
   std::vector<std::string> pending_;  // framed records awaiting group commit
   uint64_t next_lsn_;

@@ -1,6 +1,7 @@
 #include "gpusim/fault_injector.h"
 
 #include <algorithm>
+#include <string_view>
 #include <thread>
 
 #include "common/hash.h"
@@ -89,7 +90,17 @@ int FaultInjector::ClampEvictionChain(int configured_bound) const {
   return std::min(configured_bound, config_.max_eviction_chain);
 }
 
-IoWriteFault FaultInjector::OnIoFlush() {
+IoWriteFault FaultInjector::OnIoFlush(const char* scope) {
+  if (!config_.io_scope_filter.empty()) {
+    // A non-matching flush is invisible to this campaign: it neither
+    // faults nor advances the Nth-matching-flush counter, so "fault the
+    // 3rd flush of shard k" is independent of other shards' traffic.
+    if (scope == nullptr ||
+        std::string_view(scope).find(config_.io_scope_filter) ==
+            std::string_view::npos) {
+      return IoWriteFault::kNone;
+    }
+  }
   uint64_t index = io_flushes_seen_.fetch_add(1, std::memory_order_relaxed);
   IoWriteFault fault = IoWriteFault::kNone;
   // Crash-style faults take precedence over a clean failure at the same

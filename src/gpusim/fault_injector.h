@@ -111,6 +111,15 @@ struct FaultInjectorConfig {
   /// in its final record, then crash.  -1 disables.
   int64_t io_bit_flip_at_flush = -1;
 
+  /// Only durable flushes whose scope contains this substring are
+  /// candidates for the io_* faults above, and only they advance the
+  /// "Nth flush" counter (mirroring alloc_tag_filter).  Writers in a
+  /// sharded deployment pass their segment scope (e.g. "shard-00003/"),
+  /// so a chaos campaign can fault exactly one shard's WAL / checkpoint
+  /// stream while every other shard's I/O proceeds cleanly.  Empty
+  /// matches every flush, including unscoped ones.
+  std::string io_scope_filter;
+
   // --- Kill points (durability layer: crash-at-step) -----------------------
 
   /// Crash the process (as seen by the durability layer: everything in
@@ -163,8 +172,10 @@ class FaultInjector {
   /// Consulted once per durable write (WAL group commit / checkpoint
   /// entry).  The caller is responsible for realizing the verdict: persist
   /// a prefix, corrupt a bit, or return an error — and for treating every
-  /// verdict except kNone/kFailCleanly as a process crash.
-  IoWriteFault OnIoFlush();
+  /// verdict except kNone/kFailCleanly as a process crash.  `scope` names
+  /// the stream being flushed (a shard's segment scope; nullptr or "" for
+  /// an unscoped writer) and is matched against io_scope_filter.
+  IoWriteFault OnIoFlush(const char* scope = nullptr);
 
   /// Consulted at each named crash point in the durability layer.  True =>
   /// the caller must behave as if the process died here: persist nothing

@@ -42,6 +42,15 @@ void CircuitBreaker::OnWriteFailure(uint64_t now) {
   }
 }
 
+void CircuitBreaker::ForceProbation(uint64_t now) {
+  state_ = State::kOpen;
+  open_until_ = now;  // cooldown pre-elapsed: next AllowWrite goes half-open
+  probe_in_flight_ = false;
+  consecutive_failures_ = 0;
+  DYCUCKOO_LOG(Info) << "circuit breaker forced into probation at t=" << now
+                     << ": next write is the re-admission probe";
+}
+
 void CircuitBreaker::Trip(uint64_t now) {
   state_ = State::kOpen;
   open_until_ = now + options_.cooldown_ticks;

@@ -54,6 +54,13 @@ class CircuitBreaker {
   /// streak and trips at the threshold; a failed half-open probe re-opens.
   void OnWriteFailure(uint64_t now);
 
+  /// Forces the breaker open with the cooldown already elapsed: the very
+  /// next AllowWrite transitions to half-open and admits exactly one
+  /// probe.  Used to re-admit a self-healed shard — the recovered table
+  /// earns back write traffic through the probe path instead of taking a
+  /// full load the instant it returns.
+  void ForceProbation(uint64_t now);
+
   State state() const { return state_; }
   bool read_only() const { return state_ != State::kClosed; }
   int consecutive_failures() const { return consecutive_failures_; }

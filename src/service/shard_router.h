@@ -1,0 +1,55 @@
+// ShardRouter: the pure key -> shard function a sharded deployment lives
+// or dies by.
+//
+// Routing invariants (enforced, not aspirational):
+//   1. Determinism: ShardOf(key) depends only on (key, num_shards, seed).
+//      The same triple routes the same way on every host, every restart,
+//      and inside recovery replay — which is why the triple is recorded in
+//      the durability::ShardManifest and validated before any WAL replay.
+//   2. Totality: every key routes to exactly one shard; there is no
+//      "unowned" key and no key owned by two shards.  Cross-shard requests
+//      are therefore trivially partitionable: each op goes to precisely
+//      one sub-request.
+//   3. Independence from occupancy: routing never consults table state,
+//      so a quarantined or resizing shard keeps its keyspace — keys are
+//      never silently re-homed onto healthy shards (that would break
+//      recovery and turn a fault domain into a consistency bug).
+//
+// The map is Mix64(key ^ seed) % num_shards: the finalizer's avalanche
+// decorrelates shard choice from the table's own bucket hashing (which
+// mixes with different constants), so one shard does not concentrate the
+// keys of one bucket.
+
+#ifndef DYCUCKOO_SERVICE_SHARD_ROUTER_H_
+#define DYCUCKOO_SERVICE_SHARD_ROUTER_H_
+
+#include <cstdint>
+
+#include "common/hash.h"
+
+namespace dycuckoo {
+namespace service {
+
+class ShardRouter {
+ public:
+  ShardRouter(uint32_t num_shards, uint64_t seed)
+      : num_shards_(num_shards == 0 ? 1 : num_shards), seed_(seed) {}
+
+  template <typename Key>
+  uint32_t ShardOf(Key key) const {
+    return static_cast<uint32_t>(Mix64(static_cast<uint64_t>(key) ^ seed_) %
+                                 num_shards_);
+  }
+
+  uint32_t num_shards() const { return num_shards_; }
+  uint64_t seed() const { return seed_; }
+
+ private:
+  uint32_t num_shards_;
+  uint64_t seed_;
+};
+
+}  // namespace service
+}  // namespace dycuckoo
+
+#endif  // DYCUCKOO_SERVICE_SHARD_ROUTER_H_

@@ -1,0 +1,710 @@
+// ShardedTableServer: N independent fault domains behind one front door.
+//
+// A single TableServer is one blast radius: a crash-style durability
+// fault, a poisoned WAL segment, or a wedged resize takes the whole
+// keyspace down at once.  The sharded server partitions the keyspace
+// across N shards — each with its OWN DynamicTable, admission queue,
+// micro-batching lane, circuit breaker, scrub cursor, WAL segment, and
+// checkpoint lineage — so a fault in shard k is invisible to every other
+// shard: their queues keep draining, their group commits keep flushing,
+// their breakers stay closed.
+//
+// Routing: ShardRouter (Mix64(key ^ router_seed) % N).  The routing
+// triple (num_shards, router_seed, record widths) is recorded in a
+// durability::ShardManifest; recovery validates it before replaying any
+// segment, because a WAL replayed under different routing would re-home
+// keys onto shards whose probes will never find them.
+//
+// The shard supervisor (ShardSupervisor) watches per-shard health between
+// batches.  When a shard's durability fault domain dies (crash-style kill
+// point or I/O fault under that shard's scope), the supervisor
+// quarantines exactly that shard: requests touching its keys answer
+// kUnavailable with machine-readable details — "shard", the shard id;
+// "retry_after_ticks", when service could resume; "executed", whether the
+// ops ran ("never" for rejections at the front door, "uncertain" for
+// requests in flight when the shard died).  Transient overload is NOT a
+// quarantine trigger — each shard's circuit breaker already degrades it
+// to read-only in place; quarantine is reserved for integrity faults
+// where the shard's durable lineage must be re-established.
+//
+// Self-healing, all on the one master VirtualClock (so runs are
+// deterministic and replayable under DYCUCKOO_CHAOS_SEED): after a
+// backoff the supervisor replays the quarantined shard's own checkpoint +
+// WAL images (durability::Recover, with the shard's RecoverySource so the
+// report names the segment), scrubs and validates the recovered table,
+// starts a fresh durability lineage with a baseline checkpoint, and
+// re-admits the shard through the circuit breaker's half-open probe path
+// (BeginWriteProbation) — the healed shard earns traffic back with one
+// probe write instead of taking full load cold.  Heal failures back off
+// exponentially; exhausted attempts park the shard as kFailed (operator
+// intervention).  Every successful heal bumps the shard's generation;
+// responses minted by the pre-fault incarnation are fenced off by
+// generation, so a request admitted before the fault is never
+// acknowledged by state recovery has since rewritten.
+//
+// Threading: Submit/TakeResponse are safe from any thread; Step runs on
+// one serving thread (the same contract as TableServer).
+
+#ifndef DYCUCKOO_SERVICE_SHARDED_SERVER_H_
+#define DYCUCKOO_SERVICE_SHARDED_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/status.h"
+#include "durability/manager.h"
+#include "durability/recovery.h"
+#include "durability/sharded.h"
+#include "dycuckoo/dynamic_table.h"
+#include "dycuckoo/options.h"
+#include "gpusim/virtual_clock.h"
+#include "service/shard_router.h"
+#include "service/shard_supervisor.h"
+#include "service/table_server.h"
+
+namespace dycuckoo {
+namespace service {
+
+/// Front-door counters for the sharded deployment (per-shard counters
+/// live on each shard's own ServerStats).
+struct ShardedServerStats {
+  std::atomic<uint64_t> submitted{0};
+  std::atomic<uint64_t> completed{0};
+  std::atomic<uint64_t> subrequests{0};
+  std::atomic<uint64_t> shard_rejections{0};   // ops refused at the front door
+  std::atomic<uint64_t> subrequests_lost{0};   // in flight when a shard died
+};
+
+template <typename Key, typename Value>
+class ShardedTableServer {
+ public:
+  using Shard = TableServer<Key, Value>;
+  using Table = DynamicTable<Key, Value>;
+  using Manager = durability::DurabilityManager<Key, Value>;
+  using Op = typename Shard::Op;
+  using OpType = typename Shard::OpType;
+  using OpResult = typename Shard::OpResult;
+  using Request = typename Shard::Request;
+  using Response = typename Shard::Response;
+
+  struct Options {
+    uint32_t num_shards = 4;
+
+    /// Seed of the key->shard map.  Part of the deployment's durable
+    /// identity (recorded in the manifest): changing it orphans every
+    /// existing segment.
+    uint64_t router_seed = 0xD1C0CC00F417D077ULL;
+
+    /// Serving knobs applied to every shard.  The default deadline is
+    /// applied ONCE at the sharded front door (on the master clock), not
+    /// again per shard.
+    TableServerOptions shard;
+
+    durability::DurabilityOptions durability;
+
+    /// Give every shard its own DurabilityManager (scope "shard-NNNNN/",
+    /// segments named by durability::WalSegmentName et al.).  Without
+    /// durability there is no crash detection and no self-heal.
+    bool attach_durability = true;
+
+    ShardSupervisorOptions supervisor;
+  };
+
+  /// Operator-facing snapshot of one shard's health.
+  struct ShardHealth {
+    uint32_t shard = 0;
+    ShardState state = ShardState::kServing;
+    uint64_t generation = 0;
+    Status fault;                   // why quarantined (OK if never)
+    Status last_heal_status;
+    CircuitBreaker::State breaker = CircuitBreaker::State::kClosed;
+    uint64_t table_size = 0;        // 0 while quarantined (table is down)
+  };
+
+  /// Builds a fresh N-shard deployment.  Each shard's table options are
+  /// derived from `table_options`: capacity split N ways, hash seed
+  /// decorrelated per shard, and the arena memory tag prefixed with the
+  /// shard scope so alloc-fault campaigns can target one shard.
+  static Status Create(const DyCuckooOptions& table_options,
+                       const Options& options,
+                       std::unique_ptr<ShardedTableServer>* out) {
+    DYCUCKOO_RETURN_NOT_OK(ValidateOptions(options));
+    std::unique_ptr<ShardedTableServer> srv(
+        new ShardedTableServer(table_options, options));
+    for (uint32_t s = 0; s < options.num_shards; ++s) {
+      ShardSlot& slot = srv->shards_[s];
+      std::unique_ptr<Table> table;
+      DYCUCKOO_RETURN_NOT_OK(Table::Create(slot.table_options, &table));
+      DYCUCKOO_RETURN_NOT_OK(
+          Shard::Adopt(std::move(table), options.shard, &slot.server));
+      slot.server->UseExternalClock(&srv->clock_);
+      if (options.attach_durability) {
+        slot.manager = std::make_unique<Manager>(
+            options.durability, /*start_lsn=*/1, durability::ShardScope(s));
+        slot.server->AttachDurability(slot.manager.get());
+      }
+    }
+    *out = std::move(srv);
+    return Status::OK();
+  }
+
+  /// Builds a deployment from the per-shard outcomes of
+  /// durability::RecoverAllShards — the restart path.  Shards that
+  /// recovered cleanly serve immediately (fresh durability lineage seeded
+  /// with a baseline checkpoint); shards whose recovery failed start
+  /// quarantined with the classifying status, retaining their crash-time
+  /// images (`images[s]`) so the supervisor's heal attempts can retry.
+  static Status AdoptRecovered(
+      std::vector<durability::ShardRecoveryOutcome<Key, Value>>* outcomes,
+      const std::vector<durability::ShardImages>& images,
+      const DyCuckooOptions& table_options, const Options& options,
+      std::unique_ptr<ShardedTableServer>* out) {
+    DYCUCKOO_RETURN_NOT_OK(ValidateOptions(options));
+    if (outcomes->size() != options.num_shards ||
+        images.size() != options.num_shards) {
+      return Status::InvalidArgument(
+          "AdoptRecovered: one outcome and one image pair per shard");
+    }
+    std::unique_ptr<ShardedTableServer> srv(
+        new ShardedTableServer(table_options, options));
+    const uint64_t now = srv->clock_.Now();
+    for (uint32_t s = 0; s < options.num_shards; ++s) {
+      ShardSlot& slot = srv->shards_[s];
+      auto& outcome = (*outcomes)[s];
+      slot.last_heal_report = outcome.report;
+      if (!outcome.status.ok() || outcome.table == nullptr) {
+        slot.cold = images[s];
+        srv->supervisor_.Quarantine(s, now, outcome.status);
+        continue;
+      }
+      Status st = srv->BringUp(s, std::move(outcome.table),
+                               outcome.report.last_lsn + 1, &slot);
+      if (!st.ok()) {
+        // The shard's data recovered but its new lineage could not be
+        // established (e.g. an injected fault during the baseline
+        // checkpoint): quarantine it and let the heal path retry from the
+        // crash-time images.
+        slot.cold = images[s];
+        srv->supervisor_.Quarantine(s, now, st);
+      }
+    }
+    *out = std::move(srv);
+    return Status::OK();
+  }
+
+  ShardedTableServer(const ShardedTableServer&) = delete;
+  ShardedTableServer& operator=(const ShardedTableServer&) = delete;
+
+  // ---------------------------------------------------------------------
+  // Client side (any thread).
+  // ---------------------------------------------------------------------
+
+  /// Admits a request, fanning its ops out to their shards.  Ops routed
+  /// to a quarantined/failed shard are rejected up front (their portion
+  /// of the response carries kUnavailable with "shard",
+  /// "retry_after_ticks" and "executed"="never" details); the rest
+  /// proceed normally.  Always assigns an id with a retrievable response.
+  uint64_t Submit(Request request) {
+    uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+    stats_.submitted.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint64_t now = clock_.Now();
+    if (request.deadline == 0 && options_.shard.default_deadline_ticks > 0) {
+      request.deadline = now + options_.shard.default_deadline_ticks;
+    }
+    if (request.ops.empty()) {
+      Complete(id, Response{Status::OK(), {}, 0, now});
+      return id;
+    }
+
+    // Partition op indices by shard (ordered map: sub-requests are
+    // created in ascending shard order, deterministically).
+    std::map<uint32_t, std::vector<uint32_t>> by_shard;
+    for (uint32_t i = 0; i < request.ops.size(); ++i) {
+      by_shard[router_.ShardOf(request.ops[i].key)].push_back(i);
+    }
+
+    Join join;
+    join.results.resize(request.ops.size());
+    for (auto& [shard, indices] : by_shard) {
+      if (!supervisor_.serving(shard)) {
+        stats_.shard_rejections.fetch_add(indices.size(),
+                                          std::memory_order_relaxed);
+        MergeStatus(&join, ShardUnavailable(shard, now, "never"), shard);
+        continue;
+      }
+      Request sub;
+      sub.deadline = request.deadline;
+      sub.ops.reserve(indices.size());
+      for (uint32_t idx : indices) sub.ops.push_back(request.ops[idx]);
+      SubRef ref;
+      ref.shard = shard;
+      ref.generation = supervisor_.generation(shard);
+      ref.op_indices = std::move(indices);
+      ref.sub_id = shards_[shard].server->Submit(std::move(sub));
+      stats_.subrequests.fetch_add(1, std::memory_order_relaxed);
+      join.pending.push_back(std::move(ref));
+    }
+    if (join.pending.empty()) {
+      Complete(id, Finalize(&join, now));
+    } else {
+      joins_.emplace(id, std::move(join));
+    }
+    return id;
+  }
+
+  /// Retrieves (and removes) the response for `id`; false if not
+  /// completed yet.
+  bool TakeResponse(uint64_t id, Response* out) {
+    std::lock_guard<std::mutex> lock(responses_mu_);
+    auto it = responses_.find(id);
+    if (it == responses_.end()) return false;
+    *out = std::move(it->second);
+    responses_.erase(it);
+    return true;
+  }
+
+  // ---------------------------------------------------------------------
+  // Serving side (one thread).
+  // ---------------------------------------------------------------------
+
+  /// One serving round: a micro-batch step on every serving shard, then
+  /// supervision (quarantine newly crashed shards, attempt due heals),
+  /// then response harvesting.  Returns the number of front-door requests
+  /// it completed.  Always advances the master clock, so heal backoffs
+  /// elapse even on an idle deployment.
+  uint64_t Step() {
+    std::lock_guard<std::mutex> lock(mu_);
+    clock_.Advance(1);
+    for (uint32_t s = 0; s < num_shards(); ++s) {
+      if (supervisor_.serving(s) && shards_[s].server != nullptr) {
+        shards_[s].server->Step();
+      }
+    }
+    Supervise();
+    return Harvest();
+  }
+
+  /// Operator override: schedule `shard`'s heal attempt for the next
+  /// Step, ignoring the supervisor's backoff.  No-op unless quarantined.
+  void RequestHealNow(uint32_t shard) {
+    std::lock_guard<std::mutex> lock(mu_);
+    supervisor_.RequestHealNow(shard);
+  }
+
+  /// Steps until every front-door request has a response.  Terminates:
+  /// each pending sub-request either completes on its (serving) shard or
+  /// is resolved as lost when its shard leaves service.
+  void RunUntilIdle() {
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (joins_.empty()) return;
+      }
+      Step();
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  // Introspection.
+  // ---------------------------------------------------------------------
+
+  uint32_t num_shards() const { return router_.num_shards(); }
+  const ShardRouter& router() const { return router_; }
+  const ShardSupervisor& supervisor() const { return supervisor_; }
+  const durability::ShardManifest& manifest() const { return manifest_; }
+  gpusim::VirtualClock* clock() { return &clock_; }
+  uint64_t now() const { return clock_.Now(); }
+  const ShardedServerStats& stats() const { return stats_; }
+  const Options& options() const { return options_; }
+
+  /// The shard's serving front-end; null while quarantined/failed.
+  Shard* shard_server(uint32_t shard) { return shards_[shard].server.get(); }
+  Manager* shard_manager(uint32_t shard) {
+    return shards_[shard].manager.get();
+  }
+  const DyCuckooOptions& shard_table_options(uint32_t shard) const {
+    return shards_[shard].table_options;
+  }
+
+  /// The deterministic report of the shard's most recent recovery (from
+  /// AdoptRecovered or the last heal attempt).
+  const durability::RecoveryReport& last_heal_report(uint32_t shard) const {
+    return shards_[shard].last_heal_report;
+  }
+
+  /// Every shard's durable byte images as they stand right now — what a
+  /// full-process crash would leave behind for RecoverAllShards.
+  std::vector<durability::ShardImages> DurableImages() const {
+    std::vector<durability::ShardImages> images(num_shards());
+    for (uint32_t s = 0; s < num_shards(); ++s) {
+      const ShardSlot& slot = shards_[s];
+      if (slot.manager != nullptr) {
+        images[s].checkpoint = slot.manager->checkpoints().durable_image();
+        images[s].wal = slot.manager->wal().durable_image();
+      } else {
+        images[s] = slot.cold;
+      }
+    }
+    return images;
+  }
+
+  /// Per-shard DyCuckooOptions, in shard order — the `options` argument
+  /// RecoverAllShards needs to rebuild this deployment's tables.
+  std::vector<DyCuckooOptions> ShardTableOptionsList() const {
+    std::vector<DyCuckooOptions> opts;
+    opts.reserve(num_shards());
+    for (uint32_t s = 0; s < num_shards(); ++s) {
+      opts.push_back(shards_[s].table_options);
+    }
+    return opts;
+  }
+
+  std::vector<ShardHealth> Health() const {
+    std::vector<ShardHealth> out(num_shards());
+    for (uint32_t s = 0; s < num_shards(); ++s) {
+      ShardHealth& h = out[s];
+      h.shard = s;
+      h.state = supervisor_.state(s);
+      h.generation = supervisor_.generation(s);
+      h.fault = supervisor_.fault(s);
+      h.last_heal_status = supervisor_.last_heal_status(s);
+      if (shards_[s].server != nullptr) {
+        h.breaker = shards_[s].server->breaker().state();
+        h.table_size = shards_[s].server->table()->size();
+      }
+    }
+    return out;
+  }
+
+  /// Live keys across serving shards (quarantined shards' keys exist in
+  /// their durable images but are not countable here).
+  uint64_t total_size() const {
+    uint64_t n = 0;
+    for (uint32_t s = 0; s < num_shards(); ++s) {
+      if (supervisor_.serving(s) && shards_[s].server != nullptr) {
+        n += shards_[s].server->table()->size();
+      }
+    }
+    return n;
+  }
+
+ private:
+  struct ShardSlot {
+    DyCuckooOptions table_options;
+    std::unique_ptr<Shard> server;    // null while quarantined/failed
+    std::unique_ptr<Manager> manager;
+    durability::ShardImages cold;     // crash-time images for heal retries
+                                      // when no manager survived
+    durability::RecoveryReport last_heal_report;
+  };
+
+  struct SubRef {
+    uint32_t shard = 0;
+    uint64_t sub_id = 0;
+    uint64_t generation = 0;
+    std::vector<uint32_t> op_indices;  // positions in the original request
+  };
+
+  struct Join {
+    Status status;                    // highest-severity sub-status so far
+    std::vector<OpResult> results;
+    std::vector<SubRef> pending;
+    std::vector<uint32_t> unavailable_shards;
+    uint32_t attempts = 0;
+  };
+
+  ShardedTableServer(const DyCuckooOptions& base, const Options& options)
+      : options_(options),
+        router_(options.num_shards, options.router_seed),
+        supervisor_(options.num_shards, options.supervisor),
+        manifest_(durability::ShardManifest::Make(
+            options.num_shards, options.router_seed,
+            static_cast<uint32_t>(sizeof(Key)),
+            static_cast<uint32_t>(sizeof(Value)))),
+        shards_(options.num_shards) {
+    for (uint32_t s = 0; s < options.num_shards; ++s) {
+      shards_[s].table_options =
+          ShardTableOptions(base, s, options.num_shards);
+    }
+  }
+
+  static Status ValidateOptions(const Options& options) {
+    if (options.num_shards == 0 || options.num_shards > 4096) {
+      return Status::InvalidArgument(
+          "sharded server: num_shards must be in [1, 4096]");
+    }
+    return Status::OK();
+  }
+
+  /// Derives shard `s`'s table options from the deployment-wide base:
+  /// capacity split N ways (floored so tiny deployments stay viable),
+  /// hash seed decorrelated per shard, memory tag prefixed with the shard
+  /// scope for targeted alloc-fault campaigns.
+  static DyCuckooOptions ShardTableOptions(const DyCuckooOptions& base,
+                                           uint32_t shard, uint32_t n) {
+    DyCuckooOptions o = base;
+    o.memory_tag = durability::ShardScope(shard) + base.memory_tag;
+    o.seed = Mix64(base.seed ^ (0x9E3779B97F4A7C15ULL * (shard + 1)));
+    uint64_t per_shard = base.initial_capacity / n;
+    o.initial_capacity = per_shard < 4096 ? 4096 : per_shard;
+    return o;
+  }
+
+  /// Installs a recovered table as shard `s`'s serving incarnation: fresh
+  /// durability lineage (starting after the recovered LSN) seeded with a
+  /// baseline checkpoint, external clock, write probation.  On failure
+  /// the slot is left untouched (the caller decides quarantine).
+  Status BringUp(uint32_t s, std::unique_ptr<Table> table,
+                 uint64_t start_lsn, ShardSlot* slot) {
+    std::unique_ptr<Shard> server;
+    DYCUCKOO_RETURN_NOT_OK(
+        Shard::Adopt(std::move(table), options_.shard, &server));
+    server->UseExternalClock(&clock_);
+    std::unique_ptr<Manager> manager;
+    if (options_.attach_durability) {
+      manager = std::make_unique<Manager>(options_.durability, start_lsn,
+                                          durability::ShardScope(s));
+      server->AttachDurability(manager.get());
+      // Baseline checkpoint: the new lineage alone must be able to
+      // resurrect the shard — without it the old images would be the only
+      // copy of the recovered state.
+      Status st = manager->CheckpointNow(server->table());
+      if (!st.ok()) return st;
+      if (manager->dead()) {
+        return Status::Unavailable(
+            "shard bring-up: durability died during the baseline "
+            "checkpoint");
+      }
+    }
+    server->BeginWriteProbation();
+    slot->server = std::move(server);
+    slot->manager = std::move(manager);
+    return Status::OK();
+  }
+
+  /// The machine-readable rejection for a non-serving shard.  `executed`
+  /// is "never" (front-door rejection: no op ran) or "uncertain" (the
+  /// sub-request was in flight when the shard died: ops may have
+  /// partially applied; idempotent re-execution after retry-after is
+  /// safe).
+  Status ShardUnavailable(uint32_t shard, uint64_t now,
+                          const char* executed) const {
+    const ShardState state = supervisor_.state(shard);
+    const Status& fault = supervisor_.fault(shard);
+    std::string msg = "shard " + std::to_string(shard) + " " +
+                      ShardStateName(state);
+    if (!fault.ok()) msg += ": " + fault.message();
+    return Status::Unavailable(std::move(msg))
+        .WithDetail("shard", std::to_string(shard))
+        .WithDetail("retry_after_ticks",
+                    std::to_string(supervisor_.RetryAfterTicks(shard, now)))
+        .WithDetail("executed", executed);
+  }
+
+  /// Severity order for merging sub-statuses into one response status:
+  /// DataLoss (acked bytes at risk) > Unavailable (a shard refused) >
+  /// any other error > OK.  Ties keep the earliest shard's status, so the
+  /// merge is deterministic.
+  static int Severity(const Status& s) {
+    if (s.ok()) return 0;
+    if (s.IsDataLoss()) return 3;
+    if (s.IsUnavailable()) return 2;
+    return 1;
+  }
+
+  void MergeStatus(Join* join, Status st, uint32_t shard) {
+    if (st.IsUnavailable()) join->unavailable_shards.push_back(shard);
+    if (Severity(st) > Severity(join->status)) join->status = std::move(st);
+  }
+
+  Response Finalize(Join* join, uint64_t now) {
+    Response resp;
+    resp.status = std::move(join->status);
+    if (join->unavailable_shards.size() > 1) {
+      std::string csv;
+      for (uint32_t s : join->unavailable_shards) {
+        if (!csv.empty()) csv += ",";
+        csv += std::to_string(s);
+      }
+      resp.status = resp.status.WithDetail("unavailable_shards", csv);
+    }
+    resp.results = std::move(join->results);
+    resp.attempts = join->attempts;
+    resp.completed_at = now;
+    stats_.completed.fetch_add(1, std::memory_order_relaxed);
+    return resp;
+  }
+
+  void Complete(uint64_t id, Response response) {
+    std::lock_guard<std::mutex> lock(responses_mu_);
+    responses_.emplace(id, std::move(response));
+  }
+
+  // --- Supervision (mu_ held) -------------------------------------------
+
+  void Supervise() {
+    const uint64_t now = clock_.Now();
+    for (uint32_t s = 0; s < num_shards(); ++s) {
+      ShardSlot& slot = shards_[s];
+      if (supervisor_.serving(s) && slot.server != nullptr &&
+          slot.server->crashed()) {
+        DYCUCKOO_LOG(Warning)
+            << "shard " << s << " crashed (durability fault domain dead); "
+            << "quarantining";
+        supervisor_.Quarantine(
+            s, now,
+            Status::Unavailable("shard " + std::to_string(s) +
+                                " durability fault domain died"));
+        // The dead incarnation never acknowledges again; its durable
+        // images stay on slot.manager for the heal path.
+        slot.server.reset();
+      }
+      if (supervisor_.HealDue(s, now)) AttemptHeal(s, now);
+    }
+  }
+
+  void AttemptHeal(uint32_t s, uint64_t now) {
+    ShardSlot& slot = shards_[s];
+    // The crash-time images: from the dead incarnation's manager, or the
+    // cold images a failed AdoptRecovered left behind.
+    std::string ckpt_image, wal_image;
+    if (slot.manager != nullptr) {
+      ckpt_image = slot.manager->checkpoints().durable_image();
+      wal_image = slot.manager->wal().durable_image();
+    } else {
+      ckpt_image = slot.cold.checkpoint;
+      wal_image = slot.cold.wal;
+    }
+
+    durability::RecoverySource source;
+    source.shard_id = s;
+    source.segment = durability::WalSegmentName(s, num_shards());
+    std::istringstream ckpt_stream(ckpt_image);
+    std::istringstream wal_stream(wal_image);
+    std::unique_ptr<Table> table;
+    durability::RecoveryReport report;
+    Status st = durability::Recover<Key, Value>(
+        ckpt_stream, wal_stream, slot.table_options, &table, &report,
+        source);
+    slot.last_heal_report = report;
+    if (!st.ok()) {
+      DYCUCKOO_LOG(Warning) << "shard " << s << " heal: recovery failed: "
+                            << st.ToString();
+      supervisor_.OnHealFailure(s, now, std::move(st));
+      return;
+    }
+
+    // Scrub + validate before the shard is allowed near traffic: a
+    // recovered table with a placement violation would fail reads.
+    table->ScrubAll();
+    st = table->Validate();
+    if (!st.ok()) {
+      DYCUCKOO_LOG(Warning) << "shard " << s
+                            << " heal: recovered table failed validation: "
+                            << st.ToString();
+      supervisor_.OnHealFailure(s, now, std::move(st));
+      return;
+    }
+
+    st = BringUp(s, std::move(table), report.last_lsn + 1, &slot);
+    if (!st.ok()) {
+      // Kill points / I-O faults can fire during the baseline checkpoint
+      // of the new lineage; the old images are untouched, so the next
+      // attempt retries from the same state.
+      DYCUCKOO_LOG(Warning) << "shard " << s << " heal: bring-up failed: "
+                            << st.ToString();
+      supervisor_.OnHealFailure(s, now, std::move(st));
+      return;
+    }
+    slot.cold = durability::ShardImages{};  // the new lineage owns state now
+    supervisor_.OnHealSuccess(s, now);
+    DYCUCKOO_LOG(Info) << "shard " << s << " healed: "
+                       << report.ToString();
+  }
+
+  // --- Harvest (mu_ held) -----------------------------------------------
+
+  uint64_t Harvest() {
+    const uint64_t now = clock_.Now();
+    uint64_t finalized = 0;
+    for (auto it = joins_.begin(); it != joins_.end();) {
+      Join& join = it->second;
+      for (auto sub = join.pending.begin(); sub != join.pending.end();) {
+        ShardSlot& slot = shards_[sub->shard];
+        const bool lost = !supervisor_.serving(sub->shard) ||
+                          supervisor_.generation(sub->shard) !=
+                              sub->generation ||
+                          slot.server == nullptr;
+        if (lost) {
+          // The shard died (or was rebuilt) with this sub-request in
+          // flight: its ops may or may not have applied before the
+          // fault, so the honest answer is "uncertain".
+          stats_.subrequests_lost.fetch_add(1, std::memory_order_relaxed);
+          MergeStatus(&join, ShardUnavailable(sub->shard, now, "uncertain"),
+                      sub->shard);
+          sub = join.pending.erase(sub);
+          continue;
+        }
+        typename Shard::Response sub_resp;
+        if (!slot.server->TakeResponse(sub->sub_id, &sub_resp)) {
+          ++sub;
+          continue;
+        }
+        for (size_t k = 0; k < sub->op_indices.size(); ++k) {
+          if (k < sub_resp.results.size()) {
+            join.results[sub->op_indices[k]] = sub_resp.results[k];
+          }
+        }
+        if (sub_resp.attempts > join.attempts) {
+          join.attempts = sub_resp.attempts;
+        }
+        if (!sub_resp.status.ok()) {
+          MergeStatus(&join, std::move(sub_resp.status), sub->shard);
+        }
+        sub = join.pending.erase(sub);
+      }
+      if (join.pending.empty()) {
+        Complete(it->first, Finalize(&join, now));
+        it = joins_.erase(it);
+        ++finalized;
+      } else {
+        ++it;
+      }
+    }
+    return finalized;
+  }
+
+  Options options_;
+  ShardRouter router_;
+  ShardSupervisor supervisor_;
+  durability::ShardManifest manifest_;
+  gpusim::VirtualClock clock_;
+  std::vector<ShardSlot> shards_;
+  ShardedServerStats stats_;
+
+  std::mutex mu_;  // shards_, supervisor_, joins_, clock_
+  std::unordered_map<uint64_t, Join> joins_;
+
+  std::atomic<uint64_t> next_id_{1};
+  mutable std::mutex responses_mu_;
+  std::unordered_map<uint64_t, Response> responses_;
+};
+
+/// The paper's primary 4-byte configuration, sharded.
+using DyCuckooShardedServer = ShardedTableServer<uint32_t, uint32_t>;
+
+}  // namespace service
+}  // namespace dycuckoo
+
+#endif  // DYCUCKOO_SERVICE_SHARDED_SERVER_H_

@@ -244,6 +244,21 @@ class TableServer {
   /// server stops executing and never acknowledges in-flight requests.
   bool crashed() const { return durability_ != nullptr && durability_->dead(); }
 
+  /// Drives this server from a caller-owned clock instead of its own —
+  /// how a sharded deployment keeps every shard on ONE virtual timeline
+  /// (deadlines, breaker cooldowns, and checkpoint cadence stay globally
+  /// comparable).  Call before serving traffic; `clock` must outlive the
+  /// server.  Passing nullptr reverts to the internal clock.
+  void UseExternalClock(gpusim::VirtualClock* clock) {
+    clock_ = clock != nullptr ? clock : &own_clock_;
+  }
+
+  /// Puts the write path into half-open probation: the next write is a
+  /// single probe through the circuit breaker, and only its success
+  /// restores full write admission.  The re-admission path for a shard
+  /// that just self-healed from recovery.
+  void BeginWriteProbation() { breaker_.ForceProbation(clock_->Now()); }
+
   TableServer(const TableServer&) = delete;
   TableServer& operator=(const TableServer&) = delete;
 
@@ -258,19 +273,19 @@ class TableServer {
     uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
     stats_.submitted.fetch_add(1, std::memory_order_relaxed);
     if (request.deadline == 0 && options_.default_deadline_ticks > 0) {
-      request.deadline = clock_.Now() + options_.default_deadline_ticks;
+      request.deadline = clock_->Now() + options_.default_deadline_ticks;
     }
-    if (request.deadline != 0 && clock_.Now() > request.deadline) {
+    if (request.deadline != 0 && clock_->Now() > request.deadline) {
       stats_.rejected_deadline.fetch_add(1, std::memory_order_relaxed);
       Complete(id, Response{Status::DeadlineExceeded(
                                 "deadline passed before admission"),
-                            {}, 0, clock_.Now()});
+                            {}, 0, clock_->Now()});
       return id;
     }
     Status st = queue_.Push(Pending{id, std::move(request)});
     if (!st.ok()) {
       stats_.rejected_queue_full.fetch_add(1, std::memory_order_relaxed);
-      Complete(id, Response{std::move(st), {}, 0, clock_.Now()});
+      Complete(id, Response{std::move(st), {}, 0, clock_->Now()});
       return id;
     }
     stats_.admitted.fetch_add(1, std::memory_order_relaxed);
@@ -303,7 +318,7 @@ class TableServer {
   /// requests it completed (0 when idle).
   uint64_t Step() {
     if (crashed()) return 0;
-    gpusim::ScopedVirtualClock scoped(&clock_);
+    gpusim::ScopedVirtualClock scoped(clock_);
     std::vector<Pending> batch;
     uint64_t ops = 0;
     while (ops < options_.max_batch_ops) {
@@ -332,8 +347,8 @@ class TableServer {
 
   Table* table() { return table_.get(); }
   const Table* table() const { return table_.get(); }
-  gpusim::VirtualClock* clock() { return &clock_; }
-  uint64_t now() const { return clock_.Now(); }
+  gpusim::VirtualClock* clock() { return clock_; }
+  uint64_t now() const { return clock_->Now(); }
   const CircuitBreaker& breaker() const { return breaker_; }
   bool read_only() const { return breaker_.read_only(); }
   const ServerStats& stats() const { return stats_; }
@@ -369,7 +384,7 @@ class TableServer {
   }
 
   bool Expired(const Request& r) const {
-    return r.deadline != 0 && clock_.Now() > r.deadline;
+    return r.deadline != 0 && clock_->Now() > r.deadline;
   }
 
   void Complete(uint64_t id, Response response) {
@@ -387,9 +402,9 @@ class TableServer {
         stats_.rejected_deadline.fetch_add(1, std::memory_order_relaxed);
         Complete(p.id, Response{Status::DeadlineExceeded(
                                     "deadline passed while queued"),
-                                {}, 0, clock_.Now()});
+                                {}, 0, clock_->Now()});
         ++completed;
-      } else if (HasWrite(p.request) && !breaker_.AllowWrite(clock_.Now())) {
+      } else if (HasWrite(p.request) && !breaker_.AllowWrite(clock_->Now())) {
         stats_.rejected_unavailable.fetch_add(1, std::memory_order_relaxed);
         Complete(p.id,
                  Response{Status::Unavailable(
@@ -397,7 +412,7 @@ class TableServer {
                               std::string(CircuitBreaker::StateName(
                                   breaker_.state())) +
                               ")"),
-                          {}, 0, clock_.Now()});
+                          {}, 0, clock_->Now()});
         ++completed;
       } else {
         runnable.push_back(std::move(p));
@@ -437,12 +452,12 @@ class TableServer {
           resp.results[i].hit = ops[cursor].hit;
           resp.results[i].value = ops[cursor].value;
         }
-        resp.completed_at = clock_.Now();
+        resp.completed_at = clock_->Now();
         if (write) {
           if (resp.status.ok()) {
             breaker_.OnWriteSuccess();
           } else {
-            breaker_.OnWriteFailure(clock_.Now());
+            breaker_.OnWriteFailure(clock_->Now());
           }
         }
         if (resp.status.ok()) {
@@ -511,7 +526,7 @@ class TableServer {
       // Back off in virtual time; the wait itself can expire the deadline.
       uint64_t backoff = options_.retry.BackoffTicks(
           static_cast<int>(attempts), p->id);
-      clock_.Advance(backoff);
+      clock_->Advance(backoff);
       stats_.backoff_ticks_slept.fetch_add(backoff,
                                            std::memory_order_relaxed);
       if (Expired(p->request)) {
@@ -519,14 +534,14 @@ class TableServer {
         // leaving the probe unresolved would reject writes forever.
         if (has_write &&
             breaker_.state() == CircuitBreaker::State::kHalfOpen) {
-          breaker_.OnWriteFailure(clock_.Now());
+          breaker_.OnWriteFailure(clock_->Now());
         }
         stats_.rejected_deadline.fetch_add(1, std::memory_order_relaxed);
         Complete(p->id,
                  Response{Status::DeadlineExceeded(
                               "deadline passed after " +
                               std::to_string(attempts) + " attempts"),
-                          {}, attempts, clock_.Now()});
+                          {}, attempts, clock_->Now()});
         return;
       }
     }
@@ -553,7 +568,7 @@ class TableServer {
     Response resp;
     resp.status = st;
     resp.attempts = attempts;
-    resp.completed_at = clock_.Now();
+    resp.completed_at = clock_->Now();
     resp.results.resize(ops.size());
     for (size_t i = 0; i < ops.size(); ++i) {
       resp.results[i].hit = ops[i].hit;
@@ -563,7 +578,7 @@ class TableServer {
       if (st.ok()) {
         breaker_.OnWriteSuccess();
       } else {
-        breaker_.OnWriteFailure(clock_.Now());
+        breaker_.OnWriteFailure(clock_->Now());
       }
     }
     if (st.ok()) {
@@ -608,7 +623,8 @@ class TableServer {
   TableServerOptions options_;
   std::unique_ptr<Table> table_;
   durability::DurabilityManager<Key, Value>* durability_ = nullptr;
-  gpusim::VirtualClock clock_;
+  gpusim::VirtualClock own_clock_;
+  gpusim::VirtualClock* clock_ = &own_clock_;
   AdmissionQueue<Pending> queue_;
   CircuitBreaker breaker_;
   OnlineScrubber<Key, Value> scrubber_;

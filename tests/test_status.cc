@@ -123,6 +123,46 @@ TEST(StatusTest, EmptyMessageOmitsColon) {
   EXPECT_EQ(Status::Internal("").ToString(), "Internal");
 }
 
+TEST(StatusTest, DetailsAreMachineReadableAndChainable) {
+  Status st = Status::Unavailable("shard 3 quarantined")
+                  .WithDetail("shard", "3")
+                  .WithDetail("retry_after_ticks", "128")
+                  .WithDetail("executed", "never");
+  EXPECT_TRUE(st.IsUnavailable());
+  ASSERT_NE(st.FindDetail("shard"), nullptr);
+  EXPECT_EQ(*st.FindDetail("shard"), "3");
+  ASSERT_NE(st.FindDetail("retry_after_ticks"), nullptr);
+  EXPECT_EQ(*st.FindDetail("retry_after_ticks"), "128");
+  EXPECT_EQ(st.FindDetail("absent"), nullptr);
+  // Details ride along through copies and moves.
+  Status copy = st;
+  ASSERT_NE(copy.FindDetail("executed"), nullptr);
+  EXPECT_EQ(*copy.FindDetail("executed"), "never");
+  Status moved = std::move(st);
+  ASSERT_NE(moved.FindDetail("shard"), nullptr);
+  // ...and render in ToString for humans.
+  EXPECT_NE(moved.ToString().find("shard=3"), std::string::npos)
+      << moved.ToString();
+}
+
+TEST(StatusTest, RewrittenDetailShadowsOlderValue) {
+  Status st = Status::Unavailable("x").WithDetail("executed", "never");
+  Status refined = st.WithDetail("executed", "uncertain");
+  // Newest write wins on lookup; the original status is untouched
+  // (copy-on-write, so no shared mutation).
+  EXPECT_EQ(*refined.FindDetail("executed"), "uncertain");
+  EXPECT_EQ(*st.FindDetail("executed"), "never");
+}
+
+TEST(StatusTest, DetailsDoNotAffectEqualityOrPredicates) {
+  Status plain = Status::DataLoss("wal");
+  Status detailed = plain.WithDetail("segment", "wal-00002-of-00004.seg");
+  EXPECT_EQ(plain, detailed);  // equality is code-only
+  EXPECT_TRUE(detailed.IsDataLoss());
+  EXPECT_EQ(detailed.message(), "wal");
+  EXPECT_TRUE(Status::OK().FindDetail("anything") == nullptr);
+}
+
 TEST(StatusTest, ReturnNotOkMacroPropagates) {
   auto fails = []() -> Status {
     DYCUCKOO_RETURN_NOT_OK(Status::InvalidArgument("inner"));
