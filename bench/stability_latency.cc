@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "service/scrubber.h"
 #include "service/shard_router.h"
 
 namespace dycuckoo {
@@ -49,6 +50,111 @@ LatencyProfile Profile(HashTableInterface* table,
   p.max_ms = ms.back();
   p.max_over_mean = p.max_ms / std::max(p.mean_ms, 1e-9);
   return p;
+}
+
+// --- Scrub-verify overhead ------------------------------------------------
+//
+// The integrity scrubber (service/scrubber.h) re-verifies every slot's
+// 8-bit tag as it sweeps, amortized across the serving loop exactly like
+// a TableServer would run it: a bounded slice after every batch, sized so
+// a full pass completes every ~8 batches.  The delta against the
+// unscrubbed baseline is the steady-state cost of silent-corruption
+// detection — recorded in BENCH_integrity.json for the perf trajectory.
+
+struct ScrubOverhead {
+  LatencyProfile baseline;
+  LatencyProfile scrubbed;
+  double overhead_pct;     // scrubbed mean over baseline mean, minus one
+  uint64_t scrub_passes;
+  uint64_t corrupted_slots;  // must be 0: clean run, zero false positives
+};
+
+ScrubOverhead ProfileScrubOverhead(
+    const DynamicConfig& cfg,
+    const std::vector<workload::DynamicBatch>& batches) {
+  ScrubOverhead r;
+  {
+    auto baseline = MakeDyCuckooDynamic(cfg);
+    r.baseline = Profile(baseline.get(), batches);
+  }
+
+  DyCuckooOptions o;
+  o.lower_bound = cfg.alpha;
+  o.upper_bound = cfg.beta;
+  o.initial_capacity = cfg.initial_capacity;
+  o.seed = cfg.seed;
+  std::unique_ptr<DyCuckooAdapter> adapter;
+  CheckOk(DyCuckooAdapter::Create(o, &adapter), "DyCuckoo create");
+  service::OnlineScrubber<uint32_t, uint32_t> scrubber(adapter->table());
+
+  std::vector<double> ms;
+  ms.reserve(batches.size());
+  std::vector<uint32_t> out;
+  std::vector<uint8_t> found;
+  for (const auto& b : batches) {
+    // Slice size tracks the live table so the pass cadence survives
+    // resizes: ~1/8 of the current buckets per batch.
+    uint64_t buckets = 0;
+    for (int i = 0; i < adapter->table()->num_subtables(); ++i) {
+      buckets += adapter->table()->subtable_buckets(i);
+    }
+    const uint64_t slice = std::max<uint64_t>(1, buckets / 8);
+    Timer timer;
+    Status st = adapter->BulkInsert(b.insert_keys, b.insert_values);
+    if (!st.ok() && !st.IsInsertionFailure()) CheckOk(st, "insert");
+    out.resize(b.find_keys.size());
+    found.resize(b.find_keys.size());
+    adapter->BulkFind(b.find_keys, out.data(), found.data());
+    CheckOk(adapter->BulkErase(b.delete_keys), "erase");
+    scrubber.Step(slice);
+    ms.push_back(timer.ElapsedMillis());
+  }
+  std::sort(ms.begin(), ms.end());
+  double sum = 0;
+  for (double m : ms) sum += m;
+  r.scrubbed.mean_ms = sum / static_cast<double>(ms.size());
+  r.scrubbed.p99_ms =
+      ms[std::min(ms.size() - 1, static_cast<size_t>(ms.size() * 0.99))];
+  r.scrubbed.max_ms = ms.back();
+  r.scrubbed.max_over_mean =
+      r.scrubbed.max_ms / std::max(r.scrubbed.mean_ms, 1e-9);
+  r.overhead_pct =
+      (r.scrubbed.mean_ms / std::max(r.baseline.mean_ms, 1e-9) - 1.0) * 100.0;
+  r.scrub_passes = scrubber.full_passes();
+  r.corrupted_slots = scrubber.totals().corrupted_slots;
+  return r;
+}
+
+struct IntegrityDatasetResult {
+  std::string dataset;
+  ScrubOverhead overhead;
+};
+
+void WriteIntegrityJson(const std::string& path,
+                        const std::vector<IntegrityDatasetResult>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"scrub_verify_overhead\",\n");
+  std::fprintf(f, "  \"datasets\": [\n");
+  for (size_t d = 0; d < results.size(); ++d) {
+    const ScrubOverhead& r = results[d].overhead;
+    std::fprintf(
+        f,
+        "    {\"name\": \"%s\", \"baseline_mean_ms\": %.4f, "
+        "\"baseline_p99_ms\": %.4f, \"scrubbed_mean_ms\": %.4f, "
+        "\"scrubbed_p99_ms\": %.4f, \"overhead_pct\": %.2f, "
+        "\"scrub_passes\": %llu, \"corrupted_slots\": %llu}%s\n",
+        results[d].dataset.c_str(), r.baseline.mean_ms, r.baseline.p99_ms,
+        r.scrubbed.mean_ms, r.scrubbed.p99_ms, r.overhead_pct,
+        static_cast<unsigned long long>(r.scrub_passes),
+        static_cast<unsigned long long>(r.corrupted_slots),
+        d + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
 }
 
 // --- Sharded tail latency -------------------------------------------------
@@ -175,6 +281,7 @@ int Main(int argc, char** argv) {
   auto datasets = AllDatasets(args.scale, args.seed);
   const uint32_t num_shards = BenchShardsFromEnv();
   std::vector<ShardedDatasetResult> sharded_results;
+  std::vector<IntegrityDatasetResult> integrity_results;
 
   PrintHeader("Stability: per-batch latency distribution over the dynamic "
               "timeline (r=0.2, scale=" + Fmt(args.scale, 4) + ")",
@@ -205,6 +312,16 @@ int Main(int argc, char** argv) {
     PrintRow({data.name, "DyCuckoo", Fmt(pd.mean_ms, 3), Fmt(pd.p99_ms, 3),
               Fmt(pd.max_ms, 3), Fmt(pd.max_over_mean, 1)});
 
+    IntegrityDatasetResult integrity;
+    integrity.dataset = data.name;
+    integrity.overhead = ProfileScrubOverhead(cfg, batches);
+    PrintRow({data.name, "DyCuckoo+scrub",
+              Fmt(integrity.overhead.scrubbed.mean_ms, 3),
+              Fmt(integrity.overhead.scrubbed.p99_ms, 3),
+              Fmt(integrity.overhead.scrubbed.max_ms, 3),
+              Fmt(integrity.overhead.scrubbed.max_over_mean, 1)});
+    integrity_results.push_back(std::move(integrity));
+
     ShardedDatasetResult sharded;
     sharded.dataset = data.name;
     sharded.shards = ProfileSharded(num_shards, args.seed, cfg, batches);
@@ -221,6 +338,9 @@ int Main(int argc, char** argv) {
   std::printf("# per-shard p50/p99 written to BENCH_shards.json (%u shards; "
               "override with DYCUCKOO_BENCH_SHARDS)\n",
               num_shards);
+  WriteIntegrityJson("BENCH_integrity.json", integrity_results);
+  std::printf("# scrub-verify overhead vs baseline written to "
+              "BENCH_integrity.json\n");
   return 0;
 }
 

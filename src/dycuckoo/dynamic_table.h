@@ -440,7 +440,9 @@ class DynamicTable {
       });
       t.SetSize(0);
     }
-    for (auto& k : stash_keys_) k.store(kEmptyKey, std::memory_order_relaxed);
+    for (size_t i = 0; i < stash_keys_.size(); ++i) {
+      StashStoreKey(i, kEmptyKey);
+    }
     for (auto& s : stash_state_) s.store(kStashVacant, std::memory_order_relaxed);
     stash_size_.store(0, std::memory_order_relaxed);
     ring_.Clear();
@@ -588,7 +590,8 @@ class DynamicTable {
 
   /// Device bytes occupied by all subtables (and the stash, if any).
   uint64_t memory_bytes() const {
-    uint64_t total = stash_keys_.size() * (sizeof(Key) + sizeof(Value));
+    uint64_t total =
+        stash_keys_.size() * (sizeof(Key) + sizeof(Value) + sizeof(uint8_t));
     for (const auto& t : tables_) total += t.memory_bytes();
     return total;
   }
@@ -638,6 +641,12 @@ class DynamicTable {
       for (uint64_t b = 0; b < t.num_buckets(); ++b) {
         for (int s = 0; s < kSlots; ++s) {
           Key k = t.KeyAt(b, s);
+          if (t.TagAt(b, s) != SubtableT::ExpectedTag(k, t.ValueAt(b, s))) {
+            return Status::DataLoss("integrity tag mismatch in subtable " +
+                                    std::to_string(i) + " bucket " +
+                                    std::to_string(b) + " slot " +
+                                    std::to_string(s));
+          }
           if (k == kEmptyKey) continue;
           ++occupied;
           if (t.BucketIndex(k) != b) {
@@ -660,6 +669,12 @@ class DynamicTable {
     for (size_t i = 0; i < stash_keys_.size(); ++i) {
       Key k = stash_keys_[i].load(std::memory_order_relaxed);
       uint32_t state = stash_state_[i].load(std::memory_order_relaxed);
+      if (stash_tags_[i].load(std::memory_order_relaxed) !=
+          SubtableT::ExpectedTag(
+              k, stash_values_[i].load(std::memory_order_relaxed))) {
+        return Status::DataLoss("integrity tag mismatch in stash slot " +
+                                std::to_string(i));
+      }
       if (k == kEmptyKey) {
         if (state != kStashVacant) {
           return Status::Internal("vacant stash slot with non-vacant state");
@@ -708,6 +723,16 @@ class DynamicTable {
     uint64_t misplaced_repaired = 0; ///< of those, re-homed (rest stashed)
     uint64_t stash_fixes = 0;        ///< stash size counter re-synchronised
     uint64_t duplicates_collapsed = 0; ///< shadowed extra copies removed
+    uint64_t corrupted_slots = 0;    ///< integrity-tag mismatches found
+    /// Of the corrupted slots, those whose stored key itself is suspect
+    /// (empty slot, or a key outside the slot's probe set): the original
+    /// key cannot be recovered from device memory alone, so only a full
+    /// repair from durable state can make the shard whole again.
+    uint64_t corrupted_unattributable = 0;
+    /// Keys of corrupted-but-attributable slots, unpublished by the scrub;
+    /// the serving layer re-derives their authoritative value from the
+    /// checkpoint + WAL and re-inserts (see TableServer::ScrubSlice).
+    std::vector<Key> corrupted_keys;
     bool filled_factor_ok = true;    ///< theta within [alpha, beta]
 
     void MergeFrom(const ScrubReport& o) {
@@ -716,6 +741,10 @@ class DynamicTable {
       misplaced_repaired += o.misplaced_repaired;
       stash_fixes += o.stash_fixes;
       duplicates_collapsed += o.duplicates_collapsed;
+      corrupted_slots += o.corrupted_slots;
+      corrupted_unattributable += o.corrupted_unattributable;
+      corrupted_keys.insert(corrupted_keys.end(), o.corrupted_keys.begin(),
+                            o.corrupted_keys.end());
       filled_factor_ok = filled_factor_ok && o.filled_factor_ok;
     }
   };
@@ -743,6 +772,37 @@ class DynamicTable {
       gpusim::CountBucketRead();
       for (int s = 0; s < kSlots; ++s) {
         Key k = t.KeyAt(b, s);
+        // Integrity check FIRST: a slot whose tag disagrees with its
+        // contents holds flipped bits, and none of its words can be
+        // trusted.  Running the structural checks on it would "repair" a
+        // corrupted key into a legitimate-looking home — laundering the
+        // corruption instead of catching it.
+        if (t.TagAt(b, s) != SubtableT::ExpectedTag(k, t.ValueAt(b, s))) {
+          ++report.corrupted_slots;
+          // The stored key is trustworthy only if it is non-empty AND the
+          // struck slot is inside its probe set (a flipped key bit almost
+          // surely hashes elsewhere).  Then the flip was in the value (or
+          // the tag itself) and durability can re-derive the truth by key.
+          bool attributable =
+              k != kEmptyKey && t.BucketIndex(k) == b &&
+              (!options_.enable_two_layer ||
+               pair_map_.PairFor(static_cast<uint64_t>(k)).Contains(table_idx));
+          if (attributable) {
+            report.corrupted_keys.push_back(k);
+          } else {
+            ++report.corrupted_unattributable;
+          }
+          // Unpublish: a corrupted pair must never be served again.  The
+          // delta-maintained StoreKey plus a quiescent resync restores the
+          // tag invariant for the now-empty slot.
+          if (k != kEmptyKey) {
+            t.StoreKey(b, s, kEmptyKey);
+            t.AddSize(-1);
+          }
+          t.ResyncTag(b, s);
+          gpusim::CountBucketWrite();
+          continue;
+        }
         if (k == kEmptyKey) continue;
         bool wrong_bucket = t.BucketIndex(k) != b;
         bool wrong_table =
@@ -798,6 +858,13 @@ class DynamicTable {
       stats_.scrub_duplicates_collapsed.fetch_add(report.duplicates_collapsed,
                                                   kRelaxed);
     }
+    if (report.corrupted_slots) {
+      stats_.scrub_corrupted_slots.fetch_add(report.corrupted_slots, kRelaxed);
+      DYCUCKOO_LOG(Warning) << "scrub: " << report.corrupted_slots
+                            << " corrupted slot(s) in subtable " << table_idx
+                            << " (" << report.corrupted_unattributable
+                            << " unattributable)";
+    }
     return report;
   }
 
@@ -825,13 +892,42 @@ class DynamicTable {
   /// the counter on mismatch (a mismatch indicates a lost update; the slots
   /// themselves are the ground truth).
   void ScrubStash(ScrubReport* report) {
+    // Integrity check first, mirroring ScrubBuckets: a mismatched stash
+    // slot is unpublished before any structural repair can launder it.
+    // The stash has no placement invariant to cross-check the key against,
+    // so even a non-empty key is only *probably* intact — the durability
+    // point-lookup downstream is the arbiter (an absent key escalates to a
+    // full-shard repair; see docs/robustness.md for the residual risk).
+    for (size_t i = 0; i < stash_keys_.size(); ++i) {
+      Key k = stash_keys_[i].load(std::memory_order_relaxed);
+      Value v = stash_values_[i].load(std::memory_order_relaxed);
+      if (stash_tags_[i].load(std::memory_order_relaxed) ==
+          SubtableT::ExpectedTag(k, v)) {
+        continue;
+      }
+      ++report->corrupted_slots;
+      if (k != kEmptyKey) {
+        report->corrupted_keys.push_back(k);
+        StashStoreKey(i, kEmptyKey);
+        stash_state_[i].store(kStashVacant, std::memory_order_relaxed);
+        stash_size_.fetch_sub(1, kRelaxed);
+      } else {
+        ++report->corrupted_unattributable;
+      }
+      stash_tags_[i].store(
+          SubtableT::ExpectedTag(
+              stash_keys_[i].load(std::memory_order_relaxed),
+              stash_values_[i].load(std::memory_order_relaxed)),
+          std::memory_order_relaxed);
+      stats_.scrub_corrupted_slots.fetch_add(1, kRelaxed);
+    }
     // A stash entry whose key also lives in a candidate bucket is shadowed
     // (FIND probes buckets before the stash) — collapse it.
     for (size_t i = 0; i < stash_keys_.size(); ++i) {
       Key k = stash_keys_[i].load(std::memory_order_relaxed);
       if (k == kEmptyKey) continue;
       if (ShadowedByEarlierCandidate(k, /*table_idx=*/-1)) {
-        stash_keys_[i].store(kEmptyKey, std::memory_order_relaxed);
+        StashStoreKey(i, kEmptyKey);
         stash_state_[i].store(kStashVacant, std::memory_order_relaxed);
         stash_size_.fetch_sub(1, kRelaxed);
         ++report->duplicates_collapsed;
@@ -871,6 +967,108 @@ class DynamicTable {
   /// Records a completed full scrub sweep in stats (incremental scrubbers
   /// call this when their cursor wraps; ScrubAll calls it itself).
   void MarkScrubPass() { stats_.scrub_passes.fetch_add(1, kRelaxed); }
+
+  /// Re-publishes a pair whose slot the scrubber unpublished as corrupted,
+  /// using the authoritative value the serving layer re-derived from the
+  /// checkpoint + WAL.  Partner-checked, so if some copy of the key
+  /// survived elsewhere the repair collapses into an update.  Host-side,
+  /// no kernels in flight.
+  void RepairCorruptedPair(Key key, Value value) {
+    FailBuffer fail(1);
+    InsertKernel(&key, &value, 1, /*exclude_table=*/-1,
+                 /*check_partner=*/true, &fail);
+    for (uint64_t i = 0; i < fail.count(); ++i) {
+      ForceStash(fail.keys()[i], fail.values()[i]);
+      stats_.recovery_spills.fetch_add(1, kRelaxed);
+    }
+    stats_.scrub_repaired_from_wal.fetch_add(1, kRelaxed);
+  }
+
+  /// Records corruption that durable state could not resolve (the caller
+  /// is expected to degrade the shard; see TableServer::ScrubSlice).
+  void NoteUnrepairableCorruption(uint64_t n) {
+    if (n) stats_.scrub_unrepairable.fetch_add(n, kRelaxed);
+  }
+
+  /// Looks up one key in a raw Save() image without rebuilding a table —
+  /// the targeted-repair read path (checkpoint side of the point lookup).
+  /// Returns false when the image is not a well-formed, CRC-clean v2
+  /// snapshot for these Key/Value widths; otherwise true, with `*found`
+  /// and (on a hit) `*value` set.
+  static bool SnapshotFindKey(const char* data, size_t len, Key key,
+                              Value* value, bool* found) {
+    *found = false;
+    constexpr size_t kHeaderBytes = 5 * sizeof(uint64_t);
+    if (data == nullptr || len < kHeaderBytes + sizeof(uint32_t)) return false;
+    uint64_t header[5];
+    std::memcpy(header, data, kHeaderBytes);
+    if (header[0] != kSnapshotMagicV2 ||
+        header[1] != kSnapshotFormatVersion || header[2] != sizeof(Key) ||
+        header[3] != sizeof(Value)) {
+      return false;
+    }
+    const uint64_t count = header[4];
+    const size_t pair_bytes = sizeof(Key) + sizeof(Value);
+    const size_t payload = len - kHeaderBytes - sizeof(uint32_t);
+    if (payload % pair_bytes != 0 || payload / pair_bytes != count) {
+      return false;
+    }
+    uint32_t crc =
+        Crc32Update(0, data + sizeof(uint64_t), 4 * sizeof(uint64_t));
+    crc = Crc32Update(crc, data + kHeaderBytes, payload);
+    uint32_t stored_crc = 0;
+    std::memcpy(&stored_crc, data + kHeaderBytes + payload,
+                sizeof(stored_crc));
+    if (stored_crc != crc) return false;
+    const char* p = data + kHeaderBytes;
+    for (uint64_t i = 0; i < count; ++i, p += pair_bytes) {
+      Key k{};
+      std::memcpy(&k, p, sizeof(Key));
+      if (k != key) continue;
+      *found = true;
+      if (value != nullptr) std::memcpy(value, p + sizeof(Key), sizeof(Value));
+      return true;
+    }
+    return true;
+  }
+
+  /// TEST HOOK: XORs one stored bit of the slot currently holding `key` —
+  /// in its key word (region 0), value word (region 1) or integrity tag
+  /// (region 2) — bypassing the delta-maintained mutators.  This plants
+  /// exactly the silent device-memory corruption the tag line exists to
+  /// catch.  Buckets are searched first, then the stash.  Returns false
+  /// when the key is not resident.
+  bool CorruptSlotBitForTest(Key key, int region, int bit = 0) {
+    if (key == kEmptyKey) return false;
+    int candidates[16];
+    int n_cand = CandidateTables(key, candidates);
+    for (int c = 0; c < n_cand; ++c) {
+      SubtableT& t = tables_[candidates[c]];
+      uint64_t loc = t.BucketIndex(key);
+      for (int s = 0; s < kSlots; ++s) {
+        if (t.KeyAt(loc, s) != key) continue;
+        t.CorruptBitForTest(loc, s, region, bit);
+        return true;
+      }
+    }
+    for (size_t i = 0; i < stash_keys_.size(); ++i) {
+      if (stash_keys_[i].load(std::memory_order_relaxed) != key) continue;
+      if (region == 0) {
+        Key k = stash_keys_[i].load(std::memory_order_relaxed);
+        FlipBit(&k, bit);
+        stash_keys_[i].store(k, std::memory_order_relaxed);
+      } else if (region == 1) {
+        Value v = stash_values_[i].load(std::memory_order_relaxed);
+        FlipBit(&v, bit);
+        stash_values_[i].store(v, std::memory_order_relaxed);
+      } else {
+        stash_tags_[i].fetch_xor(static_cast<uint8_t>(1u << (bit % 8)),
+                                 std::memory_order_relaxed);
+      }
+      return true;
+    }
+    return false;
+  }
 
   /// TEST HOOK: stores (key, value) directly into a bucket *outside* the
   /// key's probe set, bypassing the insert path — simulating the silent
@@ -928,8 +1126,8 @@ class DynamicTable {
     if (into_stash) {
       for (size_t i = 0; i < stash_keys_.size(); ++i) {
         if (stash_keys_[i].load(std::memory_order_relaxed) == kEmptyKey) {
-          stash_values_[i].store(stale_value, std::memory_order_relaxed);
-          stash_keys_[i].store(key, std::memory_order_relaxed);
+          StashStoreValue(i, stale_value);
+          StashStoreKey(i, key);
           stash_state_[i].store(kStashLive, std::memory_order_relaxed);
           stash_size_.fetch_add(1, kRelaxed);
           return true;
@@ -1137,8 +1335,13 @@ class DynamicTable {
       stash_values_ = std::vector<std::atomic<Value>>(options_.stash_capacity);
       stash_state_ =
           std::vector<std::atomic<uint32_t>>(options_.stash_capacity);
+      stash_tags_ = std::vector<std::atomic<uint8_t>>(options_.stash_capacity);
+      const uint8_t empty_tag = SubtableT::ExpectedTag(kEmptyKey, Value{});
       for (auto& k : stash_keys_) {
         k.store(kEmptyKey, std::memory_order_relaxed);
+      }
+      for (auto& t : stash_tags_) {
+        t.store(empty_tag, std::memory_order_relaxed);
       }
     }
     ring_.Reset(options_.handoff_capacity);
@@ -1486,7 +1689,7 @@ class DynamicTable {
     if (op->active && stash_size_.load(std::memory_order_acquire) > 0) {
       for (size_t i = 0; i < stash_keys_.size(); ++i) {
         if (gpusim::LoadAcquire(&stash_keys_[i]) == key) {
-          gpusim::StoreRacy(&stash_values_[i], value);
+          StashStoreValue(i, value);
           op->active = false;
           ++*updated;
           break;
@@ -1759,7 +1962,7 @@ class DynamicTable {
         // Propagate any upsert that hit the parked copy between the stash
         // publish and the retire.
         if (gpusim::Load(&stash_keys_[stash_idx]) == op->key) {
-          gpusim::StoreRacy(&stash_values_[stash_idx], latest);
+          StashStoreValue(stash_idx, latest);
         }
       } else {
         // Claimed by a concurrent DELETE: withdraw the stash copy again.
@@ -1827,7 +2030,7 @@ class DynamicTable {
       if (stash_size_.load(std::memory_order_acquire) > 0) {
         for (size_t i = 0; i < stash_keys_.size(); ++i) {
           if (gpusim::LoadAcquire(&stash_keys_[i]) == key) {
-            gpusim::StoreRacy(&stash_values_[i], value);
+            StashStoreValue(i, value);
             return true;
           }
         }
@@ -1980,6 +2183,48 @@ class DynamicTable {
     return false;  // unreachable absent a bug (see kMaxProbeRetries)
   }
 
+  /// XORs one bit of a trivially-copyable word (test corruption planting).
+  template <typename Word>
+  static void FlipBit(Word* word, int bit) {
+    unsigned char bytes[sizeof(Word)];
+    std::memcpy(bytes, word, sizeof(Word));
+    const size_t pos = static_cast<size_t>(bit) % (sizeof(Word) * 8);
+    bytes[pos / 8] ^= static_cast<unsigned char>(1u << (pos % 8));
+    std::memcpy(word, bytes, sizeof(Word));
+  }
+
+  // ---- Stash tag maintenance -------------------------------------------
+  //
+  // The stash carries the same per-slot integrity invariant as the bucket
+  // arrays: stash_tags_[i] == FoldKey(key) ^ FoldValue(value), vacant
+  // slots included.  The same differential discipline applies — exchanges
+  // learn the true prior word and fetch_xor the exact transition delta, so
+  // racy value upserts and key CASes compose in any order.
+
+  /// Key store into stash slot `i` with the release ordering StashInsert's
+  /// publication protocol requires (exchange is acq_rel), plus the tag
+  /// delta for the transition actually performed.
+  void StashStoreKey(size_t i, Key k) {
+    Key old = gpusim::AtomicExchWord(&stash_keys_[i], k);
+    if (old != k) {
+      stash_tags_[i].fetch_xor(
+          static_cast<uint8_t>(SubtableT::FoldKey(old) ^ SubtableT::FoldKey(k)),
+          std::memory_order_relaxed);
+    }
+  }
+
+  /// Value store into stash slot `i`; last-writer-wins for racy upserts,
+  /// with the exchange arbitrating whose tag delta applies.
+  void StashStoreValue(size_t i, Value v) {
+    Value old = gpusim::AtomicExchWord(&stash_values_[i], v);
+    if (!(old == v)) {
+      stash_tags_[i].fetch_xor(
+          static_cast<uint8_t>(SubtableT::FoldValue(old) ^
+                               SubtableT::FoldValue(v)),
+          std::memory_order_relaxed);
+    }
+  }
+
   /// Claims a free stash slot for a failed insertion; false when full.
   /// `slot_out` (optional) receives the claimed index.
   ///
@@ -1999,8 +2244,8 @@ class DynamicTable {
       stash_size_.fetch_add(1, std::memory_order_release);
       // Racy by contract: a concurrent upsert of k may write the value
       // slot the moment the key publishes it; last writer wins.
-      gpusim::StoreRacy(&stash_values_[i], v);
-      gpusim::StoreRelease(&stash_keys_[i], k);
+      StashStoreValue(i, v);
+      StashStoreKey(i, k);
       bool ok = gpusim::AtomicCasWord(&stash_state_[i], kStashBusy, kStashLive);
       DYCUCKOO_DCHECK(ok);
       (void)ok;
@@ -2013,9 +2258,16 @@ class DynamicTable {
 
   /// Removes the stash entry at slot `i` holding key `k` (device-side,
   /// racing erasers allowed — exactly one wins).  Returns true for the
-  /// winner, which also owns the occupancy decrement and slot reclaim.
+  /// winner, which also owns the occupancy decrement, the slot reclaim,
+  /// and the tag delta its won CAS authorized.
   bool StashRemoveAt(size_t i, Key k) {
     if (!gpusim::AtomicCasWord(&stash_keys_[i], k, kEmptyKey)) return false;
+    if (k != kEmptyKey) {
+      stash_tags_[i].fetch_xor(
+          static_cast<uint8_t>(SubtableT::FoldKey(k) ^
+                               SubtableT::FoldKey(kEmptyKey)),
+          std::memory_order_relaxed);
+    }
     // The key-CAS winner owns the reclaim.  The state may still be kBusy
     // when the key was caught mid-publish (value and key already written);
     // the publisher's busy -> live transition takes no locks, so waiting
@@ -2041,8 +2293,11 @@ class DynamicTable {
     std::vector<std::atomic<Key>> grown_keys(new_cap);
     std::vector<std::atomic<Value>> grown_values(new_cap);
     std::vector<std::atomic<uint32_t>> grown_state(new_cap);
+    std::vector<std::atomic<uint8_t>> grown_tags(new_cap);
     for (size_t i = 0; i < new_cap; ++i) {
       grown_keys[i].store(kEmptyKey, std::memory_order_relaxed);
+      grown_tags[i].store(SubtableT::ExpectedTag(kEmptyKey, Value{}),
+                          std::memory_order_relaxed);
     }
     for (size_t i = 0; i < old_cap; ++i) {
       grown_keys[i].store(stash_keys_[i].load(std::memory_order_relaxed),
@@ -2051,10 +2306,16 @@ class DynamicTable {
                             std::memory_order_relaxed);
       grown_state[i].store(stash_state_[i].load(std::memory_order_relaxed),
                            std::memory_order_relaxed);
+      // The copy is NOT a delta-maintained transition — carry the tag word
+      // verbatim so pre-existing (planted or real) corruption survives the
+      // regrow instead of being silently laundered into a clean tag.
+      grown_tags[i].store(stash_tags_[i].load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
     }
     stash_keys_ = std::move(grown_keys);
     stash_values_ = std::move(grown_values);
     stash_state_ = std::move(grown_state);
+    stash_tags_ = std::move(grown_tags);
     DYCUCKOO_CHECK(StashInsert(k, v));
   }
 
@@ -2072,7 +2333,7 @@ class DynamicTable {
       if (k == kEmptyKey) continue;
       values.push_back(stash_values_[i].load(std::memory_order_relaxed));
       keys.push_back(k);
-      stash_keys_[i].store(kEmptyKey, std::memory_order_relaxed);
+      StashStoreKey(i, kEmptyKey);
       stash_state_[i].store(kStashVacant, std::memory_order_relaxed);
       stash_size_.fetch_sub(1, kRelaxed);
     }
@@ -2202,12 +2463,21 @@ class DynamicTable {
         Key k = snap_k[s];
         if (k == kEmptyKey) continue;
         Value v = snap_v[s];
+        // Source tag travels verbatim with the pair so a not-yet-scrubbed
+        // corruption survives the move instead of being re-sealed.
+        const uint8_t tag = old.TagAt(loc, s);
         uint64_t new_loc = bigger.RawHash(k) & (2 * n_old - 1);
-        DYCUCKOO_DCHECK(new_loc == loc || new_loc == loc + n_old);
+        if (new_loc != loc && new_loc != loc + n_old) {
+          // Only possible when the key bytes were silently corrupted (an
+          // intact key in bucket `loc` can rehash to loc or loc + n_old
+          // and nothing else).  Keep the pair at `loc` with its mismatched
+          // tag: the next scrub pass flags and unpublishes it there.
+          new_loc = loc;
+        }
         if (new_loc == loc) {
-          bigger.StoreSlot(loc, stay++, k, v);
+          bigger.StoreSlotFresh(loc, stay++, k, v, tag);
         } else {
-          bigger.StoreSlot(loc + n_old, moved++, k, v);
+          bigger.StoreSlotFresh(loc + n_old, moved++, k, v, tag);
         }
       }
       if (stay) gpusim::CountBucketWrite();
@@ -2258,6 +2528,7 @@ class DynamicTable {
     grid_->LaunchWarps(n_new, [&](uint64_t loc) {
       Key merged_k[2 * kSlots];
       Value merged_v[2 * kSlots];
+      uint8_t merged_t[2 * kSlots];
       int count = 0;
       const uint64_t sources[2] = {loc, loc + n_new};
       for (uint64_t src : sources) {
@@ -2270,12 +2541,18 @@ class DynamicTable {
           if (snap_k[s] == kEmptyKey) continue;
           merged_k[count] = snap_k[s];
           merged_v[count] = snap_v[s];
+          // Verbatim tag carry: see StoreSlotFresh.  (Residuals that spill
+          // to other subtables below re-publish through InsertKernel and
+          // get freshly sealed tags — the one resize path that can launder
+          // a not-yet-scrubbed fault; docs/robustness.md records it.)
+          merged_t[count] = old.TagAt(src, s);
           ++count;
         }
       }
       int kept = std::min(count, kSlots);
       for (int s = 0; s < kept; ++s) {
-        smaller.StoreSlot(loc, s, merged_k[s], merged_v[s]);
+        smaller.StoreSlotFresh(loc, s, merged_k[s], merged_v[s],
+                               merged_t[s]);
       }
       if (kept) gpusim::CountBucketWrite();
       if (count > kept) {
@@ -2374,6 +2651,9 @@ class DynamicTable {
   std::vector<std::atomic<Key>> stash_keys_;
   std::vector<std::atomic<Value>> stash_values_;
   std::vector<std::atomic<uint32_t>> stash_state_;
+  // Per-slot integrity tags mirroring the subtables' tag line (see
+  // subtable.h): stash_tags_[i] == FoldKey(key) ^ FoldValue(value).
+  std::vector<std::atomic<uint8_t>> stash_tags_;
   std::atomic<uint64_t> stash_size_{0};
   // Displaced-victim handoff (options_.handoff_capacity entries): keeps
   // every key of an in-flight eviction chain reader-visible.

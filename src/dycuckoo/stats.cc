@@ -27,7 +27,10 @@ std::string TableStats::Snapshot::ToString() const {
      << " scrub_misplaced_repaired=" << scrub_misplaced_repaired
      << " scrub_stash_fixes=" << scrub_stash_fixes
      << " scrub_duplicates_collapsed=" << scrub_duplicates_collapsed
-     << " scrub_passes=" << scrub_passes;
+     << " scrub_passes=" << scrub_passes
+     << " scrub_corrupted_slots=" << scrub_corrupted_slots
+     << " scrub_repaired_from_wal=" << scrub_repaired_from_wal
+     << " scrub_unrepairable=" << scrub_unrepairable;
   return os.str();
 }
 

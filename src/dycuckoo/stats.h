@@ -53,6 +53,13 @@ class TableStats {
   std::atomic<uint64_t> scrub_duplicates_collapsed{0};  // shadowed copies freed
   std::atomic<uint64_t> scrub_passes{0};              // full sweeps completed
 
+  // Silent-data-corruption defense (integrity tags; docs/robustness.md):
+  // tag-mismatched slots detected, pairs restored from checkpoint + WAL,
+  // and corruption durable state could not resolve (shard degrades).
+  std::atomic<uint64_t> scrub_corrupted_slots{0};
+  std::atomic<uint64_t> scrub_repaired_from_wal{0};
+  std::atomic<uint64_t> scrub_unrepairable{0};
+
   struct Snapshot {
     uint64_t inserts_new = 0;
     uint64_t inserts_updated = 0;
@@ -83,6 +90,9 @@ class TableStats {
     uint64_t scrub_stash_fixes = 0;
     uint64_t scrub_duplicates_collapsed = 0;
     uint64_t scrub_passes = 0;
+    uint64_t scrub_corrupted_slots = 0;
+    uint64_t scrub_repaired_from_wal = 0;
+    uint64_t scrub_unrepairable = 0;
 
     std::string ToString() const;
   };
@@ -124,6 +134,11 @@ class TableStats {
     s.scrub_duplicates_collapsed =
         scrub_duplicates_collapsed.load(std::memory_order_relaxed);
     s.scrub_passes = scrub_passes.load(std::memory_order_relaxed);
+    s.scrub_corrupted_slots =
+        scrub_corrupted_slots.load(std::memory_order_relaxed);
+    s.scrub_repaired_from_wal =
+        scrub_repaired_from_wal.load(std::memory_order_relaxed);
+    s.scrub_unrepairable = scrub_unrepairable.load(std::memory_order_relaxed);
     return s;
   }
 };

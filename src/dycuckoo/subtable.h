@@ -9,6 +9,22 @@
 // Slots are std::atomic<Key>/std::atomic<Value>: on the real device these
 // are plain words raced under the CUDA memory model; here relaxed atomics
 // give the identical semantics without UB.
+//
+// Integrity tags: a fourth arena array holds one 8-bit tag per slot —
+// an XOR-folded CRC32 over the slot's key and value — stored as a
+// contiguous per-bucket line (kSlots bytes, one partial cache line), the
+// same layout the ROADMAP's fingerprint/SoA item needs.  The invariant
+//
+//   tag[slot] == FoldKey(key) ^ FoldValue(value)   (empty slots included)
+//
+// holds at every quiescent point.  It is maintained *differentially*:
+// every mutation learns the true prior word (atomic exchange, or a won
+// CAS) and XORs the exact transition delta into the tag with fetch_xor.
+// XOR commutes, so concurrent lock-free writers (value upserts racing a
+// delete's key CAS, say) can apply their deltas in any order and the tag
+// still lands on the invariant — which is what makes scrub-time tag
+// verification structurally free of false positives.  Absolute tag writes
+// (ResyncTag) are reserved for provably quiescent repair paths.
 
 #ifndef DYCUCKOO_DYCUCKOO_SUBTABLE_H_
 #define DYCUCKOO_DYCUCKOO_SUBTABLE_H_
@@ -56,6 +72,14 @@ class Subtable {
   /// Creates a subtable with `num_buckets` buckets (power of two) hashing
   /// with `seed`.  Check ok() afterwards: allocation can fail when the
   /// device arena is exhausted.
+  ///
+  /// The four arrays carry region-suffixed arena tags (tag + "/kv-keys",
+  /// "/kv-values", "/kv-tags", "/locks"): memory-fault campaigns target
+  /// the tag-guarded regions with a "/kv" substring filter without ever
+  /// striking a lock word (whose corruption would wedge the bucket, not
+  /// silently corrupt data — a different failure class).  Accounting and
+  /// alloc-fault filters match by substring, so the plain tag still
+  /// addresses all four.
   Subtable(uint64_t num_buckets, uint64_t seed, gpusim::DeviceArena* arena,
            std::string tag)
       : num_buckets_(num_buckets),
@@ -64,17 +88,24 @@ class Subtable {
         tag_(std::move(tag)) {
     DYCUCKOO_CHECK(IsPowerOfTwo(num_buckets));
     const uint64_t slots = num_buckets_ * kSlots;
-    keys_ = arena_->AllocateArray<std::atomic<Key>>(slots, tag_);
-    values_ = arena_->AllocateArray<std::atomic<Value>>(slots, tag_);
-    locks_ = arena_->AllocateArray<gpusim::BucketLock>(num_buckets_, tag_);
-    if (keys_ == nullptr || values_ == nullptr || locks_ == nullptr) {
+    keys_ = arena_->AllocateArray<std::atomic<Key>>(slots, tag_ + "/kv-keys");
+    values_ =
+        arena_->AllocateArray<std::atomic<Value>>(slots, tag_ + "/kv-values");
+    tags_ =
+        arena_->AllocateArray<std::atomic<uint8_t>>(slots, tag_ + "/kv-tags");
+    locks_ =
+        arena_->AllocateArray<gpusim::BucketLock>(num_buckets_, tag_ + "/locks");
+    if (keys_ == nullptr || values_ == nullptr || tags_ == nullptr ||
+        locks_ == nullptr) {
       Release();
       num_buckets_ = 0;
       alloc_failed_ = true;
       return;
     }
+    const uint8_t empty_tag = ExpectedTag(kEmptyKey, Value{});
     for (uint64_t s = 0; s < slots; ++s) {
       keys_[s].store(kEmptyKey, std::memory_order_relaxed);
+      tags_[s].store(empty_tag, std::memory_order_relaxed);
     }
   }
 
@@ -159,17 +190,32 @@ class Subtable {
   }
   /// Key stores publish with release ordering so the value written before
   /// them (see StoreSlot) is visible to any reader that acquires the key.
+  /// Implemented as an atomic exchange: the returned prior key authorizes
+  /// the exact integrity-tag delta FK(old) ^ FK(new), keeping the tag
+  /// invariant under any interleaving with lock-free key CASes.
   void StoreKey(uint64_t bucket, int slot, Key k) {
-    gpusim::StoreRelease(&keys_[bucket * kSlots + slot], k);
+    Key old = gpusim::AtomicExchWord(&keys_[bucket * kSlots + slot], k);
+    if (old != k) {
+      tags_[bucket * kSlots + slot].fetch_xor(
+          static_cast<uint8_t>(FoldKey(old) ^ FoldKey(k)),
+          std::memory_order_relaxed);
+    }
   }
   void StoreValue(uint64_t bucket, int slot, Value v) {
-    gpusim::Store(&values_[bucket * kSlots + slot], v);
+    Value old = gpusim::AtomicExchWord(&values_[bucket * kSlots + slot], v);
+    if (!(old == v)) {
+      tags_[bucket * kSlots + slot].fetch_xor(
+          static_cast<uint8_t>(FoldValue(old) ^ FoldValue(v)),
+          std::memory_order_relaxed);
+    }
   }
   /// Value store with a documented last-writer-wins contract (the
-  /// unlocked duplicate-upsert path): recorded by RaceCheck but never
-  /// reported as a race.
+  /// unlocked duplicate-upsert path).  The exchange arbitrates the racy
+  /// writers, so each applies the tag delta for the transition it actually
+  /// performed — the contract that keeps concurrent upserts of one key
+  /// from corrupting the tag.
   void StoreValueRacy(uint64_t bucket, int slot, Value v) {
-    gpusim::StoreRacy(&values_[bucket * kSlots + slot], v);
+    StoreValue(bucket, slot, v);
   }
   /// Publishes a (key, value) pair: value first, then the key with release
   /// ordering.  When the slot currently holds a *different* live key the
@@ -180,11 +226,41 @@ class Subtable {
     StoreKey(bucket, slot, k);
   }
 
+  /// StoreSlot for a subtable no other thread can reach yet (the resize
+  /// kernels building a fresh table, where each destination slot is
+  /// written at most once from its initialized-empty state).  Plain
+  /// stores plus an absolute tag write: no exchange is needed to learn
+  /// the prior value, which keeps the upsize kernel's conflict-free
+  /// guarantee (zero CAS/exchange operations) intact.
+  ///
+  /// `tag` is the SOURCE slot's integrity tag, carried verbatim.  The
+  /// copied pair is byte-identical to the source, so a valid source tag
+  /// stays valid — and a mismatched one (silent corruption planted before
+  /// the resize, not yet scrubbed) stays mismatched instead of being
+  /// re-sealed over corrupt bytes.  Recomputing ExpectedTag(k, v) here
+  /// would launder exactly the faults the tags exist to catch.
+  void StoreSlotFresh(uint64_t bucket, int slot, Key k, Value v,
+                      uint8_t tag) {
+    const uint64_t idx = bucket * kSlots + slot;
+    gpusim::Store(&values_[idx], v);
+    gpusim::StoreRelease(&keys_[idx], k);
+    tags_[idx].store(tag, std::memory_order_relaxed);
+  }
+
   /// CAS on a key slot (used by lock-free DELETE: only the winner of the
-  /// kEmptyKey exchange decrements the size counter).
+  /// kEmptyKey exchange decrements the size counter).  A won CAS observed
+  /// `expected` atomically, which authorizes its tag delta.
   bool CasKey(uint64_t bucket, int slot, Key expected, Key desired) {
-    return gpusim::AtomicCasWord(&keys_[bucket * kSlots + slot], expected,
-                                 desired);
+    if (!gpusim::AtomicCasWord(&keys_[bucket * kSlots + slot], expected,
+                               desired)) {
+      return false;
+    }
+    if (expected != desired) {
+      tags_[bucket * kSlots + slot].fetch_xor(
+          static_cast<uint8_t>(FoldKey(expected) ^ FoldKey(desired)),
+          std::memory_order_relaxed);
+    }
+    return true;
   }
 
   /// CAS on a value slot (the lock-free duplicate-upsert path): pinning the
@@ -192,8 +268,61 @@ class Subtable {
   /// land in a slot an eviction chain has re-keyed in between — the CAS
   /// fails instead, and the caller re-validates the key.
   bool CasValue(uint64_t bucket, int slot, Value expected, Value desired) {
-    return gpusim::AtomicCasWord(&values_[bucket * kSlots + slot], expected,
-                                 desired);
+    if (!gpusim::AtomicCasWord(&values_[bucket * kSlots + slot], expected,
+                               desired)) {
+      return false;
+    }
+    if (!(expected == desired)) {
+      tags_[bucket * kSlots + slot].fetch_xor(
+          static_cast<uint8_t>(FoldValue(expected) ^ FoldValue(desired)),
+          std::memory_order_relaxed);
+    }
+    return true;
+  }
+
+  // ---- Integrity tags ----------------------------------------------------
+
+  /// 8-bit XOR-fold of CRC32 over one key word.
+  static uint8_t FoldKey(Key k) { return Fold8(&k, sizeof(Key)); }
+  /// 8-bit XOR-fold of CRC32 over one value word.
+  static uint8_t FoldValue(Value v) { return Fold8(&v, sizeof(Value)); }
+  /// The tag a clean slot holding (k, v) must carry.
+  static uint8_t ExpectedTag(Key k, Value v) {
+    return static_cast<uint8_t>(FoldKey(k) ^ FoldValue(v));
+  }
+
+  uint8_t TagAt(uint64_t bucket, int slot) const {
+    return tags_[bucket * kSlots + slot].load(std::memory_order_relaxed);
+  }
+
+  /// Rewrites a slot's tag from its current (key, value) contents.
+  /// Quiescent paths ONLY (scrub repair with no kernels in flight): an
+  /// absolute store would wipe any delta a concurrent lock-free writer is
+  /// about to apply.
+  void ResyncTag(uint64_t bucket, int slot) {
+    const uint64_t idx = bucket * kSlots + slot;
+    tags_[idx].store(ExpectedTag(keys_[idx].load(std::memory_order_relaxed),
+                                 values_[idx].load(std::memory_order_relaxed)),
+                     std::memory_order_relaxed);
+  }
+
+  /// TEST HOOK: XORs one stored bit of a slot's key word (region 0), value
+  /// word (region 1) or tag byte (region 2) WITHOUT the tag delta —
+  /// planting exactly the silent corruption the tag line exists to catch.
+  void CorruptBitForTest(uint64_t bucket, int slot, int region, int bit) {
+    const uint64_t idx = bucket * kSlots + slot;
+    if (region == 0) {
+      Key k = keys_[idx].load(std::memory_order_relaxed);
+      FlipBitRaw(&k, bit);
+      keys_[idx].store(k, std::memory_order_relaxed);
+    } else if (region == 1) {
+      Value v = values_[idx].load(std::memory_order_relaxed);
+      FlipBitRaw(&v, bit);
+      values_[idx].store(v, std::memory_order_relaxed);
+    } else {
+      tags_[idx].fetch_xor(static_cast<uint8_t>(1u << (bit % 8)),
+                           std::memory_order_relaxed);
+    }
   }
 
   gpusim::BucketLock& lock(uint64_t bucket) { return locks_[bucket]; }
@@ -206,18 +335,39 @@ class Subtable {
   /// Bytes of device memory this subtable occupies.
   uint64_t memory_bytes() const {
     return num_buckets_ *
-           (kSlots * (sizeof(Key) + sizeof(Value)) + sizeof(gpusim::BucketLock));
+           (kSlots * (sizeof(Key) + sizeof(Value) + sizeof(uint8_t)) +
+            sizeof(gpusim::BucketLock));
   }
 
  private:
+  /// XORs one bit of a trivially-copyable word (test corruption planting).
+  template <typename Word>
+  static void FlipBitRaw(Word* word, int bit) {
+    unsigned char bytes[sizeof(Word)];
+    std::memcpy(bytes, word, sizeof(Word));
+    const size_t pos = static_cast<size_t>(bit) % (sizeof(Word) * 8);
+    bytes[pos / 8] ^= static_cast<unsigned char>(1u << (pos % 8));
+    std::memcpy(word, bytes, sizeof(Word));
+  }
+
+  /// XOR-folds an incremental CRC32 over `len` bytes down to 8 bits.
+  static uint8_t Fold8(const void* data, size_t len) {
+    uint32_t crc = Crc32Update(0, data, len);
+    crc ^= crc >> 16;
+    crc ^= crc >> 8;
+    return static_cast<uint8_t>(crc);
+  }
+
   void Release() {
     if (arena_ != nullptr) {
       if (keys_ != nullptr) arena_->FreeArray(keys_);
       if (values_ != nullptr) arena_->FreeArray(values_);
+      if (tags_ != nullptr) arena_->FreeArray(tags_);
       if (locks_ != nullptr) arena_->FreeArray(locks_);
     }
     keys_ = nullptr;
     values_ = nullptr;
+    tags_ = nullptr;
     locks_ = nullptr;
   }
 
@@ -229,11 +379,13 @@ class Subtable {
     tag_ = std::move(other->tag_);
     keys_ = other->keys_;
     values_ = other->values_;
+    tags_ = other->tags_;
     locks_ = other->locks_;
     size_.store(other->size_.load(std::memory_order_relaxed),
                 std::memory_order_relaxed);
     other->keys_ = nullptr;
     other->values_ = nullptr;
+    other->tags_ = nullptr;
     other->locks_ = nullptr;
     other->num_buckets_ = 0;
     other->size_.store(0, std::memory_order_relaxed);
@@ -246,6 +398,8 @@ class Subtable {
   std::string tag_;
   std::atomic<Key>* keys_ = nullptr;
   std::atomic<Value>* values_ = nullptr;
+  // Per-slot integrity tags, a contiguous kSlots-byte line per bucket.
+  std::atomic<uint8_t>* tags_ = nullptr;
   gpusim::BucketLock* locks_ = nullptr;
   std::atomic<uint64_t> size_{0};
 };

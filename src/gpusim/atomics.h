@@ -113,6 +113,23 @@ inline bool AtomicCasWord(std::atomic<T>* address, T expected, T desired) {
   return won;
 }
 
+/// Generic atomicExch over any word-sized slot type, returning the old
+/// value.  The integrity-tag maintenance in the cuckoo table depends on
+/// this returning the *true* prior word: the tag delta applied for a store
+/// is FK(old) ^ FK(new), and only an atomic exchange observes `old`
+/// without a window in which another writer's store could be lost from
+/// the delta chain.
+template <typename T>
+inline T AtomicExchWord(std::atomic<T>* address, T val) {
+  static_assert(sizeof(T) <= 8, "exchange operand wider than a device word");
+  RaceCheck* rc = RaceCheck::Active();
+  if (rc != nullptr) rc->OnAtomicRelease(address);
+  SimCounters::Get().atomic_exch.fetch_add(1, std::memory_order_relaxed);
+  T old = address->exchange(val, std::memory_order_acq_rel);
+  if (rc != nullptr) rc->OnAtomicAcquire(address, sizeof(T));
+  return old;
+}
+
 /// \brief Per-bucket spinlock in the exact idiom of the paper:
 /// lock with atomicCAS(&lock, 0, 1), unlock with atomicExch(&lock, 0).
 class BucketLock {

@@ -1,5 +1,6 @@
 #include "gpusim/device_arena.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "common/logging.h"
@@ -62,7 +63,7 @@ void* DeviceArena::Allocate(size_t bytes, const std::string& tag) {
       return nullptr;
     }
     void* user = static_cast<char*>(block) + redzone;
-    live_.emplace(user, Allocation{bytes, tag, block});
+    live_.emplace(user, Allocation{bytes, tag, block, next_seq_++});
     if (rc != nullptr) {
       rc->OnArenaAllocate(user, bytes, block, block_bytes, tag);
     }
@@ -121,8 +122,80 @@ uint64_t DeviceArena::peak_bytes() const {
 
 uint64_t DeviceArena::used_bytes_for(const std::string& tag) const {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = used_by_tag_.find(tag);
-  return it == used_by_tag_.end() ? 0 : it->second;
+  uint64_t total = 0;
+  for (const auto& [t, bytes] : used_by_tag_) {
+    if (t.find(tag) != std::string::npos) total += bytes;
+  }
+  return total;
+}
+
+DeviceArena::MemorySweepReport DeviceArena::InjectMemoryFaults() {
+  MemorySweepReport report;
+  FaultInjector* injector = FaultInjector::Active();
+  if (injector == nullptr || !injector->MemoryFaultsEnabled()) return report;
+  if (injector->OnKillPoint("mem.sweep.before")) {
+    report.killed = true;
+    return report;
+  }
+  const FaultInjectorConfig& cfg = injector->config();
+  struct Target {
+    uint64_t seq;
+    char* bytes;
+    size_t len;
+  };
+  std::vector<Target> targets;
+  uint64_t total_bytes = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [ptr, alloc] : live_) {
+      // Non-matching allocations are invisible: they neither receive
+      // faults nor shift the deterministic byte draws (the io_scope_filter
+      // semantics, applied to memory regions).
+      if (!injector->MemoryTagMatches(alloc.tag)) continue;
+      targets.push_back(
+          Target{alloc.seq, static_cast<char*>(ptr), alloc.bytes});
+      total_bytes += alloc.bytes;
+    }
+  }
+  if (total_bytes == 0) return report;
+  std::sort(targets.begin(), targets.end(),
+            [](const Target& a, const Target& b) { return a.seq < b.seq; });
+  report.bytes_targeted = total_bytes;
+  for (int f = 0; f < cfg.mem_faults_per_sweep; ++f) {
+    uint64_t bit = injector->NextDraw(/*stream=*/8) % (total_bytes * 8);
+    size_t t = 0;
+    while (bit >= static_cast<uint64_t>(targets[t].len) * 8) {
+      bit -= static_cast<uint64_t>(targets[t].len) * 8;
+      ++t;
+    }
+    const uint64_t span_bits = static_cast<uint64_t>(targets[t].len) * 8;
+    bool changed = false;
+    for (int b = 0; b < cfg.mem_bits_per_fault; ++b) {
+      // Multi-bit faults stay inside the struck allocation (a real burst
+      // error never crosses a cudaMalloc boundary).
+      uint64_t pos = (bit + b) % span_bits;
+      char* byte = targets[t].bytes + pos / 8;
+      const char mask = static_cast<char>(1u << (pos % 8));
+      const char old = *byte;
+      char corrupted;
+      if (cfg.mem_stuck_at < 0) {
+        corrupted = static_cast<char>(old ^ mask);
+      } else if (cfg.mem_stuck_at == 0) {
+        corrupted = static_cast<char>(old & ~mask);
+      } else {
+        corrupted = static_cast<char>(old | mask);
+      }
+      if (corrupted != old) {
+        *byte = corrupted;
+        changed = true;
+      }
+    }
+    injector->CountMemoryFault(changed);
+    ++report.faults_seen;
+    if (changed) ++report.faults_injected;
+  }
+  if (injector->OnKillPoint("mem.sweep.after")) report.killed = true;
+  return report;
 }
 
 size_t DeviceArena::live_allocations() const {

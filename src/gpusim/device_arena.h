@@ -84,10 +84,31 @@ class DeviceArena {
     Free(static_cast<void*>(ptr));
   }
 
+  /// Outcome of one InjectMemoryFaults() sweep.
+  struct MemorySweepReport {
+    uint64_t faults_seen = 0;      // faults planned by the injector
+    uint64_t faults_injected = 0;  // faults that changed at least one byte
+    uint64_t bytes_targeted = 0;   // live bytes inside the tag filter
+    bool killed = false;           // a mem.sweep.* kill point fired
+  };
+
+  /// Plants the active FaultInjector's configured device-memory faults
+  /// (seeded bit flips or stuck-at faults) directly into live allocations
+  /// whose tag matches the injector's mem_tag_filter.  Deterministic: the
+  /// sweep orders allocations by their monotonic sequence number — the
+  /// pointer-keyed live map iterates in address order, which varies run to
+  /// run — so a given (seed, allocation history) always corrupts the same
+  /// bits.  Host-side maintenance only: callers must guarantee no kernels
+  /// are in flight, exactly like the scrubber's contract.  Crosses the
+  /// kill points "mem.sweep.before" / "mem.sweep.after".
+  MemorySweepReport InjectMemoryFaults();
+
   uint64_t capacity_bytes() const { return capacity_bytes_; }
   uint64_t used_bytes() const;
   uint64_t peak_bytes() const;
-  /// Bytes currently held under one tag.
+  /// Bytes currently held under tags containing `tag` as a substring (a
+  /// structure that splits its storage into region-suffixed tags — e.g.
+  /// "t/kv-keys", "t/locks" — still reports in full under "t").
   uint64_t used_bytes_for(const std::string& tag) const;
 
   /// Number of live allocations (for leak checks in tests).
@@ -104,6 +125,7 @@ class DeviceArena {
     size_t bytes;       // user-visible size (what the budget is charged)
     std::string tag;
     void* block;        // malloc base: == user pointer unless redzoned
+    uint64_t seq;       // monotonic allocation order (fault-sweep identity)
   };
 
   mutable std::mutex mu_;
@@ -113,6 +135,7 @@ class DeviceArena {
   std::map<void*, Allocation> live_;
   std::map<std::string, uint64_t> used_by_tag_;
   uint64_t invalid_frees_ = 0;
+  uint64_t next_seq_ = 0;
 };
 
 }  // namespace gpusim

@@ -28,6 +28,9 @@ FaultInjector::FaultInjector(const FaultInjectorConfig& config)
       std::clamp(config_.warp_yield_probability, 0.0, 1.0);
   config_.io_flush_fail_probability =
       std::clamp(config_.io_flush_fail_probability, 0.0, 1.0);
+  config_.mem_faults_per_sweep = std::max(config_.mem_faults_per_sweep, 0);
+  config_.mem_bits_per_fault = std::max(config_.mem_bits_per_fault, 1);
+  config_.mem_stuck_at = std::clamp(config_.mem_stuck_at, -1, 1);
 }
 
 double FaultInjector::NextUniform(uint64_t stream) {

@@ -120,6 +120,35 @@ struct FaultInjectorConfig {
   /// matches every flush, including unscoped ones.
   std::string io_scope_filter;
 
+  // --- Device-memory faults (DeviceArena::InjectMemoryFaults) --------------
+  //
+  // Silent data corruption: a host-driven sweep over the arena's live
+  // allocations plants seeded bit flips or stuck-at faults directly in the
+  // simulated device memory, modelling the DRAM/SRAM upsets a real GPU
+  // fleet sees.  Sweeps are deterministic: allocation order (a monotonic
+  // sequence number) plus NextDraw(stream=8) fully determine which bytes
+  // are hit, so a failing chaos seed replays bit-identically.
+
+  /// Faults planted per InjectMemoryFaults() sweep.  0 disables the sweep
+  /// entirely (it returns without touching memory or counters).
+  int mem_faults_per_sweep = 0;
+
+  /// Bits affected per fault (consecutive, within one allocation).  1 is a
+  /// classic single-event upset; >1 models multi-bit corruption.
+  int mem_bits_per_fault = 1;
+
+  /// -1 => flip each targeted bit; 0/1 => force it to that value
+  /// (stuck-at-0 / stuck-at-1).  A stuck-at fault whose target already
+  /// holds the value is *seen* but not *injected* (no byte changed).
+  int mem_stuck_at = -1;
+
+  /// Only allocations whose tag contains this substring are part of the
+  /// sweep's target region; non-matching allocations are invisible (they
+  /// neither receive faults nor shift the deterministic byte draws),
+  /// mirroring alloc_tag_filter / io_scope_filter.  Shard memory tags are
+  /// ShardScope-prefixed, so a campaign can corrupt exactly one shard.
+  std::string mem_tag_filter;
+
   // --- Kill points (durability layer: crash-at-step) -----------------------
 
   /// Crash the process (as seen by the durability layer: everything in
@@ -186,6 +215,26 @@ class FaultInjector {
   /// record).  Same event sequence => same draws.
   uint64_t NextDraw(uint64_t stream);
 
+  /// Whether InjectMemoryFaults sweeps should run at all.
+  bool MemoryFaultsEnabled() const { return config_.mem_faults_per_sweep > 0; }
+
+  /// Whether an allocation with `tag` is inside the memory-fault target
+  /// region (substring match against mem_tag_filter; empty matches all).
+  bool MemoryTagMatches(const std::string& tag) const {
+    return config_.mem_tag_filter.empty() ||
+           tag.find(config_.mem_tag_filter) != std::string::npos;
+  }
+
+  /// Bookkeeping for one planted fault: `changed` is whether any byte was
+  /// actually modified (a stuck-at fault can be a no-op).  Called by
+  /// DeviceArena::InjectMemoryFaults, once per planted fault.
+  void CountMemoryFault(bool changed) {
+    memory_faults_seen_.fetch_add(1, std::memory_order_relaxed);
+    if (changed) {
+      memory_faults_injected_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
   const FaultInjectorConfig& config() const { return config_; }
 
   // --- Campaign statistics (what was actually injected) --------------------
@@ -206,6 +255,12 @@ class FaultInjector {
   }
   uint64_t io_faults_injected() const {
     return io_faults_injected_.load(std::memory_order_relaxed);
+  }
+  uint64_t memory_faults_seen() const {
+    return memory_faults_seen_.load(std::memory_order_relaxed);
+  }
+  uint64_t memory_faults_injected() const {
+    return memory_faults_injected_.load(std::memory_order_relaxed);
   }
   uint64_t kill_points_seen() const {
     return kill_points_seen_.load(std::memory_order_relaxed);
@@ -230,6 +285,8 @@ class FaultInjector {
   std::atomic<uint64_t> trylock_failures_{0};
   std::atomic<uint64_t> io_flushes_seen_{0};
   std::atomic<uint64_t> io_faults_injected_{0};
+  std::atomic<uint64_t> memory_faults_seen_{0};
+  std::atomic<uint64_t> memory_faults_injected_{0};
   std::atomic<uint64_t> kill_points_seen_{0};
   std::atomic<uint64_t> kill_points_fired_{0};
 };

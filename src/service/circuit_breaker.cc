@@ -51,6 +51,11 @@ void CircuitBreaker::ForceProbation(uint64_t now) {
                      << ": next write is the re-admission probe";
 }
 
+void CircuitBreaker::ForceOpen(uint64_t now) {
+  DYCUCKOO_LOG(Warning) << "circuit breaker forced open at t=" << now;
+  Trip(now);
+}
+
 void CircuitBreaker::Trip(uint64_t now) {
   state_ = State::kOpen;
   open_until_ = now + options_.cooldown_ticks;

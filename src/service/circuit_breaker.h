@@ -61,6 +61,11 @@ class CircuitBreaker {
   /// full load the instant it returns.
   void ForceProbation(uint64_t now);
 
+  /// Trips the breaker open with the full cooldown, regardless of state or
+  /// failure streak.  Used when the server discovers unrepairable data
+  /// corruption: writes stop immediately, not after a failure threshold.
+  void ForceOpen(uint64_t now);
+
   State state() const { return state_; }
   bool read_only() const { return state_ != State::kClosed; }
   int consecutive_failures() const { return consecutive_failures_; }

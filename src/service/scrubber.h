@@ -50,6 +50,10 @@ class OnlineScrubber {
       Report r = table_->ScrubBuckets(table_idx_, bucket_, chunk);
       slice.MergeFrom(r);
       totals_.MergeFrom(r);
+      // The slice report carries the corrupted keys to the caller (who
+      // repairs them from durable state); the running totals keep only the
+      // counters, or a long-lived scrubber would accumulate keys forever.
+      totals_.corrupted_keys.clear();
       bucket_ += chunk;
       remaining -= chunk;
       if (bucket_ >= table_->subtable_buckets(table_idx_)) {

@@ -570,6 +570,27 @@ class ShardedTableServer {
         // images stay on slot.manager for the heal path.
         slot.server.reset();
       }
+      if (supervisor_.serving(s) && slot.server != nullptr &&
+          slot.server->integrity_compromised()) {
+        // The shard's scrubber found corruption it could not repair from
+        // durable state: the in-memory table can no longer be trusted, but
+        // the durable images can (acks only ever followed group commits).
+        // Quarantine and rebuild from them — the same heal path as a
+        // crash, with a DataLoss fault so operators and clients can tell
+        // "memory corrupted" from "process died".
+        DYCUCKOO_LOG(Error)
+            << "shard " << s
+            << " has unrepairable silent corruption; quarantining for "
+               "rebuild from durable state";
+        supervisor_.Quarantine(
+            s, now,
+            Status::DataLoss("shard " + std::to_string(s) +
+                             " in-memory corruption unrepairable by the "
+                             "online scrubber")
+                .WithDetail("corruption", "unrepairable")
+                .WithDetail("shard", std::to_string(s)));
+        slot.server.reset();
+      }
       if (supervisor_.HealDue(s, now)) AttemptHeal(s, now);
     }
   }

@@ -110,6 +110,14 @@ struct ServerStats {
   std::atomic<uint64_t> backoff_ticks_slept{0};
   std::atomic<uint64_t> scrub_steps{0};
   std::atomic<uint64_t> scrub_resizes{0};       // bounds repairs it triggered
+  // Silent-corruption escalation (see docs/robustness.md): slots whose
+  // integrity tag mismatched, how many were resolved from durable state
+  // (re-published from the WAL/checkpoint, or confirmed erased), and how
+  // many could not be — each of the latter trips the breaker and sets the
+  // sticky integrity_compromised() flag.
+  std::atomic<uint64_t> scrub_corruption_detected{0};
+  std::atomic<uint64_t> scrub_corruption_repaired{0};
+  std::atomic<uint64_t> scrub_corruption_unrepairable{0};
 
   struct Snapshot {
     uint64_t submitted = 0;
@@ -125,6 +133,9 @@ struct ServerStats {
     uint64_t backoff_ticks_slept = 0;
     uint64_t scrub_steps = 0;
     uint64_t scrub_resizes = 0;
+    uint64_t scrub_corruption_detected = 0;
+    uint64_t scrub_corruption_repaired = 0;
+    uint64_t scrub_corruption_unrepairable = 0;
   };
 
   Snapshot Capture() const {
@@ -146,6 +157,12 @@ struct ServerStats {
         backoff_ticks_slept.load(std::memory_order_relaxed);
     s.scrub_steps = scrub_steps.load(std::memory_order_relaxed);
     s.scrub_resizes = scrub_resizes.load(std::memory_order_relaxed);
+    s.scrub_corruption_detected =
+        scrub_corruption_detected.load(std::memory_order_relaxed);
+    s.scrub_corruption_repaired =
+        scrub_corruption_repaired.load(std::memory_order_relaxed);
+    s.scrub_corruption_unrepairable =
+        scrub_corruption_unrepairable.load(std::memory_order_relaxed);
     return s;
   }
 };
@@ -243,6 +260,14 @@ class TableServer {
   /// True once the durability layer took a crash-style injected fault: the
   /// server stops executing and never acknowledges in-flight requests.
   bool crashed() const { return durability_ != nullptr && durability_->dead(); }
+
+  /// Sticky: true once a scrub slice found corruption this server could not
+  /// repair from durable state (no durability attached, the key is absent
+  /// from / unreadable in the durable images, or the corruption destroyed
+  /// the key so there is nothing to look up).  The write path is already
+  /// breaker-open by the time this reads true; a supervisor should
+  /// quarantine the shard and rebuild it from durability::Recover().
+  bool integrity_compromised() const { return integrity_compromised_; }
 
   /// Drives this server from a caller-owned clock instead of its own —
   /// how a sharded deployment keeps every shard on ONE virtual timeline
@@ -594,6 +619,7 @@ class TableServer {
     if (options_.scrub_buckets_per_step == 0) return;
     stats_.scrub_steps.fetch_add(1, std::memory_order_relaxed);
     auto report = scrubber_.Step(options_.scrub_buckets_per_step);
+    if (report.corrupted_slots > 0) EscalateCorruption(report);
     if (!report.filled_factor_ok && options_.resize_on_scrub_violation) {
       stats_.scrub_resizes.fetch_add(1, std::memory_order_relaxed);
       Status st = table_->ResizeToBounds();
@@ -606,6 +632,72 @@ class TableServer {
         durability_->LogResizeBarrier(table_->capacity_slots());
         durability_->Commit();
       }
+    }
+  }
+
+  /// Repair-or-escalate for a scrub slice that detected corrupted slots.
+  /// The scrub already unpublished every corrupted slot (no reader can see
+  /// the damaged bits), so what is left is restoring the truth:
+  ///
+  ///   attributable key + durable kFound ..... re-publish the WAL value
+  ///   attributable key + durable kErased .... the removal WAS the truth
+  ///   attributable key + kAbsent/kUnreadable  unrepairable (the key read
+  ///                                           from a corrupted slot cannot
+  ///                                           be trusted to name the real
+  ///                                           victim, or durability cannot
+  ///                                           answer)
+  ///   unattributable corruption ............. unrepairable (nothing to
+  ///                                           look up)
+  ///
+  /// Any unrepairable finding force-opens the breaker (writes stop NOW,
+  /// not after a failure streak) and latches integrity_compromised_ so a
+  /// supervisor quarantines the shard and rebuilds it from durable state.
+  /// Repairs re-publish pairs that are already durable, so no new WAL
+  /// records are written.
+  void EscalateCorruption(
+      const typename Table::ScrubReport& report) {
+    stats_.scrub_corruption_detected.fetch_add(report.corrupted_slots,
+                                               std::memory_order_relaxed);
+    uint64_t unrepairable = report.corrupted_unattributable;
+    for (Key key : report.corrupted_keys) {
+      if (durability_ == nullptr || crashed()) {
+        ++unrepairable;
+        continue;
+      }
+      Value v{};
+      switch (durability_->PointLookup(key, &v)) {
+        case durability::PointLookupResult::kFound:
+          // Infallible: a pair the bucket rejects spills to the stash.
+          table_->RepairCorruptedPair(key, v);
+          stats_.scrub_corruption_repaired.fetch_add(
+              1, std::memory_order_relaxed);
+          DYCUCKOO_LOG(Info)
+              << "scrub: repaired corrupted key from durable state";
+          break;
+        case durability::PointLookupResult::kErased:
+          // The durable truth is "erased"; the scrub's unpublish already
+          // realized it.  Resolved, nothing to re-publish.
+          stats_.scrub_corruption_repaired.fetch_add(
+              1, std::memory_order_relaxed);
+          break;
+        case durability::PointLookupResult::kAbsent:
+        case durability::PointLookupResult::kUnreadable:
+          ++unrepairable;
+          break;
+      }
+    }
+    if (unrepairable > 0) {
+      stats_.scrub_corruption_unrepairable.fetch_add(
+          unrepairable, std::memory_order_relaxed);
+      table_->NoteUnrepairableCorruption(unrepairable);
+      if (!integrity_compromised_) {
+        DYCUCKOO_LOG(Error)
+            << "scrub: " << unrepairable
+            << " corrupted slot(s) unrepairable from durable state; "
+               "opening breaker and flagging integrity compromise";
+      }
+      integrity_compromised_ = true;
+      breaker_.ForceOpen(clock_->Now());
     }
   }
 
@@ -629,6 +721,7 @@ class TableServer {
   CircuitBreaker breaker_;
   OnlineScrubber<Key, Value> scrubber_;
   ServerStats stats_;
+  bool integrity_compromised_ = false;
 
   std::atomic<uint64_t> next_id_{1};
   mutable std::mutex responses_mu_;

@@ -97,7 +97,8 @@ TEST(RaceCheckTest, OffByOneProbePastSubtableExtentIsOutOfBounds) {
   ASSERT_EQ(report.findings.size(), 1u) << report.ToString();
   const RaceFinding& f = report.findings[0];
   EXPECT_EQ(f.kind, FindingKind::kOutOfBounds);
-  EXPECT_EQ(f.tag, "probe");
+  // The key array carries the integrity-region suffix (subtable.h).
+  EXPECT_EQ(f.tag, "probe/kv-keys");
   // First offending byte is exactly one byte past the key array.
   EXPECT_EQ(f.offset,
             static_cast<int64_t>(table.num_slots() * sizeof(uint32_t)));
@@ -136,7 +137,7 @@ TEST(RaceCheckTest, UseAfterFreeAcrossDownsizeIsReported) {
   const RaceFinding& f = report.findings[0];
   EXPECT_EQ(f.kind, FindingKind::kUseAfterFree);
   // The quarantine remembers the generation that owned the bytes.
-  EXPECT_EQ(f.tag, "t0-gen3");
+  EXPECT_EQ(f.tag, "t0-gen3/kv-keys");
   EXPECT_EQ(f.offset, 0);
 }
 

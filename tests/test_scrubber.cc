@@ -234,6 +234,43 @@ TEST(OnlineScrubberTest, FindsPlantedPairMidPass) {
   EXPECT_TRUE(table->Validate().ok());
 }
 
+TEST(OnlineScrubberTest, ClampsCursorWhenDownsizeShrinksBucketsBeneathIt) {
+  auto table = MakeTable(1024);
+  auto keys = testing::UniqueKeys(12000);
+  auto values = testing::SequentialValues(keys.size());
+  ASSERT_TRUE(table->BulkInsert(keys, values).ok());  // auto-upsized
+
+  // Park the cursor deep into a subtable that is about to shrink.
+  OnlineScrubber<uint32_t, uint32_t> scrubber(table.get());
+  scrubber.Step(table->subtable_buckets(0) / 2 + 7);
+  const uint64_t deep_bucket = scrubber.cursor_bucket();
+  ASSERT_GT(deep_bucket, 0u);
+
+  // Erase almost everything: auto-downsize drops subtable bucket counts
+  // (possibly below the parked cursor).
+  std::span<const uint32_t> doomed(keys.data(), keys.size() - 200);
+  ASSERT_TRUE(table->BulkErase(doomed).ok());
+  ASSERT_GT(table->stats().Capture().downsizes, 0u);
+
+  // The next slices must clamp instead of scanning out of bounds, and a
+  // full pass over the shrunken table must still complete and stay clean.
+  uint64_t steps = 0;
+  while (scrubber.full_passes() == 0) {
+    scrubber.Step(64);
+    ASSERT_LT(++steps, 10000u);
+  }
+  EXPECT_EQ(scrubber.totals().misplaced_found, 0u);
+  EXPECT_EQ(scrubber.totals().corrupted_slots, 0u);
+  EXPECT_TRUE(table->Validate().ok()) << table->Validate().ToString();
+
+  // And the surviving keys are all still served.
+  for (size_t i = keys.size() - 200; i < keys.size(); ++i) {
+    uint32_t v = 0;
+    ASSERT_TRUE(table->Find(keys[i], &v));
+    ASSERT_EQ(v, values[i]);
+  }
+}
+
 TEST(OnlineScrubberTest, ToleratesResizeBetweenSlices) {
   auto table = MakeTable(1024);
   OnlineScrubber<uint32_t, uint32_t> scrubber(table.get());

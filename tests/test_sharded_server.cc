@@ -295,6 +295,13 @@ void MaybeDumpShardArtifacts(const std::string& scenario, uint64_t seed,
         << ShardStateName(srv->supervisor().state(s)) << "\ngeneration: "
         << srv->supervisor().generation(s) << "\n"
         << srv->last_heal_report(s).ToString() << "\n";
+    if (auto* fi = gpusim::FaultInjector::Active()) {
+      // Memory-fault counters ride along with the I/O ones so a replayed
+      // DYCUCKOO_CHAOS_SEED can be checked against the original campaign.
+      out << "memory_faults_seen: " << fi->memory_faults_seen() << "\n"
+          << "memory_faults_injected: " << fi->memory_faults_injected()
+          << "\n";
+    }
   }
 }
 

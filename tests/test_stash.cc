@@ -218,7 +218,8 @@ TEST(StashTest, DisabledStashKeepsMemoryFootprint) {
   with.stash_capacity = 1024;
   auto a = MakeTable(with);
   auto b = MakeTable(without);
-  EXPECT_EQ(a->memory_bytes() - 1024 * 8, b->memory_bytes());
+  // Per stash slot: key + value + integrity-tag byte.
+  EXPECT_EQ(a->memory_bytes() - 1024 * (8 + 1), b->memory_bytes());
   EXPECT_EQ(b->stash_size(), 0u);
 }
 

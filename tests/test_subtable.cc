@@ -130,9 +130,10 @@ TEST_F(SubtableTest, AllocationFailureReportsNotOk) {
 
 TEST_F(SubtableTest, MemoryBytesMatchesGeometry) {
   Sub32 t(16, 1, &arena_, "test");
-  // 16 buckets * (32 slots * (4+4) bytes + lock word).
+  // 16 buckets * (32 slots * (4+4) kv bytes + 32 integrity-tag bytes +
+  // lock word).
   EXPECT_EQ(t.memory_bytes(),
-            16u * (32 * 8 + sizeof(gpusim::BucketLock)));
+            16u * (32 * 8 + 32 + sizeof(gpusim::BucketLock)));
 }
 
 TEST_F(SubtableTest, LockPerBucketIndependent) {
