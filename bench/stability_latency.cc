@@ -6,12 +6,17 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "common/rng.h"
+#include "gpusim/device_arena.h"
+#include "gpusim/grid.h"
 #include "service/scrubber.h"
 #include "service/shard_router.h"
+#include "service/sharded_server.h"
 
 namespace dycuckoo {
 namespace bench {
@@ -269,6 +274,163 @@ void WriteShardsJson(const std::string& path, uint32_t num_shards,
   std::fclose(f);
 }
 
+// --- Mid-reshard latency --------------------------------------------------
+//
+// Elastic resharding's latency claim (docs/robustness.md "Elastic
+// resharding"): a live split migrates one hash-range chunk at a time, so
+// serving latency during the migration should degrade by a bounded,
+// chunk-sized amount — not the stop-the-world rehash a full re-partition
+// would cost.  Measured against a real ShardedTableServer: per-round
+// request latency while quiescent, while a split N -> 2N is in flight,
+// and after it finalizes.  The only admissible rejections mid-reshard are
+// writes to the one migrating chunk (counted as blocked_writes).
+
+struct ReshardLatency {
+  double mean_ms = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double max_ms = 0;
+};
+
+ReshardLatency SummarizeRounds(std::vector<double> ms) {
+  ReshardLatency r;
+  if (ms.empty()) return r;
+  std::sort(ms.begin(), ms.end());
+  double sum = 0;
+  for (double m : ms) sum += m;
+  r.mean_ms = sum / static_cast<double>(ms.size());
+  r.p50_ms = ms[ms.size() / 2];
+  r.p99_ms = ms[std::min(ms.size() - 1,
+                         static_cast<size_t>(ms.size() * 0.99))];
+  r.max_ms = ms.back();
+  return r;
+}
+
+struct ReshardProfile {
+  uint32_t from_shards = 0;
+  uint32_t to_shards = 0;
+  ReshardLatency quiescent;
+  ReshardLatency mid_reshard;
+  ReshardLatency post;
+  uint64_t reshard_rounds = 0;   // serving rounds with the split in flight
+  uint64_t blocked_writes = 0;   // reshard write-window rejections
+  bool completed = false;
+};
+
+using ShardedSrv = service::ShardedTableServer<uint32_t, uint32_t>;
+
+/// One serving round: a burst of single-op requests (3:1 write:read),
+/// drained to idle (which also advances an in-flight migration), all
+/// responses retired.  Returns the wall-clock cost of the round.
+double ServeReshardRound(ShardedSrv* srv, SplitMix64* rng,
+                         uint64_t* blocked) {
+  constexpr uint32_t kKeySpace = 4096;
+  constexpr int kOpsPerRound = 32;
+  Timer timer;
+  std::vector<uint64_t> ids;
+  ids.reserve(kOpsPerRound);
+  for (int i = 0; i < kOpsPerRound; ++i) {
+    const uint32_t key = 1 + static_cast<uint32_t>(rng->Next() % kKeySpace);
+    ShardedSrv::Op op =
+        (rng->Next() % 4 != 0)
+            ? ShardedSrv::Op{ShardedSrv::OpType::kInsert, key,
+                             static_cast<uint32_t>(rng->Next())}
+            : ShardedSrv::Op{ShardedSrv::OpType::kFind, key, 0};
+    ShardedSrv::Request req;
+    req.ops.push_back(op);
+    ids.push_back(srv->Submit(std::move(req)));
+  }
+  srv->RunUntilIdle();
+  for (uint64_t id : ids) {
+    ShardedSrv::Response resp;
+    if (srv->TakeResponse(id, &resp) && !resp.status.ok() &&
+        resp.status.FindDetail("reshard_chunk") != nullptr) {
+      ++*blocked;
+    }
+  }
+  return timer.ElapsedMillis();
+}
+
+ReshardProfile ProfileMidReshard(uint32_t from_shards, uint64_t seed) {
+  ReshardProfile r;
+  r.from_shards = from_shards;
+  r.to_shards = from_shards * 2;
+
+  gpusim::DeviceArena arena(0);
+  gpusim::Grid grid(1);
+  DyCuckooOptions topt;
+  topt.arena = &arena;
+  topt.grid = &grid;
+  topt.initial_capacity = 16 * 1024;
+  topt.seed = seed;
+  ShardedSrv::Options options;
+  options.num_shards = from_shards;
+  options.durability.checkpoint_wal_bytes = 0;
+  options.durability.checkpoint_wal_records = 48;
+
+  std::unique_ptr<ShardedSrv> srv;
+  CheckOk(ShardedSrv::Create(topt, options, &srv), "sharded create");
+
+  SplitMix64 rng(seed);
+  constexpr int kWarmupRounds = 64;
+  constexpr int kMeasuredRounds = 192;
+  constexpr int kMaxReshardRounds = 4096;
+  for (int i = 0; i < kWarmupRounds; ++i) {
+    ServeReshardRound(srv.get(), &rng, &r.blocked_writes);
+  }
+  std::vector<double> quiet;
+  for (int i = 0; i < kMeasuredRounds; ++i) {
+    quiet.push_back(ServeReshardRound(srv.get(), &rng, &r.blocked_writes));
+  }
+  r.blocked_writes = 0;  // only mid-reshard rejections count
+  CheckOk(srv->BeginReshard(r.to_shards), "begin reshard");
+  std::vector<double> mid;
+  while (srv->resharder().active() &&
+         mid.size() < static_cast<size_t>(kMaxReshardRounds)) {
+    mid.push_back(ServeReshardRound(srv.get(), &rng, &r.blocked_writes));
+  }
+  r.completed = !srv->resharder().active();
+  r.reshard_rounds = mid.size();
+  std::vector<double> post;
+  for (int i = 0; i < kMeasuredRounds; ++i) {
+    post.push_back(ServeReshardRound(srv.get(), &rng, &r.blocked_writes));
+  }
+  r.quiescent = SummarizeRounds(std::move(quiet));
+  r.mid_reshard = SummarizeRounds(std::move(mid));
+  r.post = SummarizeRounds(std::move(post));
+  return r;
+}
+
+void WriteReshardJson(const std::string& path, const ReshardProfile& r) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  auto lane = [f](const char* name, const ReshardLatency& l, bool comma) {
+    std::fprintf(f,
+                 "  \"%s\": {\"mean_ms\": %.4f, \"p50_ms\": %.4f, "
+                 "\"p99_ms\": %.4f, \"max_ms\": %.4f}%s\n",
+                 name, l.mean_ms, l.p50_ms, l.p99_ms, l.max_ms,
+                 comma ? "," : "");
+  };
+  std::fprintf(f, "{\n  \"bench\": \"mid_reshard_latency\",\n");
+  std::fprintf(f, "  \"from_shards\": %u,\n  \"to_shards\": %u,\n",
+               r.from_shards, r.to_shards);
+  lane("quiescent", r.quiescent, true);
+  lane("mid_reshard", r.mid_reshard, true);
+  lane("post_reshard", r.post, true);
+  std::fprintf(f, "  \"reshard_rounds\": %llu,\n",
+               static_cast<unsigned long long>(r.reshard_rounds));
+  std::fprintf(f, "  \"blocked_writes\": %llu,\n",
+               static_cast<unsigned long long>(r.blocked_writes));
+  std::fprintf(f, "  \"p99_mid_over_quiescent\": %.2f,\n",
+               r.mid_reshard.p99_ms / std::max(r.quiescent.p99_ms, 1e-9));
+  std::fprintf(f, "  \"completed\": %s\n}\n",
+               r.completed ? "true" : "false");
+  std::fclose(f);
+}
+
 uint32_t BenchShardsFromEnv() {
   const char* env = std::getenv("DYCUCKOO_BENCH_SHARDS");
   if (env == nullptr || *env == '\0') return 4;
@@ -341,6 +503,30 @@ int Main(int argc, char** argv) {
   WriteIntegrityJson("BENCH_integrity.json", integrity_results);
   std::printf("# scrub-verify overhead vs baseline written to "
               "BENCH_integrity.json\n");
+
+  ReshardProfile rp = ProfileMidReshard(num_shards, args.seed);
+  PrintRow({"reshard", "quiescent", Fmt(rp.quiescent.mean_ms, 3),
+            Fmt(rp.quiescent.p99_ms, 3), Fmt(rp.quiescent.max_ms, 3),
+            Fmt(rp.quiescent.max_ms / std::max(rp.quiescent.mean_ms, 1e-9),
+                1)});
+  PrintRow({"reshard",
+            "split " + std::to_string(rp.from_shards) + "->" +
+                std::to_string(rp.to_shards),
+            Fmt(rp.mid_reshard.mean_ms, 3), Fmt(rp.mid_reshard.p99_ms, 3),
+            Fmt(rp.mid_reshard.max_ms, 3),
+            Fmt(rp.mid_reshard.max_ms /
+                    std::max(rp.mid_reshard.mean_ms, 1e-9),
+                1)});
+  PrintRow({"reshard", "post-split", Fmt(rp.post.mean_ms, 3),
+            Fmt(rp.post.p99_ms, 3), Fmt(rp.post.max_ms, 3),
+            Fmt(rp.post.max_ms / std::max(rp.post.mean_ms, 1e-9), 1)});
+  WriteReshardJson("BENCH_reshard.json", rp);
+  std::printf("# mid-reshard vs quiescent latency written to "
+              "BENCH_reshard.json (%llu reshard rounds, %llu blocked "
+              "writes, completed=%s)\n",
+              static_cast<unsigned long long>(rp.reshard_rounds),
+              static_cast<unsigned long long>(rp.blocked_writes),
+              rp.completed ? "true" : "false");
   return 0;
 }
 

@@ -55,7 +55,7 @@ ParseResult ParseFrame(const char* data, size_t avail, ParsedRecord* rec) {
   if (Crc32Update(0, body, body_len) != crc) return ParseResult::kCorrupt;
   uint8_t type = static_cast<uint8_t>(body[8]);
   if (type < static_cast<uint8_t>(WalRecordType::kInsert) ||
-      type > static_cast<uint8_t>(WalRecordType::kCheckpointMark)) {
+      type > static_cast<uint8_t>(WalRecordType::kReshardCutover)) {
     return ParseResult::kCorrupt;
   }
   rec->lsn = GetU64(body);

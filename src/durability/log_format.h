@@ -20,6 +20,13 @@
 //   kResizeBarrier  payload = u64 capacity_slots (informational marker)
 //   kCheckpointMark payload = u64 checkpoint_lsn (a checkpoint covering
 //                   every record with lsn <= checkpoint_lsn is durable)
+//   kReshardCutover payload = [u64 generation][u32 chunk][u32 shards_from]
+//                   [u32 shards_to].  Written by service::Resharder on the
+//                   source and then the target segment once a migration
+//                   chunk's copy is durable; a cutover record in the
+//                   TARGET segment is proof the chunk's data is fully on
+//                   the target, so recovery resumes the migration instead
+//                   of rolling it back.  Duplicates are harmless markers.
 //
 // The checkpoint store is a sequence of self-delimiting entries, each
 // wrapping one DynamicTable v2 snapshot:
@@ -66,7 +73,12 @@ enum class WalRecordType : uint8_t {
   kErase = 2,
   kResizeBarrier = 3,
   kCheckpointMark = 4,
+  kReshardCutover = 5,
 };
+
+/// Fixed payload size of a kReshardCutover record:
+/// [u64 generation][u32 chunk][u32 shards_from][u32 shards_to].
+inline constexpr size_t kReshardCutoverPayloadBytes = 8 + 3 * 4;
 
 /// Names of every crash point the durability layer crosses, in the order a
 /// fault-free run first reaches them.  Chaos tests iterate this list so a
@@ -83,6 +95,20 @@ inline constexpr const char* kKillPointNames[] = {
 };
 inline constexpr size_t kNumKillPoints =
     sizeof(kKillPointNames) / sizeof(kKillPointNames[0]);
+
+/// Crash points crossed by service::Resharder, once per chunk transition in
+/// the order a fault-free migration reaches them.  Unlike kKillPointNames
+/// these are deployment-scoped (no shard prefix): a reshard crash takes the
+/// whole process, and recovery decides resume-vs-rollback from the journal.
+inline constexpr const char* kReshardKillPointNames[] = {
+    "reshard.before_copy",     // chunk still pending; nothing copied
+    "reshard.after_copy",      // copy durable on target, journal=copied
+    "reshard.before_cutover",  // copy durable, no cutover record yet
+    "reshard.after_cutover",   // cutover durable both sides, bit flipped
+    "reshard.before_gc",       // routing on target, source copy not yet GCed
+};
+inline constexpr size_t kNumReshardKillPoints =
+    sizeof(kReshardKillPointNames) / sizeof(kReshardKillPointNames[0]);
 
 /// Outcome of parsing one frame (or the file header) at a given offset.
 enum class ParseResult {

@@ -112,6 +112,15 @@ class DurabilityManager {
     ++stats_.records_logged;
   }
 
+  /// Marks a reshard chunk cutover in this segment's log.  Written by
+  /// service::Resharder on the source and then the target segment; the
+  /// target-side record is what recovery trusts (see recovery.h).
+  void LogReshardCutover(uint64_t generation, uint32_t chunk,
+                         uint32_t shards_from, uint32_t shards_to) {
+    wal_.AppendReshardCutover(generation, chunk, shards_from, shards_to);
+    ++stats_.records_logged;
+  }
+
   /// Group commit: one flush for everything logged since the last call.
   Status Commit() {
     if (wal_.pending_records() == 0) return Status::OK();

@@ -27,6 +27,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "durability/checkpoint.h"
@@ -45,6 +46,17 @@ struct RecoverySource {
   std::string segment;  // WAL segment name, e.g. "wal-00003-of-00016.seg"
 };
 
+/// One kReshardCutover record replayed from a segment.  Recovery collects
+/// these so the sharded layer can promote migration-journal chunk states:
+/// a cutover record durable in the chunk's TARGET segment proves the copy
+/// finished (the copy is flushed before the cutover record is appended).
+struct ReshardCutoverSeen {
+  uint64_t generation = 0;
+  uint32_t chunk = 0;
+  uint32_t shards_from = 0;
+  uint32_t shards_to = 0;
+};
+
 /// What a recovery did, for operators and for determinism checks.
 struct RecoveryReport {
   uint64_t shard_id = 0;            // identity of the log summarized here
@@ -57,6 +69,7 @@ struct RecoveryReport {
   uint64_t wal_records_skipped = 0;  // lsn <= checkpoint_lsn (already covered)
   uint64_t last_lsn = 0;             // highest intact LSN seen (0 = none)
   uint64_t torn_tail_bytes = 0;      // bytes discarded at the torn tail
+  std::vector<ReshardCutoverSeen> reshard_cutovers;  // replay order
 
   /// FNV-1a over every field, the source identity included; equal digests
   /// <=> identical recoveries *of the same log*.  Two shards replaying
@@ -84,6 +97,13 @@ struct RecoveryReport {
     mix(wal_records_skipped);
     mix(last_lsn);
     mix(torn_tail_bytes);
+    mix(reshard_cutovers.size());
+    for (const ReshardCutoverSeen& c : reshard_cutovers) {
+      mix(c.generation);
+      mix(c.chunk);
+      mix(c.shards_from);
+      mix(c.shards_to);
+    }
     return h;
   }
 
@@ -100,6 +120,7 @@ struct RecoveryReport {
        << " wal_skipped=" << wal_records_skipped
        << " last_lsn=" << last_lsn
        << " torn_tail_bytes=" << torn_tail_bytes
+       << " reshard_cutovers=" << reshard_cutovers.size()
        << " digest=" << Digest() << "}";
     return os.str();
   }
@@ -251,6 +272,18 @@ Status Recover(std::istream& checkpoint_stream, std::istream& wal_stream,
           table->Erase(k);  // idempotent; absent key is fine
           ++report->wal_records_applied;
           break;
+        }
+        case WalRecordType::kReshardCutover: {
+          if (rec.payload_len != kReshardCutoverPayloadBytes) {
+            return Status::DataLoss("recovery: malformed cutover record");
+          }
+          ReshardCutoverSeen seen;
+          std::memcpy(&seen.generation, rec.payload, 8);
+          std::memcpy(&seen.chunk, rec.payload + 8, 4);
+          std::memcpy(&seen.shards_from, rec.payload + 12, 4);
+          std::memcpy(&seen.shards_to, rec.payload + 16, 4);
+          report->reshard_cutovers.push_back(seen);
+          break;  // a marker: carries migration evidence, no table state
         }
         case WalRecordType::kResizeBarrier:
         case WalRecordType::kCheckpointMark:

@@ -92,16 +92,24 @@ std::string ShardManifest::Encode() const {
   std::string out;
   PutU64(&out, kShardManifestMagic);
   PutU64(&out, kShardManifestVersion);
+  // Total image length (CRC trailer included), patched in below.  Lets
+  // Decode classify a truncated trailer precisely instead of reading a
+  // garbage CRC and reporting a mismatch.
+  const size_t len_off = out.size();
+  PutU32(&out, 0);
   PutU32(&out, num_shards);
   PutU32(&out, key_width);
   PutU32(&out, value_width);
   PutU64(&out, router_seed);
+  PutU64(&out, generation);
   PutU32(&out, static_cast<uint32_t>(shards.size()));
   for (const ShardManifestEntry& e : shards) {
     PutU32(&out, e.shard_id);
     PutString(&out, e.wal_segment);
     PutString(&out, e.checkpoint_segment);
   }
+  const uint32_t total = static_cast<uint32_t>(out.size() + 4);
+  std::memcpy(&out[len_off], &total, 4);
   // CRC over everything after the magic, like the checkpoint entries.
   uint32_t crc = Crc32Update(0, out.data() + 8, out.size() - 8);
   PutU32(&out, crc);
@@ -116,8 +124,18 @@ Status ShardManifest::Decode(const std::string& image, ShardManifest* out) {
   if (!GetU64(image, &off, &magic) || magic != kShardManifestMagic) {
     return Status::DataLoss("shard manifest: bad magic");
   }
-  if (image.size() < off + 4) {
-    return Status::DataLoss("shard manifest: truncated");
+  uint32_t total_len = 0;
+  if (!GetU64(image, &off, &version) || !GetU32(image, &off, &total_len)) {
+    return Status::DataLoss("shard manifest: truncated header");
+  }
+  if (image.size() < total_len) {
+    return Status::DataLoss(
+        "shard manifest: truncated (header says " +
+        std::to_string(total_len) + " bytes, image has " +
+        std::to_string(image.size()) + " — the CRC trailer is gone)");
+  }
+  if (image.size() > total_len) {
+    return Status::DataLoss("shard manifest: trailing bytes after trailer");
   }
   uint32_t stored_crc = 0;
   std::memcpy(&stored_crc, image.data() + image.size() - 4, 4);
@@ -125,14 +143,19 @@ Status ShardManifest::Decode(const std::string& image, ShardManifest* out) {
   if (stored_crc != actual_crc) {
     return Status::DataLoss("shard manifest: CRC mismatch");
   }
-  if (!GetU64(image, &off, &version) || version != kShardManifestVersion) {
-    return Status::InvalidArgument("shard manifest: unsupported version");
+  if (version != kShardManifestVersion) {
+    return Status::InvalidArgument(
+        "shard manifest: unsupported version " + std::to_string(version) +
+        " (this build reads version " +
+        std::to_string(kShardManifestVersion) +
+        "; refusing to guess at a future layout)");
   }
   uint32_t entry_count = 0;
   if (!GetU32(image, &off, &out->num_shards) ||
       !GetU32(image, &off, &out->key_width) ||
       !GetU32(image, &off, &out->value_width) ||
       !GetU64(image, &off, &out->router_seed) ||
+      !GetU64(image, &off, &out->generation) ||
       !GetU32(image, &off, &entry_count)) {
     return Status::DataLoss("shard manifest: truncated header");
   }
@@ -177,6 +200,106 @@ Status ShardManifest::ValidateCompatible(uint32_t expect_shards,
         "shard manifest: key/value widths do not match this table type");
   }
   return Status::OK();
+}
+
+ReshardJournal ReshardJournal::Make(uint64_t generation_from,
+                                    uint64_t router_seed,
+                                    uint32_t shards_from, uint32_t shards_to) {
+  ReshardJournal j;
+  j.generation_from = generation_from;
+  j.router_seed = router_seed;
+  j.shards_from = shards_from;
+  j.shards_to = shards_to;
+  j.num_chunks =
+      kReshardChunksPerShard * (shards_from > shards_to ? shards_from
+                                                        : shards_to);
+  j.chunks.assign(j.num_chunks, ReshardChunkState::kPending);
+  return j;
+}
+
+std::string ReshardJournal::Encode() const {
+  std::string out;
+  PutU64(&out, kReshardJournalMagic);
+  PutU64(&out, kReshardJournalVersion);
+  PutU64(&out, generation_from);
+  PutU64(&out, router_seed);
+  PutU32(&out, shards_from);
+  PutU32(&out, shards_to);
+  PutU32(&out, num_chunks);
+  for (ReshardChunkState s : chunks) {
+    out.push_back(static_cast<char>(s));
+  }
+  uint32_t crc = Crc32Update(0, out.data() + 8, out.size() - 8);
+  PutU32(&out, crc);
+  return out;
+}
+
+Status ReshardJournal::Decode(const std::string& image, ReshardJournal* out) {
+  *out = ReshardJournal{};
+  size_t off = 0;
+  uint64_t magic = 0;
+  uint64_t version = 0;
+  if (!GetU64(image, &off, &magic) || magic != kReshardJournalMagic) {
+    return Status::DataLoss("reshard journal: bad magic");
+  }
+  if (image.size() < off + 4) {
+    return Status::DataLoss("reshard journal: truncated");
+  }
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, image.data() + image.size() - 4, 4);
+  uint32_t actual_crc = Crc32Update(0, image.data() + 8, image.size() - 8 - 4);
+  if (stored_crc != actual_crc) {
+    return Status::DataLoss("reshard journal: CRC mismatch");
+  }
+  if (!GetU64(image, &off, &version) || version != kReshardJournalVersion) {
+    return Status::InvalidArgument("reshard journal: unsupported version");
+  }
+  if (!GetU64(image, &off, &out->generation_from) ||
+      !GetU64(image, &off, &out->router_seed) ||
+      !GetU32(image, &off, &out->shards_from) ||
+      !GetU32(image, &off, &out->shards_to) ||
+      !GetU32(image, &off, &out->num_chunks)) {
+    return Status::DataLoss("reshard journal: truncated header");
+  }
+  if (out->shards_from == 0 || out->shards_to == 0 ||
+      (out->shards_to != 2 * out->shards_from &&
+       out->shards_from != 2 * out->shards_to)) {
+    return Status::InvalidArgument(
+        "reshard journal: shard counts are not a split or merge");
+  }
+  if (off + out->num_chunks + 4 != image.size()) {
+    return Status::DataLoss("reshard journal: truncated chunk states");
+  }
+  out->chunks.resize(out->num_chunks);
+  for (uint32_t c = 0; c < out->num_chunks; ++c) {
+    uint8_t raw = static_cast<uint8_t>(image[off + c]);
+    if (raw > static_cast<uint8_t>(ReshardChunkState::kDone)) {
+      return Status::InvalidArgument(
+          "reshard journal: unknown chunk state " + std::to_string(raw));
+    }
+    out->chunks[c] = static_cast<ReshardChunkState>(raw);
+  }
+  return Status::OK();
+}
+
+void ResolveReshardJournal(ReshardJournal* journal,
+                           const std::vector<RecoveryReport>& reports) {
+  for (const RecoveryReport& r : reports) {
+    for (const ReshardCutoverSeen& c : r.reshard_cutovers) {
+      if (c.generation != journal->generation_from) continue;
+      if (c.shards_from != journal->shards_from ||
+          c.shards_to != journal->shards_to) {
+        continue;
+      }
+      if (c.chunk >= journal->num_chunks) continue;
+      if (journal->target_shard(c.chunk) != r.shard_id) continue;
+      ReshardChunkState& s = journal->chunks[c.chunk];
+      if (s == ReshardChunkState::kPending ||
+          s == ReshardChunkState::kCopied) {
+        s = ReshardChunkState::kCutOver;
+      }
+    }
+  }
 }
 
 }  // namespace durability

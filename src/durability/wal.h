@@ -73,6 +73,17 @@ class WalWriter {
                         sizeof(checkpoint_lsn));
   }
 
+  uint64_t AppendReshardCutover(uint64_t generation, uint32_t chunk,
+                                uint32_t shards_from, uint32_t shards_to) {
+    char payload[kReshardCutoverPayloadBytes];
+    std::memcpy(payload, &generation, 8);
+    std::memcpy(payload + 8, &chunk, 4);
+    std::memcpy(payload + 12, &shards_from, 4);
+    std::memcpy(payload + 16, &shards_to, 4);
+    return AppendRecord(WalRecordType::kReshardCutover, payload,
+                        sizeof(payload));
+  }
+
   // --- Group commit --------------------------------------------------------
 
   /// Makes every buffered record durable, in order.  One injected-fault

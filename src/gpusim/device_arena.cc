@@ -133,7 +133,7 @@ DeviceArena::MemorySweepReport DeviceArena::InjectMemoryFaults() {
   MemorySweepReport report;
   FaultInjector* injector = FaultInjector::Active();
   if (injector == nullptr || !injector->MemoryFaultsEnabled()) return report;
-  if (injector->OnKillPoint("mem.sweep.before")) {
+  if (injector->OnKillPoint(kSweepKillPointNames[0])) {
     report.killed = true;
     return report;
   }
@@ -194,7 +194,7 @@ DeviceArena::MemorySweepReport DeviceArena::InjectMemoryFaults() {
     ++report.faults_seen;
     if (changed) ++report.faults_injected;
   }
-  if (injector->OnKillPoint("mem.sweep.after")) report.killed = true;
+  if (injector->OnKillPoint(kSweepKillPointNames[1])) report.killed = true;
   return report;
 }
 

@@ -84,6 +84,16 @@ class DeviceArena {
     Free(static_cast<void*>(ptr));
   }
 
+  /// Kill points the memory-fault sweep crosses, in crossing order.  The
+  /// registry exists so docs/robustness.md and the injector cannot drift
+  /// (tests/test_kill_points.cc asserts set equality in both directions);
+  /// InjectMemoryFaults() references these constants, never raw literals.
+  static constexpr const char* kSweepKillPointNames[] = {
+      "mem.sweep.before",  // sweep about to plant faults; memory untouched
+      "mem.sweep.after",   // faults planted; process dies before any scrub
+  };
+  static constexpr size_t kNumSweepKillPoints = 2;
+
   /// Outcome of one InjectMemoryFaults() sweep.
   struct MemorySweepReport {
     uint64_t faults_seen = 0;      // faults planned by the injector

@@ -2,9 +2,11 @@
 // or dies by.
 //
 // Routing invariants (enforced, not aspirational):
-//   1. Determinism: ShardOf(key) depends only on (key, num_shards, seed).
-//      The same triple routes the same way on every host, every restart,
-//      and inside recovery replay — which is why the triple is recorded in
+//   1. Determinism: ShardOf(key) depends only on (key, num_shards, seed)
+//      — plus, during a live reshard, the per-chunk cutover bitmap, which
+//      is itself durable state (the migration journal).  The same state
+//      routes the same way on every host, every restart, and inside
+//      recovery replay — which is why the routing identity is recorded in
 //      the durability::ShardManifest and validated before any WAL replay.
 //   2. Totality: every key routes to exactly one shard; there is no
 //      "unowned" key and no key owned by two shards.  Cross-shard requests
@@ -19,13 +21,31 @@
 // decorrelates shard choice from the table's own bucket hashing (which
 // mixes with different constants), so one shard does not concentrate the
 // keys of one bucket.
+//
+// Two-generation routing (elastic resharding): a live split (N -> 2N) or
+// merge (2N -> N) migrates the keyspace in fixed hash-range chunks,
+// chunk = Mix64(key ^ seed) % num_chunks.  Because num_chunks is a
+// multiple of BOTH shard counts, (h % num_chunks) % N == h % N — chunking
+// refines the existing map without changing it, every chunk lives wholly
+// on one shard in each generation, and a migration that never starts is
+// byte-for-byte the old router.  During a migration a key routes by the
+// NEW generation iff its chunk's cutover bit is set:
+//
+//   ShardOf(key) = cut[chunk] ? chunk % to_shards : chunk % num_shards
+//
+// The bits flip one chunk at a time as service::Resharder copies, WALs a
+// cutover record, and garbage-collects — so at every instant the router
+// is total and deterministic, and recovery can rebuild the exact bitmap
+// from the migration journal plus the kReshardCutover records.
 
 #ifndef DYCUCKOO_SERVICE_SHARD_ROUTER_H_
 #define DYCUCKOO_SERVICE_SHARD_ROUTER_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "common/hash.h"
+#include "common/status.h"
 
 namespace dycuckoo {
 namespace service {
@@ -36,17 +56,84 @@ class ShardRouter {
       : num_shards_(num_shards == 0 ? 1 : num_shards), seed_(seed) {}
 
   template <typename Key>
-  uint32_t ShardOf(Key key) const {
-    return static_cast<uint32_t>(Mix64(static_cast<uint64_t>(key) ^ seed_) %
-                                 num_shards_);
+  uint64_t HashOf(Key key) const {
+    return Mix64(static_cast<uint64_t>(key) ^ seed_);
   }
 
+  template <typename Key>
+  uint32_t ShardOf(Key key) const {
+    const uint64_t h = HashOf(key);
+    if (!migrating_) return static_cast<uint32_t>(h % num_shards_);
+    const uint32_t c = static_cast<uint32_t>(h % num_chunks_);
+    return cut_[c] ? c % to_shards_ : c % num_shards_;
+  }
+
+  /// The key's migration chunk.  Only meaningful while migrating() (the
+  /// chunk domain is the active migration's num_chunks).
+  template <typename Key>
+  uint32_t ChunkOf(Key key) const {
+    return static_cast<uint32_t>(HashOf(key) % num_chunks_);
+  }
+
+  // --- Two-generation migration state -----------------------------------
+
+  /// Arms the two-generation map: old generation num_shards(), new
+  /// generation `to_shards`, all chunks initially routing old.
+  /// `num_chunks` must be a positive multiple of both shard counts so the
+  /// chunk layer refines the plain modulo map instead of changing it.
+  Status BeginMigration(uint32_t to_shards, uint32_t num_chunks) {
+    if (migrating_) {
+      return Status::InvalidArgument("router: migration already active");
+    }
+    if (to_shards == 0 || num_chunks == 0 ||
+        num_chunks % num_shards_ != 0 || num_chunks % to_shards != 0) {
+      return Status::InvalidArgument(
+          "router: num_chunks must be a positive multiple of both shard "
+          "counts");
+    }
+    to_shards_ = to_shards;
+    num_chunks_ = num_chunks;
+    cut_.assign(num_chunks, false);
+    migrating_ = true;
+    return Status::OK();
+  }
+
+  /// Routes `chunk` by the new generation from now on.  Idempotent.
+  void SetCutOver(uint32_t chunk) { cut_[chunk] = true; }
+
+  bool cut_over(uint32_t chunk) const { return migrating_ && cut_[chunk]; }
+
+  /// Migration complete: the new generation becomes THE generation.
+  void FinishMigration() {
+    num_shards_ = to_shards_;
+    migrating_ = false;
+    to_shards_ = 0;
+    num_chunks_ = 0;
+    cut_.clear();
+  }
+
+  /// Abandons a migration that cut nothing over (routing never changed,
+  /// so dropping the state is invisible to every key).
+  void AbortMigration() {
+    migrating_ = false;
+    to_shards_ = 0;
+    num_chunks_ = 0;
+    cut_.clear();
+  }
+
+  bool migrating() const { return migrating_; }
   uint32_t num_shards() const { return num_shards_; }
+  uint32_t to_shards() const { return to_shards_; }
+  uint32_t num_chunks() const { return num_chunks_; }
   uint64_t seed() const { return seed_; }
 
  private:
   uint32_t num_shards_;
   uint64_t seed_;
+  bool migrating_ = false;
+  uint32_t to_shards_ = 0;
+  uint32_t num_chunks_ = 0;
+  std::vector<bool> cut_;  // per chunk: route by the new generation?
 };
 
 }  // namespace service

@@ -151,6 +151,16 @@ class ShardSupervisor {
     return 1;
   }
 
+  /// Elastic resharding hooks: a split adds fault domains (born serving,
+  /// generation 0), a finalized merge retires the drained source domains.
+  /// Only ever called by ShardedTableServer with the physical slot count.
+  void GrowTo(uint32_t num_shards) {
+    if (num_shards > shards_.size()) shards_.resize(num_shards);
+  }
+  void ShrinkTo(uint32_t num_shards) {
+    if (num_shards < shards_.size()) shards_.resize(num_shards);
+  }
+
   uint32_t num_shards() const {
     return static_cast<uint32_t>(shards_.size());
   }

@@ -42,12 +42,23 @@
 // generation, so a request admitted before the fault is never
 // acknowledged by state recovery has since rewritten.
 //
+// Elastic resharding: BeginReshard(2N) / BeginReshard(N/2) arms a
+// service::Resharder that migrates the keyspace one hash-range chunk at a
+// time while the deployment serves (two-generation routing in ShardRouter,
+// copy -> cutover -> gc per chunk, every transition journaled).  The only
+// write unavailability is the one chunk whose copy window is open; reads
+// never block.  A crash mid-migration recovers through
+// durability::RecoverShardedDeployment + AdoptRecoveredSharded, which
+// resumes or rolls back deterministically.  The manifest's generation
+// bumps when a migration finalizes.
+//
 // Threading: Submit/TakeResponse are safe from any thread; Step runs on
 // one serving thread (the same contract as TableServer).
 
 #ifndef DYCUCKOO_SERVICE_SHARDED_SERVER_H_
 #define DYCUCKOO_SERVICE_SHARDED_SERVER_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -68,6 +79,7 @@
 #include "dycuckoo/dynamic_table.h"
 #include "dycuckoo/options.h"
 #include "gpusim/virtual_clock.h"
+#include "service/resharder.h"
 #include "service/shard_router.h"
 #include "service/shard_supervisor.h"
 #include "service/table_server.h"
@@ -83,6 +95,8 @@ struct ShardedServerStats {
   std::atomic<uint64_t> subrequests{0};
   std::atomic<uint64_t> shard_rejections{0};   // ops refused at the front door
   std::atomic<uint64_t> subrequests_lost{0};   // in flight when a shard died
+  std::atomic<uint64_t> reshard_blocked_writes{0};  // writes to the open chunk
+  std::atomic<uint64_t> reshard_rollback_erased{0};  // partial copies swept
 };
 
 template <typename Key, typename Value>
@@ -179,25 +193,90 @@ class ShardedTableServer {
         new ShardedTableServer(table_options, options));
     const uint64_t now = srv->clock_.Now();
     for (uint32_t s = 0; s < options.num_shards; ++s) {
-      ShardSlot& slot = srv->shards_[s];
-      auto& outcome = (*outcomes)[s];
-      slot.last_heal_report = outcome.report;
-      if (!outcome.status.ok() || outcome.table == nullptr) {
-        slot.cold = images[s];
-        srv->supervisor_.Quarantine(s, now, outcome.status);
-        continue;
+      srv->AdoptSlot(s, &(*outcomes)[s], images[s], now);
+    }
+    *out = std::move(srv);
+    return Status::OK();
+  }
+
+  /// The reshard-aware restart path: builds a deployment from
+  /// durability::RecoverShardedDeployment's decision.
+  ///
+  ///   - no migration in flight: same as AdoptRecovered (manifest
+  ///     generation restored);
+  ///   - rolled back: the old generation's shards are adopted, a split's
+  ///     never-cut-over new shards are discarded, and any partially
+  ///     copied pairs are swept from the targets (logged erases) so the
+  ///     deployment is exactly its pre-migration self;
+  ///   - mid-reshard: every physical slot is adopted (mixed-generation
+  ///     segment names preserved), the router's two-generation state and
+  ///     cutover bitmap are rebuilt from the resolved journal, and the
+  ///     migration resumes on the next Step — including straight into a
+  ///     pause if a participant came back quarantined.
+  static Status AdoptRecoveredSharded(
+      durability::ShardedDeploymentRecovery<Key, Value>* rec,
+      const std::vector<durability::ShardImages>& images,
+      const DyCuckooOptions& table_options, const Options& options,
+      std::unique_ptr<ShardedTableServer>* out) {
+    DYCUCKOO_RETURN_NOT_OK(ValidateOptions(options));
+    if (options.num_shards != rec->manifest.num_shards ||
+        options.router_seed != rec->manifest.router_seed) {
+      return Status::InvalidArgument(
+          "AdoptRecoveredSharded: options do not match the recovered "
+          "manifest's routing identity");
+    }
+    if (!rec->mid_reshard && !rec->rolled_back) {
+      DYCUCKOO_RETURN_NOT_OK(AdoptRecovered(&rec->outcomes, images,
+                                            table_options, options, out));
+      (*out)->manifest_.generation = rec->manifest.generation;
+      (*out)->manifest_image_ = (*out)->manifest_.Encode();
+      return Status::OK();
+    }
+    const durability::ReshardJournal& j = rec->journal;
+    const uint32_t physical = std::max(j.shards_from, j.shards_to);
+    if (rec->outcomes.size() != physical || images.size() != physical) {
+      return Status::InvalidArgument(
+          "AdoptRecoveredSharded: one outcome and image pair per physical "
+          "slot required");
+    }
+    std::unique_ptr<ShardedTableServer> srv(
+        new ShardedTableServer(table_options, options));
+    srv->manifest_.generation = rec->manifest.generation;
+    srv->manifest_image_ = srv->manifest_.Encode();
+    const uint64_t now = srv->clock_.Now();
+
+    if (rec->rolled_back) {
+      // Routing never switched: the old generation is the deployment.
+      // A split's new shards are dropped wholesale (their only content
+      // was never-cut-over copies); a merge's targets are swept below.
+      for (uint32_t s = 0; s < j.shards_from; ++s) {
+        srv->AdoptSlot(s, &rec->outcomes[s], images[s], now);
       }
-      Status st = srv->BringUp(s, std::move(outcome.table),
-                               outcome.report.last_lsn + 1, &slot);
-      if (!st.ok()) {
-        // The shard's data recovered but its new lineage could not be
-        // established (e.g. an injected fault during the baseline
-        // checkpoint): quarantine it and let the heal path retry from the
-        // crash-time images.
-        slot.cold = images[s];
-        srv->supervisor_.Quarantine(s, now, st);
+      srv->RollbackSweep();
+      *out = std::move(srv);
+      return Status::OK();
+    }
+
+    // Mid-reshard resume: physical slots, two-generation routing.
+    srv->supervisor_.GrowTo(physical);
+    srv->shards_.resize(physical);
+    for (uint32_t s = j.shards_from; s < physical; ++s) {
+      srv->shards_[s].table_options =
+          ShardTableOptions(table_options, s, j.shards_to);
+      srv->shards_[s].segment = durability::WalSegmentName(s, j.shards_to);
+    }
+    for (uint32_t s = 0; s < physical; ++s) {
+      srv->AdoptSlot(s, &rec->outcomes[s], images[s], now);
+    }
+    DYCUCKOO_RETURN_NOT_OK(
+        srv->router_.BeginMigration(j.shards_to, j.num_chunks));
+    for (uint32_t c = 0; c < j.num_chunks; ++c) {
+      if (j.chunks[c] == durability::ReshardChunkState::kCutOver ||
+          j.chunks[c] == durability::ReshardChunkState::kDone) {
+        srv->router_.SetCutOver(c);
       }
     }
+    srv->resharder_.Arm(rec->journal);
     *out = std::move(srv);
     return Status::OK();
   }
@@ -219,6 +298,14 @@ class ShardedTableServer {
     stats_.submitted.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(mu_);
     const uint64_t now = clock_.Now();
+    if (reshard_crashed_) {
+      Complete(id, Response{Status::Unavailable(
+                                "deployment dead: a reshard kill point "
+                                "fired; restart and recover")
+                                .WithDetail("executed", "never"),
+                            {}, 0, now});
+      return id;
+    }
     if (request.deadline == 0 && options_.shard.default_deadline_ticks > 0) {
       request.deadline = now + options_.shard.default_deadline_ticks;
     }
@@ -236,6 +323,7 @@ class ShardedTableServer {
 
     Join join;
     join.results.resize(request.ops.size());
+    const bool migrating = resharder_.active();
     for (auto& [shard, indices] : by_shard) {
       if (!supervisor_.serving(shard)) {
         stats_.shard_rejections.fetch_add(indices.size(),
@@ -243,14 +331,36 @@ class ShardedTableServer {
         MergeStatus(&join, ShardUnavailable(shard, now, "never"), shard);
         continue;
       }
+      std::vector<uint32_t> admitted;
+      if (migrating) {
+        // The one chunk whose copy window is open rejects writes (reads
+        // stay available): a write applied to the source after its copy
+        // was taken would be silently dropped at cutover.
+        admitted.reserve(indices.size());
+        for (uint32_t idx : indices) {
+          const uint32_t chunk = router_.ChunkOf(request.ops[idx].key);
+          if (request.ops[idx].type != OpType::kFind &&
+              resharder_.BlocksWrites(chunk)) {
+            stats_.reshard_blocked_writes.fetch_add(
+                1, std::memory_order_relaxed);
+            stats_.shard_rejections.fetch_add(1, std::memory_order_relaxed);
+            MergeStatus(&join, ReshardBlocked(shard, chunk, now), shard);
+            continue;
+          }
+          admitted.push_back(idx);
+        }
+        if (admitted.empty()) continue;
+      } else {
+        admitted = std::move(indices);
+      }
       Request sub;
       sub.deadline = request.deadline;
-      sub.ops.reserve(indices.size());
-      for (uint32_t idx : indices) sub.ops.push_back(request.ops[idx]);
+      sub.ops.reserve(admitted.size());
+      for (uint32_t idx : admitted) sub.ops.push_back(request.ops[idx]);
       SubRef ref;
       ref.shard = shard;
       ref.generation = supervisor_.generation(shard);
-      ref.op_indices = std::move(indices);
+      ref.op_indices = std::move(admitted);
       ref.sub_id = shards_[shard].server->Submit(std::move(sub));
       stats_.subrequests.fetch_add(1, std::memory_order_relaxed);
       join.pending.push_back(std::move(ref));
@@ -285,14 +395,80 @@ class ShardedTableServer {
   /// elapse even on an idle deployment.
   uint64_t Step() {
     std::lock_guard<std::mutex> lock(mu_);
+    if (reshard_crashed_) return 0;
     clock_.Advance(1);
-    for (uint32_t s = 0; s < num_shards(); ++s) {
+    for (uint32_t s = 0; s < physical_shards(); ++s) {
       if (supervisor_.serving(s) && shards_[s].server != nullptr) {
         shards_[s].server->Step();
       }
     }
     Supervise();
-    return Harvest();
+    if (resharder_.active()) {
+      resharder_.Advance();
+      if (resharder_.dead()) {
+        // Simulated whole-process death: the deployment stops serving;
+        // only RecoverShardedDeployment + AdoptRecoveredSharded continue
+        // the story.
+        reshard_crashed_ = true;
+        return 0;
+      }
+    }
+    const uint64_t finalized = Harvest();
+    // Finalize only after harvesting: a merge retires slots, and a join
+    // still referencing one (admitted before its chunk cut over) must
+    // drain through the normal response path first.
+    if (resharder_.complete() && ReshardRetiringDrained()) {
+      FinalizeReshard();
+    }
+    return finalized;
+  }
+
+  /// Arms an online migration to `new_num_shards` — exactly double (split)
+  /// or half (merge) the current count.  The deployment keeps serving
+  /// while Step() drives the chunk pipeline; when every chunk is done the
+  /// routing generation is finalized and the manifest generation bumps.
+  Status BeginReshard(uint32_t new_num_shards) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (reshard_crashed_) {
+      return Status::Unavailable("deployment dead: restart and recover");
+    }
+    if (router_.migrating() || resharder_.active()) {
+      return Status::InvalidArgument(
+          "reshard: a migration is already in flight");
+    }
+    const uint32_t from = router_.num_shards();
+    const bool split = new_num_shards == 2 * from;
+    const bool merge = (from % 2 == 0) && new_num_shards == from / 2;
+    if (!split && !merge) {
+      return Status::InvalidArgument(
+          "reshard: target shard count must be exactly double or half the "
+          "current count");
+    }
+    for (uint32_t s = 0; s < from; ++s) {
+      if (!supervisor_.serving(s)) {
+        return Status::Unavailable(
+            "reshard: shard " + std::to_string(s) +
+            " is not serving; heal it before migrating");
+      }
+    }
+    durability::ReshardJournal journal = durability::ReshardJournal::Make(
+        manifest_.generation, options_.router_seed, from, new_num_shards);
+    DYCUCKOO_RETURN_NOT_OK(
+        router_.BeginMigration(new_num_shards, journal.num_chunks));
+    if (split) {
+      supervisor_.GrowTo(new_num_shards);
+      for (uint32_t s = from; s < new_num_shards; ++s) {
+        Status st = AddShardSlot(s, new_num_shards);
+        if (!st.ok()) {
+          router_.AbortMigration();
+          shards_.resize(from);
+          supervisor_.ShrinkTo(from);
+          return st;
+        }
+      }
+    }
+    resharder_.Arm(std::move(journal));
+    return Status::OK();
   }
 
   /// Operator override: schedule `shard`'s heal attempt for the next
@@ -309,7 +485,9 @@ class ShardedTableServer {
     for (;;) {
       {
         std::lock_guard<std::mutex> lock(mu_);
-        if (joins_.empty()) return;
+        // A reshard kill point is simulated process death: in-flight
+        // joins can never complete (recovery is the only continuation).
+        if (joins_.empty() || reshard_crashed_) return;
       }
       Step();
     }
@@ -320,6 +498,21 @@ class ShardedTableServer {
   // ---------------------------------------------------------------------
 
   uint32_t num_shards() const { return router_.num_shards(); }
+  /// Slot count including a split's still-migrating new shards (==
+  /// num_shards() whenever no migration is in flight).
+  uint32_t physical_shards() const {
+    return static_cast<uint32_t>(shards_.size());
+  }
+  const Resharder<ShardedTableServer>& resharder() const {
+    return resharder_;
+  }
+  bool reshard_crashed() const { return reshard_crashed_; }
+  /// Durable images of the deployment's routing identity: the manifest
+  /// and the migration journal ("" when no migration is armed) as a crash
+  /// right now would leave them — the first two arguments of
+  /// durability::RecoverShardedDeployment.
+  const std::string& ManifestImage() const { return manifest_image_; }
+  const std::string& JournalImage() const { return journal_image_; }
   const ShardRouter& router() const { return router_; }
   const ShardSupervisor& supervisor() const { return supervisor_; }
   const durability::ShardManifest& manifest() const { return manifest_; }
@@ -346,8 +539,8 @@ class ShardedTableServer {
   /// Every shard's durable byte images as they stand right now — what a
   /// full-process crash would leave behind for RecoverAllShards.
   std::vector<durability::ShardImages> DurableImages() const {
-    std::vector<durability::ShardImages> images(num_shards());
-    for (uint32_t s = 0; s < num_shards(); ++s) {
+    std::vector<durability::ShardImages> images(physical_shards());
+    for (uint32_t s = 0; s < physical_shards(); ++s) {
       const ShardSlot& slot = shards_[s];
       if (slot.manager != nullptr) {
         images[s].checkpoint = slot.manager->checkpoints().durable_image();
@@ -363,16 +556,16 @@ class ShardedTableServer {
   /// RecoverAllShards needs to rebuild this deployment's tables.
   std::vector<DyCuckooOptions> ShardTableOptionsList() const {
     std::vector<DyCuckooOptions> opts;
-    opts.reserve(num_shards());
-    for (uint32_t s = 0; s < num_shards(); ++s) {
+    opts.reserve(physical_shards());
+    for (uint32_t s = 0; s < physical_shards(); ++s) {
       opts.push_back(shards_[s].table_options);
     }
     return opts;
   }
 
   std::vector<ShardHealth> Health() const {
-    std::vector<ShardHealth> out(num_shards());
-    for (uint32_t s = 0; s < num_shards(); ++s) {
+    std::vector<ShardHealth> out(physical_shards());
+    for (uint32_t s = 0; s < physical_shards(); ++s) {
       ShardHealth& h = out[s];
       h.shard = s;
       h.state = supervisor_.state(s);
@@ -391,7 +584,7 @@ class ShardedTableServer {
   /// their durable images but are not countable here).
   uint64_t total_size() const {
     uint64_t n = 0;
-    for (uint32_t s = 0; s < num_shards(); ++s) {
+    for (uint32_t s = 0; s < physical_shards(); ++s) {
       if (supervisor_.serving(s) && shards_[s].server != nullptr) {
         n += shards_[s].server->table()->size();
       }
@@ -402,6 +595,8 @@ class ShardedTableServer {
  private:
   struct ShardSlot {
     DyCuckooOptions table_options;
+    std::string segment;              // WAL segment name (creation-era count:
+                                      // a split's new shards are "of-<to>")
     std::unique_ptr<Shard> server;    // null while quarantined/failed
     std::unique_ptr<Manager> manager;
     durability::ShardImages cold;     // crash-time images for heal retries
@@ -426,6 +621,7 @@ class ShardedTableServer {
 
   ShardedTableServer(const DyCuckooOptions& base, const Options& options)
       : options_(options),
+        base_table_options_(base),
         router_(options.num_shards, options.router_seed),
         supervisor_(options.num_shards, options.supervisor),
         manifest_(durability::ShardManifest::Make(
@@ -436,7 +632,10 @@ class ShardedTableServer {
     for (uint32_t s = 0; s < options.num_shards; ++s) {
       shards_[s].table_options =
           ShardTableOptions(base, s, options.num_shards);
+      shards_[s].segment =
+          durability::WalSegmentName(s, options.num_shards);
     }
+    manifest_image_ = manifest_.Encode();
   }
 
   static Status ValidateOptions(const Options& options) {
@@ -491,6 +690,160 @@ class ShardedTableServer {
     slot->server = std::move(server);
     slot->manager = std::move(manager);
     return Status::OK();
+  }
+
+  /// Installs one recovered outcome into slot `s`: serving via BringUp on
+  /// success, quarantined with the crash-time images otherwise.
+  void AdoptSlot(uint32_t s,
+                 durability::ShardRecoveryOutcome<Key, Value>* outcome,
+                 const durability::ShardImages& images, uint64_t now) {
+    ShardSlot& slot = shards_[s];
+    slot.last_heal_report = outcome->report;
+    if (!outcome->status.ok() || outcome->table == nullptr) {
+      slot.cold = images;
+      supervisor_.Quarantine(s, now, outcome->status);
+      return;
+    }
+    Status st = BringUp(s, std::move(outcome->table),
+                        outcome->report.last_lsn + 1, &slot);
+    if (!st.ok()) {
+      // The shard's data recovered but its new lineage could not be
+      // established (e.g. an injected fault during the baseline
+      // checkpoint): quarantine it and let the heal path retry from the
+      // crash-time images.
+      slot.cold = images;
+      supervisor_.Quarantine(s, now, st);
+    }
+  }
+
+  // --- Elastic resharding (mu_ held) ------------------------------------
+
+  friend class Resharder<ShardedTableServer>;
+
+  // The Resharder's host surface.  All called under mu_ from Step().
+  Table* ReshardTable(uint32_t s) { return shards_[s].server->table(); }
+  Manager* ReshardManager(uint32_t s) { return shards_[s].manager.get(); }
+  ShardRouter* ReshardRouter() { return &router_; }
+  bool ReshardShardServing(uint32_t s) const {
+    return supervisor_.serving(s) && shards_[s].server != nullptr;
+  }
+  bool ReshardShardQuiesced(uint32_t s) const {
+    const ShardSlot& slot = shards_[s];
+    if (slot.server == nullptr || slot.server->queued() != 0) return false;
+    return slot.manager == nullptr ||
+           slot.manager->wal().pending_records() == 0;
+  }
+  void ReshardPersistJournal(std::string image) {
+    journal_image_ = std::move(image);
+  }
+
+  /// Constructs a split's new shard slot `s` (empty table, fresh
+  /// durability lineage under its own creation-era segment name).  The
+  /// baseline checkpoint makes the slot's images self-contained: a crash
+  /// before its first chunk copy recovers it as an empty shard.
+  Status AddShardSlot(uint32_t s, uint32_t to) {
+    if (shards_.size() <= s) shards_.resize(s + 1);
+    ShardSlot& slot = shards_[s];
+    slot.table_options = ShardTableOptions(base_table_options_, s, to);
+    slot.segment = durability::WalSegmentName(s, to);
+    std::unique_ptr<Table> table;
+    DYCUCKOO_RETURN_NOT_OK(Table::Create(slot.table_options, &table));
+    DYCUCKOO_RETURN_NOT_OK(
+        Shard::Adopt(std::move(table), options_.shard, &slot.server));
+    slot.server->UseExternalClock(&clock_);
+    if (options_.attach_durability) {
+      slot.manager = std::make_unique<Manager>(
+          options_.durability, /*start_lsn=*/1, durability::ShardScope(s));
+      slot.server->AttachDurability(slot.manager.get());
+      DYCUCKOO_RETURN_NOT_OK(
+          slot.manager->CheckpointNow(slot.server->table()));
+    }
+    return Status::OK();
+  }
+
+  /// Whether a complete migration may finalize now: no retiring slot
+  /// (merge: slots >= to) still has queued work, and no pending join
+  /// references one.  Resizing shards_ under a live sub-request would
+  /// leave Harvest indexing destroyed slots.
+  bool ReshardRetiringDrained() const {
+    const uint32_t to = router_.to_shards();
+    for (uint32_t s = to; s < physical_shards(); ++s) {
+      if (shards_[s].server != nullptr && shards_[s].server->queued() != 0) {
+        return false;
+      }
+    }
+    for (const auto& [id, join] : joins_) {
+      for (const SubRef& sub : join.pending) {
+        if (sub.shard >= to) return false;
+      }
+    }
+    return true;
+  }
+
+  /// Every chunk is kDone: switch the deployment to the new generation.
+  /// A merge retires the drained source slots; the manifest is reminted
+  /// with the new shard count and a bumped generation, and the journal is
+  /// cleared — after this the deployment is indistinguishable from one
+  /// born at the new count (except for the generation).
+  void FinalizeReshard() {
+    const uint32_t to = router_.to_shards();
+    const uint64_t new_generation = resharder_.journal().generation_from + 1;
+    router_.FinishMigration();
+    if (to < shards_.size()) {
+      shards_.resize(to);
+      supervisor_.ShrinkTo(to);
+    }
+    options_.num_shards = to;
+    manifest_ = durability::ShardManifest::Make(
+        to, options_.router_seed, static_cast<uint32_t>(sizeof(Key)),
+        static_cast<uint32_t>(sizeof(Value)));
+    manifest_.generation = new_generation;
+    manifest_image_ = manifest_.Encode();
+    resharder_.Disarm();
+    DYCUCKOO_LOG(Info) << "reshard finalized: " << num_shards()
+                       << " shards, manifest generation " << new_generation;
+  }
+
+  /// After a rolled-back migration: partially copied pairs may survive in
+  /// target shards whose routing never switched.  Sweep every serving
+  /// shard for keys the restored router homes elsewhere and erase them
+  /// through the WAL, so durable state converges with routed state.
+  void RollbackSweep() {
+    for (uint32_t s = 0; s < physical_shards(); ++s) {
+      ShardSlot& slot = shards_[s];
+      if (!supervisor_.serving(s) || slot.server == nullptr) continue;
+      auto pairs = slot.server->table()->Dump();
+      std::vector<Key> doomed;
+      for (const auto& kv : pairs) {
+        if (router_.ShardOf(kv.first) != s) doomed.push_back(kv.first);
+      }
+      if (doomed.empty()) continue;
+      if (slot.manager != nullptr) {
+        for (const Key& k : doomed) slot.manager->LogErase(k);
+        if (!slot.manager->Commit().ok()) continue;  // heal path retries
+      }
+      for (const Key& k : doomed) (void)slot.server->table()->Erase(k);
+      stats_.reshard_rollback_erased.fetch_add(doomed.size(),
+                                               std::memory_order_relaxed);
+    }
+  }
+
+  /// The machine-readable rejection for a write landing in the one chunk
+  /// whose migration window is open.  Same detail keys as quarantine
+  /// rejections (shard / retry_after_ticks / executed) so clients retry
+  /// through one code path, plus the chunk for observability.
+  Status ReshardBlocked(uint32_t shard, uint32_t chunk, uint64_t now) const {
+    const uint64_t retry =
+        resharder_.paused()
+            ? supervisor_.RetryAfterTicks(resharder_.paused_on(), now)
+            : 1;
+    return Status::Unavailable("shard " + std::to_string(shard) +
+                               " migrating chunk " + std::to_string(chunk) +
+                               " (reshard write window)")
+        .WithDetail("shard", std::to_string(shard))
+        .WithDetail("retry_after_ticks", std::to_string(retry))
+        .WithDetail("executed", "never")
+        .WithDetail("reshard_chunk", std::to_string(chunk));
   }
 
   /// The machine-readable rejection for a non-serving shard.  `executed`
@@ -555,7 +908,7 @@ class ShardedTableServer {
 
   void Supervise() {
     const uint64_t now = clock_.Now();
-    for (uint32_t s = 0; s < num_shards(); ++s) {
+    for (uint32_t s = 0; s < physical_shards(); ++s) {
       ShardSlot& slot = shards_[s];
       if (supervisor_.serving(s) && slot.server != nullptr &&
           slot.server->crashed()) {
@@ -610,7 +963,7 @@ class ShardedTableServer {
 
     durability::RecoverySource source;
     source.shard_id = s;
-    source.segment = durability::WalSegmentName(s, num_shards());
+    source.segment = slot.segment;
     std::istringstream ckpt_stream(ckpt_image);
     std::istringstream wal_stream(wal_image);
     std::unique_ptr<Table> table;
@@ -662,21 +1015,33 @@ class ShardedTableServer {
     for (auto it = joins_.begin(); it != joins_.end();) {
       Join& join = it->second;
       for (auto sub = join.pending.begin(); sub != join.pending.end();) {
-        ShardSlot& slot = shards_[sub->shard];
-        const bool lost = !supervisor_.serving(sub->shard) ||
+        // Range check first: a finalized merge retires slots, and the
+        // drain gate should have prevented any pending reference to one —
+        // but indexing a destroyed slot would be UB, so never risk it.
+        const bool retired = sub->shard >= physical_shards();
+        const bool lost = retired || !supervisor_.serving(sub->shard) ||
                           supervisor_.generation(sub->shard) !=
                               sub->generation ||
-                          slot.server == nullptr;
+                          shards_[sub->shard].server == nullptr;
         if (lost) {
           // The shard died (or was rebuilt) with this sub-request in
           // flight: its ops may or may not have applied before the
           // fault, so the honest answer is "uncertain".
           stats_.subrequests_lost.fetch_add(1, std::memory_order_relaxed);
-          MergeStatus(&join, ShardUnavailable(sub->shard, now, "uncertain"),
-                      sub->shard);
+          Status st =
+              retired
+                  ? Status::Unavailable("shard " +
+                                        std::to_string(sub->shard) +
+                                        " retired by a finalized reshard")
+                        .WithDetail("shard", std::to_string(sub->shard))
+                        .WithDetail("retry_after_ticks", "1")
+                        .WithDetail("executed", "uncertain")
+                  : ShardUnavailable(sub->shard, now, "uncertain");
+          MergeStatus(&join, std::move(st), sub->shard);
           sub = join.pending.erase(sub);
           continue;
         }
+        ShardSlot& slot = shards_[sub->shard];
         typename Shard::Response sub_resp;
         if (!slot.server->TakeResponse(sub->sub_id, &sub_resp)) {
           ++sub;
@@ -707,12 +1072,18 @@ class ShardedTableServer {
   }
 
   Options options_;
+  DyCuckooOptions base_table_options_;  // deployment-wide base; splits
+                                        // derive their new shards from it
   ShardRouter router_;
   ShardSupervisor supervisor_;
   durability::ShardManifest manifest_;
   gpusim::VirtualClock clock_;
   std::vector<ShardSlot> shards_;
   ShardedServerStats stats_;
+  Resharder<ShardedTableServer> resharder_{this};
+  std::string manifest_image_;  // manifest as durably recorded
+  std::string journal_image_;   // migration journal ("" while idle)
+  bool reshard_crashed_ = false;  // a reshard.* kill point fired
 
   std::mutex mu_;  // shards_, supervisor_, joins_, clock_
   std::unordered_map<uint64_t, Join> joins_;

@@ -183,7 +183,8 @@ void MaybeDumpArtifacts(const std::string& scenario, uint64_t seed,
 ScenarioOutcome RunScenario(const std::string& name,
                             const gpusim::FaultInjectorConfig* fault_cfg,
                             uint64_t seed) {
-  SCOPED_TRACE(name + " (DYCUCKOO_CHAOS_SEED=" + std::to_string(seed) + ")");
+  SCOPED_TRACE(name + " | " +
+               testing::ChaosReproLine("tests/test_durable_server", seed));
   ScenarioOutcome outcome;
 
   gpusim::DeviceArena arena(/*capacity_bytes=*/0);  // unbounded, private

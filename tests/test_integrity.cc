@@ -656,6 +656,7 @@ SoakResult RunPlantedFlipSoak(uint64_t seed, bool plant) {
 
 TEST(IntegritySoak, EveryPlantedFlipDetectedAndRepairedWithinOnePass) {
   const uint64_t seed = SeedFromEnv();
+  SCOPED_TRACE(testing::ChaosReproLine("tests/test_integrity", seed));
   SoakResult r = RunPlantedFlipSoak(seed, /*plant=*/true);
   EXPECT_GT(r.planted, 0u);
   EXPECT_EQ(r.detected, r.planted)
@@ -667,6 +668,7 @@ TEST(IntegritySoak, EveryPlantedFlipDetectedAndRepairedWithinOnePass) {
 
 TEST(IntegritySoak, CleanRunReportsZeroCorruptedSlots) {
   const uint64_t seed = SeedFromEnv();
+  SCOPED_TRACE(testing::ChaosReproLine("tests/test_integrity", seed));
   SoakResult r = RunPlantedFlipSoak(seed, /*plant=*/false);
   EXPECT_EQ(r.planted, 0u);
   EXPECT_EQ(r.detected, 0u)
@@ -676,6 +678,7 @@ TEST(IntegritySoak, CleanRunReportsZeroCorruptedSlots) {
 
 TEST(IntegritySoak, SameSeedReplaysBitIdentically) {
   const uint64_t seed = SeedFromEnv();
+  SCOPED_TRACE(testing::ChaosReproLine("tests/test_integrity", seed));
   SoakResult a = RunPlantedFlipSoak(seed, /*plant=*/true);
   SoakResult b = RunPlantedFlipSoak(seed, /*plant=*/true);
   EXPECT_EQ(a.planted, b.planted);
@@ -690,8 +693,7 @@ TEST(IntegritySharded, MemoryFaultCampaignQuarantinesOnlyTheStruckShard) {
   const uint64_t seed = SeedFromEnv();
   const uint32_t n = ShardsFromEnv();
   const uint32_t target = static_cast<uint32_t>(seed % n);
-  SCOPED_TRACE("DYCUCKOO_CHAOS_SEED=" + std::to_string(seed) +
-               " shards=" + std::to_string(n) +
+  SCOPED_TRACE(testing::ChaosReproLine("tests/test_integrity", seed) +
                " target=" + std::to_string(target));
 
   gpusim::DeviceArena arena{0};

@@ -1,0 +1,143 @@
+// Pins docs/robustness.md to the fault-injector kill-point registries.
+//
+// Every kill point the code can cross is named in exactly one registry:
+//   - durability::kKillPointNames        (8, the durability protocol)
+//   - durability::kReshardKillPointNames (5, elastic resharding)
+//   - gpusim::DeviceArena::kSweepKillPointNames (2, memory-fault sweeps)
+// and docs/robustness.md documents each name in backticks.  This test
+// parses the document at runtime and asserts set equality in BOTH
+// directions, so a kill point added (or renamed) in code without a doc
+// update — or documented without existing — fails CI instead of rotting.
+//
+// The historical drift candidates are the `mem.sweep.*` names: they live
+// outside the 8-entry durability registry (a fault-free run never crosses
+// them) and were documented prose-first.
+
+#include <cctype>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "durability/log_format.h"
+#include "gpusim/device_arena.h"
+
+namespace dycuckoo {
+namespace {
+
+#ifndef DYCUCKOO_SOURCE_DIR
+#error "test_kill_points needs DYCUCKOO_SOURCE_DIR (see tests/CMakeLists.txt)"
+#endif
+
+std::string ReadRobustnessDoc() {
+  const std::string path =
+      std::string(DYCUCKOO_SOURCE_DIR) + "/docs/robustness.md";
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// A backticked token counts as a kill-point name iff it starts with a
+// registry prefix followed by a dot and contains only [a-z_.].  That
+// keeps detail keys (`reshard_chunk`), env knobs (`mem_tag_filter`), and
+// file names (`wal-00000-of-N.seg`) out of the set.
+bool LooksLikeKillPoint(const std::string& tok) {
+  static const char* kPrefixes[] = {"wal.", "ckpt.", "mem.", "reshard."};
+  bool prefixed = false;
+  for (const char* p : kPrefixes) {
+    if (tok.rfind(p, 0) == 0) prefixed = true;
+  }
+  if (!prefixed) return false;
+  for (char c : tok) {
+    if (!(std::islower(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '.')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::set<std::string> DocumentedKillPoints(const std::string& doc) {
+  std::set<std::string> names;
+  size_t pos = 0;
+  while ((pos = doc.find('`', pos)) != std::string::npos) {
+    const size_t end = doc.find('`', pos + 1);
+    if (end == std::string::npos) break;
+    const std::string tok = doc.substr(pos + 1, end - pos - 1);
+    if (LooksLikeKillPoint(tok)) names.insert(tok);
+    pos = end + 1;
+  }
+  return names;
+}
+
+std::set<std::string> RegisteredKillPoints() {
+  std::set<std::string> names;
+  for (size_t i = 0; i < durability::kNumKillPoints; ++i) {
+    names.insert(durability::kKillPointNames[i]);
+  }
+  for (size_t i = 0; i < durability::kNumReshardKillPoints; ++i) {
+    names.insert(durability::kReshardKillPointNames[i]);
+  }
+  for (size_t i = 0; i < gpusim::DeviceArena::kNumSweepKillPoints; ++i) {
+    names.insert(gpusim::DeviceArena::kSweepKillPointNames[i]);
+  }
+  return names;
+}
+
+TEST(KillPointRegistry, NamesAreUniqueAcrossRegistries) {
+  // The union's size equals the sum of the registry sizes: no name is
+  // registered twice (a duplicate would make kill_point_filter ambiguous).
+  EXPECT_EQ(RegisteredKillPoints().size(),
+            durability::kNumKillPoints + durability::kNumReshardKillPoints +
+                gpusim::DeviceArena::kNumSweepKillPoints);
+}
+
+TEST(KillPointRegistry, EveryNameCarriesItsRegistryPrefix) {
+  for (size_t i = 0; i < durability::kNumReshardKillPoints; ++i) {
+    EXPECT_EQ(std::string(durability::kReshardKillPointNames[i])
+                  .rfind("reshard.", 0),
+              0u)
+        << durability::kReshardKillPointNames[i];
+  }
+  for (size_t i = 0; i < gpusim::DeviceArena::kNumSweepKillPoints; ++i) {
+    EXPECT_EQ(std::string(gpusim::DeviceArena::kSweepKillPointNames[i])
+                  .rfind("mem.sweep.", 0),
+              0u)
+        << gpusim::DeviceArena::kSweepKillPointNames[i];
+  }
+  for (size_t i = 0; i < durability::kNumKillPoints; ++i) {
+    const std::string n = durability::kKillPointNames[i];
+    EXPECT_TRUE(n.rfind("wal.", 0) == 0 || n.rfind("ckpt.", 0) == 0) << n;
+  }
+}
+
+TEST(KillPointDocs, DocumentEveryRegisteredKillPoint) {
+  const std::set<std::string> documented =
+      DocumentedKillPoints(ReadRobustnessDoc());
+  ASSERT_FALSE(documented.empty())
+      << "parser found no kill-point tokens at all — doc moved or the "
+         "backtick convention changed?";
+  for (const std::string& name : RegisteredKillPoints()) {
+    EXPECT_TRUE(documented.count(name))
+        << "`" << name
+        << "` is registered in code but not documented in "
+           "docs/robustness.md";
+  }
+}
+
+TEST(KillPointDocs, EveryDocumentedKillPointIsRegistered) {
+  const std::set<std::string> registered = RegisteredKillPoints();
+  for (const std::string& name : DocumentedKillPoints(ReadRobustnessDoc())) {
+    EXPECT_TRUE(registered.count(name))
+        << "docs/robustness.md documents `" << name
+        << "` but no registry defines it (renamed or removed in code?)";
+  }
+}
+
+}  // namespace
+}  // namespace dycuckoo

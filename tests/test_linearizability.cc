@@ -156,8 +156,8 @@ class HistoryChecker {
                  uint64_t responded_at) {
     violations_.push_back(
         what + " [window ticks " + std::to_string(invoked_at) + ".." +
-        std::to_string(responded_at) + "; rerun with DYCUCKOO_CHAOS_SEED=" +
-        std::to_string(seed_) + "]");
+        std::to_string(responded_at) + "; " +
+        testing::ChaosReproLine("tests/test_linearizability", seed_) + "]");
   }
 
   uint64_t seed_;
@@ -272,6 +272,7 @@ class LinearizabilityTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(LinearizabilityTest, ConcurrentHistoriesAreLinearizable) {
   const uint64_t seed = testing::ChaosSeedFromEnv(GetParam());
+  SCOPED_TRACE(testing::ChaosReproLine("tests/test_linearizability", seed));
   RunConfig cfg;
   TableStats::Snapshot stats;
   HistoryChecker checker = RunHistory(seed, cfg, &stats);
@@ -292,6 +293,7 @@ TEST(LinearizabilityRegressionTest, OverwriteBeforeParkIsDetected) {
   // racing the chain misses a resident key.  This proves the checker can
   // see the bug the handoff ring closes.
   const uint64_t base = testing::ChaosSeedFromEnv(97);
+  SCOPED_TRACE(testing::ChaosReproLine("tests/test_linearizability", base));
   RunConfig cfg;
   cfg.unsafe_overwrite = true;
   cfg.with_erases = false;  // every miss of a resident key is a violation

@@ -1,0 +1,889 @@
+// Elastic online resharding: crash-safe live shard split/merge under
+// chaos (service::Resharder + two-generation ShardRouter + the migration
+// journal in durability::RecoverShardedDeployment).
+//
+// Acceptance invariants (ROADMAP / ISSUE):
+//   - a crash at EVERY reshard.* kill point, in both directions (split
+//     and merge), recovers to a consistent generation — resumed or rolled
+//     back deterministically — with zero acked-write loss;
+//   - linearizable reads with a reshard in flight (every FIND of an acked
+//     key returns its acked value);
+//   - no unavailability outside the actively-migrating chunk: reads are
+//     never blocked, and the only write rejections carry the
+//     "reshard_chunk" detail for the one open chunk;
+//   - migration-pause rejections carry the same machine-readable details
+//     as quarantine rejections (shard / retry_after_ticks / executed);
+//   - same-seed runs replay bit-identically (journal image, manifest
+//     image, per-shard table digests).
+//
+// Shard count is DYCUCKOO_SHARDS (default 4); merges run from 2N when N
+// is odd so every CI lane exercises both directions.
+
+#include "service/sharded_server.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "durability/log_format.h"
+#include "durability/sharded.h"
+#include "gpusim/device_arena.h"
+#include "gpusim/fault_injector.h"
+#include "gpusim/grid.h"
+#include "service/resharder.h"
+#include "service/shard_router.h"
+#include "test_util.h"
+
+namespace dycuckoo {
+namespace service {
+namespace {
+
+using Sharded = ShardedTableServer<uint32_t, uint32_t>;
+using OpType = Sharded::OpType;
+
+constexpr uint32_t kKeySpace = 2048;
+
+uint32_t NumShardsFromEnv() {
+  const char* env = std::getenv("DYCUCKOO_SHARDS");
+  if (env == nullptr || *env == '\0') return 4;
+  unsigned long n = std::strtoul(env, nullptr, 0);
+  return n == 0 ? 4 : static_cast<uint32_t>(n);
+}
+
+struct Env {
+  gpusim::DeviceArena arena{0};
+  gpusim::Grid grid{1};  // single worker: bitwise-deterministic scenarios
+  DyCuckooOptions topt;
+  Sharded::Options options;
+
+  explicit Env(uint32_t num_shards) {
+    topt.arena = &arena;
+    topt.grid = &grid;
+    topt.initial_capacity = 16 * 1024;
+    options.num_shards = num_shards;
+    options.shard.scrub_buckets_per_step = 8;
+    options.durability.checkpoint_wal_bytes = 0;
+    options.durability.checkpoint_wal_records = 48;
+    // Heals happen only when a scenario asks for them (RequestHealNow).
+    options.supervisor.heal_backoff_ticks = 1 << 20;
+    options.supervisor.max_heal_attempts = 6;
+  }
+};
+
+// --- Two-generation router (pure routing logic) ---------------------------
+
+TEST(ShardRouterTwoGeneration, ChunkedRoutingRefinesTheModuloMap) {
+  ShardRouter old_map(4, 99), new_map(8, 99);
+  ShardRouter r(4, 99);
+  ASSERT_TRUE(r.BeginMigration(8, 32).ok());
+  EXPECT_TRUE(r.migrating());
+
+  // No chunk cut over: every key still routes by the old generation.
+  for (uint32_t k = 1; k < 20000; ++k) {
+    ASSERT_EQ(r.ShardOf(k), old_map.ShardOf(k)) << "key " << k;
+    ASSERT_LT(r.ChunkOf(k), 32u);
+  }
+
+  // Cutting over one chunk moves exactly that chunk's keys to the new
+  // generation; every other key is untouched.
+  r.SetCutOver(5);
+  for (uint32_t k = 1; k < 20000; ++k) {
+    if (r.ChunkOf(k) == 5) {
+      ASSERT_EQ(r.ShardOf(k), new_map.ShardOf(k)) << "key " << k;
+      // The chunk's target under the journal's map is its new home.
+      ASSERT_EQ(new_map.ShardOf(k), 5u % 8u);
+      ASSERT_EQ(old_map.ShardOf(k), 5u % 4u);
+    } else {
+      ASSERT_EQ(r.ShardOf(k), old_map.ShardOf(k)) << "key " << k;
+    }
+  }
+
+  // All chunks cut over: the router IS the new map; finishing collapses
+  // back to single-generation routing at the new count.
+  for (uint32_t c = 0; c < 32; ++c) r.SetCutOver(c);
+  for (uint32_t k = 1; k < 20000; ++k) {
+    ASSERT_EQ(r.ShardOf(k), new_map.ShardOf(k)) << "key " << k;
+  }
+  r.FinishMigration();
+  EXPECT_FALSE(r.migrating());
+  EXPECT_EQ(r.num_shards(), 8u);
+  for (uint32_t k = 1; k < 20000; ++k) {
+    ASSERT_EQ(r.ShardOf(k), new_map.ShardOf(k)) << "key " << k;
+  }
+}
+
+TEST(ShardRouterTwoGeneration, RejectsBadMigrations) {
+  ShardRouter r(4, 7);
+  // The chunk count must be a positive common multiple of both shard
+  // counts, else chunked routing would not refine the modulo maps.
+  EXPECT_TRUE(r.BeginMigration(8, 30).IsInvalidArgument());
+  EXPECT_TRUE(r.BeginMigration(8, 0).IsInvalidArgument());
+  ASSERT_TRUE(r.BeginMigration(8, 64).ok());
+  EXPECT_TRUE(r.BeginMigration(8, 64).IsInvalidArgument())
+      << "a second migration must not start while one is active";
+  r.AbortMigration();
+  EXPECT_FALSE(r.migrating());
+  EXPECT_EQ(r.num_shards(), 4u);
+  // Merge direction validates the same way.
+  ASSERT_TRUE(r.BeginMigration(2, 32).ok());
+}
+
+TEST(ReshardJournal, EncodeDecodeRoundTripAndTamperDetection) {
+  durability::ReshardJournal j =
+      durability::ReshardJournal::Make(3, 0xABCDULL, 4, 8);
+  EXPECT_EQ(j.num_chunks, durability::kReshardChunksPerShard * 8);
+  EXPECT_EQ(j.FirstIncomplete(), 0u);
+  EXPECT_FALSE(j.AnyCutOver());
+  EXPECT_FALSE(j.Complete());
+  j.chunks[0] = durability::ReshardChunkState::kDone;
+  j.chunks[1] = durability::ReshardChunkState::kCutOver;
+  EXPECT_TRUE(j.AnyCutOver());
+  EXPECT_EQ(j.FirstIncomplete(), 1u);
+  EXPECT_EQ(j.source_shard(5), 1u);
+  EXPECT_EQ(j.target_shard(5), 5u);
+
+  std::string image = j.Encode();
+  durability::ReshardJournal back;
+  ASSERT_TRUE(durability::ReshardJournal::Decode(image, &back).ok());
+  EXPECT_EQ(back.generation_from, 3u);
+  EXPECT_EQ(back.router_seed, 0xABCDULL);
+  EXPECT_EQ(back.shards_from, 4u);
+  EXPECT_EQ(back.shards_to, 8u);
+  EXPECT_EQ(back.chunks, j.chunks);
+
+  std::string flipped = image;
+  flipped[flipped.size() / 2] ^= 0x40;
+  durability::ReshardJournal out;
+  EXPECT_TRUE(durability::ReshardJournal::Decode(flipped, &out).IsDataLoss());
+  EXPECT_TRUE(durability::ReshardJournal::Decode(
+                  image.substr(0, image.size() - 3), &out)
+                  .IsDataLoss());
+}
+
+// --- Shadow ledger + migration workload -----------------------------------
+
+struct Ledger {
+  SplitMix64 rng{0};
+  std::unordered_map<uint32_t, uint32_t> durable_acked;
+  std::unordered_set<uint32_t> uncertain;
+  std::unordered_set<uint32_t> ever_inserted;
+  uint64_t blocked_writes = 0;        // reshard_chunk rejections
+  uint64_t shard_unavailable = 0;     // quarantine-style rejections
+  uint64_t never_rejections = 0;      // executed=never, no shard at fault
+  uint64_t find_probes = 0;
+};
+
+void MarkUncertainOp(const Sharded::Op& op, Ledger* led) {
+  if (op.type == OpType::kInsert) {
+    led->uncertain.insert(op.key);
+    led->ever_inserted.insert(op.key);
+  } else if (op.type == OpType::kErase) {
+    led->uncertain.insert(op.key);
+  }
+}
+
+void Classify(const Sharded::Op& op, const Sharded::Response& resp,
+              Ledger* led) {
+  const Status& st = resp.status;
+  if (st.ok()) {
+    if (op.type == OpType::kInsert) {
+      led->durable_acked[op.key] = op.value;
+      led->ever_inserted.insert(op.key);
+      led->uncertain.erase(op.key);
+    } else if (op.type == OpType::kErase) {
+      led->durable_acked.erase(op.key);
+      led->uncertain.erase(op.key);
+    } else if (!led->uncertain.count(op.key)) {
+      // Linearizable read: an acked key answers its acked value — even
+      // mid-copy, even just after its chunk's cutover flipped shards.
+      ++led->find_probes;
+      auto it = led->durable_acked.find(op.key);
+      ASSERT_EQ(resp.results.size(), 1u);
+      if (it != led->durable_acked.end()) {
+        EXPECT_EQ(resp.results[0].hit, 1u)
+            << "linearizability: acked key " << op.key << " unreadable";
+        if (resp.results[0].hit == 1u) {
+          EXPECT_EQ(resp.results[0].value, it->second)
+              << "linearizability: acked key " << op.key
+              << " answered a stale value";
+        }
+      } else if (!led->ever_inserted.count(op.key)) {
+        EXPECT_EQ(resp.results[0].hit, 0u)
+            << "phantom read of key " << op.key;
+      }
+    }
+    return;
+  }
+  if (st.IsUnavailable()) {
+    if (st.FindDetail("reshard_chunk") != nullptr) {
+      // The open-chunk write window.  Reads are never blocked, and the
+      // rejection carries the full quarantine-style detail contract.
+      EXPECT_NE(op.type, OpType::kFind)
+          << "reads must never be reshard-blocked";
+      EXPECT_NE(st.FindDetail("shard"), nullptr);
+      EXPECT_NE(st.FindDetail("retry_after_ticks"), nullptr);
+      const std::string* executed = st.FindDetail("executed");
+      ASSERT_NE(executed, nullptr);
+      EXPECT_EQ(*executed, "never");
+      ++led->blocked_writes;
+      return;
+    }
+    if (st.FindDetail("shard") != nullptr) {
+      ++led->shard_unavailable;
+      const std::string* executed = st.FindDetail("executed");
+      if (executed == nullptr || *executed != "never") {
+        MarkUncertainOp(op, led);
+      }
+      return;
+    }
+    const std::string* executed = st.FindDetail("executed");
+    if (executed != nullptr && *executed == "never") {
+      ++led->never_rejections;  // e.g. the deployment died mid-round
+      return;
+    }
+    MarkUncertainOp(op, led);
+    return;
+  }
+  if (st.IsResourceExhausted() ||
+      (st.IsDeadlineExceeded() && resp.attempts == 0)) {
+    return;  // contractually never executed
+  }
+  MarkUncertainOp(op, led);
+}
+
+/// One round: six single-op writes across the keyspace plus up to four
+/// FIND probes of already-acked keys, all classified against the ledger.
+/// Single-op requests keep the side-effect accounting exact — a rejected
+/// request executed nothing.  RunUntilIdle between submit and harvest is
+/// where migration chunks advance (and where reshard kill points fire).
+void RunReshardRound(Sharded* srv, Ledger* led) {
+  struct Pending {
+    uint64_t id;
+    Sharded::Op op;
+  };
+  std::vector<Pending> pending;
+  std::unordered_set<uint32_t> written;
+  for (int i = 0; i < 6; ++i) {
+    uint32_t key = 1 + static_cast<uint32_t>(led->rng.Next() % kKeySpace);
+    uint64_t roll = led->rng.Next() % 10;
+    Sharded::Op op =
+        roll < 7
+            ? Sharded::Op{OpType::kInsert, key,
+                          static_cast<uint32_t>(led->rng.Next())}
+            : Sharded::Op{OpType::kErase, key, 0};
+    written.insert(key);
+    Sharded::Request req;
+    req.ops.push_back(op);
+    pending.push_back(Pending{srv->Submit(std::move(req)), op});
+  }
+  int probes = 0;
+  for (const auto& [k, v] : led->durable_acked) {
+    // Skip keys this round writes: a shard micro-batch guarantees no
+    // ordering between ops of one batch (see DynamicTable::BulkExecute),
+    // so a same-batch find may legally miss the write.
+    if (led->uncertain.count(k) || written.count(k)) continue;
+    Sharded::Op op{OpType::kFind, k, 0};
+    Sharded::Request req;
+    req.ops.push_back(op);
+    pending.push_back(Pending{srv->Submit(std::move(req)), op});
+    if (++probes == 4) break;
+  }
+  srv->RunUntilIdle();
+  for (Pending& p : pending) {
+    Sharded::Response resp;
+    if (!srv->TakeResponse(p.id, &resp)) {
+      // The deployment crashed with this request in flight.
+      MarkUncertainOp(p.op, led);
+      continue;
+    }
+    Classify(p.op, resp, led);
+  }
+}
+
+/// The healed/recovered deployment is the authority for uncertain keys.
+void Reconcile(Sharded* srv, Ledger* led) {
+  for (auto it = led->uncertain.begin(); it != led->uncertain.end();) {
+    uint32_t k = *it;
+    uint32_t shard = srv->router().ShardOf(k);
+    uint32_t rv = 0;
+    if (srv->shard_server(shard) != nullptr &&
+        srv->shard_server(shard)->table()->Find(k, &rv)) {
+      led->durable_acked[k] = rv;
+    } else {
+      led->durable_acked.erase(k);
+    }
+    it = led->uncertain.erase(it);
+  }
+}
+
+/// Post-migration (single-generation routing): every acked key readable
+/// with its acked value at its routed home; no phantom or mis-homed keys.
+void VerifyLedger(Sharded* srv, const Ledger& led, const std::string& tag) {
+  for (const auto& [k, v] : led.durable_acked) {
+    uint32_t shard = srv->router().ShardOf(k);
+    ASSERT_TRUE(srv->supervisor().serving(shard))
+        << tag << ": shard " << shard << " not serving";
+    uint32_t rv = 0;
+    bool found = srv->shard_server(shard)->table()->Find(k, &rv);
+    EXPECT_TRUE(found) << tag << ": lost acked key " << k << " on shard "
+                       << shard;
+    if (found) {
+      EXPECT_EQ(rv, v) << tag << ": acked key " << k << " has wrong value";
+    }
+  }
+  for (uint32_t s = 0; s < srv->num_shards(); ++s) {
+    if (!srv->supervisor().serving(s)) continue;
+    for (const auto& [k, v] : srv->shard_server(s)->table()->Dump()) {
+      EXPECT_EQ(srv->router().ShardOf(k), s)
+          << tag << ": key " << k << " mis-homed on shard " << s;
+      EXPECT_TRUE(led.ever_inserted.count(k))
+          << tag << ": phantom key " << k << " on shard " << s;
+    }
+  }
+}
+
+uint64_t ShardTableDigest(Sharded* srv, uint32_t shard) {
+  auto pairs = srv->shard_server(shard)->table()->Dump();
+  std::sort(pairs.begin(), pairs.end());
+  uint64_t h = 1469598103934665603ull;
+  for (const auto& [k, v] : pairs) {
+    uint64_t x = (static_cast<uint64_t>(k) << 32) | v;
+    for (int i = 0; i < 8; ++i) {
+      h ^= (x >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+/// Drives an armed migration to completion with live traffic, bounded.
+void DriveMigration(Sharded* srv, Ledger* led) {
+  for (int guard = 0;
+       srv->resharder().active() && !srv->reshard_crashed() && guard < 4000;
+       ++guard) {
+    RunReshardRound(srv, led);
+  }
+}
+
+// --- Functional: online split and merge under live traffic ----------------
+
+void RunOnlineReshard(bool split, uint64_t seed) {
+  SCOPED_TRACE(testing::ChaosReproLine("tests/test_resharder", seed) +
+               (split ? " [split]" : " [merge]"));
+  const uint32_t base = NumShardsFromEnv();
+  const uint32_t from = split ? base : (base % 2 == 0 ? base : 2 * base);
+  const uint32_t to = split ? 2 * from : from / 2;
+  Env env(from);
+  std::unique_ptr<Sharded> srv;
+  ASSERT_TRUE(Sharded::Create(env.topt, env.options, &srv).ok());
+
+  Ledger led;
+  led.rng = SplitMix64(seed);
+  for (int r = 0; r < 10; ++r) RunReshardRound(srv.get(), &led);
+  ASSERT_GT(led.durable_acked.size(), 20u) << "population is vacuous";
+  const uint64_t before = led.durable_acked.size();
+
+  ASSERT_TRUE(srv->BeginReshard(to).ok());
+  EXPECT_TRUE(srv->router().migrating());
+  EXPECT_EQ(srv->physical_shards(), std::max(from, to));
+  EXPECT_TRUE(srv->BeginReshard(to).IsInvalidArgument())
+      << "one migration at a time";
+
+  DriveMigration(srv.get(), &led);
+  ASSERT_FALSE(srv->reshard_crashed());
+  ASSERT_FALSE(srv->resharder().active()) << "migration did not finish";
+  EXPECT_EQ(srv->num_shards(), to);
+  EXPECT_EQ(srv->physical_shards(), to);
+  EXPECT_FALSE(srv->router().migrating());
+  EXPECT_EQ(srv->manifest().generation, 1u);
+  EXPECT_EQ(srv->manifest().num_shards, to);
+  EXPECT_TRUE(srv->JournalImage().empty());
+
+  // Availability contract: live traffic saw ZERO shard-level
+  // unavailability — the only rejections carried the open chunk.
+  EXPECT_EQ(led.shard_unavailable, 0u)
+      << "a shard refused service during a healthy migration";
+  EXPECT_EQ(led.never_rejections, 0u);
+  EXPECT_TRUE(led.uncertain.empty());
+  EXPECT_GT(led.find_probes, 0u);
+  EXPECT_EQ(srv->stats().reshard_blocked_writes.load(), led.blocked_writes);
+
+  VerifyLedger(srv.get(), led, split ? "post-split" : "post-merge");
+  // >= not ==: an acked erase can be displaced by an unrelated insert's
+  // eviction chain sharing its micro-batch (DynamicTable::BulkExecute
+  // guarantees per-op correctness with no intra-batch ordering), so the
+  // ledger is a lower bound.  Loss of acked inserts is what VerifyLedger
+  // rules out.
+  EXPECT_GE(srv->total_size(), led.durable_acked.size());
+  EXPECT_GE(led.durable_acked.size() + led.ever_inserted.size(),
+            before);  // the workload kept running
+
+  // The deployment serves normally at the new count.
+  for (int r = 0; r < 4; ++r) RunReshardRound(srv.get(), &led);
+  EXPECT_EQ(led.shard_unavailable, 0u);
+  VerifyLedger(srv.get(), led, "post-migration-traffic");
+}
+
+TEST(Resharder, SplitDoublesShardsOnline) {
+  RunOnlineReshard(/*split=*/true, testing::ChaosSeedFromEnv(0xD1C0CC20));
+}
+
+TEST(Resharder, MergeHalvesShardsOnline) {
+  RunOnlineReshard(/*split=*/false, testing::ChaosSeedFromEnv(0xD1C0CC21));
+}
+
+TEST(Resharder, SplitThenMergeRoundTripsAndGenerationCounts) {
+  const uint64_t seed = testing::ChaosSeedFromEnv(0xD1C0CC22);
+  SCOPED_TRACE(testing::ChaosReproLine("tests/test_resharder", seed));
+  Env env(2);
+  std::unique_ptr<Sharded> srv;
+  ASSERT_TRUE(Sharded::Create(env.topt, env.options, &srv).ok());
+  Ledger led;
+  led.rng = SplitMix64(seed);
+  for (int r = 0; r < 8; ++r) RunReshardRound(srv.get(), &led);
+
+  ASSERT_TRUE(srv->BeginReshard(4).ok());
+  DriveMigration(srv.get(), &led);
+  ASSERT_EQ(srv->num_shards(), 4u);
+  EXPECT_EQ(srv->manifest().generation, 1u);
+
+  ASSERT_TRUE(srv->BeginReshard(2).ok());
+  DriveMigration(srv.get(), &led);
+  ASSERT_EQ(srv->num_shards(), 2u);
+  EXPECT_EQ(srv->manifest().generation, 2u);
+  EXPECT_TRUE(led.uncertain.empty());
+  VerifyLedger(srv.get(), led, "after-round-trip");
+  // >= not ==: an acked erase can be displaced by an unrelated insert's
+  // eviction chain sharing its micro-batch (DynamicTable::BulkExecute
+  // guarantees per-op correctness with no intra-batch ordering), so the
+  // ledger is a lower bound.  Loss of acked inserts is what VerifyLedger
+  // rules out.
+  EXPECT_GE(srv->total_size(), led.durable_acked.size());
+
+  EXPECT_TRUE(srv->BeginReshard(3).IsInvalidArgument())
+      << "only exact doubling/halving is a reshard";
+}
+
+// --- The reshard chaos soak: crash at every kill point, both ways ---------
+
+struct CrashOutcome {
+  bool crashed = false;
+  bool resumed = false;
+  bool rolled_back = false;
+  bool completed = false;
+  uint64_t generation = 0;
+  uint64_t total = 0;
+  std::string manifest_image;
+  std::string journal_image;
+  std::vector<uint64_t> digests;
+};
+
+/// Populate -> BeginReshard -> run live traffic until the targeted
+/// reshard.* kill point fires (crossing `kill_at`, i.e. chunk `kill_at`)
+/// -> recover the whole deployment from its durable images -> resume or
+/// roll back per the journal -> drive to a consistent generation ->
+/// verify zero acked-write loss.
+CrashOutcome RunReshardKillScenario(const char* kill_point, int kill_at,
+                                    bool split, uint64_t seed) {
+  SCOPED_TRACE(testing::ChaosReproLine("tests/test_resharder", seed) +
+               " kill=" + kill_point + " crossing=" +
+               std::to_string(kill_at) + (split ? " [split]" : " [merge]"));
+  CrashOutcome out;
+  const uint32_t base = NumShardsFromEnv();
+  const uint32_t from = split ? base : (base % 2 == 0 ? base : 2 * base);
+  const uint32_t to = split ? 2 * from : from / 2;
+  Env env(from);
+  std::unique_ptr<Sharded> srv;
+  Status st = Sharded::Create(env.topt, env.options, &srv);
+  if (!st.ok()) {
+    ADD_FAILURE() << "Create failed: " << st.ToString();
+    return out;
+  }
+  Ledger led;
+  led.rng = SplitMix64(seed);
+  for (int r = 0; r < 10; ++r) RunReshardRound(srv.get(), &led);
+  EXPECT_GT(led.durable_acked.size(), 20u);
+
+  st = srv->BeginReshard(to);
+  if (!st.ok()) {
+    ADD_FAILURE() << "BeginReshard failed: " << st.ToString();
+    return out;
+  }
+  {
+    gpusim::FaultInjectorConfig cfg;
+    cfg.seed = seed;
+    cfg.kill_at_point = kill_at;
+    cfg.kill_point_filter = kill_point;
+    gpusim::ScopedFaultInjection scoped(cfg);
+    for (int guard = 0;
+         !srv->reshard_crashed() && srv->resharder().active() &&
+         guard < 4000;
+         ++guard) {
+      RunReshardRound(srv.get(), &led);
+    }
+    EXPECT_EQ(scoped.injector().kill_points_fired(), 1u)
+        << "the targeted kill point never fired; scenario is vacuous";
+  }
+  out.crashed = srv->reshard_crashed();
+  EXPECT_TRUE(out.crashed);
+  if (!out.crashed) return out;
+  EXPECT_EQ(srv->resharder().state(),
+            Resharder<Sharded>::State::kDead);
+
+  // Everything below is the restart: only bytes cross the crash.
+  const std::vector<durability::ShardImages> images = srv->DurableImages();
+  const std::vector<DyCuckooOptions> opts = srv->ShardTableOptionsList();
+  out.manifest_image = srv->ManifestImage();
+  out.journal_image = srv->JournalImage();
+  srv.reset();
+
+  durability::ShardedDeploymentRecovery<uint32_t, uint32_t> rec;
+  st = durability::RecoverShardedDeployment<uint32_t, uint32_t>(
+      out.manifest_image, out.journal_image, images, opts,
+      env.options.router_seed, &rec);
+  if (!st.ok()) {
+    ADD_FAILURE() << "RecoverShardedDeployment failed: " << st.ToString();
+    return out;
+  }
+  out.resumed = rec.mid_reshard;
+  out.rolled_back = rec.rolled_back;
+  EXPECT_NE(out.resumed, out.rolled_back)
+      << "recovery must decide, deterministically";
+
+  std::unique_ptr<Sharded> srv2;
+  st = Sharded::AdoptRecoveredSharded(&rec, images, env.topt, env.options,
+                                      &srv2);
+  if (!st.ok()) {
+    ADD_FAILURE() << "AdoptRecoveredSharded failed: " << st.ToString();
+    return out;
+  }
+  EXPECT_EQ(srv2->supervisor().serving_count(), srv2->physical_shards())
+      << "a reshard crash corrupts nothing; every shard recovers serving";
+  Reconcile(srv2.get(), &led);
+
+  if (out.rolled_back) {
+    // The deployment is its pre-migration self: old count, generation
+    // unchanged, no journal, router single-generation.
+    EXPECT_EQ(srv2->num_shards(), from);
+    EXPECT_EQ(srv2->physical_shards(), from);
+    EXPECT_FALSE(srv2->router().migrating());
+    EXPECT_FALSE(srv2->resharder().active());
+    EXPECT_EQ(srv2->manifest().generation, 0u);
+    VerifyLedger(srv2.get(), led, "post-rollback");
+    // A rolled-back deployment can migrate again, cleanly, to the end.
+    EXPECT_TRUE(srv2->BeginReshard(to).ok());
+  } else {
+    EXPECT_TRUE(srv2->resharder().active());
+    EXPECT_TRUE(srv2->router().migrating());
+    EXPECT_TRUE(srv2->resharder().journal().AnyCutOver())
+        << "resume implies some chunk's routing already switched";
+  }
+
+  DriveMigration(srv2.get(), &led);
+  out.completed =
+      !srv2->reshard_crashed() && !srv2->resharder().active();
+  EXPECT_TRUE(out.completed) << "migration did not complete after restart";
+  if (!out.completed) return out;
+  EXPECT_EQ(srv2->num_shards(), to);
+  EXPECT_EQ(srv2->manifest().generation, 1u);
+  EXPECT_TRUE(srv2->JournalImage().empty());
+  // Re-admission probation may have turned a few post-restart writes into
+  // retriable rejections; the finished deployment is the authority.
+  Reconcile(srv2.get(), &led);
+  VerifyLedger(srv2.get(), led, "post-crash-migration");
+  EXPECT_GE(srv2->total_size(), led.durable_acked.size());
+
+  out.generation = srv2->manifest().generation;
+  out.total = srv2->total_size();
+  for (uint32_t s = 0; s < srv2->num_shards(); ++s) {
+    out.digests.push_back(ShardTableDigest(srv2.get(), s));
+  }
+  return out;
+}
+
+TEST(ReshardChaosSoak, EveryKillPointBothDirectionsRecover) {
+  const uint64_t seed = testing::ChaosSeedFromEnv(0xD1C0CC30);
+  for (size_t i = 0; i < durability::kNumReshardKillPoints; ++i) {
+    for (bool split : {true, false}) {
+      for (int kill_at : {0, 2}) {
+        CrashOutcome out = RunReshardKillScenario(
+            durability::kReshardKillPointNames[i], kill_at, split,
+            seed ^ (i * 0x9E3779B9u) ^ (split ? 0u : 0x5bd1e995u) ^
+                static_cast<uint64_t>(kill_at));
+        if (!out.crashed) continue;
+        // The crash decision matrix: a crash before any cutover (a
+        // pre-cutover point on the very first chunk) rolls back; any
+        // later crash resumes.  Never a guess.
+        const bool pre_cutover = i <= 2;
+        if (pre_cutover && kill_at == 0) {
+          EXPECT_TRUE(out.rolled_back)
+              << durability::kReshardKillPointNames[i] << "@" << kill_at;
+        } else {
+          EXPECT_TRUE(out.resumed)
+              << durability::kReshardKillPointNames[i] << "@" << kill_at;
+        }
+        EXPECT_TRUE(out.completed);
+      }
+    }
+  }
+}
+
+TEST(ReshardChaosSoak, SameSeedReplaysBitIdentically) {
+  const uint64_t seed = testing::ChaosSeedFromEnv(0xD1C0CC31);
+  CrashOutcome a =
+      RunReshardKillScenario("reshard.before_cutover", 2, true, seed);
+  CrashOutcome b =
+      RunReshardKillScenario("reshard.before_cutover", 2, true, seed);
+  EXPECT_EQ(a.crashed, b.crashed);
+  EXPECT_EQ(a.resumed, b.resumed);
+  EXPECT_EQ(a.journal_image, b.journal_image)
+      << "the crash-time journal must replay bit-identically";
+  EXPECT_EQ(a.manifest_image, b.manifest_image);
+  EXPECT_EQ(a.total, b.total);
+  EXPECT_EQ(a.digests, b.digests)
+      << "per-shard table contents must replay bit-identically";
+}
+
+// --- The blocked-write window, deterministically --------------------------
+
+// Satellite: migration-pause rejections carry the same machine-readable
+// details as quarantine rejections.  A crash at reshard.before_cutover on
+// chunk 2 recovers with that chunk kCopied — the write window is open the
+// moment the journal is re-armed, before any Step: writes to chunk 2 are
+// rejected with the full detail contract, reads of chunk 2 serve, and
+// writes to every other chunk serve.
+TEST(Resharder, BlockedChunkWindowRejectsWritesWithQuarantineDetails) {
+  const uint64_t seed = testing::ChaosSeedFromEnv(0xD1C0CC32);
+  SCOPED_TRACE(testing::ChaosReproLine("tests/test_resharder", seed));
+  Env env(2);
+  std::unique_ptr<Sharded> srv;
+  ASSERT_TRUE(Sharded::Create(env.topt, env.options, &srv).ok());
+  Ledger led;
+  led.rng = SplitMix64(seed);
+  for (int r = 0; r < 10; ++r) RunReshardRound(srv.get(), &led);
+  ASSERT_TRUE(srv->BeginReshard(4).ok());
+  {
+    gpusim::FaultInjectorConfig cfg;
+    cfg.seed = seed;
+    cfg.kill_at_point = 2;  // chunk 2: source 0, target 2 — a real copy
+    cfg.kill_point_filter = "reshard.before_cutover";
+    gpusim::ScopedFaultInjection scoped(cfg);
+    for (int guard = 0; !srv->reshard_crashed() && guard < 4000; ++guard) {
+      RunReshardRound(srv.get(), &led);
+    }
+    ASSERT_EQ(scoped.injector().kill_points_fired(), 1u);
+  }
+  const std::vector<durability::ShardImages> images = srv->DurableImages();
+  const std::vector<DyCuckooOptions> opts = srv->ShardTableOptionsList();
+  durability::ShardedDeploymentRecovery<uint32_t, uint32_t> rec;
+  Status rst = durability::RecoverShardedDeployment<uint32_t, uint32_t>(
+      srv->ManifestImage(), srv->JournalImage(), images, opts,
+      env.options.router_seed, &rec);
+  ASSERT_TRUE(rst.ok()) << rst.ToString();
+  ASSERT_TRUE(rec.mid_reshard);
+  ASSERT_EQ(rec.journal.chunks[2], durability::ReshardChunkState::kCopied);
+  std::unique_ptr<Sharded> srv2;
+  ASSERT_TRUE(Sharded::AdoptRecoveredSharded(&rec, images, env.topt,
+                                             env.options, &srv2)
+                  .ok());
+  Reconcile(srv2.get(), &led);
+  ASSERT_TRUE(srv2->resharder().BlocksWrites(2));
+  ASSERT_FALSE(srv2->resharder().BlocksWrites(3));
+
+  // Keys by chunk, by rejection sampling against the migrating router.
+  SplitMix64 rng(seed ^ 0xBEEF);
+  auto key_in_chunk = [&](uint32_t chunk) {
+    for (;;) {
+      uint32_t k = 1 + static_cast<uint32_t>(rng.Next() % (64 * kKeySpace));
+      if (srv2->router().ChunkOf(k) == chunk) return k;
+    }
+  };
+
+  // Write to the open chunk: rejected, full detail contract, and the
+  // exact same keys a quarantine rejection carries (plus the chunk).
+  const uint32_t blocked_key = key_in_chunk(2);
+  Sharded::Request wreq;
+  wreq.ops.push_back(Sharded::Op{OpType::kInsert, blocked_key, 77});
+  uint64_t id = srv2->Submit(std::move(wreq));
+  Sharded::Response resp;
+  ASSERT_TRUE(srv2->TakeResponse(id, &resp)) << "rejected synchronously";
+  ASSERT_TRUE(resp.status.IsUnavailable()) << resp.status.ToString();
+  ASSERT_NE(resp.status.FindDetail("reshard_chunk"), nullptr);
+  EXPECT_EQ(*resp.status.FindDetail("reshard_chunk"), "2");
+  ASSERT_NE(resp.status.FindDetail("shard"), nullptr);
+  EXPECT_EQ(*resp.status.FindDetail("shard"), "0")
+      << "chunk 2's source under 2->4 is shard 0";
+  ASSERT_NE(resp.status.FindDetail("retry_after_ticks"), nullptr);
+  EXPECT_GT(std::strtoull(
+                resp.status.FindDetail("retry_after_ticks")->c_str(),
+                nullptr, 10),
+            0u);
+  ASSERT_NE(resp.status.FindDetail("executed"), nullptr);
+  EXPECT_EQ(*resp.status.FindDetail("executed"), "never");
+  EXPECT_GT(srv2->stats().reshard_blocked_writes.load(), 0u);
+
+  // Reads of the open chunk serve (from the still-authoritative source).
+  uint32_t acked_in_chunk2 = 0;
+  bool have_acked = false;
+  for (const auto& [k, v] : led.durable_acked) {
+    if (!led.uncertain.count(k) && srv2->router().ChunkOf(k) == 2) {
+      acked_in_chunk2 = k;
+      have_acked = true;
+      break;
+    }
+  }
+  if (have_acked) {
+    Sharded::Request rreq;
+    rreq.ops.push_back(Sharded::Op{OpType::kFind, acked_in_chunk2, 0});
+    id = srv2->Submit(std::move(rreq));
+    srv2->RunUntilIdle();
+    ASSERT_TRUE(srv2->TakeResponse(id, &resp));
+    ASSERT_TRUE(resp.status.ok())
+        << "reads in the open chunk must serve: " << resp.status.ToString();
+    EXPECT_EQ(resp.results[0].hit, 1u);
+    EXPECT_EQ(resp.results[0].value, led.durable_acked[acked_in_chunk2]);
+  }
+
+  // Writes to any other chunk serve.  (The first Step may close chunk
+  // 2's window; that's fine — this write targets chunk 5, never blocked.)
+  const uint32_t free_key = key_in_chunk(5);
+  Sharded::Request ok_req;
+  ok_req.ops.push_back(Sharded::Op{OpType::kInsert, free_key, 88});
+  id = srv2->Submit(std::move(ok_req));
+  srv2->RunUntilIdle();
+  ASSERT_TRUE(srv2->TakeResponse(id, &resp));
+  EXPECT_TRUE(resp.status.ok())
+      << "only the open chunk may reject writes: " << resp.status.ToString();
+  led.durable_acked[free_key] = 88;
+  led.ever_inserted.insert(free_key);
+
+  DriveMigration(srv2.get(), &led);
+  ASSERT_FALSE(srv2->resharder().active());
+  VerifyLedger(srv2.get(), led, "post-window");
+}
+
+// --- Supervision: pause on quarantine, resume after heal ------------------
+
+TEST(Resharder, PausesWhileParticipantQuarantinedAndResumesAfterHeal) {
+  const uint64_t seed = testing::ChaosSeedFromEnv(0xD1C0CC33);
+  SCOPED_TRACE(testing::ChaosReproLine("tests/test_resharder", seed));
+  Env env(2);
+  std::unique_ptr<Sharded> srv;
+  ASSERT_TRUE(Sharded::Create(env.topt, env.options, &srv).ok());
+  Ledger led;
+  led.rng = SplitMix64(seed);
+  for (int r = 0; r < 10; ++r) RunReshardRound(srv.get(), &led);
+  ASSERT_TRUE(srv->BeginReshard(4).ok());
+
+  // A shard-scoped durability kill takes shard 0's fault domain down
+  // while the migration runs; chunk sources alternate between shards 0
+  // and 1, so the migration hits a chunk it cannot touch within a step
+  // or two and pauses.
+  gpusim::FaultInjectorConfig cfg;
+  cfg.seed = seed;
+  cfg.kill_at_point = 0;
+  cfg.kill_point_filter = durability::ShardScope(0) + "wal.commit.mid";
+  {
+    gpusim::ScopedFaultInjection scoped(cfg);
+    for (int guard = 0;
+         srv->supervisor().serving(0) && guard < 400; ++guard) {
+      RunReshardRound(srv.get(), &led);
+    }
+    ASSERT_EQ(scoped.injector().kill_points_fired(), 1u);
+    ASSERT_EQ(srv->supervisor().state(0), ShardState::kQuarantined);
+
+    for (int i = 0; i < 100 && !srv->resharder().paused(); ++i) {
+      srv->Step();
+    }
+    ASSERT_TRUE(srv->resharder().paused())
+        << "migration must pause while a participant is quarantined";
+    EXPECT_EQ(srv->resharder().paused_on(), 0u);
+    EXPECT_GE(srv->resharder().stats().pauses, 1u);
+
+    // Paused means paused: no chunk transition while the shard is down.
+    const uint64_t done_before = srv->resharder().chunks_done();
+    for (int i = 0; i < 25; ++i) srv->Step();
+    EXPECT_EQ(srv->resharder().chunks_done(), done_before);
+    EXPECT_TRUE(srv->resharder().paused());
+
+    // A second reshard cannot start over a paused one.
+    EXPECT_TRUE(srv->BeginReshard(4).IsInvalidArgument());
+
+    // Heal the shard; the migration resumes on its own and completes.
+    srv->RequestHealNow(0);
+    for (int i = 0; i < 5000 && !srv->supervisor().serving(0); ++i) {
+      srv->Step();
+    }
+    ASSERT_TRUE(srv->supervisor().serving(0))
+        << srv->supervisor().last_heal_status(0).ToString();
+  }
+  DriveMigration(srv.get(), &led);
+  ASSERT_FALSE(srv->resharder().active());
+  ASSERT_FALSE(srv->reshard_crashed());
+  EXPECT_GE(srv->resharder().stats().resumes, 1u);
+  EXPECT_EQ(srv->num_shards(), 4u);
+  EXPECT_EQ(srv->manifest().generation, 1u);
+  Reconcile(srv.get(), &led);
+  VerifyLedger(srv.get(), led, "post-pause-resume");
+}
+
+// --- Durable generation across a clean (post-finalize) restart ------------
+
+TEST(Resharder, FinalizedGenerationSurvivesRestart) {
+  const uint64_t seed = testing::ChaosSeedFromEnv(0xD1C0CC34);
+  SCOPED_TRACE(testing::ChaosReproLine("tests/test_resharder", seed));
+  Env env(2);
+  std::unique_ptr<Sharded> srv;
+  ASSERT_TRUE(Sharded::Create(env.topt, env.options, &srv).ok());
+  Ledger led;
+  led.rng = SplitMix64(seed);
+  for (int r = 0; r < 8; ++r) RunReshardRound(srv.get(), &led);
+  ASSERT_TRUE(srv->BeginReshard(4).ok());
+  DriveMigration(srv.get(), &led);
+  ASSERT_EQ(srv->num_shards(), 4u);
+  ASSERT_EQ(srv->manifest().generation, 1u);
+
+  // Full-process crash AFTER finalize: the journal is gone, the manifest
+  // carries generation 1 and the new count; recovery takes the plain
+  // path and the generation survives.
+  const std::vector<durability::ShardImages> images = srv->DurableImages();
+  const std::vector<DyCuckooOptions> opts = srv->ShardTableOptionsList();
+  const std::string manifest_image = srv->ManifestImage();
+  ASSERT_TRUE(srv->JournalImage().empty());
+  srv.reset();
+
+  durability::ShardedDeploymentRecovery<uint32_t, uint32_t> rec;
+  Status rst = durability::RecoverShardedDeployment<uint32_t, uint32_t>(
+      manifest_image, std::string(), images, opts, env.options.router_seed,
+      &rec);
+  ASSERT_TRUE(rst.ok()) << rst.ToString();
+  EXPECT_FALSE(rec.mid_reshard);
+  EXPECT_FALSE(rec.rolled_back);
+  EXPECT_EQ(rec.manifest.generation, 1u);
+  EXPECT_EQ(rec.manifest.num_shards, 4u);
+
+  Sharded::Options post = env.options;
+  post.num_shards = 4;
+  std::unique_ptr<Sharded> srv2;
+  ASSERT_TRUE(
+      Sharded::AdoptRecoveredSharded(&rec, images, env.topt, post, &srv2)
+          .ok());
+  EXPECT_EQ(srv2->manifest().generation, 1u);
+  EXPECT_EQ(srv2->num_shards(), 4u);
+  Reconcile(srv2.get(), &led);
+  VerifyLedger(srv2.get(), led, "post-restart");
+  EXPECT_GE(srv2->total_size(), led.durable_acked.size());
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace dycuckoo

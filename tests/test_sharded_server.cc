@@ -452,8 +452,8 @@ struct SoakOutcome {
 SoakOutcome RunKillPointScenario(const std::string& kill_point,
                                  uint32_t target, uint64_t seed) {
   SCOPED_TRACE("kill=" + kill_point + " target_shard=" +
-               std::to_string(target) +
-               " (DYCUCKOO_CHAOS_SEED=" + std::to_string(seed) + ")");
+               std::to_string(target) + " | " +
+               testing::ChaosReproLine("tests/test_sharded_server", seed));
   SoakOutcome outcome;
   const uint32_t n = NumShardsFromEnv();
   Env env(n);

@@ -173,6 +173,56 @@ TEST(StatusTest, ReturnNotOkMacroPropagates) {
   EXPECT_EQ(st.message(), "inner");
 }
 
+// The serving layer's uniform rejection contract: every Unavailable a
+// client can see — shard quarantine (ShardedTableServer::ShardUnavailable)
+// and reshard write-window blocking (ReshardBlocked) — carries the SAME
+// three machine-readable keys, so one client retry loop handles both.
+// A reshard rejection adds `reshard_chunk` for observability; it must
+// never replace the uniform keys.  tests/test_resharder.cc asserts the
+// live server mints exactly these shapes; this test pins the vocabulary
+// itself so a key rename breaks loudly at the Status level too.
+TEST(StatusTest, UniformUnavailableRejectionContract) {
+  // Quarantine-shaped rejection: op was in flight when the shard died.
+  const Status quarantine = Status::Unavailable("shard 2 quarantined")
+                                .WithDetail("shard", "2")
+                                .WithDetail("retry_after_ticks", "4096")
+                                .WithDetail("executed", "uncertain");
+  // Reshard-shaped rejection: front-door refusal of a write to the one
+  // migrating chunk.  Same keys, plus the chunk.
+  const Status reshard =
+      Status::Unavailable("shard 0 migrating chunk 17 (reshard write window)")
+          .WithDetail("shard", "0")
+          .WithDetail("retry_after_ticks", "1")
+          .WithDetail("executed", "never")
+          .WithDetail("reshard_chunk", "17");
+
+  // One retry loop, written against the uniform keys, serves both.
+  for (const Status* st : {&quarantine, &reshard}) {
+    EXPECT_TRUE(st->IsUnavailable());
+    ASSERT_NE(st->FindDetail("shard"), nullptr) << st->ToString();
+    ASSERT_NE(st->FindDetail("retry_after_ticks"), nullptr)
+        << st->ToString();
+    ASSERT_NE(st->FindDetail("executed"), nullptr) << st->ToString();
+    // retry_after_ticks is a decimal tick count a client can sleep on.
+    const std::string& retry = *st->FindDetail("retry_after_ticks");
+    EXPECT_FALSE(retry.empty());
+    EXPECT_EQ(retry.find_first_not_of("0123456789"), std::string::npos)
+        << retry;
+    // executed has a closed vocabulary: "never" means safe to re-drive
+    // immediately after retry-after; "uncertain" means idempotent
+    // re-execution is required (and safe).
+    const std::string& executed = *st->FindDetail("executed");
+    EXPECT_TRUE(executed == "never" || executed == "uncertain") << executed;
+  }
+  // The extra observability key is reshard-only.
+  EXPECT_EQ(quarantine.FindDetail("reshard_chunk"), nullptr);
+  ASSERT_NE(reshard.FindDetail("reshard_chunk"), nullptr);
+  EXPECT_EQ(*reshard.FindDetail("reshard_chunk"), "17");
+  // A front-door rejection ("never") promises no side effects, which is
+  // what lets a client re-submit verbatim without idempotence analysis.
+  EXPECT_EQ(*reshard.FindDetail("executed"), "never");
+}
+
 TEST(StatusTest, ReturnNotOkMacroPassesThroughOk) {
   auto succeeds = []() -> Status {
     DYCUCKOO_RETURN_NOT_OK(Status::OK());

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -22,6 +23,20 @@ inline uint64_t ChaosSeedFromEnv(uint64_t fallback) {
   const char* env = std::getenv("DYCUCKOO_CHAOS_SEED");
   if (env == nullptr || *env == '\0') return fallback;
   return std::strtoull(env, nullptr, 0);
+}
+
+/// The uniform repro line every chaos-style test attaches to its scenario
+/// (via SCOPED_TRACE) so a CI failure prints a copy-pastable rerun
+/// command.  `test_binary` is the executable path relative to the build
+/// tree, e.g. "tests/test_resharder".
+inline std::string ChaosReproLine(const char* test_binary, uint64_t seed) {
+  std::string line = "repro: DYCUCKOO_CHAOS_SEED=" + std::to_string(seed);
+  const char* shards = std::getenv("DYCUCKOO_SHARDS");
+  if (shards != nullptr && *shards != '\0') {
+    line += std::string(" DYCUCKOO_SHARDS=") + shards;
+  }
+  line += std::string(" ./") + test_binary;
+  return line;
 }
 
 /// `count` distinct keys, none equal to the reserved sentinels.
