@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# Runs the whole static-analysis layer locally, mirroring the CI
+# static-analysis job (docs/analysis.md, "Static layer"):
+#
+#   1. dylint        — the in-tree invariant checker (tools/dylint):
+#                      raw-slot-access, tag-discipline, registry-sync.
+#   2. thread-safety — a Clang build with -Wthread-safety -Werror, which
+#                      proves the GUARDED_BY/REQUIRES annotations from
+#                      src/common/thread_annotations.h.
+#   3. clang-tidy    — the .clang-tidy profile over src/, warnings as
+#                      errors, via run-clang-tidy + compile_commands.json.
+#
+# Stages that need tools the host lacks (clang, clang-tidy) are skipped
+# with a notice instead of failing: dylint is dependency-free and always
+# runs, so every machine gets at least the project-specific rules.
+#
+# Usage:  scripts/check_static.sh [dylint|thread-safety|tidy|all]
+#         (default: all)
+#
+# Build trees land in build-dylint/ and build-clang/ next to build/ and
+# are reused across runs.
+
+set -uo pipefail
+
+cd "$(dirname "$0")/.."
+
+failures=0
+skips=0
+
+run_dylint() {
+  echo "=== dylint: build (build-dylint/) ==="
+  cmake -B build-dylint -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DDYCUCKOO_BUILD_TESTS=OFF \
+    -DDYCUCKOO_BUILD_BENCHMARKS=OFF \
+    -DDYCUCKOO_BUILD_EXAMPLES=OFF || { failures=$((failures+1)); return; }
+  cmake --build build-dylint -j "$(nproc)" --target dylint \
+    || { failures=$((failures+1)); return; }
+  echo "=== dylint: scan src/ tests/ bench/ ==="
+  ./build-dylint/tools/dylint/dylint --root . \
+    || failures=$((failures+1))
+}
+
+run_thread_safety() {
+  if ! command -v clang++ >/dev/null 2>&1; then
+    echo "--- thread-safety: SKIPPED (clang++ not installed; CI runs it)"
+    skips=$((skips+1))
+    return
+  fi
+  echo "=== thread-safety: Clang build with -Wthread-safety -Werror ==="
+  cmake -B build-clang -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_COMPILER=clang++ \
+    -DDYCUCKOO_WERROR=ON \
+    -DDYCUCKOO_BUILD_BENCHMARKS=OFF \
+    -DDYCUCKOO_BUILD_EXAMPLES=OFF || { failures=$((failures+1)); return; }
+  cmake --build build-clang -j "$(nproc)" || failures=$((failures+1))
+}
+
+run_tidy() {
+  local runner=""
+  for cand in run-clang-tidy run-clang-tidy.py; do
+    if command -v "$cand" >/dev/null 2>&1; then runner="$cand"; break; fi
+  done
+  if [ -z "$runner" ] || ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "--- clang-tidy: SKIPPED (clang-tidy/run-clang-tidy not installed; CI runs it)"
+    skips=$((skips+1))
+    return
+  fi
+  echo "=== clang-tidy: ${runner} over src/ (warnings as errors) ==="
+  # compile_commands.json comes from the Clang tree if it exists (so tidy
+  # sees the same flags CI uses), else from a fresh export here.
+  local db=build-clang
+  if [ ! -f "${db}/compile_commands.json" ]; then
+    db=build-tidy
+    cmake -B "${db}" -S . \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+      -DDYCUCKOO_BUILD_BENCHMARKS=OFF \
+      -DDYCUCKOO_BUILD_EXAMPLES=OFF || { failures=$((failures+1)); return; }
+  fi
+  "$runner" -p "${db}" -quiet \
+    -warnings-as-errors='*' \
+    "$(pwd)/src/.*\.(cc|h)\$" \
+    || failures=$((failures+1))
+}
+
+what="${1:-all}"
+case "$what" in
+  dylint) run_dylint ;;
+  thread-safety) run_thread_safety ;;
+  tidy) run_tidy ;;
+  all)
+    run_dylint
+    run_thread_safety
+    run_tidy
+    ;;
+  *)
+    echo "usage: scripts/check_static.sh [dylint|thread-safety|tidy|all]" >&2
+    exit 2
+    ;;
+esac
+
+echo
+if [ "$failures" -ne 0 ]; then
+  echo "check_static: FAILED (${failures} stage(s))"
+  exit 1
+fi
+if [ "$skips" -ne 0 ]; then
+  echo "check_static: OK (${skips} stage(s) skipped for missing tools)"
+else
+  echo "check_static: OK"
+fi

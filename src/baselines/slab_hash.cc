@@ -64,7 +64,10 @@ Status SlabHashTable::Create(const SlabHashOptions& options,
                      static_cast<uint64_t>(
                          static_cast<double>(table->num_buckets_) *
                          (options.pool_reserve_factor - 1.0));
-  DYCUCKOO_RETURN_NOT_OK(table->Reserve(reserve));
+  {
+    common::MutexLock lock(table->pool_mu_);
+    DYCUCKOO_RETURN_NOT_OK(table->Reserve(reserve));
+  }
   // Claim the first num_buckets_ slabs as the bucket heads.
   table->allocated_slabs_.store(table->num_buckets_,
                                 std::memory_order_relaxed);
@@ -73,7 +76,6 @@ Status SlabHashTable::Create(const SlabHashOptions& options,
 }
 
 Status SlabHashTable::Reserve(uint64_t min_total_slabs) {
-  // Caller holds pool_mu_ or is single-threaded (Create).
   while (reserved_slabs_.load(std::memory_order_relaxed) < min_total_slabs) {
     Slab* block =
         arena_->AllocateArray<Slab>(slabs_per_block_, options_.memory_tag);
@@ -96,7 +98,7 @@ Status SlabHashTable::Reserve(uint64_t min_total_slabs) {
 uint32_t SlabHashTable::AllocSlab() {
   uint64_t idx = allocated_slabs_.fetch_add(1, std::memory_order_relaxed);
   if (idx >= reserved_slabs_.load(std::memory_order_acquire)) {
-    std::lock_guard<std::mutex> lock(pool_mu_);
+    common::MutexLock lock(pool_mu_);
     Status st = Reserve(idx + 1);
     DYCUCKOO_CHECK(st.ok());  // pool growth failure is fatal, like the GPU
   }

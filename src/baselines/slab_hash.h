@@ -19,13 +19,14 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "baselines/packed_kv.h"
 #include "baselines/table_interface.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "gpusim/racecheck.h"
 
 namespace dycuckoo {
@@ -121,7 +122,7 @@ class SlabHashTable : public HashTableInterface {
                 sizeof(uint64_t) * kSlotsPerSlab);
   }
 
-  Status Reserve(uint64_t min_total_slabs);
+  Status Reserve(uint64_t min_total_slabs) REQUIRES(pool_mu_);
 
   Slab* Resolve(uint32_t index) const {
     return &superblocks_[index / slabs_per_block_][index % slabs_per_block_];
@@ -140,7 +141,12 @@ class SlabHashTable : public HashTableInterface {
   uint64_t num_buckets_ = 0;
   uint64_t slabs_per_block_ = 0;
 
-  mutable std::mutex pool_mu_;
+  // pool_mu_ serializes pool growth (Reserve).  superblocks_ carries no
+  // GUARDED_BY attribute: Resolve reads it lock-free on the hot path,
+  // which is safe because the vector's capacity is reserved up front
+  // (never reallocates) and readers only touch indices published by a
+  // reserved_slabs_ release/acquire pair.
+  mutable common::Mutex pool_mu_;
   std::vector<Slab*> superblocks_;
   std::atomic<uint64_t> reserved_slabs_{0};
   std::atomic<uint64_t> allocated_slabs_{0};

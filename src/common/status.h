@@ -36,7 +36,11 @@ enum class StatusCode : int {
 ///
 /// A default-constructed Status is OK and carries no allocation. Non-OK
 /// statuses carry a code and a human-readable message.
-class Status {
+///
+/// [[nodiscard]]: a dropped Status is a swallowed failure.  Every builder
+/// ships -Werror=unused-result, so ignoring a Status-returning call is a
+/// compile error; spell out intentional drops as DYCUCKOO_IGNORE_STATUS.
+class [[nodiscard]] Status {
  public:
   Status() = default;
 
@@ -152,6 +156,16 @@ class Status {
   do {                                          \
     ::dycuckoo::Status _st = (expr);            \
     if (!_st.ok()) return _st;                  \
+  } while (false)
+
+/// Deliberately drops a [[nodiscard]] result.  Use only where failure is
+/// genuinely uninteresting (best-effort cleanup on an already-failing
+/// path) and say why in a nearby comment; `(void)` casts alone do not
+/// survive review, this macro is grep-able.
+#define DYCUCKOO_IGNORE_STATUS(expr) \
+  do {                               \
+    auto _ignored = (expr);          \
+    (void)_ignored;                  \
   } while (false)
 
 }  // namespace dycuckoo

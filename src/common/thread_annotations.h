@@ -1,0 +1,71 @@
+// Portable Clang Thread Safety Analysis annotations.
+//
+// Clang's -Wthread-safety proves lock discipline at compile time: a
+// member declared GUARDED_BY(mu_) may only be touched while mu_ is held,
+// a function declared REQUIRES(mu_) may only be called with it held, and
+// an ACQUIRE/RELEASE pair must balance on every path.  The CI
+// static-analysis job builds with -Wthread-safety -Werror on Clang; on
+// GCC (the default local toolchain) every macro expands to nothing, so
+// the annotations are free documentation.
+//
+// The annotated lock types that make these attributes bite are in
+// common/mutex.h.  docs/analysis.md ("Static layer") records which
+// structures are annotated and why the known gaps (condition-variable
+// wait loops) are exempted.
+
+#ifndef DYCUCKOO_COMMON_THREAD_ANNOTATIONS_H_
+#define DYCUCKOO_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && (!defined(SWIG))
+#define DYCUCKOO_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define DYCUCKOO_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Declares a type to be a capability (a lock).
+#define CAPABILITY(x) DYCUCKOO_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type whose lifetime holds a capability.
+#define SCOPED_CAPABILITY DYCUCKOO_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member may only be accessed while `x` is held.
+#define GUARDED_BY(x) DYCUCKOO_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member: the *pointee* may only be accessed while `x` is held.
+#define PT_GUARDED_BY(x) DYCUCKOO_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function acquires the capability (exclusively / shared).
+#define ACQUIRE(...) \
+  DYCUCKOO_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  DYCUCKOO_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (either mode).
+#define RELEASE(...) \
+  DYCUCKOO_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  DYCUCKOO_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function may only be called while the capability is held.
+#define REQUIRES(...) \
+  DYCUCKOO_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  DYCUCKOO_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function may only be called while the capability is NOT held.
+#define EXCLUDES(...) DYCUCKOO_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function attempts the capability; `b` is the success return value.
+#define TRY_ACQUIRE(b, ...) \
+  DYCUCKOO_THREAD_ANNOTATION(try_acquire_capability(b, __VA_ARGS__))
+
+/// Function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) DYCUCKOO_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: suppress analysis for one function.  Every use must say
+/// why in a comment (the common one: condition-variable wait loops go
+/// through std::unique_lock, which the analysis cannot see through).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  DYCUCKOO_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // DYCUCKOO_COMMON_THREAD_ANNOTATIONS_H_

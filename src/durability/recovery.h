@@ -58,7 +58,8 @@ struct ReshardCutoverSeen {
 };
 
 /// What a recovery did, for operators and for determinism checks.
-struct RecoveryReport {
+/// Marked [[nodiscard]]: a dropped report hides replay damage.
+struct [[nodiscard]] RecoveryReport {
   uint64_t shard_id = 0;            // identity of the log summarized here
   std::string segment;              // WAL segment name ("" = unsharded)
   uint64_t checkpoint_lsn = 0;      // 0 = no usable checkpoint (empty start)

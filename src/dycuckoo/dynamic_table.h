@@ -716,8 +716,9 @@ class DynamicTable {
   // same threading contract as every other host-side entry point).
   // ---------------------------------------------------------------------
 
-  /// What one scrub slice (or full pass) observed and fixed.
-  struct ScrubReport {
+  /// What one scrub slice (or full pass) observed and fixed.  Marked
+  /// [[nodiscard]]: a dropped report hides corruption_unrepairable.
+  struct [[nodiscard]] ScrubReport {
     uint64_t buckets_scanned = 0;
     uint64_t misplaced_found = 0;    ///< pairs stored outside their probe set
     uint64_t misplaced_repaired = 0; ///< of those, re-homed (rest stashed)
@@ -914,6 +915,7 @@ class DynamicTable {
       } else {
         ++report->corrupted_unattributable;
       }
+      // dylint:allow(tag-discipline, "quiescent repair: stash scrub runs host-side with no kernels in flight, resealing the just-unpublished slot")
       stash_tags_[i].store(
           SubtableT::ExpectedTag(
               stash_keys_[i].load(std::memory_order_relaxed),

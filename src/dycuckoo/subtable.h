@@ -105,6 +105,7 @@ class Subtable {
     const uint8_t empty_tag = ExpectedTag(kEmptyKey, Value{});
     for (uint64_t s = 0; s < slots; ++s) {
       keys_[s].store(kEmptyKey, std::memory_order_relaxed);
+      // dylint:allow(tag-discipline, "fresh memory: the subtable is not published yet, no concurrent writer can race a delta")
       tags_[s].store(empty_tag, std::memory_order_relaxed);
     }
   }
@@ -244,6 +245,7 @@ class Subtable {
     const uint64_t idx = bucket * kSlots + slot;
     gpusim::Store(&values_[idx], v);
     gpusim::StoreRelease(&keys_[idx], k);
+    // dylint:allow(tag-discipline, "fresh memory: resize destination slot written at most once before the table is published; carries the source tag verbatim")
     tags_[idx].store(tag, std::memory_order_relaxed);
   }
 
@@ -301,6 +303,7 @@ class Subtable {
   /// about to apply.
   void ResyncTag(uint64_t bucket, int slot) {
     const uint64_t idx = bucket * kSlots + slot;
+    // dylint:allow(tag-discipline, "quiescent repair only: scrub runs with no kernels in flight, per this function's contract")
     tags_[idx].store(ExpectedTag(keys_[idx].load(std::memory_order_relaxed),
                                  values_[idx].load(std::memory_order_relaxed)),
                      std::memory_order_relaxed);

@@ -14,7 +14,7 @@ DeviceArena::DeviceArena(uint64_t capacity_bytes)
     : capacity_bytes_(capacity_bytes) {}
 
 DeviceArena::~DeviceArena() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   for (auto& [ptr, alloc] : live_) {
     (void)ptr;
     std::free(alloc.block);
@@ -45,7 +45,7 @@ void* DeviceArena::Allocate(size_t bytes, const std::string& tag) {
     return nullptr;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     if (capacity_bytes_ != 0 && used_bytes_ + bytes > capacity_bytes_) {
       DYCUCKOO_LOG(Warning) << "device arena exhausted: used=" << used_bytes_
                             << " request=" << bytes
@@ -73,7 +73,7 @@ void* DeviceArena::Allocate(size_t bytes, const std::string& tag) {
 
 void DeviceArena::Free(void* ptr) {
   if (ptr == nullptr) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = live_.find(ptr);
   if (it == live_.end()) {
     // Double free or a pointer that was never ours.  Report and leave the
@@ -111,17 +111,17 @@ void DeviceArena::Free(void* ptr) {
 }
 
 uint64_t DeviceArena::used_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return used_bytes_;
 }
 
 uint64_t DeviceArena::peak_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return peak_bytes_;
 }
 
 uint64_t DeviceArena::used_bytes_for(const std::string& tag) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   uint64_t total = 0;
   for (const auto& [t, bytes] : used_by_tag_) {
     if (t.find(tag) != std::string::npos) total += bytes;
@@ -146,7 +146,7 @@ DeviceArena::MemorySweepReport DeviceArena::InjectMemoryFaults() {
   std::vector<Target> targets;
   uint64_t total_bytes = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     for (auto& [ptr, alloc] : live_) {
       // Non-matching allocations are invisible: they neither receive
       // faults nor shift the deterministic byte draws (the io_scope_filter
@@ -199,17 +199,17 @@ DeviceArena::MemorySweepReport DeviceArena::InjectMemoryFaults() {
 }
 
 size_t DeviceArena::live_allocations() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return live_.size();
 }
 
 uint64_t DeviceArena::invalid_frees() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return invalid_frees_;
 }
 
 void DeviceArena::ResetPeak() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   peak_bytes_ = used_bytes_;
 }
 

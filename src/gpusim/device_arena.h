@@ -17,13 +17,14 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <new>
 #include <string>
 #include <type_traits>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace dycuckoo {
 namespace gpusim {
@@ -138,14 +139,14 @@ class DeviceArena {
     uint64_t seq;       // monotonic allocation order (fault-sweep identity)
   };
 
-  mutable std::mutex mu_;
-  uint64_t capacity_bytes_;
-  uint64_t used_bytes_ = 0;
-  uint64_t peak_bytes_ = 0;
-  std::map<void*, Allocation> live_;
-  std::map<std::string, uint64_t> used_by_tag_;
-  uint64_t invalid_frees_ = 0;
-  uint64_t next_seq_ = 0;
+  mutable common::Mutex mu_;
+  uint64_t capacity_bytes_;  // set once at construction, then read-only
+  uint64_t used_bytes_ GUARDED_BY(mu_) = 0;
+  uint64_t peak_bytes_ GUARDED_BY(mu_) = 0;
+  std::map<void*, Allocation> live_ GUARDED_BY(mu_);
+  std::map<std::string, uint64_t> used_by_tag_ GUARDED_BY(mu_);
+  uint64_t invalid_frees_ GUARDED_BY(mu_) = 0;
+  uint64_t next_seq_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace gpusim

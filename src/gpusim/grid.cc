@@ -36,7 +36,7 @@ Grid::Grid(const GridOptions& options) {
 
 Grid::~Grid() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     shutting_down_ = true;
   }
   work_cv_.notify_all();
@@ -58,7 +58,7 @@ void Grid::LaunchWarps(uint64_t num_warps,
   // Launches are serialized like kernels on one CUDA stream; the mutex
   // makes concurrent host threads (multiple tables sharing a grid) queue
   // instead of crash.
-  std::lock_guard<std::mutex> launch_lock(launch_mu_);
+  common::MutexLock launch_lock(launch_mu_);
   Launch launch;
   launch.num_warps = num_warps;
   launch.body = &body;
@@ -70,7 +70,7 @@ void Grid::LaunchWarps(uint64_t num_warps,
   }
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     DYCUCKOO_CHECK(current_ == nullptr);
     current_ = &launch;
     ++launch_epoch_;
@@ -78,7 +78,7 @@ void Grid::LaunchWarps(uint64_t num_warps,
   work_cv_.notify_all();
 
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    std::unique_lock<common::Mutex> lock(mu_);
     // Wait until every warp ran AND every worker has left the launch —
     // `launch` lives on this stack frame, so a straggler still touching
     // launch->next after the last warp completes must hold us here.
@@ -104,7 +104,7 @@ void Grid::WorkerLoop() {
   for (;;) {
     Launch* launch = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      std::unique_lock<common::Mutex> lock(mu_);
       work_cv_.wait(lock, [&] {
         return shutting_down_ ||
                (current_ != nullptr && launch_epoch_ != seen_epoch);
@@ -142,7 +142,7 @@ void Grid::WorkerLoop() {
       launch->done.fetch_add(processed, std::memory_order_acq_rel);
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      common::MutexLock lock(mu_);
       --launch->workers_inside;
       if (launch->workers_inside == 0 &&
           launch->done.load(std::memory_order_acquire) == total) {

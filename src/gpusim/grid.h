@@ -14,10 +14,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "gpusim/racecheck.h"
 
 namespace dycuckoo {
@@ -61,8 +62,12 @@ class Grid {
   /// dynamically over the workers.  Blocks until every warp finished.
   /// Thread-safe: concurrent callers (e.g. several tables sharing one
   /// grid) queue like kernels on a single CUDA stream.
+  /// Exempt from thread-safety analysis: the completion wait goes through
+  /// std::unique_lock + condition_variable_any, which the analysis cannot
+  /// see through.
   void LaunchWarps(uint64_t num_warps,
-                   const std::function<void(uint64_t)>& body);
+                   const std::function<void(uint64_t)>& body)
+      NO_THREAD_SAFETY_ANALYSIS;
 
   unsigned num_threads() const { return static_cast<unsigned>(workers_.size()); }
 
@@ -79,15 +84,18 @@ class Grid {
     int workers_inside = 0;  // guarded by Grid::mu_
   };
 
-  void WorkerLoop();
+  // Exempt from thread-safety analysis: the work wait goes through
+  // std::unique_lock + condition_variable_any, which the analysis cannot
+  // see through.
+  void WorkerLoop() NO_THREAD_SAFETY_ANALYSIS;
 
-  std::mutex launch_mu_;  // serializes whole launches (one "stream")
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  Launch* current_ = nullptr;       // guarded by mu_
-  uint64_t launch_epoch_ = 0;       // guarded by mu_
-  bool shutting_down_ = false;      // guarded by mu_
+  common::Mutex launch_mu_;  // serializes whole launches (one "stream")
+  common::Mutex mu_;
+  std::condition_variable_any work_cv_;
+  std::condition_variable_any done_cv_;
+  Launch* current_ GUARDED_BY(mu_) = nullptr;
+  uint64_t launch_epoch_ GUARDED_BY(mu_) = 0;
+  bool shutting_down_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
   std::unique_ptr<RaceCheck> own_checker_;  // GridOptions::racecheck
   RaceCheck* previous_checker_ = nullptr;   // restored at destruction

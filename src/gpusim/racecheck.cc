@@ -5,11 +5,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
-#include <mutex>
 #include <sstream>
 #include <tuple>
 #include <unordered_map>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "gpusim/sim_counters.h"
 
 namespace dycuckoo {
@@ -135,12 +136,12 @@ struct RaceCheck::State {
     std::vector<std::pair<uint32_t, uint64_t>> vc;
   };
   struct WordShard {
-    std::mutex mu;
-    std::unordered_map<uintptr_t, WordState> words;
+    common::Mutex mu;
+    std::unordered_map<uintptr_t, WordState> words GUARDED_BY(mu);
   };
   struct SyncShard {
-    std::mutex mu;
-    std::unordered_map<uintptr_t, SyncState> syncs;
+    common::Mutex mu;
+    std::unordered_map<uintptr_t, SyncState> syncs GUARDED_BY(mu);
   };
 
   WordShard word_shards[kShards];
@@ -154,8 +155,8 @@ struct RaceCheck::State {
   // Findings deduplicated by stable key; `launch` keeps the first
   // occurrence (deterministic: launches are serialized).
   using Key = std::tuple<int, std::string, int64_t, uint32_t>;
-  std::mutex findings_mu;
-  std::map<Key, RaceFinding> findings;
+  common::Mutex findings_mu;
+  std::map<Key, RaceFinding> findings GUARDED_BY(findings_mu);
 };
 
 std::atomic<RaceCheck*> RaceCheck::active_{nullptr};
@@ -183,7 +184,7 @@ RaceCheck::WarpContext* RaceCheck::CurrentWarp() {
 RaceReport RaceCheck::Report() const {
   RaceReport report;
   {
-    std::lock_guard<std::mutex> lock(state_->findings_mu);
+    common::MutexLock lock(state_->findings_mu);
     report.findings.reserve(state_->findings.size());
     for (const auto& [key, finding] : state_->findings) {
       report.findings.push_back(finding);
@@ -262,7 +263,7 @@ void RaceCheck::OnAtomicRelease(const void* addr) {
   if (ctx == nullptr) return;  // host atomics carry no warp clock
   const uint64_t epoch = epoch_.load(std::memory_order_acquire);
   State::SyncShard& shard = state_->sync_shards[ShardOf(addr)];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  common::MutexLock lock(shard.mu);
   State::SyncState& sync = shard.syncs[reinterpret_cast<uintptr_t>(addr)];
   if (sync.epoch != epoch) {
     // Stale clock from an earlier launch: warp ids restart every launch,
@@ -298,7 +299,7 @@ void RaceCheck::OnAtomicAcquire(const void* addr, uint32_t bytes) {
   const uint64_t epoch = epoch_.load(std::memory_order_acquire);
   if (ctx != nullptr) {
     State::SyncShard& shard = state_->sync_shards[ShardOf(addr)];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    common::MutexLock lock(shard.mu);
     auto it = shard.syncs.find(reinterpret_cast<uintptr_t>(addr));
     if (it != shard.syncs.end() && it->second.epoch == epoch) {
       for (const auto& [s, tick] : it->second.vc) {
@@ -310,7 +311,7 @@ void RaceCheck::OnAtomicAcquire(const void* addr, uint32_t bytes) {
   // to it so later plain stores are judged against the atomic, and never
   // pair a plain store with it.
   State::WordShard& shard = state_->word_shards[ShardOf(addr)];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  common::MutexLock lock(shard.mu);
   State::WordState& word = shard.words[reinterpret_cast<uintptr_t>(addr)];
   word.epoch = epoch;
   word.writer = ctx != nullptr ? ctx->warp : kHostThread;
@@ -332,7 +333,7 @@ void RaceCheck::OnLoad(const void* addr, uint32_t bytes) {
   bool candidate = false;
   {
     State::WordShard& shard = state_->word_shards[ShardOf(addr)];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    common::MutexLock lock(shard.mu);
     auto it = shard.words.find(reinterpret_cast<uintptr_t>(addr));
     if (it != shard.words.end()) {
       const State::WordState& word = it->second;
@@ -378,7 +379,7 @@ void RaceCheck::OnStore(const void* addr, uint32_t bytes, bool racy_ok) {
   bool race = false;
   {
     State::WordShard& shard = state_->word_shards[ShardOf(addr)];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    common::MutexLock lock(shard.mu);
     State::WordState& word = shard.words[reinterpret_cast<uintptr_t>(addr)];
     if (word.epoch == epoch && word.writer != me && me != kHostThread &&
         word.writer != kHostThread && !racy_ok && !word.racy_ok) {
@@ -473,7 +474,7 @@ void RaceCheck::RecordFinding(FindingKind kind, const std::string& tag,
       ctx != nullptr ? ctx->launch_ordinal
                      : launch_ordinal_.load(std::memory_order_acquire);
   State::Key key(static_cast<int>(kind), tag, offset, access_bytes);
-  std::lock_guard<std::mutex> lock(state_->findings_mu);
+  common::MutexLock lock(state_->findings_mu);
   if (state_->findings.count(key) != 0) return;
   if (state_->findings.size() >= config_.max_findings) return;
   RaceFinding finding;

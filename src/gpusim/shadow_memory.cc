@@ -1,7 +1,6 @@
 #include "gpusim/shadow_memory.h"
 
 #include <cstdlib>
-#include <mutex>
 
 namespace dycuckoo {
 namespace gpusim {
@@ -15,7 +14,7 @@ ShadowMemory::ShadowMemory(size_t quarantine_budget_bytes)
     : quarantine_budget_bytes_(quarantine_budget_bytes) {}
 
 ShadowMemory::~ShadowMemory() {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  common::WriterMutexLock lock(mu_);
   for (auto& [begin, extent] : extents_) {
     if (extent.freed && extent.block != nullptr) std::free(extent.block);
   }
@@ -33,21 +32,21 @@ void ShadowMemory::Register(const void* user, size_t user_bytes, void* block,
   extent.user_end = extent.user_begin + user_bytes;
   extent.tag = tag;
   extent.block = block;
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  common::WriterMutexLock lock(mu_);
   extents_[extent.block_begin] = extent;
   ++live_extents_;
   BumpVersion();
 }
 
 bool ShadowMemory::KnowsLive(const void* user) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  common::ReaderMutexLock lock(mu_);
   const Extent* e = FindLocked(reinterpret_cast<uintptr_t>(user));
   return e != nullptr && !e->freed &&
          e->user_begin == reinterpret_cast<uintptr_t>(user);
 }
 
 bool ShadowMemory::QuarantineFree(const void* user) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  common::WriterMutexLock lock(mu_);
   const uintptr_t addr = reinterpret_cast<uintptr_t>(user);
   const Extent* found = FindLocked(addr);
   if (found == nullptr || found->freed || found->user_begin != addr) {
@@ -64,7 +63,7 @@ bool ShadowMemory::QuarantineFree(const void* user) {
 }
 
 void ShadowMemory::Drop(const void* user) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  common::WriterMutexLock lock(mu_);
   const uintptr_t addr = reinterpret_cast<uintptr_t>(user);
   const Extent* found = FindLocked(addr);
   if (found == nullptr || found->freed || found->user_begin != addr) return;
@@ -74,7 +73,7 @@ void ShadowMemory::Drop(const void* user) {
 }
 
 bool ShadowMemory::WasFreed(const void* user, std::string* original_tag) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  common::ReaderMutexLock lock(mu_);
   const uintptr_t addr = reinterpret_cast<uintptr_t>(user);
   const Extent* e = FindLocked(addr);
   if (e == nullptr || !e->freed || e->user_begin != addr) return false;
@@ -102,7 +101,7 @@ AccessInfo ShadowMemory::Classify(const void* addr, size_t bytes,
       }
     }
   }
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  common::ReaderMutexLock lock(mu_);
   const Extent* e = FindLocked(begin);
   if (e == nullptr) return info;  // kUntracked
   const uintptr_t end = begin + bytes;  // may poke into the right redzone
@@ -146,12 +145,12 @@ AccessInfo ShadowMemory::Classify(const void* addr, size_t bytes,
 }
 
 uint64_t ShadowMemory::live_extents() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  common::ReaderMutexLock lock(mu_);
   return live_extents_;
 }
 
 uint64_t ShadowMemory::quarantined_blocks() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  common::ReaderMutexLock lock(mu_);
   return quarantine_fifo_.size();
 }
 

@@ -34,8 +34,10 @@
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <shared_mutex>
 #include <string>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace dycuckoo {
 namespace gpusim {
@@ -126,10 +128,10 @@ class ShadowMemory {
   };
   static constexpr int kCacheEntries = 4;
 
-  // Must hold mu_.  Returns the extent containing addr, or nullptr.
-  const Extent* FindLocked(uintptr_t addr) const;
-  // Must hold mu_ exclusively.  Evicts quarantined blocks down to budget.
-  void EvictLocked();
+  // Returns the extent containing addr, or nullptr.
+  const Extent* FindLocked(uintptr_t addr) const REQUIRES_SHARED(mu_);
+  // Evicts quarantined blocks down to budget.
+  void EvictLocked() REQUIRES(mu_);
   // Invalidates every thread's classification cache (all instances).
   static void BumpVersion() {
     global_version_.fetch_add(1, std::memory_order_release);
@@ -142,13 +144,13 @@ class ShadowMemory {
   static thread_local unsigned tls_cache_next_;
 
   const size_t quarantine_budget_bytes_;
-  mutable std::shared_mutex mu_;
+  mutable common::SharedMutex mu_;
   // Keyed by block_begin; extents never overlap (quarantined blocks are
   // not returned to malloc until they leave the map).
-  std::map<uintptr_t, Extent> extents_;
-  std::deque<uintptr_t> quarantine_fifo_;  // block_begin, oldest first
-  size_t quarantine_bytes_ = 0;
-  uint64_t live_extents_ = 0;
+  std::map<uintptr_t, Extent> extents_ GUARDED_BY(mu_);
+  std::deque<uintptr_t> quarantine_fifo_ GUARDED_BY(mu_);  // oldest first
+  size_t quarantine_bytes_ GUARDED_BY(mu_) = 0;
+  uint64_t live_extents_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace gpusim

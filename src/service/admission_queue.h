@@ -10,10 +10,11 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <utility>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace dycuckoo {
 namespace service {
@@ -34,7 +35,7 @@ class AdmissionQueue {
   /// Enqueues, or rejects with kResourceExhausted when the queue is at
   /// capacity.  Never blocks.
   Status Push(T item) {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     if (items_.size() >= capacity_) {
       return Status::ResourceExhausted(
           "admission queue full (" + std::to_string(capacity_) + " requests)");
@@ -45,7 +46,7 @@ class AdmissionQueue {
 
   /// Dequeues the oldest item; false when empty.
   bool Pop(T* out) {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     if (items_.empty()) return false;
     *out = std::move(items_.front());
     items_.pop_front();
@@ -53,7 +54,7 @@ class AdmissionQueue {
   }
 
   uint64_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     return items_.size();
   }
 
@@ -62,8 +63,8 @@ class AdmissionQueue {
 
  private:
   const uint64_t capacity_;
-  mutable std::mutex mu_;
-  std::deque<T> items_;
+  mutable common::Mutex mu_;
+  std::deque<T> items_ GUARDED_BY(mu_);
 };
 
 }  // namespace service

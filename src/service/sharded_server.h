@@ -63,7 +63,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <sstream>
 #include <string>
 #include <unordered_map>
@@ -72,7 +71,9 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "durability/manager.h"
 #include "durability/recovery.h"
 #include "durability/sharded.h"
@@ -296,7 +297,7 @@ class ShardedTableServer {
   uint64_t Submit(Request request) {
     uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
     stats_.submitted.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     const uint64_t now = clock_.Now();
     if (reshard_crashed_) {
       Complete(id, Response{Status::Unavailable(
@@ -376,7 +377,7 @@ class ShardedTableServer {
   /// Retrieves (and removes) the response for `id`; false if not
   /// completed yet.
   bool TakeResponse(uint64_t id, Response* out) {
-    std::lock_guard<std::mutex> lock(responses_mu_);
+    common::MutexLock lock(responses_mu_);
     auto it = responses_.find(id);
     if (it == responses_.end()) return false;
     *out = std::move(it->second);
@@ -394,7 +395,7 @@ class ShardedTableServer {
   /// it completed.  Always advances the master clock, so heal backoffs
   /// elapse even on an idle deployment.
   uint64_t Step() {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     if (reshard_crashed_) return 0;
     clock_.Advance(1);
     for (uint32_t s = 0; s < physical_shards(); ++s) {
@@ -428,7 +429,7 @@ class ShardedTableServer {
   /// while Step() drives the chunk pipeline; when every chunk is done the
   /// routing generation is finalized and the manifest generation bumps.
   Status BeginReshard(uint32_t new_num_shards) {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     if (reshard_crashed_) {
       return Status::Unavailable("deployment dead: restart and recover");
     }
@@ -474,7 +475,7 @@ class ShardedTableServer {
   /// Operator override: schedule `shard`'s heal attempt for the next
   /// Step, ignoring the supervisor's backoff.  No-op unless quarantined.
   void RequestHealNow(uint32_t shard) {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     supervisor_.RequestHealNow(shard);
   }
 
@@ -484,7 +485,7 @@ class ShardedTableServer {
   void RunUntilIdle() {
     for (;;) {
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        common::MutexLock lock(mu_);
         // A reshard kill point is simulated process death: in-flight
         // joins can never complete (recovery is the only continuation).
         if (joins_.empty() || reshard_crashed_) return;
@@ -498,6 +499,25 @@ class ShardedTableServer {
   // ---------------------------------------------------------------------
 
   uint32_t num_shards() const { return router_.num_shards(); }
+
+  /// Gate for the heal path's post-recovery scrub: a freshly replayed
+  /// image must scrub clean, because the scrub unpublishes corrupted
+  /// slots — a dirty report waved through would bring the shard up
+  /// silently missing acknowledged keys.  Static and public so the
+  /// regression test can pin the policy without standing up a full
+  /// deployment.
+  static Status CheckHealScrub(const typename Table::ScrubReport& scrub) {
+    if (scrub.corrupted_slots == 0) return Status::OK();
+    return Status::DataLoss(
+               "heal scrub found " + std::to_string(scrub.corrupted_slots) +
+               " corrupted slot(s) in the freshly recovered image (" +
+               std::to_string(scrub.corrupted_unattributable) +
+               " unattributable); the durable state is suspect, retry "
+               "the replay")
+        .WithDetail("corruption",
+                    scrub.corrupted_unattributable > 0 ? "unrepairable"
+                                                       : "repairable");
+  }
   /// Slot count including a split's still-migrating new shards (==
   /// num_shards() whenever no migration is in flight).
   uint32_t physical_shards() const {
@@ -900,7 +920,7 @@ class ShardedTableServer {
   }
 
   void Complete(uint64_t id, Response response) {
-    std::lock_guard<std::mutex> lock(responses_mu_);
+    common::MutexLock lock(responses_mu_);
     responses_.emplace(id, std::move(response));
   }
 
@@ -981,7 +1001,21 @@ class ShardedTableServer {
 
     // Scrub + validate before the shard is allowed near traffic: a
     // recovered table with a placement violation would fail reads.
-    table->ScrubAll();
+    //
+    // The report is load-bearing ([[nodiscard]] caught this being
+    // dropped): the scrub UNPUBLISHES corrupted slots, so waving a
+    // dirty report through would bring up a shard silently missing
+    // acknowledged keys.  A corrupt freshly-replayed image means the
+    // durable state itself is suspect — fail the heal and retry the
+    // replay under backoff instead of serving holes.
+    st = CheckHealScrub(table->ScrubAll());
+    if (!st.ok()) {
+      DYCUCKOO_LOG(Warning) << "shard " << s
+                            << " heal: recovered image is corrupt: "
+                            << st.ToString();
+      supervisor_.OnHealFailure(s, now, std::move(st));
+      return;
+    }
     st = table->Validate();
     if (!st.ok()) {
       DYCUCKOO_LOG(Warning) << "shard " << s
@@ -1085,12 +1119,17 @@ class ShardedTableServer {
   std::string journal_image_;   // migration journal ("" while idle)
   bool reshard_crashed_ = false;  // a reshard.* kill point fired
 
-  std::mutex mu_;  // shards_, supervisor_, joins_, clock_
+  // mu_ guards shards_, supervisor_, joins_, and clock_.  These members
+  // carry no GUARDED_BY attribute: the Resharder<> template calls back
+  // into this class with mu_ held transitively, and attributing them
+  // would force REQUIRES(mu_) through the template's callback surface.
+  // docs/analysis.md ("Static layer") records this exemption.
+  common::Mutex mu_;
   std::unordered_map<uint64_t, Join> joins_;
 
   std::atomic<uint64_t> next_id_{1};
-  mutable std::mutex responses_mu_;
-  std::unordered_map<uint64_t, Response> responses_;
+  mutable common::Mutex responses_mu_;
+  std::unordered_map<uint64_t, Response> responses_ GUARDED_BY(responses_mu_);
 };
 
 /// The paper's primary 4-byte configuration, sharded.

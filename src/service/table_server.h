@@ -74,14 +74,15 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "durability/manager.h"
 #include "dycuckoo/dynamic_table.h"
 #include "dycuckoo/options.h"
@@ -321,7 +322,7 @@ class TableServer {
   /// yet.  Responses are held until taken — a client that never takes them
   /// should bound its in-flight ids.
   bool TakeResponse(uint64_t id, Response* out) {
-    std::lock_guard<std::mutex> lock(responses_mu_);
+    common::MutexLock lock(responses_mu_);
     auto it = responses_.find(id);
     if (it == responses_.end()) return false;
     *out = std::move(it->second);
@@ -331,7 +332,7 @@ class TableServer {
 
   uint64_t queued() const { return queue_.size(); }
   uint64_t completed_pending_take() const {
-    std::lock_guard<std::mutex> lock(responses_mu_);
+    common::MutexLock lock(responses_mu_);
     return responses_.size();
   }
 
@@ -413,7 +414,7 @@ class TableServer {
   }
 
   void Complete(uint64_t id, Response response) {
-    std::lock_guard<std::mutex> lock(responses_mu_);
+    common::MutexLock lock(responses_mu_);
     responses_.emplace(id, std::move(response));
   }
 
@@ -630,7 +631,16 @@ class TableServer {
         // Mark the layout change in the log so an operator replaying it can
         // line resizes up with latency shifts; carries no table state.
         durability_->LogResizeBarrier(table_->capacity_slots());
-        durability_->Commit();
+        Status commit = durability_->Commit();
+        if (!commit.ok()) {
+          // No ack depends on the barrier: it stays pending in the WAL
+          // and rides the next group commit.  But a flush failure here
+          // is an early smoke signal for the write path — surface it
+          // ([[nodiscard]] caught this being swallowed).
+          DYCUCKOO_LOG(Warning)
+              << "resize-barrier group commit failed (record rides the "
+                 "next commit): " << commit.ToString();
+        }
       }
     }
   }
@@ -724,8 +734,8 @@ class TableServer {
   bool integrity_compromised_ = false;
 
   std::atomic<uint64_t> next_id_{1};
-  mutable std::mutex responses_mu_;
-  std::unordered_map<uint64_t, Response> responses_;
+  mutable common::Mutex responses_mu_;
+  std::unordered_map<uint64_t, Response> responses_ GUARDED_BY(responses_mu_);
 };
 
 /// The paper's primary 4-byte configuration, served.

@@ -1,0 +1,27 @@
+// Fixture: a planted tag-discipline defect.  The integrity-tag write at
+// the marked line is an absolute store on live memory; the XOR-delta
+// protocol requires tags_[i].fetch_xor(delta) so that concurrent
+// updaters compose.  dylint must flag exactly this.
+#ifndef FIXTURE_ROGUE_TAGGER_H_
+#define FIXTURE_ROGUE_TAGGER_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+struct RogueTagger {
+  std::atomic<uint64_t>* tags_ = nullptr;
+
+  void GoodReseal(uint64_t bucket, uint64_t delta) {
+    tags_[bucket].fetch_xor(delta, std::memory_order_release);
+  }
+
+  void BadReseal(uint64_t bucket, uint64_t tag) {
+    tags_[bucket].store(tag);  // PLANTED DEFECT: absolute store on live tags
+  }
+};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_ROGUE_TAGGER_H_

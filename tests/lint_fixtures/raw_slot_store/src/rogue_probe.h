@@ -1,0 +1,21 @@
+// Fixture: a planted raw-slot-access defect.  The write at the marked
+// line bypasses the gpusim primitives, so RaceCheck never sees it and
+// the integrity tag is never updated.  dylint must flag exactly this.
+#ifndef FIXTURE_ROGUE_PROBE_H_
+#define FIXTURE_ROGUE_PROBE_H_
+
+#include <cstdint>
+
+namespace fixture {
+
+struct RogueProbe {
+  uint32_t* keys_ = nullptr;
+
+  void CorruptingStore(uint64_t slot, uint32_t key) {
+    keys_[slot] = key;  // PLANTED DEFECT: raw store, invisible to racecheck
+  }
+};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_ROGUE_PROBE_H_

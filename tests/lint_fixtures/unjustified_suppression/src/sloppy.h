@@ -1,0 +1,29 @@
+// Fixture: planted bad suppressions.  A suppression without a quoted
+// justification, and one naming a rule dylint does not know, must both
+// be flagged — and the unjustified one must NOT silence the raw store
+// under it.  The bad-suppression diagnostics are themselves
+// unsuppressible.
+#ifndef FIXTURE_SLOPPY_H_
+#define FIXTURE_SLOPPY_H_
+
+#include <cstdint>
+
+namespace fixture {
+
+struct Sloppy {
+  uint32_t* keys_ = nullptr;
+
+  void StillFlagged(uint64_t slot, uint32_t key) {
+    // dylint:allow(raw-slot-access)
+    keys_[slot] = key;  // PLANTED DEFECT: suppression above has no reason
+  }
+
+  void UnknownRule(uint64_t slot) {
+    // dylint:allow(made-up-rule, "no such rule exists")
+    (void)slot;
+  }
+};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_SLOPPY_H_

@@ -1,0 +1,17 @@
+// Fixture: a planted registry-sync defect.  The code registers two kill
+// points but docs/robustness.md documents only the first, so the second
+// is an undocumented crash site (and the doc also names one the code no
+// longer defines).  dylint must flag the drift in both directions.
+#ifndef FIXTURE_KILL_POINTS_H_
+#define FIXTURE_KILL_POINTS_H_
+
+namespace fixture {
+
+inline constexpr const char* kKillPointNames[] = {
+    "wal.before_append",
+    "wal.undocumented_new_point",  // PLANTED DEFECT: not in the doc
+};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_KILL_POINTS_H_

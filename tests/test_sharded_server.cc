@@ -307,6 +307,30 @@ void MaybeDumpShardArtifacts(const std::string& scenario, uint64_t seed,
 
 // --- Functional basics ----------------------------------------------------
 
+// Regression for a bug the [[nodiscard]] sweep surfaced: the heal path
+// called ScrubAll() on the freshly recovered table and dropped the
+// report, so a replay that produced corrupted slots (which the scrub
+// unpublishes) would bring the shard up silently missing acknowledged
+// keys.  The gate must pass clean reports and fail dirty ones with a
+// machine-readable DataLoss.
+TEST(ShardedServer, HealScrubGateRejectsDirtyRecoveredImages) {
+  DynamicTable<uint32_t, uint32_t>::ScrubReport clean;
+  EXPECT_TRUE(Sharded::CheckHealScrub(clean).ok());
+
+  DynamicTable<uint32_t, uint32_t>::ScrubReport dirty;
+  dirty.corrupted_slots = 3;
+  Status st = Sharded::CheckHealScrub(dirty);
+  EXPECT_TRUE(st.IsDataLoss()) << st.ToString();
+  ASSERT_NE(st.FindDetail("corruption"), nullptr);
+  EXPECT_EQ(*st.FindDetail("corruption"), "repairable");
+
+  dirty.corrupted_unattributable = 1;
+  st = Sharded::CheckHealScrub(dirty);
+  EXPECT_TRUE(st.IsDataLoss()) << st.ToString();
+  ASSERT_NE(st.FindDetail("corruption"), nullptr);
+  EXPECT_EQ(*st.FindDetail("corruption"), "unrepairable");
+}
+
 TEST(ShardedServer, RoutesEveryKeyToExactlyOneShard) {
   Env env(4);
   std::unique_ptr<Sharded> srv;
